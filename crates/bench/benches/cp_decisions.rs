@@ -1,0 +1,135 @@
+//! Microbenchmarks of the command-processor scheduling decisions.
+//!
+//! The paper's premise is that per-kernel scheduling decisions must happen
+//! at microsecond timescales (Section 1). These benches verify our LAX
+//! implementation's decision costs are comfortably inside that envelope
+//! even for the full 128-queue configuration: a priority-update tick over
+//! every busy queue, one admission evaluation, and one remaining-time
+//! estimate.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::config::GpuConfig;
+use gpu_sim::counters::Counters;
+use gpu_sim::job::{JobDesc, JobId, JobState};
+use gpu_sim::kernel::{ComputeProfile, KernelClassId, KernelDesc};
+use gpu_sim::queue::{ActiveJob, ComputeQueue};
+use gpu_sim::scheduler::{CpContext, CpScheduler, Occupancy};
+use lax::estimate::{remaining_time_us, LiveRates};
+use lax::lax::Lax;
+use sim_core::time::{Cycle, Duration};
+
+fn busy_queues(n: usize, kernels_per_job: usize) -> Vec<ComputeQueue> {
+    (0..n)
+        .map(|i| {
+            let kernels: Vec<Arc<KernelDesc>> = (0..kernels_per_job)
+                .map(|k| {
+                    Arc::new(KernelDesc::new(
+                        KernelClassId((k % 6) as u16),
+                        format!("k{k}"),
+                        1024,
+                        256,
+                        16,
+                        0,
+                        ComputeProfile::compute_only(1_000),
+                    ))
+                })
+                .collect();
+            let desc = Arc::new(JobDesc::new(
+                JobId(i as u32),
+                "bench",
+                kernels,
+                Duration::from_ms(7),
+                Cycle::ZERO,
+            ));
+            let mut a = ActiveJob::new(desc.clone(), desc.kernels.clone(), true, Cycle::ZERO);
+            a.state = JobState::Running;
+            ComputeQueue { active: Some(a) }
+        })
+        .collect()
+}
+
+fn warmed_counters() -> Counters {
+    let mut c = Counters::new(8, Duration::from_us(100));
+    for class in 0..6u16 {
+        for _ in 0..64 {
+            c.note_wg_placed(KernelClassId(class), Cycle::ZERO);
+        }
+        for _ in 0..64 {
+            c.record_wg(KernelClassId(class), Cycle::ZERO + Duration::from_us(50));
+        }
+    }
+    c.refresh(Cycle::ZERO + Duration::from_us(50));
+    c
+}
+
+fn bench_priority_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lax_priority_tick");
+    for (n_queues, kernels) in [(16, 8), (64, 8), (128, 8), (128, 102)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n_queues}q_{kernels}k")),
+            &(n_queues, kernels),
+            |b, &(nq, nk)| {
+                let mut queues = busy_queues(nq, nk);
+                let mut counters = warmed_counters();
+                let cfg = GpuConfig::default();
+                let mut lax = Lax::new();
+                b.iter(|| {
+                    let mut ctx = CpContext {
+                        now: Cycle::ZERO + Duration::from_us(100),
+                        queues: &mut queues,
+                        counters: &mut counters,
+                        occupancy: Occupancy::default(),
+                        config: &cfg,
+                    };
+                    lax.on_tick(&mut ctx);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_admission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lax_admission");
+    for n_queues in [16usize, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(n_queues), &n_queues, |b, &nq| {
+            let mut queues = busy_queues(nq, 8);
+            queues[nq - 1].job_mut().state = JobState::Init;
+            let mut counters = warmed_counters();
+            let cfg = GpuConfig::default();
+            let mut lax = Lax::new();
+            b.iter(|| {
+                let mut ctx = CpContext {
+                    now: Cycle::ZERO + Duration::from_us(100),
+                    queues: &mut queues,
+                    counters: &mut counters,
+                    occupancy: Occupancy::default(),
+                    config: &cfg,
+                };
+                lax.admit(&mut ctx, nq - 1)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    c.bench_function("remaining_time_102_kernels", |b| {
+        let queues = busy_queues(1, 102);
+        let mut counters = warmed_counters();
+        let job = queues[0].job().clone();
+        b.iter(|| {
+            let mut rates = LiveRates::new(&mut counters, Cycle::ZERO + Duration::from_us(100));
+            remaining_time_us(&job, &mut rates)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_priority_tick, bench_admission, bench_estimator
+}
+criterion_main!(benches);

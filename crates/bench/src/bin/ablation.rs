@@ -1,0 +1,91 @@
+//! Ablation study of LAX's design choices (DESIGN.md Section 5):
+//!
+//! * admission control on/off (isolates Algorithm 1),
+//! * laxity vs pure shortest-remaining-time priorities (Algorithm 2),
+//! * event-driven priority updates on/off (CP integration's granularity),
+//! * profiling-table update period sweep (the paper chose 100 us
+//!   empirically),
+//! * initial-priority policy (the paper's footnote 2).
+//!
+//! ```text
+//! cargo run --release -p lax-bench --bin ablation [n_jobs]
+//! ```
+
+use gpu_sim::prelude::*;
+use lax::ext::LaxDrop;
+use lax::lax::{InitPriority, Lax, LaxConfig};
+use sim_core::table::Table;
+use workloads::spec::{ArrivalRate, Benchmark};
+use workloads::suite::BenchmarkSuite;
+
+const BENCHES: [Benchmark; 3] = [Benchmark::Lstm, Benchmark::Ipv6, Benchmark::Stem];
+
+fn run_mode(mode: SchedulerMode, period: sim_core::time::Duration, bench: Benchmark, n: usize) -> usize {
+    let suite = BenchmarkSuite::calibrated();
+    let jobs = suite.generate_jobs(bench, ArrivalRate::High, n, lax_bench::runner::DEFAULT_SEED);
+    let params = SimParams {
+        offline_rates: suite.offline_rates(),
+        profiling_period: period,
+        ..SimParams::default()
+    };
+    let mut sim = Simulation::new(params, jobs, mode).expect("jobs run");
+    sim.run().deadlines_met()
+}
+
+fn run_cfg(cfg: LaxConfig, bench: Benchmark, n: usize) -> usize {
+    let period = cfg.update_period;
+    run_mode(SchedulerMode::Cp(Box::new(Lax::with_config(cfg))), period, bench, n)
+}
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(128);
+    let mut report = String::new();
+    report.push_str(&format!(
+        "LAX ablations, high arrival rate, {n} jobs per cell (deadline-met counts)\n\n"
+    ));
+
+    let variants: Vec<(&str, LaxConfig)> = vec![
+        ("LAX (paper)", LaxConfig::default()),
+        ("no admission", LaxConfig { admission: false, ..LaxConfig::default() }),
+        ("no laxity (SRT prio)", LaxConfig { use_laxity: false, ..LaxConfig::default() }),
+        ("no event updates", LaxConfig { event_driven_updates: false, ..LaxConfig::default() }),
+        ("init lowest prio", LaxConfig { init_priority: InitPriority::Lowest, ..LaxConfig::default() }),
+        ("init laxity estimate", LaxConfig { init_priority: InitPriority::InitialLaxity, ..LaxConfig::default() }),
+    ];
+    let mut header = vec!["variant".to_string()];
+    header.extend(BENCHES.iter().map(|b| b.name().to_string()));
+    let mut t = Table::new(header.clone());
+    for (name, cfg) in variants {
+        let mut row = vec![name.to_string()];
+        for bench in BENCHES {
+            row.push(run_cfg(cfg.clone(), bench, n).to_string());
+        }
+        t.row(row);
+    }
+    // Beyond the paper: LAX-DROP aborts deadline-blown jobs mid-flight.
+    let mut row = vec!["LAX-DROP (extension)".to_string()];
+    for bench in BENCHES {
+        let mode = SchedulerMode::Cp(Box::new(LaxDrop::new()));
+        row.push(run_mode(mode, sim_core::time::Duration::from_us(100), bench, n).to_string());
+    }
+    t.row(row);
+    report.push_str(&t.render());
+    report.push_str("\nProfiling-table update period sweep (paper: 100us):\n\n");
+    let mut t = Table::new(header);
+    for period_us in [25u64, 50, 100, 200, 400] {
+        let cfg = LaxConfig {
+            update_period: sim_core::time::Duration::from_us(period_us),
+            ..LaxConfig::default()
+        };
+        let mut row = vec![format!("{period_us}us")];
+        for bench in BENCHES {
+            row.push(run_cfg(cfg.clone(), bench, n).to_string());
+        }
+        t.row(row);
+    }
+    report.push_str(&t.render());
+    println!("{report}");
+    if std::fs::create_dir_all("results").is_ok() {
+        let _ = std::fs::write("results/ablation.txt", &report);
+    }
+}

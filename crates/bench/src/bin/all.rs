@@ -1,0 +1,35 @@
+//! Regenerates the paper's complete evaluation and writes each artifact to
+//! `results/<name>.txt`. Pass a maximum batch size for Figure 4 as the
+//! first argument (default 128; use 0 to skip Figure 4).
+use std::fs;
+use std::io::Write;
+
+fn save(dir: &str, name: &str, content: &str) {
+    let path = format!("{dir}/{name}.txt");
+    fs::write(&path, content).expect("write artifact");
+    eprintln!("[all] wrote {path}");
+}
+
+fn main() {
+    let max_batch: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(128);
+    let dir = "results";
+    fs::create_dir_all(dir).expect("create results dir");
+    let t0 = std::time::Instant::now();
+
+    save(dir, "table1", &lax_bench::figures::table1());
+    save(dir, "fig1", &lax_bench::figures::fig1());
+
+    let mut db = lax_bench::ResultsDb::new().verbose();
+    save(dir, "fig7", &lax_bench::figures::fig7(&mut db));
+    save(dir, "fig8", &lax_bench::figures::fig8(&mut db));
+    save(dir, "fig9", &lax_bench::figures::fig9(&mut db));
+    save(dir, "table5", &lax_bench::figures::table5(&mut db));
+    save(dir, "fig6", &lax_bench::figures::fig6(&mut db));
+    save(dir, "fig10", &lax_bench::figures::fig10(64, 128, lax_bench::runner::DEFAULT_SEED));
+    if max_batch > 0 {
+        save(dir, "fig4", &lax_bench::figures::fig4(max_batch));
+    }
+    let mut f = fs::File::create(format!("{dir}/SUMMARY.txt")).unwrap();
+    writeln!(f, "full evaluation regenerated in {:?}", t0.elapsed()).unwrap();
+    eprintln!("[all] done in {:?}", t0.elapsed());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the data behind Figure 1.
+fn main() {
+    println!("{}", lax_bench::figures::fig1());
+}

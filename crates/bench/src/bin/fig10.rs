@@ -1,0 +1,4 @@
+//! Regenerates Figure 10 (prediction & priority traces for one RNN job).
+fn main() {
+    println!("{}", lax_bench::figures::fig10(64, 128, lax_bench::runner::DEFAULT_SEED));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 4 (response time vs batch size). Pass a maximum batch
+//! size as the first argument (default 128) to bound runtime.
+fn main() {
+    let max: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(128);
+    println!("{}", lax_bench::figures::fig4(max));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 6 (CPU-side schedulers vs RR, three arrival rates).
+fn main() {
+    let mut db = lax_bench::ResultsDb::new().verbose();
+    println!("{}", lax_bench::figures::fig6(&mut db));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 7 (CP schedulers vs RR, high rate).
+fn main() {
+    let mut db = lax_bench::ResultsDb::new().verbose();
+    println!("{}", lax_bench::figures::fig7(&mut db));
+}

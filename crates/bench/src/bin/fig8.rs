@@ -1,0 +1,5 @@
+//! Regenerates Figure 8 (LAX-SW / LAX-CPU / LAX).
+fn main() {
+    let mut db = lax_bench::ResultsDb::new().verbose();
+    println!("{}", lax_bench::figures::fig8(&mut db));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 9 (useful-work fraction).
+fn main() {
+    let mut db = lax_bench::ResultsDb::new().verbose();
+    println!("{}", lax_bench::figures::fig9(&mut db));
+}

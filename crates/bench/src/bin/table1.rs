@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 1.
+fn main() {
+    println!("{}", lax_bench::figures::table1());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 5 (throughput, p99 latency, energy).
+fn main() {
+    let mut db = lax_bench::ResultsDb::new().verbose();
+    println!("{}", lax_bench::figures::table5(&mut db));
+}

@@ -1,0 +1,287 @@
+//! Figure and table generation: each function renders one artifact of the
+//! paper's evaluation from (cached) experiment runs.
+
+use gpu_sim::prelude::*;
+use lax::lax::Lax;
+use lax::trace::shared_trace;
+use sim_core::stats::geomean;
+use sim_core::table::{fmt_f, Table};
+use workloads::batching::batched_workload;
+use workloads::spec::{ArrivalRate, Benchmark};
+use workloads::suite::BenchmarkSuite;
+use workloads::table1;
+
+use crate::runner::ResultsDb;
+
+/// Schedulers of Figure 6 (CPU-side study), excluding the RR baseline
+/// column itself.
+pub const FIG6_SCHEDS: &[&str] = &["BAT", "BAY", "PRO", "LAX"];
+
+/// Schedulers of Figure 7 (CP study), excluding RR.
+pub const FIG7_SCHEDS: &[&str] = &["MLFQ", "EDF", "SJF", "SRF", "LJF", "PREMA", "LAX"];
+
+/// Schedulers of Figure 8 (laxity variants), normalized to LAX-SW.
+pub const FIG8_SCHEDS: &[&str] = &["LAX-SW", "LAX-CPU", "LAX"];
+
+/// All Table 5 schedulers, in the paper's column order.
+pub const TABLE5_SCHEDS: &[&str] =
+    &["RR", "MLFQ", "BAT", "BAY", "PRO", "LJF", "SJF", "SRF", "PREMA", "EDF", "LAX"];
+
+/// Renders Table 1 (kernel characterization, measured vs paper).
+pub fn table1() -> String {
+    let suite = BenchmarkSuite::calibrated();
+    format!(
+        "Table 1: kernel characterization (simulated isolation vs paper)\n\n{}",
+        table1::render_table1(suite)
+    )
+}
+
+/// Renders the Figure 1 scatter data (kernels/job vs deadline).
+pub fn fig1() -> String {
+    let suite = BenchmarkSuite::calibrated();
+    let mut t = Table::with_columns(&["benchmark", "kernels/job", "deadline (us)", "category", "high rate (jobs/s)"]);
+    for p in table1::fig1_points(suite) {
+        t.row(vec![
+            p.bench.name().to_string(),
+            fmt_f(p.kernels_per_job, 1),
+            fmt_f(p.deadline_us, 0),
+            if p.bench.is_many_kernel() { "many-kernel" } else { "few-kernel" }.to_string(),
+            fmt_f(p.high_rate, 0),
+        ]);
+    }
+    format!("Figure 1: many-kernel vs few-kernel taxonomy\n\n{}", t.render())
+}
+
+/// Renders Figure 4: mean response time versus batch size, normalized to
+/// batch size 1, per benchmark. `max_batch` bounds the sweep (paper: 128).
+pub fn fig4(max_batch: usize) -> String {
+    let suite = BenchmarkSuite::calibrated();
+    let sizes: Vec<usize> = [1usize, 8, 32, 128]
+        .into_iter()
+        .filter(|&b| b <= max_batch)
+        .collect();
+    let mut header = vec!["benchmark".to_string()];
+    header.extend(sizes.iter().map(|b| format!("B={b}")));
+    let mut t = Table::new(header);
+    for bench in Benchmark::ALL {
+        let mut base = None;
+        let mut cells = vec![bench.name().to_string()];
+        for &b in &sizes {
+            let n = b.max(8);
+            let w = batched_workload(suite, bench, ArrivalRate::High, n, b, 99);
+            let params = SimParams {
+                offline_rates: suite.offline_rates(),
+                ..SimParams::default()
+            };
+            let mut sim = Simulation::new(
+                params,
+                w.jobs.clone(),
+                SchedulerMode::Cp(Box::new(RoundRobin::new())),
+            )
+            .expect("batched jobs run");
+            let report = sim.run();
+            let completions: Vec<Option<Cycle>> = report
+                .records
+                .iter()
+                .map(|r| r.fate.completed_at())
+                .collect();
+            // Unfinished batches (horizon) are charged the horizon itself.
+            let mean = w.mean_response_us(&completions, 500_000.0);
+            let norm = match base {
+                None => {
+                    base = Some(mean);
+                    1.0
+                }
+                Some(b0) => mean / b0,
+            };
+            cells.push(format!("{norm:.1}x"));
+        }
+        t.row(cells);
+    }
+    format!(
+        "Figure 4: response time vs batch size (normalized to batch 1, RR)\n\n{}",
+        t.render()
+    )
+}
+
+fn normalized_met_table(db: &mut ResultsDb, scheds: &[&str], baseline: &str, rate: ArrivalRate) -> String {
+    let mut header = vec!["benchmark".to_string(), format!("{baseline} (met)")];
+    header.extend(scheds.iter().map(|s| s.to_string()));
+    let mut t = Table::new(header);
+    let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); scheds.len()];
+    for bench in Benchmark::ALL {
+        let base = db.met(baseline, bench, rate);
+        let mut cells = vec![bench.name().to_string(), base.to_string()];
+        for (i, s) in scheds.iter().enumerate() {
+            let r = db.met_ratio(s, baseline, bench, rate);
+            ratios[i].push(r);
+            cells.push(format!("{r:.2}x"));
+        }
+        t.row(cells);
+    }
+    let mut gm = vec!["GMEAN".to_string(), "-".to_string()];
+    for r in &ratios {
+        gm.push(format!("{:.2}x", geomean(r)));
+    }
+    t.row(gm);
+    t.render()
+}
+
+/// Renders Figure 6: jobs completed by deadline for CPU-side schedulers
+/// plus LAX, normalized to RR, at all three arrival rates.
+pub fn fig6(db: &mut ResultsDb) -> String {
+    let mut out = String::from("Figure 6: deadline-met jobs, CPU-side schedulers vs RR\n");
+    for rate in ArrivalRate::ALL {
+        out.push_str(&format!("\n({}) {} job arrival rate\n\n", rate.name(), rate.name()));
+        out.push_str(&normalized_met_table(db, FIG6_SCHEDS, "RR", rate));
+    }
+    out
+}
+
+/// Renders Figure 7: CP-extending schedulers at the high arrival rate,
+/// normalized to RR.
+pub fn fig7(db: &mut ResultsDb) -> String {
+    format!(
+        "Figure 7: deadline-met jobs, CP schedulers vs RR (high rate)\n\n{}",
+        normalized_met_table(db, FIG7_SCHEDS, "RR", ArrivalRate::High)
+    )
+}
+
+/// Renders Figure 8: the three laxity-aware implementations normalized to
+/// LAX-SW, at the high arrival rate.
+pub fn fig8(db: &mut ResultsDb) -> String {
+    format!(
+        "Figure 8: laxity-aware variants vs LAX-SW (high rate)\n\n{}",
+        normalized_met_table(db, FIG8_SCHEDS, "LAX-SW", ArrivalRate::High)
+    )
+}
+
+/// Renders Figure 9: percentage of completed WGs belonging to jobs that met
+/// their deadline (scheduling effectiveness), high rate.
+pub fn fig9(db: &mut ResultsDb) -> String {
+    let mut header = vec!["benchmark".to_string()];
+    header.extend(TABLE5_SCHEDS.iter().map(|s| s.to_string()));
+    let mut t = Table::new(header);
+    let mut per_sched: Vec<Vec<f64>> = vec![Vec::new(); TABLE5_SCHEDS.len()];
+    for bench in Benchmark::ALL {
+        let mut cells = vec![bench.name().to_string()];
+        for (i, s) in TABLE5_SCHEDS.iter().enumerate() {
+            let f = db.get(s, bench, ArrivalRate::High).useful_wg_fraction();
+            per_sched[i].push(f.max(1e-6));
+            cells.push(format!("{:.0}%", f * 100.0));
+        }
+        t.row(cells);
+    }
+    let mut gm = vec!["GMEAN".to_string()];
+    for v in &per_sched {
+        gm.push(format!("{:.0}%", geomean(v) * 100.0));
+    }
+    t.row(gm);
+    format!("Figure 9: useful work (WGs in deadline-meeting jobs), high rate\n\n{}", t.render())
+}
+
+/// Runs one traced LAX simulation per RNN benchmark and renders Figure 10:
+/// the predicted total execution time and priority of a sample job over its
+/// lifetime.
+pub fn fig10(sample_job: u32, n_jobs: usize, seed: u64) -> String {
+    let suite = BenchmarkSuite::calibrated();
+    let mut out = String::from(
+        "Figure 10: LAX prediction & priority over time for one sample RNN job\n",
+    );
+    for bench in [Benchmark::Lstm, Benchmark::Gru, Benchmark::Van, Benchmark::Hybrid] {
+        let jobs = suite.generate_jobs(bench, ArrivalRate::High, n_jobs, seed);
+        let trace = shared_trace(JobId(sample_job), 4096);
+        let params = SimParams {
+            offline_rates: suite.offline_rates(),
+            ..SimParams::default()
+        };
+        let lax = Lax::new().with_trace(trace.clone());
+        let mut sim = Simulation::new(params, jobs, SchedulerMode::Cp(Box::new(lax)))
+            .expect("jobs run");
+        let report = sim.run();
+        let rec = &report.records[sample_job as usize];
+        let actual_us = rec.latency().map(|l| l.as_us_f64());
+        let guard = trace.lock().expect("trace lock");
+        out.push_str(&format!(
+            "\n({}) job {}: fate {:?}, actual latency {:?} us, deadline {} us\n",
+            bench.name(),
+            sample_job,
+            rec.fate,
+            actual_us.map(|v| v.round()),
+            bench.deadline().as_us_f64()
+        ));
+        let mut t = Table::with_columns(&["t (us since arrival)", "predicted total (us)", "priority"]);
+        let arrival = rec.arrival;
+        for (p, q) in guard
+            .predicted_total_us
+            .points()
+            .iter()
+            .zip(guard.priority.points())
+        {
+            t.row(vec![
+                fmt_f(p.at.saturating_since(arrival).as_us_f64(), 0),
+                fmt_f(p.value, 0),
+                if q.value >= lax::laxity::PRIO_INF as f64 {
+                    "INF".to_string()
+                } else {
+                    fmt_f(q.value, 0)
+                },
+            ]);
+        }
+        out.push_str(&t.render());
+    }
+    out
+}
+
+/// Renders Table 5: (a) successful-job throughput, (b) 99th-percentile
+/// latency, (c) energy per successful job — all schedulers at the high
+/// arrival rate.
+pub fn table5(db: &mut ResultsDb) -> String {
+    /// How one Table 5 section turns a report into a cell.
+    type Metric = fn(&gpu_sim::metrics::SimReport) -> String;
+    let mut out = String::from("Table 5: throughput, tail latency, energy (high rate)\n");
+    let sections: [(&str, Metric); 3] = [
+        ("(a) successful-job throughput (jobs/s)", |r| fmt_f(r.throughput_per_sec(), 0)),
+        ("(b) 99-percentile job latency (ms)", |r| fmt_f(r.p99_latency_ms(), 2)),
+        ("(c) energy per successful job (mJ)", |r| {
+            let e = r.energy_per_success_mj();
+            if e.is_finite() { fmt_f(e, 2) } else { "inf".to_string() }
+        }),
+    ];
+    for (title, metric) in sections {
+        out.push_str(&format!("\n{title}\n\n"));
+        let mut header = vec!["benchmark".to_string()];
+        header.extend(TABLE5_SCHEDS.iter().map(|s| s.to_string()));
+        let mut t = Table::new(header);
+        for bench in Benchmark::ALL {
+            let mut cells = vec![bench.name().to_string()];
+            for s in TABLE5_SCHEDS {
+                let r = db.get(s, bench, ArrivalRate::High);
+                cells.push(metric(r));
+            }
+            t.row(cells);
+        }
+        out.push_str(&t.render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_and_table1_render() {
+        assert!(table1().contains("gemm_h128"));
+        assert!(fig1().contains("many-kernel"));
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "runs 64 small simulations; use --release")]
+    fn fig7_smoke_on_tiny_runs() {
+        let mut db = ResultsDb::with_jobs(6, 3);
+        let s = fig7(&mut db);
+        assert!(s.contains("GMEAN"));
+        assert!(s.contains("LAX"));
+    }
+}

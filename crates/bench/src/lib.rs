@@ -1,0 +1,13 @@
+//! # lax-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (see DESIGN.md's experiment index). The binaries in
+//! `src/bin/` are thin wrappers over [`runner`] and [`figures`]; `bin/all`
+//! reproduces the whole evaluation and emits EXPERIMENTS.md-ready text.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod runner;
+
+pub use runner::{run_once, Key, ResultsDb};

@@ -1,0 +1,163 @@
+//! Experiment execution and caching.
+
+use std::collections::BTreeMap;
+
+use gpu_sim::prelude::*;
+use schedulers::registry;
+use workloads::spec::{ArrivalRate, Benchmark};
+use workloads::suite::BenchmarkSuite;
+
+/// Jobs per benchmark run (paper Section 5.3).
+pub const JOBS_PER_RUN: usize = 128;
+
+/// Default RNG seed for the published experiment set.
+pub const DEFAULT_SEED: u64 = 20210301;
+
+/// One experiment cell: a scheduler on a benchmark at an arrival rate.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Key {
+    /// Scheduler name (see [`schedulers::registry`]).
+    pub scheduler: String,
+    /// Benchmark.
+    pub bench: Benchmark,
+    /// Arrival rate level.
+    pub rate: ArrivalRate,
+}
+
+impl Key {
+    /// Convenience constructor.
+    pub fn new(scheduler: &str, bench: Benchmark, rate: ArrivalRate) -> Self {
+        Key { scheduler: scheduler.to_string(), bench, rate }
+    }
+}
+
+/// Runs one experiment cell.
+///
+/// # Panics
+///
+/// Panics on unknown scheduler names or unrunnable generated jobs — both
+/// indicate harness bugs, not user error.
+pub fn run_once(scheduler: &str, bench: Benchmark, rate: ArrivalRate, n_jobs: usize, seed: u64) -> SimReport {
+    let suite = BenchmarkSuite::calibrated();
+    let jobs = suite.generate_jobs(bench, rate, n_jobs, seed);
+    let params = SimParams {
+        offline_rates: suite.offline_rates(),
+        ..SimParams::default()
+    };
+    let mode = registry::build(scheduler)
+        .unwrap_or_else(|| panic!("unknown scheduler {scheduler}"));
+    let mut sim = Simulation::new(params, jobs, mode).expect("generated jobs must be valid");
+    sim.run()
+}
+
+/// Memoized experiment results, so every figure computed in one process
+/// reuses the same runs.
+#[derive(Debug, Default)]
+pub struct ResultsDb {
+    cache: BTreeMap<Key, SimReport>,
+    n_jobs: usize,
+    seed: u64,
+    verbose: bool,
+}
+
+impl ResultsDb {
+    /// Creates a database using the default job count and seed.
+    pub fn new() -> Self {
+        ResultsDb { cache: BTreeMap::new(), n_jobs: JOBS_PER_RUN, seed: DEFAULT_SEED, verbose: false }
+    }
+
+    /// Creates a database with a custom job count (for fast smoke tests).
+    pub fn with_jobs(n_jobs: usize, seed: u64) -> Self {
+        ResultsDb { cache: BTreeMap::new(), n_jobs, seed, verbose: false }
+    }
+
+    /// Prints one progress line per executed (non-cached) run.
+    pub fn verbose(mut self) -> Self {
+        self.verbose = true;
+        self
+    }
+
+    /// Returns (running if necessary) the report for a cell.
+    pub fn get(&mut self, scheduler: &str, bench: Benchmark, rate: ArrivalRate) -> &SimReport {
+        let key = Key::new(scheduler, bench, rate);
+        if !self.cache.contains_key(&key) {
+            let t0 = std::time::Instant::now();
+            let report = run_once(scheduler, bench, rate, self.n_jobs, self.seed);
+            if self.verbose {
+                eprintln!(
+                    "[run] {:<9} {:<7} {:<6} met {:>3}/{} ({:.1?})",
+                    scheduler,
+                    bench.name(),
+                    rate.name(),
+                    report.deadlines_met(),
+                    self.n_jobs,
+                    t0.elapsed()
+                );
+            }
+            self.cache.insert(key.clone(), report);
+        }
+        &self.cache[&key]
+    }
+
+    /// Deadline-met count for a cell.
+    pub fn met(&mut self, scheduler: &str, bench: Benchmark, rate: ArrivalRate) -> usize {
+        self.get(scheduler, bench, rate).deadlines_met()
+    }
+
+    /// Ratio of deadline-met counts versus a baseline scheduler, clamped so
+    /// a zero-over-zero cell reads as 1.0 and x-over-zero as x (matching
+    /// how normalized bar charts handle empty baselines).
+    pub fn met_ratio(
+        &mut self,
+        scheduler: &str,
+        baseline: &str,
+        bench: Benchmark,
+        rate: ArrivalRate,
+    ) -> f64 {
+        let a = self.met(scheduler, bench, rate) as f64;
+        let b = self.met(baseline, bench, rate) as f64;
+        if b == 0.0 {
+            if a == 0.0 {
+                1.0
+            } else {
+                a
+            }
+        } else {
+            a / b
+        }
+    }
+
+    /// Number of jobs per run.
+    pub fn n_jobs(&self) -> usize {
+        self.n_jobs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_once_produces_resolved_jobs() {
+        let r = run_once("RR", Benchmark::Ipv6, ArrivalRate::Low, 8, 1);
+        assert_eq!(r.records.len(), 8);
+        assert_eq!(r.completed() + r.rejected(), 8);
+    }
+
+    #[test]
+    fn db_caches_runs() {
+        let mut db = ResultsDb::with_jobs(4, 1);
+        let a = db.met("RR", Benchmark::Stem, ArrivalRate::Low);
+        let b = db.met("RR", Benchmark::Stem, ArrivalRate::Low);
+        assert_eq!(a, b);
+        assert_eq!(db.cache.len(), 1);
+    }
+
+    #[test]
+    fn ratio_handles_zero_baseline() {
+        let mut db = ResultsDb::with_jobs(2, 1);
+        // Against itself the ratio is exactly 1 (or 1-by-convention).
+        let r = db.met_ratio("RR", "RR", Benchmark::Ipv6, ArrivalRate::Low);
+        assert_eq!(r, 1.0);
+    }
+}

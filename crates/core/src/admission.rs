@@ -1,0 +1,169 @@
+//! Queuing-delay-based admission control (paper Algorithm 1, Section 4.3).
+//!
+//! LAX prevents oversubscription with a Little's-Law estimate: the queueing
+//! delay a new job will experience is the summed predicted remaining time of
+//! every job already in the system (their drain time at the measured
+//! aggregate completion rates). If queueing delay plus the new job's own
+//! predicted duration plus its elapsed age exceeds its deadline, the job is
+//! rejected and stays on the CPU.
+
+use crate::estimate::{remaining_time_us, RateProvider};
+use gpu_sim::job::JobState;
+use gpu_sim::queue::ActiveJob;
+use sim_core::time::Cycle;
+
+/// Inputs to one admission decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionEstimate {
+    /// Predicted queueing delay behind already-admitted jobs, us
+    /// (`totRemTime`).
+    pub queue_delay_us: f64,
+    /// Predicted duration of the new job itself, us (`holdJobTime`).
+    pub hold_us: f64,
+    /// Time the new job has already waited since arrival, us (`durTime`).
+    pub age_us: f64,
+    /// Relative deadline, us.
+    pub deadline_us: f64,
+}
+
+impl AdmissionEstimate {
+    /// Algorithm 1 line 15: accept iff the job is predicted to finish by its
+    /// deadline.
+    pub fn accepts(&self) -> bool {
+        self.queue_delay_us + self.hold_us + self.age_us < self.deadline_us
+    }
+}
+
+/// Computes the admission estimate for the job on queue `q`, treating every
+/// other admitted job (state Ready or Running) as queued work.
+///
+/// `jobs` iterates `(queue index, job)` over busy queues; `q`'s own entry is
+/// the candidate.
+///
+/// # Panics
+///
+/// Panics if `q` holds no job.
+pub fn evaluate<'a>(
+    jobs: impl Iterator<Item = (usize, &'a ActiveJob)>,
+    q: usize,
+    now: Cycle,
+    rates: &mut impl RateProvider,
+) -> AdmissionEstimate {
+    let mut queue_delay_us = 0.0;
+    let mut candidate = None;
+    for (i, job) in jobs {
+        if i == q {
+            candidate = Some(job);
+            continue;
+        }
+        if job.state == JobState::Init {
+            // Not yet admitted: does not occupy the device.
+            continue;
+        }
+        queue_delay_us += remaining_time_us(job, rates);
+    }
+    let job = candidate.expect("candidate queue holds no job");
+    AdmissionEstimate {
+        queue_delay_us,
+        hold_us: remaining_time_us(job, rates),
+        age_us: now.saturating_since(job.job.arrival).as_us_f64(),
+        deadline_us: job.job.deadline.as_us_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::RateProvider;
+    use gpu_sim::job::{JobDesc, JobId};
+    use gpu_sim::kernel::{ComputeProfile, KernelClassId, KernelDesc};
+    use sim_core::time::Duration;
+    use std::sync::Arc;
+
+    struct Flat(f64);
+    impl RateProvider for Flat {
+        fn rate(&mut self, _c: KernelClassId) -> Option<f64> {
+            Some(self.0)
+        }
+    }
+    struct Unknown;
+    impl RateProvider for Unknown {
+        fn rate(&mut self, _c: KernelClassId) -> Option<f64> {
+            None
+        }
+    }
+
+    fn job(id: u32, wgs: u32, deadline_us: u64, state: JobState) -> ActiveJob {
+        let k = Arc::new(KernelDesc::new(
+            KernelClassId(0),
+            "k",
+            wgs * 64,
+            64,
+            8,
+            0,
+            ComputeProfile::compute_only(10),
+        ));
+        let desc = Arc::new(JobDesc::new(
+            JobId(id),
+            "b",
+            vec![k],
+            Duration::from_us(deadline_us),
+            Cycle::ZERO,
+        ));
+        let mut a = ActiveJob::new(desc.clone(), desc.kernels.clone(), true, Cycle::ZERO);
+        a.state = state;
+        a
+    }
+
+    #[test]
+    fn accepts_when_system_is_empty() {
+        let candidate = job(0, 10, 100, JobState::Init);
+        let jobs = vec![(3usize, &candidate)];
+        // 10 WGs at 1 WG/us = 10us hold, no queue -> fits a 100us deadline.
+        let e = evaluate(jobs.into_iter(), 3, Cycle::ZERO, &mut Flat(1.0));
+        assert_eq!(e.queue_delay_us, 0.0);
+        assert_eq!(e.hold_us, 10.0);
+        assert!(e.accepts());
+    }
+
+    #[test]
+    fn rejects_when_queue_delay_blows_the_deadline() {
+        let running = job(1, 200, 1_000, JobState::Running);
+        let candidate = job(0, 10, 100, JobState::Init);
+        let jobs = vec![(0usize, &running), (1usize, &candidate)];
+        // Queue delay 200us > 100us deadline.
+        let e = evaluate(jobs.into_iter(), 1, Cycle::ZERO, &mut Flat(1.0));
+        assert_eq!(e.queue_delay_us, 200.0);
+        assert!(!e.accepts());
+    }
+
+    #[test]
+    fn init_jobs_do_not_count_as_queued_work() {
+        let other_init = job(1, 10_000, 1_000, JobState::Init);
+        let candidate = job(0, 10, 100, JobState::Init);
+        let jobs = vec![(0usize, &other_init), (1usize, &candidate)];
+        let e = evaluate(jobs.into_iter(), 1, Cycle::ZERO, &mut Flat(1.0));
+        assert_eq!(e.queue_delay_us, 0.0);
+        assert!(e.accepts());
+    }
+
+    #[test]
+    fn unknown_rates_are_optimistic() {
+        let running = job(1, 1_000_000, 1_000, JobState::Running);
+        let candidate = job(0, 1_000_000, 10, JobState::Init);
+        let jobs = vec![(0usize, &running), (1usize, &candidate)];
+        let e = evaluate(jobs.into_iter(), 1, Cycle::ZERO, &mut Unknown);
+        assert_eq!(e.hold_us, 0.0);
+        assert!(e.accepts(), "no profile data yet: accept rather than reject");
+    }
+
+    #[test]
+    fn age_counts_against_the_deadline() {
+        let candidate = job(0, 50, 100, JobState::Init);
+        let jobs = vec![(0usize, &candidate)];
+        let now = Cycle::ZERO + Duration::from_us(60);
+        // hold 50us + age 60us > 100us deadline.
+        let e = evaluate(jobs.into_iter(), 0, now, &mut Flat(1.0));
+        assert!(!e.accepts());
+    }
+}

@@ -1,0 +1,199 @@
+//! Job remaining-time estimation (paper Section 4.2).
+//!
+//! LAX walks the job's WGList — the per-kernel workgroup counts discovered
+//! by stream inspection — and divides each kernel's remaining WGs by the
+//! current workgroup completion rate of that kernel class from the Kernel
+//! Profiling Table. Because the rates are measured under the *current*
+//! contention, the estimate adapts as load changes.
+
+use gpu_sim::counters::Counters;
+use gpu_sim::kernel::KernelClassId;
+use gpu_sim::queue::ActiveJob;
+use sim_core::time::Cycle;
+
+/// Source of per-class WG completion rates (WGs per microsecond).
+///
+/// The CP-integrated LAX reads live windowed counters; the CPU-side
+/// variants only see values cached at the last refresh. Abstracting the
+/// source lets the same estimator implement both fidelities.
+pub trait RateProvider {
+    /// Rate for `class`, or `None` when the class has never completed a WG
+    /// (in which case the estimator is optimistic per Section 4.3 and
+    /// assumes the kernel takes no time).
+    fn rate(&mut self, class: KernelClassId) -> Option<f64>;
+}
+
+/// Fresh, CP-side rates (recomputes the sliding window on every read).
+#[derive(Debug)]
+pub struct LiveRates<'a> {
+    counters: &'a mut Counters,
+    now: Cycle,
+}
+
+impl<'a> LiveRates<'a> {
+    /// Wraps the hardware counters for reading at time `now`.
+    pub fn new(counters: &'a mut Counters, now: Cycle) -> Self {
+        LiveRates { counters, now }
+    }
+}
+
+impl RateProvider for LiveRates<'_> {
+    fn rate(&mut self, class: KernelClassId) -> Option<f64> {
+        self.counters.live_rate(class, self.now)
+    }
+}
+
+/// Stale, host-visible rates (whatever the last periodic refresh cached).
+#[derive(Debug)]
+pub struct CachedRates<'a> {
+    counters: &'a Counters,
+}
+
+impl<'a> CachedRates<'a> {
+    /// Wraps the counters for cached reads.
+    pub fn new(counters: &'a Counters) -> Self {
+        CachedRates { counters }
+    }
+}
+
+impl RateProvider for CachedRates<'_> {
+    fn rate(&mut self, class: KernelClassId) -> Option<f64> {
+        self.counters.rate(class)
+    }
+}
+
+/// Estimated time, in microseconds, to finish the remaining work of `job`
+/// given current completion rates.
+///
+/// Kernels whose class has no estimate yet contribute zero (optimism avoids
+/// rejecting work the GPU could complete, Section 4.3). Kernels execute
+/// sequentially within a job, so per-kernel estimates sum.
+pub fn remaining_time_us(job: &ActiveJob, rates: &mut impl RateProvider) -> f64 {
+    let mut total = 0.0;
+    for (class, wgs) in job.remaining_wgs() {
+        if wgs == 0 {
+            continue;
+        }
+        if let Some(rate) = rates.rate(class) {
+            if rate > 0.0 {
+                total += wgs as f64 / rate;
+            }
+        }
+    }
+    total
+}
+
+/// Remaining-time estimate from a bare WG list (used by host-side variants
+/// that track progress at kernel granularity only).
+pub fn remaining_time_us_of(
+    wgs_per_kernel: impl Iterator<Item = (KernelClassId, u32)>,
+    rates: &mut impl RateProvider,
+) -> f64 {
+    let mut total = 0.0;
+    for (class, wgs) in wgs_per_kernel {
+        if wgs == 0 {
+            continue;
+        }
+        if let Some(rate) = rates.rate(class) {
+            if rate > 0.0 {
+                total += wgs as f64 / rate;
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::job::{JobDesc, JobId};
+    use gpu_sim::kernel::{ComputeProfile, KernelDesc};
+    use sim_core::time::Duration;
+    use std::sync::Arc;
+
+    struct FixedRates(Vec<Option<f64>>);
+    impl RateProvider for FixedRates {
+        fn rate(&mut self, class: KernelClassId) -> Option<f64> {
+            self.0[class.index()]
+        }
+    }
+
+    fn job(k0_wgs: u32, k1_wgs: u32) -> ActiveJob {
+        let mk = |class: u16, wgs: u32| {
+            Arc::new(KernelDesc::new(
+                KernelClassId(class),
+                "k",
+                wgs * 64,
+                64,
+                8,
+                0,
+                ComputeProfile::compute_only(10),
+            ))
+        };
+        let desc = Arc::new(JobDesc::new(
+            JobId(0),
+            "b",
+            vec![mk(0, k0_wgs), mk(1, k1_wgs)],
+            Duration::from_us(100),
+            Cycle::ZERO,
+        ));
+        ActiveJob::new(desc.clone(), desc.kernels.clone(), true, Cycle::ZERO)
+    }
+
+    #[test]
+    fn sums_per_kernel_estimates() {
+        let j = job(10, 20);
+        // class0 at 2 WG/us -> 5us, class1 at 4 WG/us -> 5us.
+        let mut r = FixedRates(vec![Some(2.0), Some(4.0)]);
+        assert!((remaining_time_us(&j, &mut r) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_class_is_optimistic_zero() {
+        let j = job(10, 20);
+        let mut r = FixedRates(vec![None, Some(4.0)]);
+        assert!((remaining_time_us(&j, &mut r) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn progress_shrinks_the_estimate() {
+        let mut j = job(10, 20);
+        let mut r = FixedRates(vec![Some(1.0), Some(1.0)]);
+        let before = remaining_time_us(&j, &mut r);
+        j.head_wgs_completed = 5;
+        let after = remaining_time_us(&j, &mut r);
+        assert!((before - after - 5.0).abs() < 1e-12);
+    }
+
+    fn warm(c: &mut Counters, n: u64, end_us: u64) {
+        for _ in 0..n {
+            c.note_wg_placed(KernelClassId(0), Cycle::ZERO);
+        }
+        let end = Cycle::ZERO + Duration::from_us(end_us);
+        for _ in 0..n {
+            c.record_wg(KernelClassId(0), end);
+        }
+    }
+
+    #[test]
+    fn live_rates_read_fresh_counters() {
+        let mut c = Counters::new(1, Duration::from_us(100));
+        warm(&mut c, 100, 10); // 100 WGs over 10us busy -> 10 WGs/us
+        let now = Cycle::ZERO + Duration::from_us(10);
+        let mut live = LiveRates::new(&mut c, now);
+        assert_eq!(live.rate(KernelClassId(0)), Some(10.0));
+    }
+
+    #[test]
+    fn cached_rates_lag_refresh() {
+        let mut c = Counters::new(1, Duration::from_us(100));
+        warm(&mut c, 100, 10);
+        {
+            let mut cached = CachedRates::new(&c);
+            assert_eq!(cached.rate(KernelClassId(0)), None, "no refresh yet");
+        }
+        c.refresh(Cycle::ZERO + Duration::from_us(10));
+        let mut cached = CachedRates::new(&c);
+        assert_eq!(cached.rate(KernelClassId(0)), Some(10.0));
+    }
+}

@@ -1,0 +1,170 @@
+//! Extensions beyond the paper: LAX-DROP.
+//!
+//! The paper's LAX only *rejects* jobs at admission; a job that blows its
+//! deadline after being admitted still runs to completion at the lowest
+//! priority, wasting workgroups (visible in Figure 9 as the non-useful
+//! slice of LAX's work). The paper's Section 6.1.2 floats combining LAX
+//! with PREMA-style preemption as future work; LAX-DROP is the cheapest
+//! version of that idea: when a job's elapsed time passes its deadline,
+//! stop dispatching its workgroups, let the in-flight ones drain, and
+//! release its queue — no context save/restore needed, because nothing is
+//! resumed.
+
+use gpu_sim::job::JobState;
+use gpu_sim::scheduler::{Admission, CpContext, CpScheduler};
+use sim_core::time::Duration;
+
+use crate::lax::{Lax, LaxConfig};
+
+/// LAX plus mid-flight dropping of deadline-blown jobs.
+///
+/// # Examples
+///
+/// ```
+/// use lax::ext::LaxDrop;
+/// use gpu_sim::scheduler::CpScheduler;
+///
+/// let s = LaxDrop::new();
+/// assert_eq!(s.name(), "LAX-DROP");
+/// ```
+#[derive(Debug, Default)]
+pub struct LaxDrop {
+    inner: Lax,
+    dropped: u64,
+}
+
+impl LaxDrop {
+    /// Creates LAX-DROP with the paper's LAX configuration.
+    pub fn new() -> Self {
+        LaxDrop::default()
+    }
+
+    /// Creates LAX-DROP over a custom LAX configuration.
+    pub fn with_config(cfg: LaxConfig) -> Self {
+        LaxDrop { inner: Lax::with_config(cfg), dropped: 0 }
+    }
+
+    /// Jobs dropped mid-flight so far.
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped
+    }
+
+    fn drop_expired(&mut self, ctx: &mut CpContext<'_>) {
+        let now = ctx.now;
+        for q in ctx.queues.iter_mut() {
+            let Some(a) = q.active.as_mut() else { continue };
+            if a.state == JobState::Init || a.abort_requested {
+                continue;
+            }
+            if now > a.deadline_abs() {
+                a.abort_requested = true;
+                self.dropped += 1;
+            }
+        }
+    }
+}
+
+impl CpScheduler for LaxDrop {
+    fn name(&self) -> &'static str {
+        "LAX-DROP"
+    }
+
+    fn requires_inspection(&self) -> bool {
+        self.inner.requires_inspection()
+    }
+
+    fn tick_period(&self) -> Option<Duration> {
+        self.inner.tick_period()
+    }
+
+    fn on_tick(&mut self, ctx: &mut CpContext<'_>) {
+        self.inner.on_tick(ctx);
+        self.drop_expired(ctx);
+    }
+
+    fn admit(&mut self, ctx: &mut CpContext<'_>, q: usize) -> Admission {
+        self.inner.admit(ctx, q)
+    }
+
+    fn on_job_enqueued(&mut self, ctx: &mut CpContext<'_>, q: usize) {
+        self.inner.on_job_enqueued(ctx, q);
+    }
+
+    fn on_kernel_complete(&mut self, ctx: &mut CpContext<'_>, q: usize) {
+        self.inner.on_kernel_complete(ctx, q);
+        self.drop_expired(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::config::GpuConfig;
+    use gpu_sim::counters::Counters;
+    use gpu_sim::job::{JobDesc, JobId};
+    use gpu_sim::kernel::{ComputeProfile, KernelClassId, KernelDesc};
+    use gpu_sim::queue::{ActiveJob, ComputeQueue};
+    use gpu_sim::scheduler::Occupancy;
+    use sim_core::time::Cycle;
+    use std::sync::Arc;
+
+    fn queue_with(deadline_us: u64) -> ComputeQueue {
+        let k = Arc::new(KernelDesc::new(
+            KernelClassId(0),
+            "k",
+            640,
+            64,
+            8,
+            0,
+            ComputeProfile::compute_only(10),
+        ));
+        let desc = Arc::new(JobDesc::new(
+            JobId(0),
+            "b",
+            vec![k],
+            Duration::from_us(deadline_us),
+            Cycle::ZERO,
+        ));
+        let mut a = ActiveJob::new(desc.clone(), desc.kernels.clone(), true, Cycle::ZERO);
+        a.state = JobState::Running;
+        ComputeQueue { active: Some(a) }
+    }
+
+    #[test]
+    fn expired_jobs_get_abort_requested() {
+        let mut s = LaxDrop::new();
+        let mut queues = vec![queue_with(50), queue_with(5_000)];
+        let mut counters = Counters::new(1, Duration::from_us(100));
+        let cfg = GpuConfig::default();
+        let mut ctx = CpContext {
+            now: Cycle::ZERO + Duration::from_us(100),
+            queues: &mut queues,
+            counters: &mut counters,
+            occupancy: Occupancy::default(),
+            config: &cfg,
+        };
+        s.on_tick(&mut ctx);
+        assert!(queues[0].job().abort_requested, "50us deadline long gone");
+        assert!(!queues[1].job().abort_requested, "5ms deadline still live");
+        assert_eq!(s.dropped_count(), 1);
+    }
+
+    #[test]
+    fn drop_is_idempotent() {
+        let mut s = LaxDrop::new();
+        let mut queues = vec![queue_with(50)];
+        let mut counters = Counters::new(1, Duration::from_us(100));
+        let cfg = GpuConfig::default();
+        for _ in 0..3 {
+            let mut ctx = CpContext {
+                now: Cycle::ZERO + Duration::from_us(100),
+                queues: &mut queues,
+                counters: &mut counters,
+                occupancy: Occupancy::default(),
+                config: &cfg,
+            };
+            s.on_tick(&mut ctx);
+        }
+        assert_eq!(s.dropped_count(), 1, "a job is only dropped once");
+    }
+}

@@ -1,0 +1,141 @@
+//! Laxity computation and the priority rule of Algorithm 2.
+//!
+//! `LaxityTime = Deadline - (TimeRemaining + DurationTime)` (Equation 1).
+//! Jobs predicted to make their deadline get their laxity as priority
+//! (smaller laxity = more urgent = runs earlier); jobs predicted to miss get
+//! their completion time (always larger than the deadline, hence lower
+//! priority than any job with positive laxity); jobs already past their
+//! deadline are parked at infinity.
+
+use gpu_sim::queue::ActiveJob;
+use sim_core::time::{Cycle, Duration, CYCLES_PER_US};
+
+/// Priority value representing "never schedule unless idle" (Algorithm 2
+/// line 18). Kept well below `i64::MAX` so arithmetic can't overflow.
+pub const PRIO_INF: i64 = i64::MAX / 4;
+
+/// The three quantities of Equation 1, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaxityEstimate {
+    /// Estimated remaining execution time.
+    pub remaining_us: f64,
+    /// Time elapsed since the job arrived (`durTime`).
+    pub duration_us: f64,
+    /// Relative deadline.
+    pub deadline_us: f64,
+}
+
+impl LaxityEstimate {
+    /// Builds the estimate for `job` at time `now` given a remaining-time
+    /// prediction.
+    pub fn new(job: &ActiveJob, remaining_us: f64, now: Cycle) -> Self {
+        LaxityEstimate {
+            remaining_us,
+            duration_us: now.saturating_since(job.job.arrival).as_us_f64(),
+            deadline_us: job.job.deadline.as_us_f64(),
+        }
+    }
+
+    /// Predicted total completion time relative to arrival (`ComplTime`).
+    #[inline]
+    pub fn completion_us(&self) -> f64 {
+        self.remaining_us + self.duration_us
+    }
+
+    /// `LaxityTime` per Equation 1; negative when the job is predicted to
+    /// miss its deadline.
+    #[inline]
+    pub fn laxity_us(&self) -> f64 {
+        self.deadline_us - self.completion_us()
+    }
+
+    /// The Algorithm 2 priority value in cycles (lower runs first).
+    pub fn priority(&self) -> i64 {
+        if self.duration_us > self.deadline_us {
+            // Past the deadline already: park it (line 17-18).
+            return PRIO_INF;
+        }
+        let value_us = if self.laxity_us() > 0.0 {
+            // Will make it: priority is the laxity (line 12).
+            self.laxity_us()
+        } else {
+            // Predicted to miss: deprioritize below every positive-laxity
+            // job by using the completion time, which exceeds the deadline
+            // and therefore any laxity (line 14).
+            self.completion_us()
+        };
+        us_to_prio(value_us)
+    }
+}
+
+/// Converts a microsecond quantity to a priority value in cycles, saturating
+/// into `[0, PRIO_INF)`.
+pub fn us_to_prio(us: f64) -> i64 {
+    let cycles = us * CYCLES_PER_US as f64;
+    if !cycles.is_finite() || cycles >= PRIO_INF as f64 {
+        PRIO_INF - 1
+    } else {
+        cycles.max(0.0) as i64
+    }
+}
+
+/// Converts a [`Duration`] to a priority value (used by deadline-keyed
+/// policies such as EDF).
+pub fn duration_to_prio(d: Duration) -> i64 {
+    (d.as_cycles() as i64).min(PRIO_INF - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn estimate(remaining: f64, duration: f64, deadline: f64) -> LaxityEstimate {
+        LaxityEstimate { remaining_us: remaining, duration_us: duration, deadline_us: deadline }
+    }
+
+    #[test]
+    fn laxity_matches_equation_one() {
+        let e = estimate(30.0, 10.0, 100.0);
+        assert_eq!(e.completion_us(), 40.0);
+        assert_eq!(e.laxity_us(), 60.0);
+        assert_eq!(e.priority(), us_to_prio(60.0));
+    }
+
+    #[test]
+    fn smaller_laxity_means_higher_priority() {
+        let urgent = estimate(90.0, 5.0, 100.0);
+        let relaxed = estimate(10.0, 5.0, 100.0);
+        assert!(urgent.priority() < relaxed.priority());
+    }
+
+    #[test]
+    fn predicted_miss_ranks_below_any_positive_laxity() {
+        let miss = estimate(200.0, 10.0, 100.0); // completion 210 > deadline
+        let barely_ok = estimate(99.0, 0.0, 100.0); // laxity 1
+        let very_ok = estimate(1.0, 0.0, 100.0); // laxity 99
+        assert!(miss.priority() > barely_ok.priority());
+        assert!(miss.priority() > very_ok.priority());
+        assert!(miss.priority() < PRIO_INF);
+    }
+
+    #[test]
+    fn expired_job_is_parked_at_infinity() {
+        let e = estimate(1.0, 150.0, 100.0);
+        assert_eq!(e.priority(), PRIO_INF);
+    }
+
+    #[test]
+    fn zero_laxity_treated_as_miss_path() {
+        let e = estimate(100.0, 0.0, 100.0);
+        assert_eq!(e.laxity_us(), 0.0);
+        // Completion == deadline: priority equals completion time.
+        assert_eq!(e.priority(), us_to_prio(100.0));
+    }
+
+    #[test]
+    fn prio_conversion_saturates() {
+        assert_eq!(us_to_prio(f64::INFINITY), PRIO_INF - 1);
+        assert_eq!(us_to_prio(-5.0), 0);
+        assert_eq!(us_to_prio(1.0), 1500);
+    }
+}

@@ -1,0 +1,64 @@
+//! # lax
+//!
+//! The paper's contribution: **LAX**, a laxity-aware GPU stream scheduler
+//! that runs inside the command processor (*Deadline-Aware Offloading for
+//! High-Throughput Accelerators*, HPCA 2021, Section 4).
+//!
+//! The pieces map one-to-one onto the paper:
+//!
+//! * [`estimate`] — the remaining-time estimator driven by stream-inspected
+//!   WG lists and the Kernel Profiling Table's per-class workgroup
+//!   completion rates (Section 4.2).
+//! * [`laxity`] — Equation 1 and the Algorithm 2 priority rule.
+//! * [`admission`] — Algorithm 1's Little's-Law queueing-delay admission
+//!   control (Section 4.3).
+//! * [`lax`] — the CP-integrated scheduler combining all three, with
+//!   ablation knobs (update period, admission on/off, laxity vs pure
+//!   shortest-remaining, initial-priority policy).
+//! * [`host_variants`] — LAX-SW and LAX-CPU, the CPU-side variants of
+//!   Figure 8 that quantify how much of the benefit needs CP integration.
+//! * [`trace`] — prediction/priority capture for Figure 10.
+//! * [`ext`] — beyond-the-paper extensions (LAX-DROP: drop jobs mid-flight
+//!   once their deadline has passed, reclaiming the wasted work the paper's
+//!   LAX still performs).
+//!
+//! # Example
+//!
+//! ```
+//! use lax::prelude::*;
+//! use gpu_sim::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let kernel = Arc::new(KernelDesc::new(
+//!     KernelClassId(0), "k", 256, 64, 16, 0, ComputeProfile::compute_only(1_000),
+//! ));
+//! let job = JobDesc::new(JobId(0), "demo", vec![kernel], Duration::from_us(500), Cycle::ZERO);
+//! let mut sim = Simulation::new(
+//!     SimParams::default(),
+//!     vec![job],
+//!     SchedulerMode::Cp(Box::new(Lax::new())),
+//! )?;
+//! assert_eq!(sim.run().deadlines_met(), 1);
+//! # Ok::<(), gpu_sim::sim::SimError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod estimate;
+pub mod ext;
+pub mod host_variants;
+pub mod lax;
+pub mod laxity;
+pub mod trace;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::admission::AdmissionEstimate;
+    pub use crate::estimate::{remaining_time_us, CachedRates, LiveRates, RateProvider};
+    pub use crate::ext::LaxDrop;
+    pub use crate::host_variants::{LaxCpu, LaxSw};
+    pub use crate::lax::{InitPriority, Lax, LaxConfig};
+    pub use crate::laxity::{LaxityEstimate, PRIO_INF};
+    pub use crate::trace::{shared_trace, LaxTrace, SharedTrace};
+}

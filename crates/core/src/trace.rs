@@ -1,0 +1,64 @@
+//! Prediction/priority tracing for Figure 10: how LAX's estimated execution
+//! time and assigned priority for one job evolve over its lifetime.
+
+use std::sync::{Arc, Mutex};
+
+use gpu_sim::job::JobId;
+use sim_core::time::Cycle;
+use sim_core::trace::TraceSeries;
+
+/// Capture buffer for one watched job.
+#[derive(Debug)]
+pub struct LaxTrace {
+    /// Job being watched.
+    pub job: JobId,
+    /// Predicted total execution time (remaining + elapsed), us, over time.
+    pub predicted_total_us: TraceSeries,
+    /// Assigned priority value over time (lower = higher priority).
+    pub priority: TraceSeries,
+    /// Actual completion duration once known (set by the harness from the
+    /// job record), us.
+    pub actual_total_us: Option<f64>,
+}
+
+impl LaxTrace {
+    /// Creates an empty trace for `job` holding up to `capacity` samples per
+    /// series.
+    pub fn new(job: JobId, capacity: usize) -> Self {
+        LaxTrace {
+            job,
+            predicted_total_us: TraceSeries::new("predicted_total_us", capacity),
+            priority: TraceSeries::new("priority", capacity),
+            actual_total_us: None,
+        }
+    }
+
+    /// Records one sample pair.
+    pub fn sample(&mut self, at: Cycle, predicted_total_us: f64, priority: i64) {
+        self.predicted_total_us.sample(at, predicted_total_us);
+        self.priority.sample(at, priority as f64);
+    }
+}
+
+/// Shared handle the harness keeps while the scheduler owns the other end.
+pub type SharedTrace = Arc<Mutex<LaxTrace>>;
+
+/// Creates a shared trace handle for `job`.
+pub fn shared_trace(job: JobId, capacity: usize) -> SharedTrace {
+    Arc::new(Mutex::new(LaxTrace::new(job, capacity)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_accumulate() {
+        let t = shared_trace(JobId(3), 16);
+        t.lock().unwrap().sample(Cycle::from_cycles(10), 42.0, 7);
+        let g = t.lock().unwrap();
+        assert_eq!(g.predicted_total_us.points().len(), 1);
+        assert_eq!(g.priority.points()[0].value, 7.0);
+        assert_eq!(g.job, JobId(3));
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests of the laxity/priority algebra (Algorithm 2) and
+//! the admission rule (Algorithm 1).
+
+use lax::admission::AdmissionEstimate;
+use lax::laxity::{us_to_prio, LaxityEstimate, PRIO_INF};
+use proptest::prelude::*;
+
+fn estimate() -> impl Strategy<Value = LaxityEstimate> {
+    (0.0f64..10_000.0, 0.0f64..10_000.0, 1.0f64..10_000.0).prop_map(
+        |(remaining_us, duration_us, deadline_us)| LaxityEstimate {
+            remaining_us,
+            duration_us,
+            deadline_us,
+        },
+    )
+}
+
+proptest! {
+    /// Priorities always land in [0, PRIO_INF].
+    #[test]
+    fn priority_is_bounded(e in estimate()) {
+        let p = e.priority();
+        prop_assert!((0..=PRIO_INF).contains(&p));
+    }
+
+    /// Among jobs that will make their deadline, smaller laxity never gets
+    /// a lower priority rank (lower value = runs earlier).
+    #[test]
+    fn tighter_laxity_never_ranks_lower(
+        remaining in 0.0f64..1_000.0,
+        duration in 0.0f64..1_000.0,
+        deadline in 3_000.0f64..10_000.0,
+        extra in 0.0f64..500.0,
+    ) {
+        let e = LaxityEstimate { remaining_us: remaining, duration_us: duration, deadline_us: deadline };
+        let tighter = LaxityEstimate { remaining_us: remaining + extra, ..e };
+        prop_assert!(e.laxity_us() > 0.0 && tighter.laxity_us() > 0.0, "constructed with slack");
+        prop_assert!(tighter.priority() <= e.priority(),
+            "more remaining work => less laxity => must not rank lower");
+    }
+
+    /// Among jobs with the SAME deadline (the paper's homogeneous-job
+    /// setting), a predicted miss never outranks a predicted hit. This is
+    /// Algorithm 2's line-14 guarantee: the miss's completion time exceeds
+    /// the shared deadline, which bounds every positive laxity. (It does
+    /// NOT hold across very different deadlines - a known limitation of
+    /// mixing laxities and completion times on one scale.)
+    #[test]
+    fn predicted_misses_rank_below_predicted_hits(
+        deadline in 1.0f64..10_000.0,
+        hit_completion in 0.0f64..10_000.0,
+        miss_remaining in 0.0f64..10_000.0,
+        duration_frac in 0.0f64..1.0,
+    ) {
+        prop_assume!(hit_completion < deadline);
+        let hit = LaxityEstimate {
+            remaining_us: hit_completion,
+            duration_us: 0.0,
+            deadline_us: deadline,
+        };
+        // Construct a miss: completion beyond the deadline, not yet expired.
+        let miss = LaxityEstimate {
+            remaining_us: deadline + miss_remaining,
+            duration_us: deadline * duration_frac,
+            deadline_us: deadline,
+        };
+        prop_assert!(hit.laxity_us() > 0.0);
+        prop_assert!(miss.laxity_us() <= 0.0);
+        prop_assert!(miss.priority() >= hit.priority());
+    }
+
+    /// Expired jobs (elapsed past the deadline) are parked at infinity.
+    #[test]
+    fn expired_jobs_park_at_infinity(e in estimate()) {
+        prop_assume!(e.duration_us > e.deadline_us);
+        prop_assert_eq!(e.priority(), PRIO_INF);
+    }
+
+    /// The priority conversion is monotone and saturating.
+    #[test]
+    fn prio_conversion_is_monotone(a in 0.0f64..1e7, b in 0.0f64..1e7) {
+        if a <= b {
+            prop_assert!(us_to_prio(a) <= us_to_prio(b));
+        } else {
+            prop_assert!(us_to_prio(a) >= us_to_prio(b));
+        }
+    }
+
+    /// Admission accepts exactly when the Algorithm 1 inequality holds.
+    #[test]
+    fn admission_matches_the_inequality(
+        queue in 0.0f64..10_000.0,
+        hold in 0.0f64..10_000.0,
+        age in 0.0f64..10_000.0,
+        deadline in 1.0f64..10_000.0,
+    ) {
+        let e = AdmissionEstimate { queue_delay_us: queue, hold_us: hold, age_us: age, deadline_us: deadline };
+        prop_assert_eq!(e.accepts(), queue + hold + age < deadline);
+    }
+
+    /// More queued work never turns a rejection into an acceptance.
+    #[test]
+    fn admission_is_monotone_in_queue_delay(
+        queue in 0.0f64..5_000.0,
+        extra in 0.0f64..5_000.0,
+        hold in 0.0f64..5_000.0,
+        deadline in 1.0f64..10_000.0,
+    ) {
+        let base = AdmissionEstimate { queue_delay_us: queue, hold_us: hold, age_us: 0.0, deadline_us: deadline };
+        let worse = AdmissionEstimate { queue_delay_us: queue + extra, ..base };
+        prop_assert!(!(worse.accepts() && !base.accepts()));
+    }
+}

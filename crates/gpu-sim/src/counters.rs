@@ -1,0 +1,339 @@
+//! Performance counters the command processor can read.
+//!
+//! The paper extends the GPU with a per-kernel workgroup-completion-rate
+//! counter and lets the CP read it frequently (Section 4.1.1). [`Counters`]
+//! models exactly that: a sliding window per kernel class, refreshed into a
+//! cached rate on the CP's schedule, plus an offline-profile table used by
+//! the baselines that rely on pre-measured kernel durations.
+
+use sim_core::stats::RateWindow;
+use sim_core::time::{Cycle, Duration};
+
+use crate::kernel::KernelClassId;
+
+/// Fraction of the peak observed rate kept as the capability floor.
+///
+/// A pure measured rate collapses when the device idles (e.g. after
+/// admission control sheds load), which would lock admission closed: low
+/// measured rate -> long predicted queueing delay -> more rejections ->
+/// even lower measured rate. Real hardware counters sampled every 100 us
+/// retain the device's demonstrated capability; we model that by flooring
+/// the estimate at `PEAK_FRACTION` of the peak rate ever observed for the
+/// class (1.0 = the full demonstrated capability persists).
+const PEAK_FRACTION: f64 = 1.0;
+
+/// Tracks how much of a sliding window a kernel class spent with at least
+/// one workgroup resident. Normalizing WG completions by *busy* time (the
+/// paper's "work completion rate") rather than wall time keeps the rate a
+/// measure of device capability instead of offered load: an arrival-limited
+/// trickle of jobs still reveals how fast the GPU chews through them.
+#[derive(Debug, Clone)]
+struct BusyTracker {
+    window: Duration,
+    segments: std::collections::VecDeque<(Cycle, Cycle)>,
+    busy_since: Option<Cycle>,
+    resident: u32,
+}
+
+impl BusyTracker {
+    fn new(window: Duration) -> Self {
+        BusyTracker {
+            window,
+            segments: std::collections::VecDeque::new(),
+            busy_since: None,
+            resident: 0,
+        }
+    }
+
+    fn wg_placed(&mut self, now: Cycle) {
+        if self.resident == 0 {
+            self.busy_since = Some(now);
+        }
+        self.resident += 1;
+    }
+
+    fn wg_retired(&mut self, now: Cycle) {
+        debug_assert!(self.resident > 0, "retiring WG from an idle class");
+        self.resident -= 1;
+        if self.resident == 0 {
+            if let Some(s) = self.busy_since.take() {
+                self.segments.push_back((s, now));
+            }
+        }
+    }
+
+    /// Busy microseconds within the window ending at `now`.
+    fn busy_us(&mut self, now: Cycle) -> f64 {
+        let cutoff = now - self.window; // saturating
+        while let Some(&(_, e)) = self.segments.front() {
+            if e < cutoff {
+                self.segments.pop_front();
+            } else {
+                break;
+            }
+        }
+        let mut total = 0.0;
+        for &(s, e) in &self.segments {
+            let s = s.max(cutoff);
+            if e > s {
+                total += (e - s).as_us_f64();
+            }
+        }
+        if let Some(s) = self.busy_since {
+            let s = s.max(cutoff);
+            if now > s {
+                total += (now - s).as_us_f64();
+            }
+        }
+        total
+    }
+}
+
+#[derive(Debug)]
+struct ClassCounter {
+    window: RateWindow,
+    busy: BusyTracker,
+    cumulative: u64,
+    /// Highest busy-normalized rate observed so far (WGs per us).
+    peak: f64,
+    /// Rate published at the last refresh (WGs per us); what host-side
+    /// schedulers see (one refresh stale).
+    cached_rate: Option<f64>,
+}
+
+/// CP-visible counter file.
+#[derive(Debug)]
+pub struct Counters {
+    window: Duration,
+    classes: Vec<ClassCounter>,
+    total_wgs: u64,
+    /// Offline per-class isolated rate (WGs per us), for profile-based
+    /// schedulers (SJF, BAY, PRO). Populated by the harness from isolated
+    /// runs.
+    offline_rate: Vec<Option<f64>>,
+}
+
+impl Counters {
+    /// Creates counters for `num_classes` kernel classes with the given
+    /// measurement window (the paper uses 100 us).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(num_classes: usize, window: Duration) -> Self {
+        Counters {
+            window,
+            classes: (0..num_classes)
+                .map(|_| ClassCounter {
+                    window: RateWindow::new(window),
+                    busy: BusyTracker::new(window),
+                    cumulative: 0,
+                    peak: 0.0,
+                    cached_rate: None,
+                })
+                .collect(),
+            total_wgs: 0,
+            offline_rate: vec![None; num_classes],
+        }
+    }
+
+    /// Number of known classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Records that a WG of `class` was placed on a CU at `now` (starts or
+    /// extends the class's busy interval).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn note_wg_placed(&mut self, class: KernelClassId, now: Cycle) {
+        self.classes[class.index()].busy.wg_placed(now);
+    }
+
+    /// Records one WG completion of `class` at `now`.
+    ///
+    /// Must be paired with an earlier [`Counters::note_wg_placed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn record_wg(&mut self, class: KernelClassId, now: Cycle) {
+        let c = &mut self.classes[class.index()];
+        c.busy.wg_retired(now);
+        c.window.record(now, 1);
+        c.cumulative += 1;
+        self.total_wgs += 1;
+    }
+
+    /// Refreshes every cached rate from the sliding windows; the CP calls
+    /// this on its profiling-table period.
+    pub fn refresh(&mut self, now: Cycle) {
+        let window = self.window;
+        for c in &mut self.classes {
+            c.rate_update(now, window);
+        }
+    }
+
+    /// The cached WG completion rate (WGs per us) for `class`, or `None` if
+    /// the class has never been observed — in which case the paper's
+    /// estimator is optimistic and assumes zero time (Section 4.3).
+    pub fn rate(&self, class: KernelClassId) -> Option<f64> {
+        self.classes[class.index()].cached_rate
+    }
+
+    /// The *live* rate, recomputed from the current window. Only the
+    /// CP-integrated scheduler may use this (host-side variants read the
+    /// cached value, which is one refresh stale).
+    pub fn live_rate(&mut self, class: KernelClassId, now: Cycle) -> Option<f64> {
+        let window = self.window;
+        let c = &mut self.classes[class.index()];
+        c.rate_update(now, window);
+        c.cached_rate
+    }
+
+    /// Lifetime WG completions of one class.
+    pub fn cumulative(&self, class: KernelClassId) -> u64 {
+        self.classes[class.index()].cumulative
+    }
+
+    /// Lifetime WG completions across all classes.
+    pub fn total_wgs(&self) -> u64 {
+        self.total_wgs
+    }
+
+    /// Installs an offline-profiled isolated rate for `class` (WGs/us).
+    pub fn set_offline_rate(&mut self, class: KernelClassId, wgs_per_us: f64) {
+        self.offline_rate[class.index()] = Some(wgs_per_us);
+    }
+
+    /// The offline-profiled isolated rate, if the harness measured one.
+    pub fn offline_rate(&self, class: KernelClassId) -> Option<f64> {
+        self.offline_rate[class.index()]
+    }
+}
+
+impl ClassCounter {
+    fn rate_update(&mut self, now: Cycle, window: Duration) {
+        if self.cumulative == 0 {
+            return; // never observed: stay optimistic (None)
+        }
+        let completions = self.window.count(now) as f64;
+        let busy_us = self.busy.busy_us(now);
+        // Guard the denominator: below a few microseconds of busy time a
+        // single WG burst would produce a meaningless spike.
+        let min_busy = window.as_us_f64() * 0.02;
+        if completions > 0.0 && busy_us > min_busy {
+            let rate = completions / busy_us;
+            self.peak = self.peak.max(rate);
+            self.cached_rate = Some(rate.max(self.peak * PEAK_FRACTION));
+        } else if self.peak > 0.0 {
+            self.cached_rate = Some(self.peak * PEAK_FRACTION);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters() -> Counters {
+        Counters::new(2, Duration::from_us(100))
+    }
+
+    /// Places `n` WGs at `start` and retires them at `end`.
+    fn burst(c: &mut Counters, class: u16, n: u64, start_us: u64, end_us: u64) {
+        let start = Cycle::ZERO + Duration::from_us(start_us);
+        let end = Cycle::ZERO + Duration::from_us(end_us);
+        for _ in 0..n {
+            c.note_wg_placed(KernelClassId(class), start);
+        }
+        for _ in 0..n {
+            c.record_wg(KernelClassId(class), end);
+        }
+    }
+
+    #[test]
+    fn unseen_class_has_no_rate() {
+        let c = counters();
+        assert_eq!(c.rate(KernelClassId(0)), None);
+    }
+
+    #[test]
+    fn refresh_caches_busy_normalized_rate() {
+        let mut c = counters();
+        // 200 WGs over 50us of busy time -> 4 WGs/us capability.
+        burst(&mut c, 0, 200, 0, 50);
+        assert_eq!(c.rate(KernelClassId(0)), None, "not refreshed yet");
+        c.refresh(Cycle::ZERO + Duration::from_us(50));
+        assert_eq!(c.rate(KernelClassId(0)), Some(4.0));
+        assert_eq!(c.cumulative(KernelClassId(0)), 200);
+        assert_eq!(c.total_wgs(), 200);
+    }
+
+    #[test]
+    fn busy_rate_is_not_diluted_by_idle_time() {
+        let mut c = counters();
+        // Same 200 WGs in 50us of busy time, but observed at the end of a
+        // window that is half idle: the capability estimate is unchanged.
+        burst(&mut c, 0, 200, 0, 50);
+        c.refresh(Cycle::ZERO + Duration::from_us(100));
+        assert_eq!(c.rate(KernelClassId(0)), Some(4.0));
+    }
+
+    #[test]
+    fn capability_floor_survives_idle_windows() {
+        let mut c = counters();
+        burst(&mut c, 1, 100, 0, 50); // 2 WGs/us
+        c.refresh(Cycle::ZERO + Duration::from_us(50));
+        assert_eq!(c.rate(KernelClassId(1)), Some(2.0));
+        // Much later, the window is empty but the peak floor remains, so
+        // admission control cannot lock itself closed.
+        let later = Cycle::ZERO + Duration::from_ms(10);
+        c.refresh(later);
+        assert_eq!(
+            c.rate(KernelClassId(1)),
+            Some(2.0 * PEAK_FRACTION),
+            "capability floor persists"
+        );
+    }
+
+    #[test]
+    fn fresh_rate_wins_when_above_the_floor() {
+        let mut c = counters();
+        burst(&mut c, 0, 100, 0, 50); // 2 WGs/us
+        c.refresh(Cycle::ZERO + Duration::from_us(50));
+        burst(&mut c, 0, 400, 300, 400); // 4 WGs/us
+        c.refresh(Cycle::ZERO + Duration::from_us(400));
+        assert_eq!(c.rate(KernelClassId(0)), Some(4.0));
+    }
+
+    #[test]
+    fn live_rate_sees_fresh_completions() {
+        let mut c = counters();
+        burst(&mut c, 0, 50, 0, 10);
+        let t = Cycle::ZERO + Duration::from_us(10);
+        assert_eq!(c.live_rate(KernelClassId(0), t), Some(5.0));
+        // Cached view now matches because live_rate refreshes the cache.
+        assert_eq!(c.rate(KernelClassId(0)), Some(5.0));
+    }
+
+    #[test]
+    fn tiny_busy_slivers_do_not_spike_the_rate() {
+        let mut c = counters();
+        // One WG retiring in 1us of busy time (below the 2us guard) must
+        // not publish a spiky estimate.
+        burst(&mut c, 0, 1, 0, 1);
+        c.refresh(Cycle::ZERO + Duration::from_us(1));
+        assert_eq!(c.rate(KernelClassId(0)), None, "guarded against slivers");
+    }
+
+    #[test]
+    fn offline_rates_are_separate() {
+        let mut c = counters();
+        c.set_offline_rate(KernelClassId(0), 3.5);
+        assert_eq!(c.offline_rate(KernelClassId(0)), Some(3.5));
+        assert_eq!(c.rate(KernelClassId(0)), None);
+    }
+}

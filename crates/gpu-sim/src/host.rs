@@ -1,0 +1,233 @@
+//! Host-side (CPU) scheduling interface.
+//!
+//! The paper's CPU-side baselines (BatchMaker, Baymax, Prophet) and the
+//! LAX-SW / LAX-CPU variants run here. Host schedulers see *less* than CP
+//! schedulers — kernel-granularity completion notifications and counter
+//! values that are one refresh stale — and every command they send to the
+//! device pays host-device latency (4 us per kernel launch, Section 5.1).
+
+use std::sync::Arc;
+
+use sim_core::time::{Cycle, Duration};
+
+use crate::config::GpuConfig;
+use crate::counters::Counters;
+use crate::job::{JobDesc, JobId};
+
+/// Host-side bookkeeping for one job.
+#[derive(Debug, Clone)]
+pub struct HostJob {
+    /// The job.
+    pub desc: Arc<JobDesc>,
+    /// Next kernel index awaiting launch (== kernels launched and finished).
+    pub next_kernel: usize,
+    /// A kernel of this job is currently launched and unfinished.
+    pub inflight: bool,
+    /// The job was rejected at admission.
+    pub rejected: bool,
+    /// All kernels have completed.
+    pub done: bool,
+    /// For chain-enqueued jobs (LAX-CPU style): the whole job lives on the
+    /// GPU and the host only adjusts its priority.
+    pub chain_enqueued: bool,
+}
+
+impl HostJob {
+    /// Creates fresh bookkeeping for `desc`.
+    pub fn new(desc: Arc<JobDesc>) -> Self {
+        HostJob {
+            desc,
+            next_kernel: 0,
+            inflight: false,
+            rejected: false,
+            done: false,
+            chain_enqueued: false,
+        }
+    }
+
+    /// `true` when the job can launch its next kernel.
+    pub fn launchable(&self) -> bool {
+        !self.rejected && !self.done && !self.inflight && !self.chain_enqueued
+    }
+
+    /// Kernel the job would launch next.
+    pub fn next_kernel_desc(&self) -> Option<&Arc<crate::kernel::KernelDesc>> {
+        self.desc.kernels.get(self.next_kernel)
+    }
+}
+
+/// Read-only view the host scheduler reacts to.
+#[derive(Debug)]
+pub struct HostView<'a> {
+    /// Current time.
+    pub now: Cycle,
+    /// Per-job state, indexed by `JobId::index()`.
+    pub jobs: &'a [HostJob],
+    /// Hardware counters. Host code must use the *cached* rates
+    /// ([`Counters::rate`]), which lag one refresh behind — the fidelity gap
+    /// the paper attributes to CPU-side scheduling.
+    pub counters: &'a Counters,
+    /// Machine configuration.
+    pub config: &'a GpuConfig,
+    /// Kernels launched by the host and not yet completed.
+    pub inflight_kernels: usize,
+}
+
+impl HostView<'_> {
+    /// Predicted isolated duration of the job's remaining kernels in
+    /// microseconds, from the offline profile table. `None` when any kernel
+    /// class lacks a profile.
+    pub fn predict_remaining_us(&self, job: JobId) -> Option<f64> {
+        let j = &self.jobs[job.index()];
+        let mut total = 0.0;
+        for k in &j.desc.kernels[j.next_kernel.min(j.desc.kernels.len())..] {
+            let rate = self.counters.offline_rate(k.class)?;
+            total += k.num_wgs() as f64 / rate;
+        }
+        Some(total)
+    }
+}
+
+/// Events the host scheduler reacts to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostEvent {
+    /// A new job arrived at the server.
+    Arrival(JobId),
+    /// A launched kernel (or the whole chain's next kernel) completed.
+    KernelDone {
+        /// The job whose kernel finished.
+        job: JobId,
+        /// Index of the finished kernel.
+        kernel_idx: usize,
+    },
+    /// Periodic tick ([`HostScheduler::tick_period`]).
+    Tick,
+    /// A previously requested wake-up fired.
+    Wake,
+}
+
+/// Commands the host scheduler issues; executed by the simulation with the
+/// appropriate latencies.
+#[derive(Debug, Clone)]
+pub enum HostCmd {
+    /// Reject the job (admission control); it never runs.
+    Reject(JobId),
+    /// Launch one kernel of one job, paying launch overhead plus `extra`
+    /// (e.g. Baymax's 50 us prediction-model call). `prio` orders the
+    /// launched kernel against other host-launched work on the device.
+    Launch {
+        /// Job to launch from.
+        job: JobId,
+        /// Kernel index (must equal the job's `next_kernel`).
+        kernel_idx: usize,
+        /// Additional host-side delay before the launch.
+        extra: Duration,
+        /// Device-side priority for the launched kernel (lower first).
+        prio: i64,
+    },
+    /// Launch one merged kernel batching the same-position kernel of several
+    /// jobs (BatchMaker-style cellular batching). All members must share the
+    /// kernel class and workgroup size.
+    LaunchBatch {
+        /// Member jobs, all at `kernel_idx`.
+        members: Vec<JobId>,
+        /// Kernel index within every member.
+        kernel_idx: usize,
+        /// Additional host-side delay.
+        extra: Duration,
+        /// Device-side priority.
+        prio: i64,
+    },
+    /// Enqueue the job's whole kernel chain onto a GPU queue (stream
+    /// semantics). Used by LAX-CPU, whose lever is then `SetPriority`.
+    EnqueueChain {
+        /// Job to enqueue.
+        job: JobId,
+        /// Initial device priority.
+        prio: i64,
+    },
+    /// Write the device priority register of the job's queue (memory-mapped
+    /// write, ~1 us latency; the API extension of LAX-CPU).
+    SetPriority {
+        /// Target job.
+        job: JobId,
+        /// New priority (lower runs first).
+        prio: i64,
+    },
+    /// Ask to be woken at the given time with [`HostEvent::Wake`].
+    WakeAt(Cycle),
+}
+
+/// A CPU-side scheduler.
+pub trait HostScheduler {
+    /// Scheduler name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Period of [`HostEvent::Tick`] deliveries; `None` disables ticking.
+    fn tick_period(&self) -> Option<Duration> {
+        None
+    }
+
+    /// Reacts to an event by appending commands to `out`.
+    fn react(&mut self, event: HostEvent, view: &HostView<'_>, out: &mut Vec<HostCmd>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{ComputeProfile, KernelClassId, KernelDesc};
+
+    fn job(id: u32) -> Arc<JobDesc> {
+        Arc::new(JobDesc::new(
+            JobId(id),
+            "b",
+            vec![Arc::new(KernelDesc::new(
+                KernelClassId(0),
+                "k",
+                128,
+                64,
+                8,
+                0,
+                ComputeProfile::compute_only(10),
+            ))],
+            Duration::from_us(50),
+            Cycle::ZERO,
+        ))
+    }
+
+    #[test]
+    fn host_job_launchability() {
+        let mut h = HostJob::new(job(0));
+        assert!(h.launchable());
+        h.inflight = true;
+        assert!(!h.launchable());
+        h.inflight = false;
+        h.done = true;
+        assert!(!h.launchable());
+    }
+
+    #[test]
+    fn predict_remaining_uses_offline_profile() {
+        let jobs = vec![HostJob::new(job(0))];
+        let mut counters = Counters::new(1, Duration::from_us(100));
+        let cfg = GpuConfig::default();
+        let view = HostView {
+            now: Cycle::ZERO,
+            jobs: &jobs,
+            counters: &counters,
+            config: &cfg,
+            inflight_kernels: 0,
+        };
+        assert_eq!(view.predict_remaining_us(JobId(0)), None);
+        counters.set_offline_rate(KernelClassId(0), 0.5);
+        let view = HostView {
+            now: Cycle::ZERO,
+            jobs: &jobs,
+            counters: &counters,
+            config: &cfg,
+            inflight_kernels: 0,
+        };
+        // 2 WGs at 0.5 WG/us -> 4 us.
+        assert_eq!(view.predict_remaining_us(JobId(0)), Some(4.0));
+    }
+}

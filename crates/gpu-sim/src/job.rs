@@ -1,0 +1,194 @@
+//! Jobs: a deadline-carrying chain of dependent kernels on one stream.
+
+use std::sync::Arc;
+
+use sim_core::time::{Cycle, Duration};
+
+use crate::kernel::KernelDesc;
+
+/// Globally unique job identifier within one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u32);
+
+impl JobId {
+    /// Index form.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A job submitted by a client: an ordered list of kernels with sequential
+/// dependencies, a relative deadline, and an arrival time.
+///
+/// Kernels are `Arc`-shared because thousands of jobs reuse the same
+/// descriptors (every LSTM-128 job runs the same six kernel classes).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use gpu_sim::job::{JobDesc, JobId};
+/// use gpu_sim::kernel::{ComputeProfile, KernelClassId, KernelDesc};
+/// use sim_core::time::{Cycle, Duration};
+///
+/// let k = Arc::new(KernelDesc::new(
+///     KernelClassId(0), "k", 256, 256, 16, 0,
+///     ComputeProfile::compute_only(100),
+/// ));
+/// let job = JobDesc::new(JobId(0), "demo", vec![k], Duration::from_us(40), Cycle::ZERO);
+/// assert_eq!(job.total_wgs(), 1);
+/// assert_eq!(job.absolute_deadline(), Cycle::ZERO + Duration::from_us(40));
+/// ```
+#[derive(Debug, Clone)]
+pub struct JobDesc {
+    /// Unique id.
+    pub id: JobId,
+    /// Benchmark label ("LSTM", "IPV6", ...), for reporting.
+    pub bench: Arc<str>,
+    /// Kernels in dependency order.
+    pub kernels: Vec<Arc<KernelDesc>>,
+    /// Relative deadline from arrival (the programmer-provided value).
+    pub deadline: Duration,
+    /// Arrival time at the host.
+    pub arrival: Cycle,
+    /// User-assigned static priority hint (used by PREMA; 0 = default).
+    pub user_priority: u32,
+}
+
+impl JobDesc {
+    /// Creates a job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel list is empty or the deadline is zero.
+    pub fn new(
+        id: JobId,
+        bench: impl Into<Arc<str>>,
+        kernels: Vec<Arc<KernelDesc>>,
+        deadline: Duration,
+        arrival: Cycle,
+    ) -> Self {
+        assert!(!kernels.is_empty(), "job must contain at least one kernel");
+        assert!(!deadline.is_zero(), "job must have a positive deadline");
+        JobDesc {
+            id,
+            bench: bench.into(),
+            kernels,
+            deadline,
+            arrival,
+            user_priority: 0,
+        }
+    }
+
+    /// Builder-style setter for the PREMA user priority.
+    pub fn with_user_priority(mut self, p: u32) -> Self {
+        self.user_priority = p;
+        self
+    }
+
+    /// Number of kernels in the job.
+    #[inline]
+    pub fn num_kernels(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Total workgroups across all kernels (the job's "size" for SJF/LJF).
+    pub fn total_wgs(&self) -> u64 {
+        self.kernels.iter().map(|k| k.num_wgs() as u64).sum()
+    }
+
+    /// The wall-clock instant the job must finish by.
+    #[inline]
+    pub fn absolute_deadline(&self) -> Cycle {
+        self.arrival + self.deadline
+    }
+}
+
+/// Lifecycle of a job inside the command processor, mirroring the paper's
+/// Job Table `State` field (Section 4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Enqueued, not yet admitted (stream inspection / admission pending).
+    Init,
+    /// Admitted; first kernel may be dispatched.
+    Ready,
+    /// At least one WG has been issued to the CUs.
+    Running,
+}
+
+/// Terminal outcome of a job, for metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobFate {
+    /// Completed at the given time.
+    Completed(Cycle),
+    /// Rejected by admission control at the given time (never ran).
+    Rejected(Cycle),
+    /// Aborted mid-flight by the scheduler after its deadline passed (the
+    /// LAX-DROP extension); already-dispatched workgroups drained first.
+    Aborted(Cycle),
+    /// Still unfinished when the simulation horizon ended.
+    Unfinished,
+}
+
+impl JobFate {
+    /// `true` if the job finished (whether or not it met its deadline).
+    pub fn completed_at(self) -> Option<Cycle> {
+        match self {
+            JobFate::Completed(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{ComputeProfile, KernelClassId};
+
+    fn kernel(wgs: u32) -> Arc<KernelDesc> {
+        Arc::new(KernelDesc::new(
+            KernelClassId(0),
+            "k",
+            wgs * 64,
+            64,
+            8,
+            0,
+            ComputeProfile::compute_only(10),
+        ))
+    }
+
+    #[test]
+    fn totals_sum_over_kernels() {
+        let j = JobDesc::new(
+            JobId(1),
+            "b",
+            vec![kernel(3), kernel(5)],
+            Duration::from_us(10),
+            Cycle::ZERO,
+        );
+        assert_eq!(j.num_kernels(), 2);
+        assert_eq!(j.total_wgs(), 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_job_panics() {
+        JobDesc::new(JobId(0), "b", vec![], Duration::from_us(1), Cycle::ZERO);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_deadline_panics() {
+        JobDesc::new(JobId(0), "b", vec![kernel(1)], Duration::ZERO, Cycle::ZERO);
+    }
+
+    #[test]
+    fn fate_accessor() {
+        assert_eq!(
+            JobFate::Completed(Cycle::from_cycles(5)).completed_at(),
+            Some(Cycle::from_cycles(5))
+        );
+        assert_eq!(JobFate::Unfinished.completed_at(), None);
+    }
+}

@@ -1,0 +1,247 @@
+//! Memory hierarchy: per-CU L1 caches, one shared L2, multi-channel DRAM,
+//! plus deterministic synthetic address generation for the three access
+//! patterns kernels declare.
+
+use sim_core::time::{Cycle, Duration};
+
+use crate::cache::{ProbeResult, SetAssocCache};
+use crate::config::MemConfig;
+use crate::dram::Dram;
+use crate::kernel::AccessPattern;
+
+/// Where a request was satisfied (for latency + energy accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServicedBy {
+    /// L1 hit.
+    L1,
+    /// L1 miss, L2 hit.
+    L2,
+    /// Missed both caches.
+    Dram,
+}
+
+/// Counts of accesses serviced at each level, for a whole request bundle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessMix {
+    /// Lines that hit in L1.
+    pub l1: u64,
+    /// Lines that hit in L2.
+    pub l2: u64,
+    /// Lines that went to DRAM.
+    pub dram: u64,
+}
+
+/// The full memory system.
+#[derive(Debug)]
+pub struct MemoryHierarchy {
+    l1s: Vec<SetAssocCache>,
+    l2: SetAssocCache,
+    dram: Dram,
+    cfg: MemConfig,
+}
+
+impl MemoryHierarchy {
+    /// Builds the hierarchy for `num_cus` compute units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache geometry in `cfg` is invalid (checked earlier by
+    /// [`crate::config::GpuConfig::validate`]).
+    pub fn new(num_cus: u32, cfg: &MemConfig) -> Self {
+        MemoryHierarchy {
+            l1s: (0..num_cus)
+                .map(|_| SetAssocCache::new(cfg.l1_bytes, cfg.l1_ways, cfg.line_bytes))
+                .collect(),
+            l2: SetAssocCache::new(cfg.l2_bytes, cfg.l2_ways, cfg.line_bytes),
+            dram: Dram::new(cfg.dram_channels, cfg.dram_latency_cycles, cfg.dram_service_cycles),
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// Issues a bundle of `lines` consecutive-line accesses starting at
+    /// `base_addr` from CU `cu`, at time `now`.
+    ///
+    /// Returns the time the *last* line's data is available plus the mix of
+    /// levels that serviced the bundle (for energy accounting). The
+    /// requesting wavefront blocks until the returned completion time.
+    pub fn access_bundle(
+        &mut self,
+        cu: usize,
+        base_addr: u64,
+        lines: u32,
+        now: Cycle,
+    ) -> (Cycle, AccessMix) {
+        debug_assert!(lines > 0);
+        let mut mix = AccessMix::default();
+        let mut done = now + Duration::from_cycles(self.cfg.l1_hit_cycles);
+        for i in 0..lines as u64 {
+            let addr = base_addr + i * self.cfg.line_bytes as u64;
+            let finish = match self.l1s[cu].probe(addr) {
+                ProbeResult::Hit => {
+                    mix.l1 += 1;
+                    now + Duration::from_cycles(self.cfg.l1_hit_cycles)
+                }
+                ProbeResult::Miss => match self.l2.probe(addr) {
+                    ProbeResult::Hit => {
+                        mix.l2 += 1;
+                        now + Duration::from_cycles(self.cfg.l1_hit_cycles + self.cfg.l2_hit_cycles)
+                    }
+                    ProbeResult::Miss => {
+                        mix.dram += 1;
+                        let base = now
+                            + Duration::from_cycles(
+                                self.cfg.l1_hit_cycles + self.cfg.l2_hit_cycles,
+                            );
+                        self.dram.access(addr, base)
+                    }
+                },
+            };
+            done = done.max(finish);
+        }
+        (done, mix)
+    }
+
+    /// Aggregate L1 hit rate across CUs.
+    pub fn l1_hit_rate(&self) -> f64 {
+        let (h, m) = self
+            .l1s
+            .iter()
+            .fold((0u64, 0u64), |(h, m), c| (h + c.hits(), m + c.misses()));
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
+    /// L2 hit rate.
+    pub fn l2_hit_rate(&self) -> f64 {
+        self.l2.hit_rate()
+    }
+
+    /// Total DRAM line accesses.
+    pub fn dram_accesses(&self) -> u64 {
+        self.dram.accesses()
+    }
+}
+
+/// Deterministically generates the base address of one access.
+///
+/// * `job_seed` — distinguishes per-job buffers (use the job id).
+/// * `wave_seq` — the wavefront's global index within its kernel.
+/// * `access_idx` — which of the wavefront's accesses this is.
+///
+/// Streaming addresses walk a per-job region; shared-region and random
+/// patterns hash the indices into their window, so replays are reproducible.
+pub fn gen_address(
+    pattern: AccessPattern,
+    job_seed: u64,
+    wave_seq: u32,
+    access_idx: u32,
+    lines_per_access: u32,
+    line_bytes: u32,
+) -> u64 {
+    const JOB_REGION_BYTES: u64 = 1 << 24; // 16 MiB virtual slice per job
+    const JOB_SPACE_BASE: u64 = 1 << 32;
+    match pattern {
+        AccessPattern::Streaming => {
+            let region = JOB_SPACE_BASE + (job_seed % (1 << 16)) * JOB_REGION_BYTES;
+            let offset = (wave_seq as u64 * 257 + access_idx as u64)
+                * lines_per_access as u64
+                * line_bytes as u64;
+            region + (offset % JOB_REGION_BYTES)
+        }
+        AccessPattern::SharedRegion { base, len } => {
+            let h = splitmix64(
+                (wave_seq as u64) << 32 | access_idx as u64 ^ job_seed.rotate_left(17),
+            );
+            let line_count = (len / line_bytes as u64).max(1);
+            base + (h % line_count) * line_bytes as u64
+        }
+        AccessPattern::RandomWithin { len } => {
+            let region = JOB_SPACE_BASE + (job_seed % (1 << 16)) * JOB_REGION_BYTES;
+            let h = splitmix64(job_seed ^ ((wave_seq as u64) << 20) ^ access_idx as u64);
+            let line_count = (len.min(JOB_REGION_BYTES) / line_bytes as u64).max(1);
+            region + (h % line_count) * line_bytes as u64
+        }
+    }
+}
+
+/// SplitMix64 hash step (public-domain constant mix).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> MemoryHierarchy {
+        MemoryHierarchy::new(2, &MemConfig::default())
+    }
+
+    #[test]
+    fn l1_hit_is_fast() {
+        let mut m = mem();
+        let (_, mix1) = m.access_bundle(0, 0x1000, 1, Cycle::ZERO);
+        assert_eq!(mix1.dram, 1);
+        let (done, mix2) = m.access_bundle(0, 0x1000, 1, Cycle::from_cycles(1000));
+        assert_eq!(mix2.l1, 1);
+        assert_eq!(done, Cycle::from_cycles(1000 + 28));
+    }
+
+    #[test]
+    fn l2_serves_other_cus_l1_misses() {
+        let mut m = mem();
+        m.access_bundle(0, 0x2000, 1, Cycle::ZERO);
+        let (_, mix) = m.access_bundle(1, 0x2000, 1, Cycle::from_cycles(1000));
+        assert_eq!(mix.l2, 1, "line brought into L2 by CU0 hits from CU1");
+    }
+
+    #[test]
+    fn bundle_latency_is_worst_line() {
+        let mut m = mem();
+        // Warm one line of a two-line bundle.
+        m.access_bundle(0, 0x4000, 1, Cycle::ZERO);
+        let (done, mix) = m.access_bundle(0, 0x4000, 2, Cycle::from_cycles(5000));
+        assert_eq!(mix.l1, 1);
+        assert_eq!(mix.dram, 1);
+        let cold = 28 + 120 + 220 + 4;
+        assert_eq!(done, Cycle::from_cycles(5000 + cold));
+    }
+
+    #[test]
+    fn streaming_addresses_differ_per_wave_and_job() {
+        let a = gen_address(AccessPattern::Streaming, 1, 0, 0, 2, 64);
+        let b = gen_address(AccessPattern::Streaming, 1, 1, 0, 2, 64);
+        let c = gen_address(AccessPattern::Streaming, 2, 0, 0, 2, 64);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shared_region_addresses_stay_in_region() {
+        let base = 1 << 44;
+        let len = 1 << 20;
+        for w in 0..100 {
+            let a = gen_address(
+                AccessPattern::SharedRegion { base, len },
+                7,
+                w,
+                3,
+                1,
+                64,
+            );
+            assert!(a >= base && a < base + len);
+        }
+    }
+
+    #[test]
+    fn address_generation_is_deterministic() {
+        let p = AccessPattern::RandomWithin { len: 1 << 20 };
+        assert_eq!(gen_address(p, 5, 9, 2, 1, 64), gen_address(p, 5, 9, 2, 1, 64));
+    }
+}

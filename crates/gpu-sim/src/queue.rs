@@ -1,0 +1,212 @@
+//! Compute queues: the GPU-resident streams the command processor schedules.
+
+use std::sync::Arc;
+
+use sim_core::time::Cycle;
+
+use crate::job::{JobDesc, JobId, JobState};
+use crate::kernel::{KernelClassId, KernelDesc};
+use crate::slab::SlabKey;
+
+/// A job bound to a compute queue, together with the CP-visible bookkeeping
+/// the paper's Job Table holds (Section 4.2): priority, WG list, deadline,
+/// start time and state.
+#[derive(Debug, Clone)]
+pub struct ActiveJob {
+    /// The submitted job.
+    pub job: Arc<JobDesc>,
+    /// Kernels visible to the GPU so far. For CP-side scheduling this is the
+    /// whole chain at enqueue; host-side schedulers push kernels one by one.
+    pub visible_kernels: Vec<Arc<KernelDesc>>,
+    /// `true` once the host has pushed the job's last kernel.
+    pub finalized: bool,
+    /// Time the job was bound to the queue (the Job Table's StartTime).
+    pub enqueue_time: Cycle,
+    /// Index of the kernel currently at the head (not yet completed).
+    pub next_kernel: usize,
+    /// WGs completed in the head kernel.
+    pub head_wgs_completed: u32,
+    /// Live run of the head kernel, if dispatching has begun.
+    pub head_run: Option<SlabKey>,
+    /// Job Table state.
+    pub state: JobState,
+    /// Scheduler-assigned priority; **lower values run first**.
+    pub priority: i64,
+    /// Dispatch is inhibited until this time (used by preemptive policies).
+    pub blocked_until: Cycle,
+    /// The scheduler asked for this job to be dropped: no new workgroups
+    /// dispatch, and once in-flight ones drain the job resolves as
+    /// [`crate::job::JobFate::Aborted`].
+    pub abort_requested: bool,
+    /// Total WGs completed for this job (wasted-work accounting).
+    pub wgs_executed: u64,
+}
+
+impl ActiveJob {
+    /// Binds `job` to a queue at `now`. `visible` lists the kernels already
+    /// pushed; `finalized` marks the chain complete.
+    pub fn new(job: Arc<JobDesc>, visible: Vec<Arc<KernelDesc>>, finalized: bool, now: Cycle) -> Self {
+        ActiveJob {
+            job,
+            visible_kernels: visible,
+            finalized,
+            enqueue_time: now,
+            next_kernel: 0,
+            head_wgs_completed: 0,
+            head_run: None,
+            state: JobState::Init,
+            priority: 0,
+            blocked_until: Cycle::ZERO,
+            abort_requested: false,
+            wgs_executed: 0,
+        }
+    }
+
+    /// The kernel currently at the head of the queue, if any is visible.
+    pub fn head_kernel(&self) -> Option<&Arc<KernelDesc>> {
+        self.visible_kernels.get(self.next_kernel)
+    }
+
+    /// `true` when every visible kernel has completed and the chain is
+    /// finalized.
+    pub fn is_complete(&self) -> bool {
+        self.finalized && self.next_kernel >= self.visible_kernels.len()
+    }
+
+    /// Remaining WGs per kernel, head first — the WGList the paper's
+    /// estimator walks. Uses the *declared* chain (`job.kernels`) so
+    /// stream inspection sees the whole job even before the host pushes
+    /// later kernels.
+    pub fn remaining_wgs(&self) -> impl Iterator<Item = (KernelClassId, u32)> + '_ {
+        self.job
+            .kernels
+            .iter()
+            .enumerate()
+            .skip(self.next_kernel)
+            .map(move |(i, k)| {
+                let done = if i == self.next_kernel { self.head_wgs_completed } else { 0 };
+                (k.class, k.num_wgs().saturating_sub(done))
+            })
+    }
+
+    /// Total WGs remaining in the job.
+    pub fn total_remaining_wgs(&self) -> u64 {
+        self.remaining_wgs().map(|(_, w)| w as u64).sum()
+    }
+
+    /// Absolute deadline (arrival + relative deadline).
+    pub fn deadline_abs(&self) -> Cycle {
+        self.job.absolute_deadline()
+    }
+}
+
+/// One hardware compute queue.
+#[derive(Debug, Clone, Default)]
+pub struct ComputeQueue {
+    /// The job currently bound to the queue, if any.
+    pub active: Option<ActiveJob>,
+}
+
+impl ComputeQueue {
+    /// `true` if no job is bound.
+    pub fn is_free(&self) -> bool {
+        self.active.is_none()
+    }
+
+    /// The bound job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is free.
+    pub fn job(&self) -> &ActiveJob {
+        self.active.as_ref().expect("queue has no job")
+    }
+
+    /// Mutable access to the bound job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is free.
+    pub fn job_mut(&mut self) -> &mut ActiveJob {
+        self.active.as_mut().expect("queue has no job")
+    }
+
+    /// Id of the bound job, if any.
+    pub fn job_id(&self) -> Option<JobId> {
+        self.active.as_ref().map(|a| a.job.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::ComputeProfile;
+    use sim_core::time::Duration;
+
+    fn kernel(class: u16, wgs: u32) -> Arc<KernelDesc> {
+        Arc::new(KernelDesc::new(
+            KernelClassId(class),
+            "k",
+            wgs * 64,
+            64,
+            8,
+            0,
+            ComputeProfile::compute_only(10),
+        ))
+    }
+
+    fn job() -> Arc<JobDesc> {
+        Arc::new(JobDesc::new(
+            JobId(1),
+            "b",
+            vec![kernel(0, 2), kernel(1, 3)],
+            Duration::from_us(100),
+            Cycle::ZERO,
+        ))
+    }
+
+    #[test]
+    fn remaining_wgs_walks_the_chain() {
+        let j = job();
+        let mut a = ActiveJob::new(j.clone(), j.kernels.clone(), true, Cycle::ZERO);
+        let rem: Vec<_> = a.remaining_wgs().collect();
+        assert_eq!(rem, vec![(KernelClassId(0), 2), (KernelClassId(1), 3)]);
+        a.head_wgs_completed = 1;
+        assert_eq!(a.total_remaining_wgs(), 4);
+        a.next_kernel = 1;
+        a.head_wgs_completed = 0;
+        assert_eq!(a.total_remaining_wgs(), 3);
+    }
+
+    #[test]
+    fn completion_requires_finalized() {
+        let j = job();
+        let mut a = ActiveJob::new(j.clone(), vec![j.kernels[0].clone()], false, Cycle::ZERO);
+        a.next_kernel = 1;
+        assert!(!a.is_complete(), "more kernels may arrive");
+        a.visible_kernels.push(j.kernels[1].clone());
+        a.finalized = true;
+        assert!(!a.is_complete());
+        a.next_kernel = 2;
+        assert!(a.is_complete());
+    }
+
+    #[test]
+    fn inspection_sees_declared_chain_before_push() {
+        let j = job();
+        let a = ActiveJob::new(j.clone(), vec![j.kernels[0].clone()], false, Cycle::ZERO);
+        // Only one kernel visible but the estimator sees both.
+        assert_eq!(a.total_remaining_wgs(), 5);
+        assert!(a.head_kernel().is_some());
+    }
+
+    #[test]
+    fn queue_free_and_bind() {
+        let mut q = ComputeQueue::default();
+        assert!(q.is_free());
+        let j = job();
+        q.active = Some(ActiveJob::new(j.clone(), j.kernels.clone(), true, Cycle::ZERO));
+        assert!(!q.is_free());
+        assert_eq!(q.job_id(), Some(JobId(1)));
+    }
+}

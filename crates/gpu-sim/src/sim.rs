@@ -1,0 +1,1245 @@
+//! The simulation driver: wires the command processor, compute units,
+//! memory system, host model and scheduler into one event loop.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+use sim_core::event::EventQueue;
+use sim_core::time::{Cycle, Duration};
+
+use crate::config::GpuConfig;
+use crate::counters::Counters;
+use crate::cu::ComputeUnit;
+use crate::energy::EnergyMeter;
+use crate::host::{HostCmd, HostEvent, HostJob, HostScheduler, HostView};
+use crate::job::{JobDesc, JobFate, JobId, JobState};
+use crate::kernel::{KernelClassId, KernelDesc};
+use crate::memory::{gen_address, MemoryHierarchy};
+use crate::metrics::{JobRecord, SimReport};
+use crate::queue::{ActiveJob, ComputeQueue};
+use crate::scheduler::{Admission, CpContext, CpScheduler, Occupancy, RoundRobin};
+use crate::slab::{Slab, SlabKey};
+use crate::timeline::{Timeline, TimelineKind};
+use crate::wave::{KernelRun, WaveState, Wavefront, WorkgroupRun};
+
+/// Synthetic job ids (host-launched individual kernels / batches) start here.
+const SYNTH_BASE: u32 = 1 << 30;
+
+/// Latency of a memory-mapped priority-register write from the host
+/// (the LAX-CPU API extension).
+const PRIO_WRITE_LATENCY: Duration = Duration::from_us(1);
+
+/// Which side owns scheduling decisions.
+pub enum SchedulerMode {
+    /// Scheduler runs inside the GPU command processor.
+    Cp(Box<dyn CpScheduler>),
+    /// Scheduler runs on the host CPU, paying host-device latencies.
+    Host(Box<dyn HostScheduler>),
+}
+
+impl fmt::Debug for SchedulerMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulerMode::Cp(s) => write!(f, "Cp({})", s.name()),
+            SchedulerMode::Host(s) => write!(f, "Host({})", s.name()),
+        }
+    }
+}
+
+impl SchedulerMode {
+    /// Scheduler name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerMode::Cp(s) => s.name(),
+            SchedulerMode::Host(s) => s.name(),
+        }
+    }
+}
+
+/// Simulation construction error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The machine configuration is inconsistent.
+    Config(String),
+    /// A job or kernel cannot run on the configured machine.
+    Job(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(m) => write!(f, "invalid configuration: {m}"),
+            SimError::Job(m) => write!(f, "invalid job: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Tunables beyond the machine configuration.
+#[derive(Debug, Clone)]
+pub struct SimParams {
+    /// Machine configuration.
+    pub config: GpuConfig,
+    /// Counter / profiling-table refresh period (paper: 100 us).
+    pub profiling_period: Duration,
+    /// Hard stop; defaults to last arrival + 500 ms when `None`.
+    pub horizon: Option<Cycle>,
+    /// Offline per-class isolated rates (WGs/us) for profile-driven
+    /// schedulers, typically measured by [`run_isolated`].
+    pub offline_rates: Vec<(KernelClassId, f64)>,
+    /// Record a per-job [`Timeline`] (arrivals, admissions, kernel spans),
+    /// retrievable with [`Simulation::take_timeline`] after the run.
+    pub record_timeline: bool,
+}
+
+impl Default for SimParams {
+    fn default() -> Self {
+        SimParams {
+            config: GpuConfig::default(),
+            profiling_period: Duration::from_us(100),
+            horizon: None,
+            offline_rates: Vec::new(),
+            record_timeline: false,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    Arrival(u32),
+    InspectDone(usize),
+    CounterTick,
+    SchedTick,
+    HostTick,
+    HostWake,
+    SimdTick { cu: u16, simd: u16, gen: u64 },
+    MemDone { wave: SlabKey },
+    Deliver(Delivery),
+    PrioWrite { job: JobId, prio: i64 },
+    Unblock(usize),
+}
+
+#[derive(Debug)]
+enum Delivery {
+    Synth(u32),
+    Chain { job_idx: u32, prio: i64 },
+}
+
+#[derive(Debug)]
+struct SynthInfo {
+    desc: Arc<JobDesc>,
+    members: Vec<JobId>,
+    kernel_idx: usize,
+    prio: i64,
+}
+
+/// The complete simulation.
+pub struct Simulation {
+    cfg: GpuConfig,
+    events: EventQueue<Ev>,
+    cus: Vec<ComputeUnit>,
+    mem: MemoryHierarchy,
+    queues: Vec<ComputeQueue>,
+    waves: Slab<Wavefront>,
+    wgs: Slab<WorkgroupRun>,
+    runs: Slab<KernelRun>,
+    counters: Counters,
+    energy: EnergyMeter,
+    mode: SchedulerMode,
+
+    jobs: Vec<Arc<JobDesc>>,
+    records: Vec<JobRecord>,
+    resolved: usize,
+
+    // CP-mode state.
+    backlog: VecDeque<u32>,
+    inspect_busy_until: Cycle,
+
+    // Host-mode state.
+    host_jobs: Vec<HostJob>,
+    host_inflight: usize,
+    synth: HashMap<u32, SynthInfo>,
+    next_synth: u32,
+    pending_deliveries: VecDeque<Delivery>,
+    queue_of_job: HashMap<JobId, usize>,
+
+    rr_cursor: usize,
+    horizon: Cycle,
+    last_resolution: Cycle,
+    profiling_period: Duration,
+    total_wgs: u64,
+    timeline: Option<Timeline>,
+}
+
+impl fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulation")
+            .field("scheduler", &self.mode.name())
+            .field("jobs", &self.jobs.len())
+            .field("resolved", &self.resolved)
+            .field("now", &self.events.now())
+            .finish()
+    }
+}
+
+impl Simulation {
+    /// Builds a simulation over `jobs` (which must be sorted by arrival and
+    /// have ids `0..n` in order) using the given scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the configuration is invalid or a job cannot
+    /// run on the machine.
+    pub fn new(params: SimParams, jobs: Vec<JobDesc>, mode: SchedulerMode) -> Result<Self, SimError> {
+        params.config.validate().map_err(SimError::Config)?;
+        let mut max_class = 0usize;
+        let mut last_arrival = Cycle::ZERO;
+        let mut max_deadline = Duration::ZERO;
+        for (i, j) in jobs.iter().enumerate() {
+            if j.id.0 as usize != i {
+                return Err(SimError::Job(format!("job ids must be dense; job {i} has id {}", j.id.0)));
+            }
+            if i > 0 && j.arrival < jobs[i - 1].arrival {
+                return Err(SimError::Job("jobs must be sorted by arrival".into()));
+            }
+            for k in &j.kernels {
+                k.validate(&params.config).map_err(SimError::Job)?;
+                max_class = max_class.max(k.class.index() + 1);
+            }
+            last_arrival = last_arrival.max(j.arrival);
+            max_deadline = max_deadline.max(j.deadline);
+        }
+        for (c, _) in &params.offline_rates {
+            max_class = max_class.max(c.index() + 1);
+        }
+        let mut counters = Counters::new(max_class.max(1), params.profiling_period);
+        for (c, r) in &params.offline_rates {
+            counters.set_offline_rate(*c, *r);
+        }
+        let horizon = params
+            .horizon
+            .unwrap_or(last_arrival + Duration::from_ms(500));
+        let jobs: Vec<Arc<JobDesc>> = jobs.into_iter().map(Arc::new).collect();
+        let records = jobs
+            .iter()
+            .map(|j| JobRecord {
+                id: j.id,
+                bench: j.bench.clone(),
+                arrival: j.arrival,
+                deadline_abs: j.absolute_deadline(),
+                fate: JobFate::Unfinished,
+                wgs_executed: 0.0,
+            })
+            .collect();
+        let host_jobs = jobs.iter().map(|j| HostJob::new(j.clone())).collect();
+        Ok(Simulation {
+            cus: (0..params.config.num_cus)
+                .map(|_| ComputeUnit::new(&params.config))
+                .collect(),
+            mem: MemoryHierarchy::new(params.config.num_cus, &params.config.mem),
+            queues: vec![ComputeQueue::default(); params.config.num_queues],
+            waves: Slab::new(),
+            wgs: Slab::new(),
+            runs: Slab::new(),
+            counters,
+            energy: EnergyMeter::new(params.config.energy.clone()),
+            mode,
+            jobs,
+            records,
+            resolved: 0,
+            backlog: VecDeque::new(),
+            inspect_busy_until: Cycle::ZERO,
+            host_jobs,
+            host_inflight: 0,
+            synth: HashMap::new(),
+            next_synth: SYNTH_BASE,
+            pending_deliveries: VecDeque::new(),
+            queue_of_job: HashMap::new(),
+            rr_cursor: 0,
+            timeline: params.record_timeline.then(Timeline::new),
+            horizon,
+            last_resolution: Cycle::ZERO,
+            profiling_period: params.profiling_period,
+            total_wgs: 0,
+            events: EventQueue::new(),
+            cfg: params.config,
+        })
+    }
+
+    /// Runs the simulation to completion (all jobs resolved or the horizon
+    /// reached) and returns the report.
+    pub fn run(&mut self) -> SimReport {
+        for (i, j) in self.jobs.iter().enumerate() {
+            self.events.schedule(j.arrival, Ev::Arrival(i as u32));
+        }
+        self.events
+            .schedule(Cycle::ZERO + self.profiling_period, Ev::CounterTick);
+        if let SchedulerMode::Cp(s) = &self.mode {
+            if let Some(p) = s.tick_period() {
+                self.events.schedule(Cycle::ZERO + p, Ev::SchedTick);
+            }
+        }
+        if let SchedulerMode::Host(s) = &self.mode {
+            if let Some(p) = s.tick_period() {
+                self.events.schedule(Cycle::ZERO + p, Ev::HostTick);
+            }
+        }
+        while self.resolved < self.jobs.len() {
+            let Some((now, ev)) = self.events.pop() else {
+                break;
+            };
+            if now > self.horizon {
+                break;
+            }
+            self.handle(ev, now);
+        }
+        self.report()
+    }
+
+    fn handle(&mut self, ev: Ev, now: Cycle) {
+        match ev {
+            Ev::Arrival(i) => self.on_arrival(i, now),
+            Ev::InspectDone(q) => self.on_inspected(q, now),
+            Ev::CounterTick => {
+                self.counters.refresh(now);
+                if self.resolved < self.jobs.len() {
+                    self.events
+                        .schedule(now + self.profiling_period, Ev::CounterTick);
+                }
+            }
+            Ev::SchedTick => {
+                let period = match &self.mode {
+                    SchedulerMode::Cp(s) => s.tick_period(),
+                    SchedulerMode::Host(_) => None,
+                };
+                self.counters.refresh(now);
+                self.with_cp(|s, ctx| s.on_tick(ctx));
+                self.schedule_unblocks(now);
+                self.try_dispatch(now);
+                if let Some(p) = period {
+                    if self.resolved < self.jobs.len() {
+                        self.events.schedule(now + p, Ev::SchedTick);
+                    }
+                }
+            }
+            Ev::HostTick => {
+                let period = match &self.mode {
+                    SchedulerMode::Host(s) => s.tick_period(),
+                    SchedulerMode::Cp(_) => None,
+                };
+                self.host_react(HostEvent::Tick, now);
+                if let Some(p) = period {
+                    if self.resolved < self.jobs.len() {
+                        self.events.schedule(now + p, Ev::HostTick);
+                    }
+                }
+            }
+            Ev::HostWake => self.host_react(HostEvent::Wake, now),
+            Ev::SimdTick { cu, simd, gen } => self.on_simd_tick(cu as usize, simd as usize, gen, now),
+            Ev::MemDone { wave } => self.on_mem_done(wave, now),
+            Ev::Deliver(d) => self.on_deliver(d, now),
+            Ev::PrioWrite { job, prio } => {
+                if let Some(&q) = self.queue_of_job.get(&job) {
+                    if let Some(a) = self.queues[q].active.as_mut() {
+                        if a.job.id == job {
+                            a.priority = prio;
+                        }
+                    }
+                }
+                self.try_dispatch(now);
+            }
+            Ev::Unblock(q) => {
+                // Only re-dispatch if the queue is actually eligible again.
+                let unblocked = self.queues[q]
+                    .active
+                    .as_ref()
+                    .is_some_and(|a| a.blocked_until <= now);
+                if unblocked {
+                    self.try_dispatch(now);
+                }
+            }
+        }
+    }
+
+    // ----- arrivals, admission, binding -------------------------------------
+
+    fn on_arrival(&mut self, idx: u32, now: Cycle) {
+        self.mark(now, JobId(idx), TimelineKind::Arrived);
+        match &self.mode {
+            SchedulerMode::Cp(_) => {
+                if !self.bind_cp_job(idx, now) {
+                    self.backlog.push_back(idx);
+                }
+            }
+            SchedulerMode::Host(_) => {
+                self.host_react(HostEvent::Arrival(JobId(idx)), now);
+            }
+        }
+    }
+
+    /// Binds job `idx` to a free queue. Returns `false` when all queues are
+    /// busy (caller backlogs the job).
+    fn bind_cp_job(&mut self, idx: u32, now: Cycle) -> bool {
+        let Some(q) = self.queues.iter().position(ComputeQueue::is_free) else {
+            return false;
+        };
+        let job = self.jobs[idx as usize].clone();
+        let kernels = job.kernels.clone();
+        let mut active = ActiveJob::new(job, kernels, true, now);
+        let needs_inspection = matches!(&self.mode, SchedulerMode::Cp(s) if s.requires_inspection());
+        if needs_inspection {
+            active.state = JobState::Init;
+            self.queues[q].active = Some(active);
+            self.queue_of_job.insert(JobId(idx), q);
+            let start = self.inspect_busy_until.max(now);
+            let done = start + self.cfg.inspect_service();
+            self.inspect_busy_until = done;
+            self.events.schedule(done, Ev::InspectDone(q));
+        } else {
+            self.queues[q].active = Some(active);
+            self.queue_of_job.insert(JobId(idx), q);
+            self.cp_admit(q, now);
+        }
+        true
+    }
+
+    fn on_inspected(&mut self, q: usize, now: Cycle) {
+        if self.queues[q].active.is_some() {
+            self.cp_admit(q, now);
+        }
+    }
+
+    fn cp_admit(&mut self, q: usize, now: Cycle) {
+        let decision = self
+            .with_cp(|s, ctx| s.admit(ctx, q))
+            .unwrap_or(Admission::Accept);
+        match decision {
+            Admission::Accept => {
+                let id = self.queues[q].job().job.id;
+                self.mark(now, id, TimelineKind::Admitted);
+                let a = self.queues[q].job_mut();
+                a.state = JobState::Ready;
+                self.with_cp(|s, ctx| s.on_job_enqueued(ctx, q));
+                self.try_dispatch(now);
+            }
+            Admission::Reject => {
+                let a = self.queues[q].active.take().expect("admitting an empty queue");
+                self.queue_of_job.remove(&a.job.id);
+                self.mark(now, a.job.id, TimelineKind::Rejected);
+                self.resolve(a.job.id, JobFate::Rejected(now), now);
+                self.pump_backlog(now);
+            }
+        }
+    }
+
+    fn pump_backlog(&mut self, now: Cycle) {
+        while let Some(&idx) = self.backlog.front() {
+            if self.bind_cp_job(idx, now) {
+                self.backlog.pop_front();
+            } else {
+                break;
+            }
+        }
+        while let Some(d) = self.pending_deliveries.pop_front() {
+            if !self.try_deliver(d, now) {
+                break;
+            }
+        }
+    }
+
+    fn mark(&mut self, now: Cycle, job: JobId, kind: TimelineKind) {
+        if job.0 < SYNTH_BASE {
+            if let Some(t) = &mut self.timeline {
+                t.record(now, job, kind);
+            }
+        }
+    }
+
+    /// Takes the recorded timeline (if [`SimParams::record_timeline`] was
+    /// set), leaving `None` behind. Call after [`Simulation::run`].
+    pub fn take_timeline(&mut self) -> Option<Timeline> {
+        self.timeline.take()
+    }
+
+    fn resolve(&mut self, id: JobId, fate: JobFate, now: Cycle) {
+        let rec = &mut self.records[id.index()];
+        debug_assert!(matches!(rec.fate, JobFate::Unfinished), "double resolution of {id:?}");
+        rec.fate = fate;
+        self.resolved += 1;
+        self.last_resolution = now;
+    }
+
+    // ----- CP scheduler plumbing ---------------------------------------------
+
+    fn occupancy(&self) -> Occupancy {
+        let mut free = 0;
+        let mut resident = 0;
+        for cu in &self.cus {
+            free += cu.free_wave_slots();
+            resident += cu.resident_waves();
+        }
+        Occupancy {
+            free_wave_slots: free,
+            resident_waves: resident,
+            busy_queues: self.queues.iter().filter(|q| !q.is_free()).count() as u32,
+        }
+    }
+
+    fn with_cp<R>(&mut self, f: impl FnOnce(&mut dyn CpScheduler, &mut CpContext<'_>) -> R) -> Option<R> {
+        let occupancy = self.occupancy();
+        let now = self.events.now();
+        let SchedulerMode::Cp(sched) = &mut self.mode else {
+            return None;
+        };
+        let mut ctx = CpContext {
+            now,
+            queues: &mut self.queues,
+            counters: &mut self.counters,
+            occupancy,
+            config: &self.cfg,
+        };
+        Some(f(sched.as_mut(), &mut ctx))
+    }
+
+    /// After a scheduler tick, make sure freshly blocked queues get a
+    /// dispatch retry when their block expires.
+    fn schedule_unblocks(&mut self, now: Cycle) {
+        let mut to_schedule = Vec::new();
+        for (i, q) in self.queues.iter().enumerate() {
+            if let Some(a) = &q.active {
+                if a.blocked_until > now {
+                    to_schedule.push((a.blocked_until, i));
+                }
+            }
+        }
+        for (t, i) in to_schedule {
+            self.events.schedule(t, Ev::Unblock(i));
+        }
+    }
+
+    // ----- dispatch ----------------------------------------------------------
+
+    fn try_dispatch(&mut self, now: Cycle) {
+        // Finalize aborted jobs whose in-flight workgroups have drained.
+        let mut aborts = Vec::new();
+        for (i, q) in self.queues.iter().enumerate() {
+            if let Some(a) = &q.active {
+                if a.abort_requested && a.state != JobState::Init {
+                    let inflight = a.head_run.is_some_and(|rk| {
+                        self.runs[rk].wgs_dispatched > self.runs[rk].wgs_completed
+                    });
+                    if !inflight {
+                        aborts.push(i);
+                    }
+                }
+            }
+        }
+        for q in aborts {
+            self.finalize_abort(q, now);
+        }
+        let nq = self.queues.len();
+        let mut candidates: Vec<(i64, usize, usize)> = Vec::new();
+        for (i, q) in self.queues.iter().enumerate() {
+            let Some(a) = &q.active else { continue };
+            if a.state == JobState::Init || a.blocked_until > now || a.abort_requested {
+                continue;
+            }
+            if a.head_kernel().is_none() {
+                continue;
+            }
+            let pending = match a.head_run {
+                Some(rk) => self.runs[rk].wgs_pending() > 0,
+                None => true,
+            };
+            if !pending {
+                continue;
+            }
+            let rot = (i + nq - self.rr_cursor) % nq;
+            candidates.push((a.priority, rot, i));
+        }
+        candidates.sort_unstable();
+        let mut first_dispatched = None;
+        for (_, _, q) in candidates {
+            let dispatched = self.dispatch_queue(q, now);
+            if dispatched && first_dispatched.is_none() {
+                first_dispatched = Some(q);
+            }
+        }
+        if let Some(q) = first_dispatched {
+            self.rr_cursor = (q + 1) % nq;
+        }
+    }
+
+    /// Drops an aborted job whose in-flight work has drained: squashes its
+    /// remaining kernels and frees the queue.
+    fn finalize_abort(&mut self, q: usize, now: Cycle) {
+        let Some(a) = self.queues[q].active.take() else { return };
+        if let Some(rk) = a.head_run {
+            self.runs.remove(rk);
+        }
+        self.queue_of_job.remove(&a.job.id);
+        self.mark(now, a.job.id, TimelineKind::Aborted);
+        self.resolve(a.job.id, JobFate::Aborted(now), now);
+        self.pump_backlog(now);
+    }
+
+    /// Dispatches as many WGs of queue `q`'s head kernel as fit. Returns
+    /// `true` if at least one WG was placed.
+    fn dispatch_queue(&mut self, q: usize, now: Cycle) -> bool {
+        let a = self.queues[q].job_mut();
+        let Some(kernel) = a.head_kernel().cloned() else {
+            return false;
+        };
+        let run_key = match a.head_run {
+            Some(rk) => rk,
+            None => {
+                let (id, kidx) = (a.job.id, a.next_kernel);
+                let rk = self.runs.insert(KernelRun::new(q, id, kernel.clone(), kidx, now));
+                self.queues[q].job_mut().head_run = Some(rk);
+                self.mark(now, id, TimelineKind::KernelStart(kidx));
+                rk
+            }
+        };
+        let mut any = false;
+        while self.runs[run_key].wgs_pending() > 0 {
+            let cu_idx = self
+                .cus
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.can_fit(&kernel))
+                .max_by_key(|(i, c)| (c.free_wave_slots(), usize::MAX - i))
+                .map(|(i, _)| i);
+            let Some(cu_idx) = cu_idx else { break };
+            self.place_wg(run_key, cu_idx, now);
+            any = true;
+        }
+        if any {
+            let a = self.queues[q].job_mut();
+            a.state = JobState::Running;
+        }
+        any
+    }
+
+    fn place_wg(&mut self, run_key: SlabKey, cu_idx: usize, now: Cycle) {
+        let desc = self.runs[run_key].desc.clone();
+        let placement = self.cus[cu_idx].place_wg(&desc);
+        self.counters.note_wg_placed(desc.class, now);
+        let wg_key = self.wgs.insert(WorkgroupRun {
+            run: run_key,
+            cu: cu_idx as u32,
+            waves_total: placement.len() as u32,
+            waves_done: 0,
+            threads: desc.wg_size,
+            vgpr_bytes: desc.vgpr_bytes_per_wg(),
+            lds_bytes: desc.lds_per_wg,
+        });
+        let segment = desc.profile.segment_cycles();
+        for simd_idx in placement {
+            let wave_seq = {
+                let run = &mut self.runs[run_key];
+                let s = run.next_wave_seq;
+                run.next_wave_seq += 1;
+                s
+            };
+            let key = self.waves.insert(Wavefront {
+                wg: wg_key,
+                run: run_key,
+                cu: cu_idx as u32,
+                simd: simd_idx,
+                wave_seq,
+                remaining: segment,
+                accesses_done: 0,
+                state: WaveState::Computing,
+            });
+            let simd = &mut self.cus[cu_idx].simds[simd_idx as usize];
+            simd.advance(now, &mut self.waves);
+            simd.activate(key);
+            self.reschedule_simd(cu_idx, simd_idx as usize, now);
+        }
+        self.runs[run_key].wgs_dispatched += 1;
+    }
+
+    fn reschedule_simd(&mut self, cu: usize, simd: usize, now: Cycle) {
+        let s = &self.cus[cu].simds[simd];
+        if let Some(t) = s.next_completion(now, &self.waves) {
+            self.events.schedule(
+                t,
+                Ev::SimdTick { cu: cu as u16, simd: simd as u16, gen: s.generation() },
+            );
+        }
+    }
+
+    // ----- execution ---------------------------------------------------------
+
+    fn on_simd_tick(&mut self, cu: usize, simd: usize, gen: u64, now: Cycle) {
+        if self.cus[cu].simds[simd].generation() != gen {
+            return; // stale prediction
+        }
+        self.cus[cu].simds[simd].advance(now, &mut self.waves);
+        let completed = self.cus[cu].simds[simd].completed_waves(&self.waves);
+        if completed.is_empty() {
+            self.reschedule_simd(cu, simd, now);
+            return;
+        }
+        for key in completed {
+            self.cus[cu].simds[simd].deactivate(key);
+            let (run_key, wave_seq, accesses_done) = {
+                let w = &self.waves[key];
+                (w.run, w.wave_seq, w.accesses_done)
+            };
+            let profile = self.runs[run_key].desc.profile;
+            if accesses_done < profile.mem_accesses {
+                self.waves[key].state = WaveState::MemPending;
+                let job_seed = self.runs[run_key].job.0 as u64;
+                let addr = gen_address(
+                    profile.pattern,
+                    job_seed,
+                    wave_seq,
+                    accesses_done,
+                    profile.lines_per_access,
+                    self.cfg.mem.line_bytes,
+                );
+                let (done, mix) =
+                    self.mem
+                        .access_bundle(cu, addr, profile.lines_per_access, now);
+                self.energy.add_memory(mix);
+                self.events.schedule(done, Ev::MemDone { wave: key });
+            } else {
+                self.finish_wave(key, now);
+            }
+        }
+        self.reschedule_simd(cu, simd, now);
+    }
+
+    fn on_mem_done(&mut self, key: SlabKey, now: Cycle) {
+        let Some(w) = self.waves.get_mut(key) else {
+            return;
+        };
+        debug_assert_eq!(w.state, WaveState::MemPending);
+        w.accesses_done += 1;
+        w.state = WaveState::Computing;
+        let (cu, simd, run_key) = (w.cu as usize, w.simd as usize, w.run);
+        let segment = self.runs[run_key].desc.profile.segment_cycles();
+        self.waves[key].remaining = segment;
+        let s = &mut self.cus[cu].simds[simd];
+        s.advance(now, &mut self.waves);
+        s.activate(key);
+        self.reschedule_simd(cu, simd, now);
+    }
+
+    fn finish_wave(&mut self, key: SlabKey, now: Cycle) {
+        let w = self.waves.remove(key).expect("finishing a dead wave");
+        let (cu, simd) = (w.cu as usize, w.simd as usize);
+        self.energy
+            .add_compute(self.runs[w.run].desc.profile.issue_cycles as f64);
+        self.cus[cu].simds[simd].release_slot();
+        let wg = &mut self.wgs[w.wg];
+        wg.waves_done += 1;
+        if wg.waves_done == wg.waves_total {
+            self.complete_wg(w.wg, now);
+        }
+    }
+
+    fn complete_wg(&mut self, wg_key: SlabKey, now: Cycle) {
+        let wg = self.wgs.remove(wg_key).expect("completing a dead WG");
+        let run_key = wg.run;
+        let desc = self.runs[run_key].desc.clone();
+        self.cus[wg.cu as usize].release_wg(&desc);
+        self.runs[run_key].wgs_completed += 1;
+        self.counters.record_wg(desc.class, now);
+        self.total_wgs += 1;
+        let q = self.runs[run_key].queue;
+        let job_id = self.runs[run_key].job;
+        {
+            let a = self.queues[q].job_mut();
+            a.head_wgs_completed += 1;
+        }
+        // Attribute the WG to real jobs for wasted-work accounting.
+        if job_id.0 >= SYNTH_BASE {
+            let members = self.synth[&job_id.0].members.clone();
+            let share = 1.0 / members.len() as f64;
+            for m in members {
+                self.records[m.index()].wgs_executed += share;
+            }
+        } else {
+            self.records[job_id.index()].wgs_executed += 1.0;
+        }
+        self.with_cp(|s, ctx| s.on_wg_complete(ctx, q));
+        if self.runs[run_key].is_complete() {
+            self.complete_kernel(q, run_key, now);
+        }
+        self.try_dispatch(now);
+    }
+
+    fn complete_kernel(&mut self, q: usize, run_key: SlabKey, now: Cycle) {
+        let run = self.runs.remove(run_key).expect("completing a dead run");
+        let job_id = run.job;
+        let kernel_idx = run.kernel_idx;
+        let complete = {
+            let a = self.queues[q].job_mut();
+            a.next_kernel += 1;
+            a.head_run = None;
+            a.head_wgs_completed = 0;
+            a.is_complete()
+        };
+        self.mark(now, job_id, TimelineKind::KernelEnd(kernel_idx));
+        self.with_cp(|s, ctx| s.on_kernel_complete(ctx, q));
+        if job_id.0 < SYNTH_BASE && matches!(self.mode, SchedulerMode::Host(_)) {
+            // Chain-enqueued real job: notify the host of kernel progress.
+            self.host_jobs[job_id.index()].next_kernel = kernel_idx + 1;
+            if !complete {
+                self.host_react(HostEvent::KernelDone { job: job_id, kernel_idx }, now);
+            }
+        }
+        if complete {
+            self.complete_job(q, job_id, now);
+        }
+    }
+
+    fn complete_job(&mut self, q: usize, job_id: JobId, now: Cycle) {
+        self.with_cp(|s, ctx| s.on_job_complete(ctx, q));
+        self.queues[q].active = None;
+        self.queue_of_job.remove(&job_id);
+        if job_id.0 >= SYNTH_BASE {
+            let info = self.synth.remove(&job_id.0).expect("unknown synthetic job");
+            self.host_inflight -= 1;
+            for m in &info.members {
+                let hj = &mut self.host_jobs[m.index()];
+                hj.inflight = false;
+                hj.next_kernel = info.kernel_idx + 1;
+                if hj.next_kernel >= hj.desc.num_kernels() {
+                    hj.done = true;
+                    self.resolve(*m, JobFate::Completed(now), now);
+                }
+            }
+            for m in info.members {
+                self.host_react(
+                    HostEvent::KernelDone { job: m, kernel_idx: info.kernel_idx },
+                    now,
+                );
+            }
+        } else {
+            if matches!(self.mode, SchedulerMode::Host(_)) {
+                self.host_jobs[job_id.index()].done = true;
+                let last = self.host_jobs[job_id.index()].desc.num_kernels() - 1;
+                self.resolve(job_id, JobFate::Completed(now), now);
+                self.host_react(HostEvent::KernelDone { job: job_id, kernel_idx: last }, now);
+            } else {
+                self.mark(now, job_id, TimelineKind::Completed);
+                self.resolve(job_id, JobFate::Completed(now), now);
+            }
+        }
+        self.pump_backlog(now);
+        self.try_dispatch(now);
+    }
+
+    // ----- host model ----------------------------------------------------------
+
+    fn host_react(&mut self, event: HostEvent, now: Cycle) {
+        let mut cmds = Vec::new();
+        {
+            let SchedulerMode::Host(sched) = &mut self.mode else {
+                return;
+            };
+            let view = HostView {
+                now,
+                jobs: &self.host_jobs,
+                counters: &self.counters,
+                config: &self.cfg,
+                inflight_kernels: self.host_inflight,
+            };
+            sched.react(event, &view, &mut cmds);
+        }
+        for cmd in cmds {
+            self.apply_host_cmd(cmd, now);
+        }
+    }
+
+    fn apply_host_cmd(&mut self, cmd: HostCmd, now: Cycle) {
+        match cmd {
+            HostCmd::Reject(j) => {
+                let hj = &mut self.host_jobs[j.index()];
+                if hj.rejected || hj.done || hj.inflight || hj.chain_enqueued || hj.next_kernel > 0 {
+                    return; // can only reject before any work ran
+                }
+                hj.rejected = true;
+                self.mark(now, j, TimelineKind::Rejected);
+                self.resolve(j, JobFate::Rejected(now), now);
+            }
+            HostCmd::Launch { job, kernel_idx, extra, prio } => {
+                self.host_launch(vec![job], kernel_idx, extra, prio, now);
+            }
+            HostCmd::LaunchBatch { members, kernel_idx, extra, prio } => {
+                self.host_launch(members, kernel_idx, extra, prio, now);
+            }
+            HostCmd::EnqueueChain { job, prio } => {
+                let hj = &mut self.host_jobs[job.index()];
+                if !hj.launchable() || hj.next_kernel != 0 {
+                    return;
+                }
+                hj.chain_enqueued = true;
+                self.host_inflight += 1;
+                self.events.schedule(
+                    now + self.cfg.host_launch_overhead,
+                    Ev::Deliver(Delivery::Chain { job_idx: job.0, prio }),
+                );
+            }
+            HostCmd::SetPriority { job, prio } => {
+                self.events
+                    .schedule(now + PRIO_WRITE_LATENCY, Ev::PrioWrite { job, prio });
+            }
+            HostCmd::WakeAt(t) => {
+                if t > now {
+                    self.events.schedule(t, Ev::HostWake);
+                }
+            }
+        }
+    }
+
+    fn host_launch(&mut self, members: Vec<JobId>, kernel_idx: usize, extra: Duration, prio: i64, now: Cycle) {
+        if members.is_empty() {
+            return;
+        }
+        for m in &members {
+            let hj = &self.host_jobs[m.index()];
+            if !hj.launchable() || hj.next_kernel != kernel_idx {
+                debug_assert!(false, "invalid launch of {m:?} kernel {kernel_idx}");
+                return;
+            }
+        }
+        // Build the (possibly merged) kernel.
+        let first = self.host_jobs[members[0].index()].desc.kernels[kernel_idx].clone();
+        let total_threads: u32 = members
+            .iter()
+            .map(|m| self.host_jobs[m.index()].desc.kernels[kernel_idx].grid_threads)
+            .sum();
+        debug_assert!(members.iter().all(|m| {
+            let k = &self.host_jobs[m.index()].desc.kernels[kernel_idx];
+            k.class == first.class && k.wg_size == first.wg_size
+        }));
+        let mut merged = (*first).clone();
+        merged.grid_threads = total_threads;
+        let min_deadline = members
+            .iter()
+            .map(|m| self.host_jobs[m.index()].desc.deadline)
+            .min()
+            .expect("non-empty members")
+            .max(Duration::from_cycles(1));
+        let synth_id = self.next_synth;
+        self.next_synth += 1;
+        let desc = Arc::new(JobDesc::new(
+            JobId(synth_id),
+            self.host_jobs[members[0].index()].desc.bench.clone(),
+            vec![Arc::new(merged)],
+            min_deadline,
+            now,
+        ));
+        for m in &members {
+            self.host_jobs[m.index()].inflight = true;
+        }
+        self.host_inflight += 1;
+        self.synth.insert(synth_id, SynthInfo { desc, members, kernel_idx, prio });
+        self.events.schedule(
+            now + self.cfg.host_launch_overhead + extra,
+            Ev::Deliver(Delivery::Synth(synth_id)),
+        );
+    }
+
+    fn on_deliver(&mut self, d: Delivery, now: Cycle) {
+        if !self.try_deliver(d, now) {
+            // Retried when a queue frees (pump_backlog).
+        }
+    }
+
+    fn try_deliver(&mut self, d: Delivery, now: Cycle) -> bool {
+        let Some(q) = self.queues.iter().position(ComputeQueue::is_free) else {
+            self.pending_deliveries.push_back(d);
+            return false;
+        };
+        match d {
+            Delivery::Synth(id) => {
+                let info = &self.synth[&id];
+                let desc = info.desc.clone();
+                let prio = info.prio;
+                let kernels = desc.kernels.clone();
+                let mut a = ActiveJob::new(desc, kernels, true, now);
+                a.state = JobState::Ready;
+                a.priority = prio;
+                self.queues[q].active = Some(a);
+                self.queue_of_job.insert(JobId(id), q);
+            }
+            Delivery::Chain { job_idx, prio } => {
+                let desc = self.jobs[job_idx as usize].clone();
+                let kernels = desc.kernels.clone();
+                let mut a = ActiveJob::new(desc, kernels, true, now);
+                a.state = JobState::Ready;
+                a.priority = prio;
+                self.queues[q].active = Some(a);
+                self.queue_of_job.insert(JobId(job_idx), q);
+            }
+        }
+        self.try_dispatch(now);
+        true
+    }
+
+    // ----- reporting -----------------------------------------------------------
+
+    fn report(&self) -> SimReport {
+        let end = if self.resolved == self.jobs.len() {
+            self.last_resolution
+        } else {
+            self.horizon.min(self.events.now())
+        };
+        let makespan = end.saturating_since(Cycle::ZERO);
+        SimReport {
+            scheduler: self.mode.name().to_string(),
+            records: self.records.clone(),
+            makespan,
+            energy_mj: self.energy.total_mj(makespan),
+            total_wgs: self.total_wgs,
+            l1_hit_rate: self.mem.l1_hit_rate(),
+            l2_hit_rate: self.mem.l2_hit_rate(),
+        }
+    }
+}
+
+/// Measures the isolated execution time of `kernel` on an otherwise idle
+/// default-configured GPU — the "offline profiling" the paper's baselines
+/// (Baymax, Prophet, SJF) rely on, and our calibration oracle for Table 1.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the kernel cannot run on the machine.
+pub fn run_isolated(config: &GpuConfig, kernel: Arc<KernelDesc>) -> Result<Duration, SimError> {
+    let job = JobDesc::new(
+        JobId(0),
+        "isolated",
+        vec![kernel],
+        Duration::from_ms(10_000),
+        Cycle::ZERO,
+    );
+    let params = SimParams {
+        config: config.clone(),
+        horizon: Some(Cycle::ZERO + Duration::from_ms(60_000)),
+        ..SimParams::default()
+    };
+    let mut sim = Simulation::new(params, vec![job], SchedulerMode::Cp(Box::new(RoundRobin::new())))?;
+    let report = sim.run();
+    report.records[0]
+        .latency()
+        .ok_or_else(|| SimError::Job("kernel did not finish before the horizon".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{AccessPattern, ComputeProfile, KernelClassId};
+
+    fn kernel(class: u16, threads: u32, issue: u64, mem: u32) -> Arc<KernelDesc> {
+        Arc::new(KernelDesc::new(
+            KernelClassId(class),
+            format!("k{class}"),
+            threads,
+            64.min(threads),
+            16,
+            0,
+            ComputeProfile {
+                issue_cycles: issue,
+                mem_accesses: mem,
+                lines_per_access: 2,
+                pattern: AccessPattern::Streaming,
+            },
+        ))
+    }
+
+    fn one_job(kernels: Vec<Arc<KernelDesc>>, deadline_us: u64, arrival_us: u64, id: u32) -> JobDesc {
+        JobDesc::new(
+            JobId(id),
+            "t",
+            kernels,
+            Duration::from_us(deadline_us),
+            Cycle::ZERO + Duration::from_us(arrival_us),
+        )
+    }
+
+    fn run_rr(jobs: Vec<JobDesc>) -> SimReport {
+        let mut sim = Simulation::new(
+            SimParams::default(),
+            jobs,
+            SchedulerMode::Cp(Box::new(RoundRobin::new())),
+        )
+        .unwrap();
+        sim.run()
+    }
+
+    #[test]
+    fn single_compute_job_completes() {
+        let report = run_rr(vec![one_job(vec![kernel(0, 64, 1000, 0)], 1000, 0, 0)]);
+        assert_eq!(report.completed(), 1);
+        assert!(report.records[0].met_deadline());
+        // One wave, alone on a SIMD: ~1000 cycles = 2/3 us.
+        let lat = report.records[0].latency().unwrap();
+        assert!(lat >= Duration::from_cycles(1000));
+        assert!(lat < Duration::from_us(2), "latency {lat}");
+    }
+
+    #[test]
+    fn memory_job_takes_longer_than_compute_only() {
+        let fast = run_rr(vec![one_job(vec![kernel(0, 64, 1000, 0)], 1000, 0, 0)]);
+        let slow = run_rr(vec![one_job(vec![kernel(0, 64, 1000, 8)], 1000, 0, 0)]);
+        let lf = fast.records[0].latency().unwrap();
+        let ls = slow.records[0].latency().unwrap();
+        assert!(ls > lf + Duration::from_cycles(8 * 200), "{ls} vs {lf}");
+    }
+
+    #[test]
+    fn kernels_in_a_job_run_sequentially() {
+        let one = run_rr(vec![one_job(vec![kernel(0, 64, 3000, 0)], 1000, 0, 0)]);
+        let three = run_rr(vec![one_job(
+            vec![kernel(0, 64, 1000, 0), kernel(0, 64, 1000, 0), kernel(0, 64, 1000, 0)],
+            1000,
+            0,
+            0,
+        )]);
+        let l1 = one.records[0].latency().unwrap();
+        let l3 = three.records[0].latency().unwrap();
+        // Same total issue cycles; sequencing should not be cheaper.
+        assert!(l3 >= l1, "{l3} < {l1}");
+    }
+
+    #[test]
+    fn big_kernel_fills_device_and_contends() {
+        // 256 waves of 4000 cycles each: 32 SIMDs * co-issue 4 = 128 free
+        // wave contexts, so 8 waves/SIMD run at share 4/8 -> ~2x slowdown.
+        let lone = run_rr(vec![one_job(vec![kernel(0, 64, 4000, 0)], 10_000, 0, 0)]);
+        let full = run_rr(vec![one_job(vec![kernel(0, 64 * 256, 4000, 0)], 10_000, 0, 0)]);
+        let l = lone.records[0].latency().unwrap().as_cycles() as f64;
+        let f = full.records[0].latency().unwrap().as_cycles() as f64;
+        assert!(f / l > 1.7 && f / l < 2.6, "contention factor {}", f / l);
+    }
+
+    #[test]
+    fn coissue_window_makes_moderate_occupancy_free() {
+        // 128 waves = 4/SIMD: inside the co-issue window, so the compute
+        // time matches a lone wave.
+        let lone = run_rr(vec![one_job(vec![kernel(0, 64, 4000, 0)], 10_000, 0, 0)]);
+        let moderate = run_rr(vec![one_job(vec![kernel(0, 64 * 128, 4000, 0)], 10_000, 0, 0)]);
+        let l = lone.records[0].latency().unwrap().as_cycles() as f64;
+        let m = moderate.records[0].latency().unwrap().as_cycles() as f64;
+        assert!(m / l < 1.2, "moderate occupancy should be near-free, got {}", m / l);
+    }
+
+    #[test]
+    fn two_jobs_share_the_gpu() {
+        let jobs = vec![
+            one_job(vec![kernel(0, 128, 2000, 0)], 1000, 0, 0),
+            one_job(vec![kernel(1, 128, 2000, 0)], 1000, 0, 1),
+        ];
+        let report = run_rr(jobs);
+        assert_eq!(report.completed(), 2);
+        assert_eq!(report.deadlines_met(), 2);
+    }
+
+    #[test]
+    fn deadline_miss_is_detected() {
+        // Deadline of 1us but ~2.7us of work.
+        let report = run_rr(vec![one_job(vec![kernel(0, 64, 4000, 0)], 1, 0, 0)]);
+        assert_eq!(report.completed(), 1);
+        assert_eq!(report.deadlines_met(), 0);
+    }
+
+    #[test]
+    fn backlog_binds_when_queue_frees() {
+        let cfg = GpuConfig { num_queues: 1, ..GpuConfig::default() };
+        let params = SimParams { config: cfg, ..SimParams::default() };
+        let jobs = vec![
+            one_job(vec![kernel(0, 64, 1000, 0)], 1000, 0, 0),
+            one_job(vec![kernel(0, 64, 1000, 0)], 1000, 0, 1),
+        ];
+        let mut sim =
+            Simulation::new(params, jobs, SchedulerMode::Cp(Box::new(RoundRobin::new()))).unwrap();
+        let report = sim.run();
+        assert_eq!(report.completed(), 2, "second job binds after the first frees");
+    }
+
+    #[test]
+    fn wgs_are_attributed_to_jobs() {
+        let report = run_rr(vec![one_job(vec![kernel(0, 256, 500, 0)], 1000, 0, 0)]);
+        assert_eq!(report.records[0].wgs_executed, 4.0);
+        assert_eq!(report.total_wgs, 4);
+    }
+
+    #[test]
+    fn energy_is_positive_and_scales_with_work() {
+        let small = run_rr(vec![one_job(vec![kernel(0, 64, 1000, 0)], 1000, 0, 0)]);
+        let large = run_rr(vec![one_job(vec![kernel(0, 64 * 32, 1000, 4)], 10_000, 0, 0)]);
+        assert!(small.energy_mj > 0.0);
+        assert!(large.energy_mj > small.energy_mj);
+    }
+
+    #[test]
+    fn run_isolated_measures_duration() {
+        let cfg = GpuConfig::default();
+        let d = run_isolated(&cfg, kernel(0, 256, 2000, 2)).unwrap();
+        assert!(d > Duration::from_cycles(2000));
+        assert!(d < Duration::from_ms(1));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let jobs = || {
+            vec![
+                one_job(vec![kernel(0, 512, 1500, 3)], 500, 0, 0),
+                one_job(vec![kernel(1, 256, 800, 1)], 500, 5, 1),
+                one_job(vec![kernel(0, 512, 1500, 3)], 500, 9, 2),
+            ]
+        };
+        let a = run_rr(jobs());
+        let b = run_rr(jobs());
+        for (ra, rb) in a.records.iter().zip(&b.records) {
+            assert_eq!(ra.latency(), rb.latency());
+        }
+        assert_eq!(a.energy_mj, b.energy_mj);
+    }
+
+    #[test]
+    fn horizon_leaves_jobs_unfinished() {
+        let params = SimParams {
+            horizon: Some(Cycle::ZERO + Duration::from_us(1)),
+            ..SimParams::default()
+        };
+        let jobs = vec![one_job(vec![kernel(0, 2048, 50_000, 8)], 100_000, 0, 0)];
+        let mut sim =
+            Simulation::new(params, jobs, SchedulerMode::Cp(Box::new(RoundRobin::new()))).unwrap();
+        let report = sim.run();
+        assert_eq!(report.completed(), 0);
+        assert!(matches!(report.records[0].fate, JobFate::Unfinished));
+    }
+
+    #[test]
+    fn rejects_unsorted_jobs() {
+        let jobs = vec![
+            one_job(vec![kernel(0, 64, 100, 0)], 100, 10, 0),
+            one_job(vec![kernel(0, 64, 100, 0)], 100, 5, 1),
+        ];
+        let err = Simulation::new(
+            SimParams::default(),
+            jobs,
+            SchedulerMode::Cp(Box::new(RoundRobin::new())),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn rejects_non_dense_ids() {
+        let jobs = vec![one_job(vec![kernel(0, 64, 100, 0)], 100, 0, 7)];
+        assert!(Simulation::new(
+            SimParams::default(),
+            jobs,
+            SchedulerMode::Cp(Box::new(RoundRobin::new())),
+        )
+        .is_err());
+    }
+}

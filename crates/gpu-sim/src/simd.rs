@@ -1,0 +1,284 @@
+//! SIMD issue model: resident wavefronts share the unit's issue bandwidth
+//! processor-sharing style, with a co-issue window.
+//!
+//! With `n` wavefronts actively computing, each progresses at
+//! `min(1, coissue/n)` issue-cycles per cycle: up to `coissue` waves overlap
+//! for free (GCN executes a 64-lane instruction over 4 cycles on a 16-lane
+//! SIMD), beyond that issue bandwidth is shared fairly. The model is updated
+//! lazily: on every membership change the elapsed service is distributed and
+//! the next completion event is re-predicted. Stale events are detected with
+//! a generation counter.
+
+use sim_core::time::{Cycle, Duration};
+
+use crate::slab::{Slab, SlabKey};
+use crate::wave::Wavefront;
+
+/// Numerical slack when deciding a segment has finished, in issue-cycles.
+const EPS: f64 = 1e-6;
+
+/// One SIMD unit's scheduling state.
+///
+/// The wavefront *data* lives in the simulation's wave arena; the SIMD holds
+/// only membership. `resident` counts slot usage (computing + memory-blocked
+/// waves both hold their slot); `active` lists waves currently computing.
+#[derive(Debug, Clone)]
+pub struct SimdUnit {
+    active: Vec<SlabKey>,
+    resident: u32,
+    last_update: Cycle,
+    generation: u64,
+    coissue: u32,
+}
+
+impl Default for SimdUnit {
+    fn default() -> Self {
+        SimdUnit::new(1)
+    }
+}
+
+impl SimdUnit {
+    /// Creates an idle SIMD unit that can overlap `coissue` wavefronts at
+    /// full rate.
+    ///
+    /// On GCN each 16-lane SIMD executes a 64-lane instruction over 4
+    /// cycles, so up to 4 resident wavefronts interleave without slowing
+    /// each other; beyond that they share issue bandwidth. With `n` active
+    /// waves each progresses at `min(1, coissue/n)` issue-cycles per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coissue` is zero.
+    pub fn new(coissue: u32) -> Self {
+        assert!(coissue > 0, "coissue must be positive");
+        SimdUnit {
+            active: Vec::new(),
+            resident: 0,
+            last_update: Cycle::ZERO,
+            generation: 0,
+            coissue,
+        }
+    }
+
+    /// Per-wave progress rate with `n` active waves.
+    #[inline]
+    fn share(&self, n: usize) -> f64 {
+        (self.coissue as f64 / n as f64).min(1.0)
+    }
+
+    /// Number of waves holding slots (computing or blocked).
+    #[inline]
+    pub fn resident(&self) -> u32 {
+        self.resident
+    }
+
+    /// Number of waves actively computing.
+    #[inline]
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Current generation; events carrying an older value are stale.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Reserves a residency slot for a newly placed wave.
+    pub fn reserve_slot(&mut self) {
+        self.resident += 1;
+    }
+
+    /// Releases the residency slot of a finished wave.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no slots are held.
+    pub fn release_slot(&mut self) {
+        assert!(self.resident > 0, "releasing an unheld SIMD slot");
+        self.resident -= 1;
+    }
+
+    /// Distributes elapsed issue service among active waves up to `now`.
+    pub fn advance(&mut self, now: Cycle, waves: &mut Slab<Wavefront>) {
+        let elapsed = now.saturating_since(self.last_update);
+        self.last_update = now;
+        let n = self.active.len();
+        if n == 0 || elapsed.is_zero() {
+            return;
+        }
+        let service = elapsed.as_cycles() as f64 * self.share(n);
+        for &key in &self.active {
+            let w = &mut waves[key];
+            w.remaining = (w.remaining - service).max(0.0);
+        }
+    }
+
+    /// Adds a wave to the active (computing) set. Caller must have called
+    /// [`SimdUnit::advance`] to `now` first.
+    pub fn activate(&mut self, key: SlabKey) {
+        debug_assert!(!self.active.contains(&key));
+        self.active.push(key);
+        self.generation += 1;
+    }
+
+    /// Removes a wave from the active set (it blocked on memory or
+    /// finished). Caller must have advanced to `now` first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wave was not active.
+    pub fn deactivate(&mut self, key: SlabKey) {
+        let pos = self
+            .active
+            .iter()
+            .position(|&k| k == key)
+            .expect("deactivating a wave that is not active");
+        self.active.swap_remove(pos);
+        self.generation += 1;
+    }
+
+    /// Predicts when the next active wave finishes its compute segment,
+    /// assuming membership stays fixed. `None` when idle.
+    pub fn next_completion(&self, now: Cycle, waves: &Slab<Wavefront>) -> Option<Cycle> {
+        let n = self.active.len();
+        let min_rem = self
+            .active
+            .iter()
+            .map(|&k| waves[k].remaining)
+            .fold(f64::INFINITY, f64::min);
+        if min_rem.is_finite() {
+            let cycles = (min_rem / self.share(n)).ceil().max(1.0) as u64;
+            Some(now + Duration::from_cycles(cycles))
+        } else {
+            None
+        }
+    }
+
+    /// Returns the active waves whose current segment is complete
+    /// (remaining ~ 0) after an [`SimdUnit::advance`].
+    pub fn completed_waves(&self, waves: &Slab<Wavefront>) -> Vec<SlabKey> {
+        self.active
+            .iter()
+            .copied()
+            .filter(|&k| waves[k].remaining <= EPS)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobId;
+    use crate::wave::WaveState;
+
+    fn wave(remaining: f64) -> Wavefront {
+        // Slab keys for wg/run are dummies here.
+        let mut slab = Slab::new();
+        let dummy = slab.insert(0u8);
+        let _ = JobId(0);
+        Wavefront {
+            wg: dummy,
+            run: dummy,
+            cu: 0,
+            simd: 0,
+            wave_seq: 0,
+            remaining,
+            accesses_done: 0,
+            state: WaveState::Computing,
+        }
+    }
+
+    #[test]
+    fn single_wave_runs_at_full_rate() {
+        let mut waves = Slab::new();
+        let k = waves.insert(wave(100.0));
+        let mut s = SimdUnit::new(1);
+        s.reserve_slot();
+        s.activate(k);
+        let done = s.next_completion(Cycle::ZERO, &waves).unwrap();
+        assert_eq!(done, Cycle::from_cycles(100));
+        s.advance(done, &mut waves);
+        assert_eq!(s.completed_waves(&waves), vec![k]);
+    }
+
+    #[test]
+    fn two_waves_share_issue_bandwidth() {
+        let mut waves = Slab::new();
+        let a = waves.insert(wave(100.0));
+        let b = waves.insert(wave(100.0));
+        let mut s = SimdUnit::new(1);
+        s.reserve_slot();
+        s.reserve_slot();
+        s.activate(a);
+        s.activate(b);
+        // Each progresses at 1/2: both finish at t=200.
+        let done = s.next_completion(Cycle::ZERO, &waves).unwrap();
+        assert_eq!(done, Cycle::from_cycles(200));
+        s.advance(done, &mut waves);
+        assert_eq!(s.completed_waves(&waves).len(), 2);
+    }
+
+    #[test]
+    fn coissue_window_overlaps_waves_for_free() {
+        let mut waves = Slab::new();
+        let keys: Vec<_> = (0..4).map(|_| waves.insert(wave(100.0))).collect();
+        let mut s = SimdUnit::new(4);
+        for &k in &keys {
+            s.reserve_slot();
+            s.activate(k);
+        }
+        // Four waves within the co-issue window: all finish at t=100.
+        assert_eq!(s.next_completion(Cycle::ZERO, &waves), Some(Cycle::from_cycles(100)));
+        // An eighth... a fifth wave pushes the share to 4/5.
+        let extra = waves.insert(wave(100.0));
+        s.reserve_slot();
+        s.activate(extra);
+        assert_eq!(s.next_completion(Cycle::ZERO, &waves), Some(Cycle::from_cycles(125)));
+    }
+
+    #[test]
+    fn departure_speeds_up_remaining_wave() {
+        let mut waves = Slab::new();
+        let a = waves.insert(wave(50.0));
+        let b = waves.insert(wave(100.0));
+        let mut s = SimdUnit::new(1);
+        s.reserve_slot();
+        s.reserve_slot();
+        s.activate(a);
+        s.activate(b);
+        // a finishes at t=100 (50 remaining at rate 1/2).
+        let t1 = s.next_completion(Cycle::ZERO, &waves).unwrap();
+        assert_eq!(t1, Cycle::from_cycles(100));
+        s.advance(t1, &mut waves);
+        assert_eq!(s.completed_waves(&waves), vec![a]);
+        s.deactivate(a);
+        s.release_slot();
+        // b has 50 left, now alone -> finishes 50 cycles later.
+        let t2 = s.next_completion(t1, &waves).unwrap();
+        assert_eq!(t2, Cycle::from_cycles(150));
+    }
+
+    #[test]
+    fn generation_bumps_on_membership_changes() {
+        let mut waves = Slab::new();
+        let a = waves.insert(wave(10.0));
+        let mut s = SimdUnit::new(1);
+        let g0 = s.generation();
+        s.reserve_slot();
+        s.activate(a);
+        assert!(s.generation() > g0);
+        let g1 = s.generation();
+        s.advance(Cycle::from_cycles(5), &mut waves);
+        assert_eq!(s.generation(), g1, "advance alone does not invalidate");
+        s.deactivate(a);
+        assert!(s.generation() > g1);
+    }
+
+    #[test]
+    fn idle_unit_predicts_nothing() {
+        let waves: Slab<Wavefront> = Slab::new();
+        let s = SimdUnit::new(1);
+        assert_eq!(s.next_completion(Cycle::ZERO, &waves), None);
+    }
+}

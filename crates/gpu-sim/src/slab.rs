@@ -1,0 +1,203 @@
+//! A minimal generational arena for in-flight simulation objects
+//! (wavefronts, workgroups, kernel runs).
+//!
+//! Keys are reused after removal but carry a generation so a stale key can
+//! never silently alias a new object — important because memory-response
+//! events may outlive the wavefront they target if a kernel is squashed.
+
+/// Key into a [`Slab`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SlabKey {
+    index: u32,
+    generation: u32,
+}
+
+impl SlabKey {
+    /// Raw slot index (stable while the entry is live).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.index as usize
+    }
+}
+
+#[derive(Debug)]
+enum Slot<T> {
+    Occupied { generation: u32, value: T },
+    Free { generation: u32, next_free: Option<u32> },
+}
+
+/// Generational arena.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::slab::Slab;
+///
+/// let mut s = Slab::new();
+/// let k = s.insert("wave");
+/// assert_eq!(s[k], "wave");
+/// assert_eq!(s.remove(k), Some("wave"));
+/// assert!(s.get(k).is_none()); // stale key
+/// ```
+#[derive(Debug)]
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    free_head: Option<u32>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Slab { slots: Vec::new(), free_head: None, len: 0 }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a value, returning its key.
+    pub fn insert(&mut self, value: T) -> SlabKey {
+        self.len += 1;
+        if let Some(idx) = self.free_head {
+            let slot = &mut self.slots[idx as usize];
+            let (generation, next_free) = match slot {
+                Slot::Free { generation, next_free } => (*generation, *next_free),
+                Slot::Occupied { .. } => unreachable!("free list points at occupied slot"),
+            };
+            self.free_head = next_free;
+            let generation = generation.wrapping_add(1);
+            *slot = Slot::Occupied { generation, value };
+            SlabKey { index: idx, generation }
+        } else {
+            let idx = self.slots.len() as u32;
+            self.slots.push(Slot::Occupied { generation: 0, value });
+            SlabKey { index: idx, generation: 0 }
+        }
+    }
+
+    /// Returns a reference if the key is live.
+    pub fn get(&self, key: SlabKey) -> Option<&T> {
+        match self.slots.get(key.index())? {
+            Slot::Occupied { generation, value } if *generation == key.generation => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Returns a mutable reference if the key is live.
+    pub fn get_mut(&mut self, key: SlabKey) -> Option<&mut T> {
+        match self.slots.get_mut(key.index())? {
+            Slot::Occupied { generation, value } if *generation == key.generation => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Removes and returns the value if the key is live.
+    pub fn remove(&mut self, key: SlabKey) -> Option<T> {
+        let slot = self.slots.get_mut(key.index())?;
+        match slot {
+            Slot::Occupied { generation, .. } if *generation == key.generation => {
+                let generation = *generation;
+                let old = std::mem::replace(
+                    slot,
+                    Slot::Free { generation, next_free: self.free_head },
+                );
+                self.free_head = Some(key.index);
+                self.len -= 1;
+                match old {
+                    Slot::Occupied { value, .. } => Some(value),
+                    Slot::Free { .. } => unreachable!(),
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Iterates over live `(key, &value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (SlabKey, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| match s {
+            Slot::Occupied { generation, value } => Some((
+                SlabKey { index: i as u32, generation: *generation },
+                value,
+            )),
+            Slot::Free { .. } => None,
+        })
+    }
+}
+
+impl<T> std::ops::Index<SlabKey> for Slab<T> {
+    type Output = T;
+    /// # Panics
+    ///
+    /// Panics if the key is stale or out of range.
+    fn index(&self, key: SlabKey) -> &T {
+        self.get(key).expect("stale or invalid slab key")
+    }
+}
+
+impl<T> std::ops::IndexMut<SlabKey> for Slab<T> {
+    fn index_mut(&mut self, key: SlabKey) -> &mut T {
+        self.get_mut(key).expect("stale or invalid slab key")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut s = Slab::new();
+        let a = s.insert(1);
+        let b = s.insert(2);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[a], 1);
+        assert_eq!(s.remove(a), Some(1));
+        assert_eq!(s.get(a), None);
+        assert_eq!(s[b], 2);
+    }
+
+    #[test]
+    fn slots_are_reused_with_new_generation() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        s.remove(a);
+        let b = s.insert("b");
+        assert_eq!(a.index(), b.index());
+        assert_ne!(a, b);
+        assert_eq!(s.get(a), None);
+        assert_eq!(s[b], "b");
+    }
+
+    #[test]
+    fn iter_skips_free_slots() {
+        let mut s = Slab::new();
+        let a = s.insert(1);
+        let _b = s.insert(2);
+        let _c = s.insert(3);
+        s.remove(a);
+        let live: Vec<i32> = s.iter().map(|(_, v)| *v).collect();
+        assert_eq!(live, vec![2, 3]);
+    }
+
+    #[test]
+    fn double_remove_is_none() {
+        let mut s = Slab::new();
+        let a = s.insert(5);
+        assert_eq!(s.remove(a), Some(5));
+        assert_eq!(s.remove(a), None);
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,193 @@
+//! Per-job execution timelines: a lightweight recorder the simulation can
+//! attach to capture when each job arrived, was admitted or rejected,
+//! started and finished each kernel, and completed — plus a text Gantt
+//! renderer for eyeballing scheduler behaviour.
+
+use std::fmt::Write as _;
+
+use sim_core::time::{Cycle, Duration};
+
+use crate::job::JobId;
+
+/// What happened to a job at a point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimelineKind {
+    /// Job arrived at the host.
+    Arrived,
+    /// Job was admitted (became dispatchable).
+    Admitted,
+    /// Job was rejected by admission control.
+    Rejected,
+    /// Kernel `idx` dispatched its first workgroup.
+    KernelStart(usize),
+    /// Kernel `idx` completed.
+    KernelEnd(usize),
+    /// The whole job completed.
+    Completed,
+    /// The job was aborted mid-flight (LAX-DROP extension).
+    Aborted,
+}
+
+/// One timeline event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelineEvent {
+    /// When it happened.
+    pub at: Cycle,
+    /// Which job.
+    pub job: JobId,
+    /// What happened.
+    pub kind: TimelineKind,
+}
+
+/// An append-only event recorder.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    events: Vec<TimelineEvent>,
+}
+
+impl Timeline {
+    /// Creates an empty timeline.
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Records an event.
+    pub fn record(&mut self, at: Cycle, job: JobId, kind: TimelineKind) {
+        self.events.push(TimelineEvent { at, job, kind });
+    }
+
+    /// All events in record order (chronological: the simulator only moves
+    /// forward).
+    pub fn events(&self) -> &[TimelineEvent] {
+        &self.events
+    }
+
+    /// Events of one job.
+    pub fn job_events(&self, job: JobId) -> impl Iterator<Item = &TimelineEvent> {
+        self.events.iter().filter(move |e| e.job == job)
+    }
+
+    /// The span `[first kernel start, completion]` of a job, if both ends
+    /// were recorded.
+    pub fn execution_span(&self, job: JobId) -> Option<(Cycle, Cycle)> {
+        let start = self
+            .job_events(job)
+            .find(|e| matches!(e.kind, TimelineKind::KernelStart(_)))?
+            .at;
+        let end = self
+            .job_events(job)
+            .find(|e| e.kind == TimelineKind::Completed)?
+            .at;
+        Some((start, end))
+    }
+
+    /// Renders a text Gantt chart of up to `max_jobs` jobs, `per_char`
+    /// simulated time per character column.
+    ///
+    /// Legend: `.` waiting (arrived, not yet executing), `=` executing
+    /// (between first kernel start and completion), `X` rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_char` is zero.
+    pub fn render_gantt(&self, max_jobs: usize, per_char: Duration) -> String {
+        assert!(!per_char.is_zero(), "per_char must be positive");
+        let mut jobs: Vec<JobId> = Vec::new();
+        for e in &self.events {
+            if !jobs.contains(&e.job) {
+                jobs.push(e.job);
+                if jobs.len() >= max_jobs {
+                    break;
+                }
+            }
+        }
+        let horizon = self.events.last().map(|e| e.at).unwrap_or(Cycle::ZERO);
+        let cols = (horizon.as_cycles() / per_char.as_cycles() + 1).min(500) as usize;
+        let col = |t: Cycle| ((t.as_cycles() / per_char.as_cycles()) as usize).min(cols - 1);
+        let mut out = String::new();
+        let _ = writeln!(out, "gantt: one column = {per_char} ('.' waiting, '=' running, 'X' rejected)");
+        for job in jobs {
+            let mut lane = vec![b' '; cols];
+            let arrived = self.job_events(job).find(|e| e.kind == TimelineKind::Arrived).map(|e| e.at);
+            let rejected = self
+                .job_events(job)
+                .find(|e| matches!(e.kind, TimelineKind::Rejected | TimelineKind::Aborted))
+                .map(|e| e.at);
+            let span = self.execution_span(job);
+            if let Some(a) = arrived {
+                let wait_end = span.map(|(s, _)| s).or(rejected).unwrap_or(horizon);
+                for c in &mut lane[col(a)..=col(wait_end)] {
+                    *c = b'.';
+                }
+            }
+            if let Some((s, e)) = span {
+                for c in &mut lane[col(s)..=col(e)] {
+                    *c = b'=';
+                }
+            }
+            if let Some(r) = rejected {
+                lane[col(r)] = b'X';
+            }
+            let _ = writeln!(
+                out,
+                "job {:>4} |{}|",
+                job.0,
+                String::from_utf8(lane).expect("ascii lane")
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> Cycle {
+        Cycle::ZERO + Duration::from_us(us)
+    }
+
+    #[test]
+    fn records_and_filters_by_job() {
+        let mut tl = Timeline::new();
+        tl.record(t(0), JobId(0), TimelineKind::Arrived);
+        tl.record(t(1), JobId(1), TimelineKind::Arrived);
+        tl.record(t(2), JobId(0), TimelineKind::KernelStart(0));
+        tl.record(t(5), JobId(0), TimelineKind::Completed);
+        assert_eq!(tl.events().len(), 4);
+        assert_eq!(tl.job_events(JobId(0)).count(), 3);
+        assert_eq!(tl.execution_span(JobId(0)), Some((t(2), t(5))));
+        assert_eq!(tl.execution_span(JobId(1)), None);
+    }
+
+    #[test]
+    fn gantt_shows_waiting_and_running() {
+        let mut tl = Timeline::new();
+        tl.record(t(0), JobId(0), TimelineKind::Arrived);
+        tl.record(t(3), JobId(0), TimelineKind::KernelStart(0));
+        tl.record(t(6), JobId(0), TimelineKind::Completed);
+        let g = tl.render_gantt(4, Duration::from_us(1));
+        assert!(g.contains("job    0"));
+        assert!(g.contains('.'), "waiting period shown");
+        assert!(g.contains('='), "running period shown");
+    }
+
+    #[test]
+    fn gantt_marks_rejections() {
+        let mut tl = Timeline::new();
+        tl.record(t(0), JobId(2), TimelineKind::Arrived);
+        tl.record(t(2), JobId(2), TimelineKind::Rejected);
+        let g = tl.render_gantt(4, Duration::from_us(1));
+        assert!(g.contains('X'));
+    }
+
+    #[test]
+    fn gantt_caps_jobs_and_columns() {
+        let mut tl = Timeline::new();
+        for i in 0..50 {
+            tl.record(t(i), JobId(i as u32), TimelineKind::Arrived);
+        }
+        let g = tl.render_gantt(5, Duration::from_us(1));
+        assert_eq!(g.lines().count(), 6, "header plus five lanes");
+    }
+}

@@ -1,0 +1,146 @@
+//! In-flight execution state: wavefronts, workgroups, and kernel runs.
+
+use std::sync::Arc;
+
+use sim_core::time::Cycle;
+
+use crate::job::JobId;
+use crate::kernel::KernelDesc;
+use crate::slab::SlabKey;
+
+/// Execution state of a wavefront.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaveState {
+    /// Resident on a SIMD unit, consuming issue cycles.
+    Computing,
+    /// Blocked waiting for a memory response.
+    MemPending,
+    /// Finished all segments.
+    Done,
+}
+
+/// One 64-thread wavefront in flight.
+///
+/// A wavefront alternates compute segments and memory accesses; see
+/// [`crate::kernel::ComputeProfile`]. `remaining` counts issue-cycles left in
+/// the current compute segment and is decremented by the SIMD
+/// processor-sharing model.
+#[derive(Debug, Clone)]
+pub struct Wavefront {
+    /// Parent workgroup.
+    pub wg: SlabKey,
+    /// Parent kernel run.
+    pub run: SlabKey,
+    /// CU the wave is resident on.
+    pub cu: u32,
+    /// SIMD unit within the CU.
+    pub simd: u32,
+    /// Global wavefront index within the kernel (for address generation).
+    pub wave_seq: u32,
+    /// Issue-cycles left in the current compute segment.
+    pub remaining: f64,
+    /// Memory accesses already performed.
+    pub accesses_done: u32,
+    /// Current state.
+    pub state: WaveState,
+}
+
+/// One workgroup in flight on a CU, tracking the resources to release.
+#[derive(Debug, Clone)]
+pub struct WorkgroupRun {
+    /// Parent kernel run.
+    pub run: SlabKey,
+    /// CU hosting the workgroup.
+    pub cu: u32,
+    /// Total wavefronts in the WG.
+    pub waves_total: u32,
+    /// Wavefronts that finished.
+    pub waves_done: u32,
+    /// Threads reserved on the CU.
+    pub threads: u32,
+    /// VGPR bytes reserved on the CU.
+    pub vgpr_bytes: u32,
+    /// LDS bytes reserved on the CU.
+    pub lds_bytes: u32,
+}
+
+/// One kernel being executed from a compute queue.
+#[derive(Debug, Clone)]
+pub struct KernelRun {
+    /// Queue the kernel came from.
+    pub queue: usize,
+    /// Owning job.
+    pub job: JobId,
+    /// Static descriptor.
+    pub desc: Arc<KernelDesc>,
+    /// Index of this kernel within its job.
+    pub kernel_idx: usize,
+    /// Workgroups dispatched so far.
+    pub wgs_dispatched: u32,
+    /// Workgroups completed so far.
+    pub wgs_completed: u32,
+    /// Next global wavefront index to hand out.
+    pub next_wave_seq: u32,
+    /// Time the first WG was dispatched.
+    pub started: Cycle,
+}
+
+impl KernelRun {
+    /// Creates a run for `desc` at kernel position `kernel_idx` of `job`.
+    pub fn new(
+        queue: usize,
+        job: JobId,
+        desc: Arc<KernelDesc>,
+        kernel_idx: usize,
+        now: Cycle,
+    ) -> Self {
+        KernelRun {
+            queue,
+            job,
+            desc,
+            kernel_idx,
+            wgs_dispatched: 0,
+            wgs_completed: 0,
+            next_wave_seq: 0,
+            started: now,
+        }
+    }
+
+    /// Workgroups not yet dispatched.
+    #[inline]
+    pub fn wgs_pending(&self) -> u32 {
+        self.desc.num_wgs() - self.wgs_dispatched
+    }
+
+    /// `true` once every WG has completed.
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.wgs_completed == self.desc.num_wgs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{ComputeProfile, KernelClassId};
+
+    #[test]
+    fn kernel_run_progress() {
+        let desc = Arc::new(KernelDesc::new(
+            KernelClassId(0),
+            "k",
+            256,
+            64,
+            8,
+            0,
+            ComputeProfile::compute_only(100),
+        ));
+        let mut run = KernelRun::new(0, JobId(0), desc, 0, Cycle::ZERO);
+        assert_eq!(run.wgs_pending(), 4);
+        run.wgs_dispatched = 4;
+        assert_eq!(run.wgs_pending(), 0);
+        assert!(!run.is_complete());
+        run.wgs_completed = 4;
+        assert!(run.is_complete());
+    }
+}

@@ -1,0 +1,219 @@
+//! Prophet (PRO) [Chen et al., ASPLOS'17]: offline-profiled co-scheduling
+//! for utilization.
+//!
+//! Prophet predicts each kernel's resource usage and duration from offline
+//! profiles (no runtime model-call overhead, unlike Baymax) and co-locates
+//! kernels as long as predicted device utilization stays under capacity.
+//! Its QoS estimates are conservative and utilization-focused rather than
+//! deadline-focused, which is why it barely beats RR on the paper's purely
+//! latency-sensitive workloads (geomean 1.02x, Section 6.1.1).
+
+use std::collections::{HashMap, VecDeque};
+
+use gpu_sim::host::{HostCmd, HostEvent, HostScheduler, HostView};
+use gpu_sim::job::JobId;
+use sim_core::time::Duration;
+
+use crate::host_common::predicted_remaining_us;
+
+/// Interference share charged for co-located in-flight work (see
+/// [`crate::bay`]); Prophet's offline interference model plays the same
+/// role.
+const INTERFERENCE: f64 = 0.25;
+
+/// Target fraction of device thread capacity Prophet fills before it stops
+/// co-scheduling (conservative: interference predictions discourage 100%).
+const UTIL_TARGET: f64 = 0.85;
+
+/// The Prophet scheduler.
+#[derive(Debug, Default)]
+pub struct Pro {
+    /// FCFS order of accepted jobs.
+    fifo: VecDeque<u32>,
+    /// Threads of each in-flight launched kernel.
+    inflight_threads: HashMap<u32, u32>,
+}
+
+impl Pro {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        Pro::default()
+    }
+
+    fn device_threads(view: &HostView<'_>) -> f64 {
+        (view.config.num_cus * view.config.max_threads_per_cu) as f64
+    }
+
+    fn try_launch(&mut self, view: &HostView<'_>, out: &mut Vec<HostCmd>) {
+        let capacity = Self::device_threads(view) * UTIL_TARGET;
+        let mut used: f64 = self.inflight_threads.values().map(|&t| t as f64).sum();
+        // FCFS through the accepted queue, launching while utilization fits.
+        let ids: Vec<u32> = self.fifo.iter().copied().collect();
+        for id in ids {
+            if self.inflight_threads.contains_key(&id) {
+                continue; // already launched, awaiting completion
+            }
+            let j = &view.jobs[id as usize];
+            if !j.launchable() {
+                continue;
+            }
+            let Some(kernel) = j.next_kernel_desc() else { continue };
+            let threads = kernel.grid_threads as f64;
+            if !self.inflight_threads.is_empty() && used + threads > capacity {
+                break; // conserve: wait for drain before co-locating more
+            }
+            used += threads;
+            self.inflight_threads.insert(id, kernel.grid_threads);
+            out.push(HostCmd::Launch {
+                job: JobId(id),
+                kernel_idx: j.next_kernel,
+                extra: Duration::ZERO,
+                prio: 0,
+            });
+        }
+    }
+}
+
+impl HostScheduler for Pro {
+    fn name(&self) -> &'static str {
+        "PRO"
+    }
+
+    fn tick_period(&self) -> Option<Duration> {
+        Some(Duration::from_us(100))
+    }
+
+    fn react(&mut self, event: HostEvent, view: &HostView<'_>, out: &mut Vec<HostCmd>) {
+        match event {
+            HostEvent::Arrival(job) => {
+                let j = &view.jobs[job.index()];
+                // Conservative QoS: the waiting (never-launched) backlog
+                // must drain first; co-located in-flight work does not
+                // serialize.
+                let queue_delay: f64 = self
+                    .fifo
+                    .iter()
+                    .map(|&id| {
+                        let a = &view.jobs[id as usize];
+                        if a.done || a.rejected {
+                            0.0
+                        } else if a.inflight || a.next_kernel > 0 {
+                            predicted_remaining_us(view, a) * INTERFERENCE
+                        } else {
+                            predicted_remaining_us(view, a)
+                        }
+                    })
+                    .sum();
+                let own = predicted_remaining_us(view, j);
+                if queue_delay + own > j.desc.deadline.as_us_f64() {
+                    out.push(HostCmd::Reject(job));
+                } else {
+                    self.fifo.push_back(job.0);
+                    self.try_launch(view, out);
+                }
+            }
+            HostEvent::KernelDone { job, .. } => {
+                self.inflight_threads.remove(&job.0);
+                self.fifo.retain(|&id| {
+                    let j = &view.jobs[id as usize];
+                    !j.done && !j.rejected
+                });
+                self.try_launch(view, out);
+            }
+            HostEvent::Tick => self.try_launch(view, out),
+            HostEvent::Wake => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::config::GpuConfig;
+    use gpu_sim::counters::Counters;
+    use gpu_sim::host::HostJob;
+    use gpu_sim::job::JobDesc;
+    use gpu_sim::kernel::{ComputeProfile, KernelClassId, KernelDesc};
+    use sim_core::time::Cycle;
+    use std::sync::Arc;
+
+    fn jobs_of(threads: &[u32], deadline_us: u64) -> Vec<HostJob> {
+        threads
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                let k = Arc::new(KernelDesc::new(
+                    KernelClassId(0),
+                    "k",
+                    t,
+                    64,
+                    8,
+                    0,
+                    ComputeProfile::compute_only(10),
+                ));
+                HostJob::new(Arc::new(JobDesc::new(
+                    JobId(i as u32),
+                    "b",
+                    vec![k],
+                    Duration::from_us(deadline_us),
+                    Cycle::ZERO,
+                )))
+            })
+            .collect()
+    }
+
+    fn view<'a>(jobs: &'a [HostJob], counters: &'a Counters, cfg: &'a GpuConfig) -> HostView<'a> {
+        HostView { now: Cycle::ZERO, jobs, counters, config: cfg, inflight_kernels: 0 }
+    }
+
+    #[test]
+    fn co_schedules_up_to_utilization_target() {
+        // Device: 8 * 2560 = 20480 threads; target 85% = 17408.
+        // Three 8192-thread kernels: two fit (16384), the third would
+        // exceed the target (24576).
+        let jobs = jobs_of(&[8192, 8192, 8192], 100_000);
+        let mut counters = Counters::new(1, Duration::from_us(100));
+        counters.set_offline_rate(KernelClassId(0), 10.0);
+        let cfg = GpuConfig::default();
+        let mut pro = Pro::new();
+        let mut out = Vec::new();
+        for i in 0..3 {
+            pro.react(HostEvent::Arrival(JobId(i)), &view(&jobs, &counters, &cfg), &mut out);
+        }
+        let launches = out.iter().filter(|c| matches!(c, HostCmd::Launch { .. })).count();
+        assert_eq!(launches, 2, "third kernel exceeds the utilization target");
+    }
+
+    #[test]
+    fn rejects_infeasible_jobs() {
+        let jobs = jobs_of(&[64_000], 10);
+        let mut counters = Counters::new(1, Duration::from_us(100));
+        counters.set_offline_rate(KernelClassId(0), 1.0); // 1000 WGs -> 1000us >> 10us
+        let cfg = GpuConfig::default();
+        let mut pro = Pro::new();
+        let mut out = Vec::new();
+        pro.react(HostEvent::Arrival(JobId(0)), &view(&jobs, &counters, &cfg), &mut out);
+        assert!(matches!(out[0], HostCmd::Reject(JobId(0))));
+    }
+
+    #[test]
+    fn fcfs_order_is_preserved() {
+        let jobs = jobs_of(&[64, 64, 64], 100_000);
+        let mut counters = Counters::new(1, Duration::from_us(100));
+        counters.set_offline_rate(KernelClassId(0), 10.0);
+        let cfg = GpuConfig::default();
+        let mut pro = Pro::new();
+        let mut out = Vec::new();
+        for i in 0..3 {
+            pro.react(HostEvent::Arrival(JobId(i)), &view(&jobs, &counters, &cfg), &mut out);
+        }
+        let order: Vec<JobId> = out
+            .iter()
+            .filter_map(|c| match c {
+                HostCmd::Launch { job, .. } => Some(*job),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(order, vec![JobId(0), JobId(1), JobId(2)]);
+    }
+}

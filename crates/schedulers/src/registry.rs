@@ -1,0 +1,116 @@
+//! Name-indexed construction of every scheduler in the study, so the
+//! harness, examples and tests can select policies by string.
+
+use gpu_sim::scheduler::RoundRobin;
+use gpu_sim::sim::SchedulerMode;
+use lax::ext::LaxDrop;
+use lax::host_variants::{LaxCpu, LaxSw};
+use lax::lax::{Lax, LaxConfig};
+
+use crate::bat::Bat;
+use crate::bay::Bay;
+use crate::cp_policies::{Edf, Ljf, Mlfq, Sjf, Srf};
+use crate::prema::Prema;
+use crate::pro::Pro;
+
+/// The CPU-side schedulers of Figure 6 (plus RR and LAX for reference).
+pub const CPU_SIDE: &[&str] = &["RR", "BAT", "BAY", "PRO", "LAX"];
+
+/// The CP-extending schedulers of Figure 7.
+pub const CP_SIDE: &[&str] = &["RR", "MLFQ", "EDF", "SJF", "SRF", "LJF", "PREMA", "LAX"];
+
+/// The laxity-aware variants of Figure 8.
+pub const LAX_VARIANTS: &[&str] = &["LAX-SW", "LAX-CPU", "LAX"];
+
+/// Every scheduler of Table 5.
+pub const ALL: &[&str] = &[
+    "RR", "MLFQ", "BAT", "BAY", "PRO", "LJF", "SJF", "SRF", "PREMA", "EDF", "LAX",
+];
+
+/// Builds a scheduler by name.
+///
+/// Known names: the eleven of [`ALL`], plus `"LAX-SW"`, `"LAX-CPU"`, the
+/// beyond-the-paper `"LAX-DROP"` (mid-flight dropping of expired jobs), and
+/// the ablation variants `"LAX-NOADMIT"` (admission control off),
+/// `"LAX-SRT"` (laxity replaced by pure shortest-remaining-time) and
+/// `"LAX-NOEVENT"` (no event-driven priority updates, tick only).
+///
+/// Returns `None` for unknown names.
+///
+/// # Examples
+///
+/// ```
+/// use schedulers::registry;
+///
+/// assert_eq!(registry::build("LAX").unwrap().name(), "LAX");
+/// assert!(registry::build("nope").is_none());
+/// ```
+pub fn build(name: &str) -> Option<SchedulerMode> {
+    Some(match name {
+        "RR" => SchedulerMode::Cp(Box::new(RoundRobin::new())),
+        "MLFQ" => SchedulerMode::Cp(Box::new(Mlfq::new())),
+        "EDF" => SchedulerMode::Cp(Box::new(Edf::new())),
+        "SJF" => SchedulerMode::Cp(Box::new(Sjf::new())),
+        "SRF" => SchedulerMode::Cp(Box::new(Srf::new())),
+        "LJF" => SchedulerMode::Cp(Box::new(Ljf::new())),
+        "PREMA" => SchedulerMode::Cp(Box::new(Prema::new())),
+        "LAX" => SchedulerMode::Cp(Box::new(Lax::new())),
+        "LAX-DROP" => SchedulerMode::Cp(Box::new(LaxDrop::new())),
+        "LAX-NOADMIT" => SchedulerMode::Cp(Box::new(Lax::with_config(LaxConfig {
+            admission: false,
+            ..LaxConfig::default()
+        }))),
+        "LAX-SRT" => SchedulerMode::Cp(Box::new(Lax::with_config(LaxConfig {
+            use_laxity: false,
+            ..LaxConfig::default()
+        }))),
+        "LAX-NOEVENT" => SchedulerMode::Cp(Box::new(Lax::with_config(LaxConfig {
+            event_driven_updates: false,
+            ..LaxConfig::default()
+        }))),
+        "BAT" => SchedulerMode::Host(Box::new(Bat::new())),
+        "BAY" => SchedulerMode::Host(Box::new(Bay::new())),
+        "PRO" => SchedulerMode::Host(Box::new(Pro::new())),
+        "LAX-SW" => SchedulerMode::Host(Box::new(LaxSw::new())),
+        "LAX-CPU" => SchedulerMode::Host(Box::new(LaxCpu::new())),
+        _ => return None,
+    })
+}
+
+/// All buildable scheduler names.
+pub fn names() -> Vec<&'static str> {
+    vec![
+        "RR", "MLFQ", "EDF", "SJF", "SRF", "LJF", "PREMA", "BAT", "BAY", "PRO", "LAX", "LAX-SW",
+        "LAX-CPU", "LAX-DROP", "LAX-NOADMIT", "LAX-SRT", "LAX-NOEVENT",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_name_builds() {
+        for name in names() {
+            let mode = build(name).unwrap_or_else(|| panic!("{name} did not build"));
+            // Ablation variants report the base name.
+            if !name.starts_with("LAX-NO") && name != "LAX-SRT" {
+                assert_eq!(mode.name(), name);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(build("FIFO?").is_none());
+    }
+
+    #[test]
+    fn figure_sets_are_buildable() {
+        for set in [CPU_SIDE, CP_SIDE, LAX_VARIANTS, ALL] {
+            for name in set {
+                assert!(build(name).is_some(), "{name} missing");
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Terminal bar charts for the experiment binaries: a quick visual of the
+//! normalized figures next to their tables.
+
+use std::fmt::Write as _;
+
+/// A horizontal ASCII bar chart.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::chart::BarChart;
+///
+/// let mut c = BarChart::new(20);
+/// c.bar("RR", 1.0);
+/// c.bar("LAX", 4.2);
+/// let s = c.render();
+/// assert!(s.contains("LAX"));
+/// assert!(s.lines().count() == 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    width: usize,
+    bars: Vec<(String, f64)>,
+}
+
+impl BarChart {
+    /// Creates a chart whose largest bar spans `width` characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new(width: usize) -> Self {
+        assert!(width > 0, "chart width must be positive");
+        BarChart { width, bars: Vec::new() }
+    }
+
+    /// Adds a labelled bar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or NaN.
+    pub fn bar(&mut self, label: impl Into<String>, value: f64) -> &mut Self {
+        assert!(value.is_finite() && value >= 0.0, "bar values must be non-negative");
+        self.bars.push((label.into(), value));
+        self
+    }
+
+    /// Renders the chart, one `label |#### value` line per bar.
+    pub fn render(&self) -> String {
+        let max = self.bars.iter().map(|(_, v)| *v).fold(0.0, f64::max);
+        let label_w = self.bars.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (label, value) in &self.bars {
+            let n = if max > 0.0 {
+                ((value / max) * self.width as f64).round() as usize
+            } else {
+                0
+            };
+            let _ = writeln!(
+                out,
+                "{label:<label_w$} |{} {value:.2}",
+                "#".repeat(n)
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_the_maximum() {
+        let mut c = BarChart::new(10);
+        c.bar("a", 5.0).bar("b", 10.0);
+        let s = c.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0].matches('#').count(), 5);
+        assert_eq!(lines[1].matches('#').count(), 10);
+    }
+
+    #[test]
+    fn zero_values_render_empty_bars() {
+        let mut c = BarChart::new(10);
+        c.bar("x", 0.0);
+        assert!(c.render().contains("| 0.00"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_values_panic() {
+        BarChart::new(10).bar("bad", -1.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! A deterministic discrete-event queue with O(log n) scheduling and lazy
+//! cancellation.
+//!
+//! Events at equal timestamps pop in scheduling order (FIFO), which makes
+//! whole-simulation runs bit-for-bit reproducible for a fixed RNG seed.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Cycle;
+
+/// Handle to a scheduled event, used to cancel it before it fires.
+///
+/// Ids are unique for the lifetime of one [`EventQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: Cycle,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest time (then lowest seq)
+        // pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Priority queue of timestamped events.
+///
+/// Cancellation is *lazy*: cancelled entries stay in the heap and are skipped
+/// on pop, so `cancel` is O(1).
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::event::EventQueue;
+/// use sim_core::time::Cycle;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Cycle::from_cycles(20), "second");
+/// let id = q.schedule(Cycle::from_cycles(5), "dropped");
+/// q.schedule(Cycle::from_cycles(10), "first");
+/// q.cancel(id);
+/// assert_eq!(q.pop(), Some((Cycle::from_cycles(10), "first")));
+/// assert_eq!(q.pop(), Some((Cycle::from_cycles(20), "second")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    cancelled: std::collections::HashSet<u64>,
+    now: Cycle,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+            now: Cycle::ZERO,
+        }
+    }
+
+    /// The timestamp of the most recently popped event (the current
+    /// simulation time).
+    #[inline]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error and panics in debug builds;
+    /// release builds clamp to `now` to keep long runs alive.
+    pub fn schedule(&mut self, at: Cycle, payload: E) -> EventId {
+        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an already-fired or
+    /// already-cancelled event is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// Pops the earliest live event, advancing `now` to its timestamp.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.now = entry.at;
+            return Some((entry.at, entry.payload));
+        }
+        None
+    }
+
+    /// Timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<Cycle> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.at);
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) events still queued.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// `true` if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("live", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle::from_cycles(30), 3);
+        q.schedule(Cycle::from_cycles(10), 1);
+        q.schedule(Cycle::from_cycles(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = Cycle::from_cycles(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Cycle::from_cycles(1), "a");
+        q.schedule(Cycle::from_cycles(2), "b");
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Cycle::from_cycles(1), "a");
+        assert!(q.pop().is_some());
+        q.cancel(a);
+        q.schedule(Cycle::from_cycles(2), "b");
+        assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    fn now_tracks_last_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle::ZERO + Duration::from_us(1), ());
+        q.pop();
+        assert_eq!(q.now(), Cycle::from_cycles(1500));
+    }
+
+    #[test]
+    fn peek_time_sees_through_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Cycle::from_cycles(1), ());
+        q.schedule(Cycle::from_cycles(7), ());
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(Cycle::from_cycles(7)));
+    }
+}

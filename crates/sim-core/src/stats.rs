@@ -1,0 +1,249 @@
+//! Streaming statistics used by the experiment harness: percentiles,
+//! geometric means, and fixed-width histograms.
+
+use crate::time::Duration;
+
+/// Collects scalar samples and answers order statistics.
+///
+/// Samples are kept (they are small: one `f64` per completed job), so
+/// percentiles are exact rather than approximated.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::stats::Samples;
+///
+/// let mut s = Samples::new();
+/// for v in 1..=100 {
+///     s.push(v as f64);
+/// }
+/// assert_eq!(s.percentile(0.99), 99.0);
+/// assert_eq!(s.percentile(0.50), 50.0);
+/// assert_eq!(s.len(), 100);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Samples {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        Samples::default()
+    }
+
+    /// Adds one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is NaN.
+    pub fn push(&mut self, v: f64) {
+        assert!(!v.is_nan(), "NaN sample");
+        self.values.push(v);
+        self.sorted = false;
+    }
+
+    /// Adds a duration sample in microseconds.
+    pub fn push_duration(&mut self, d: Duration) {
+        self.push(d.as_us_f64());
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Arithmetic mean, `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Exact `q`-quantile (`q` in `[0,1]`) using the nearest-rank method,
+    /// `0.0` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn percentile(&mut self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.values
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN by construction"));
+            self.sorted = true;
+        }
+        let rank = ((q * self.values.len() as f64).ceil() as usize).max(1) - 1;
+        self.values[rank.min(self.values.len() - 1)]
+    }
+
+    /// Maximum sample, `0.0` when empty.
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+}
+
+/// Geometric mean of strictly positive values.
+///
+/// Values `<= 0` are clamped to `epsilon` (1e-9) so a single zero ratio (a
+/// scheduler completing no jobs at all, as BAY does on IPV6 in the paper)
+/// drags the geomean down without poisoning it into zero, mirroring how such
+/// results are conventionally reported.
+///
+/// Returns `0.0` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::stats::geomean;
+///
+/// assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+/// assert_eq!(geomean(&[]), 0.0);
+/// ```
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|&v| v.max(1e-9).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// A sliding-window event-rate meter.
+///
+/// Tracks how many events occurred in the last `window` of simulated time;
+/// this is exactly the "WG completion rate" counter the paper adds to the
+/// GPU (Section 4.1.1). Old events are evicted lazily on read.
+#[derive(Debug, Clone)]
+pub struct RateWindow {
+    window: Duration,
+    events: std::collections::VecDeque<(crate::time::Cycle, u64)>,
+    total: u64,
+}
+
+impl RateWindow {
+    /// Creates a meter with the given window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: Duration) -> Self {
+        assert!(!window.is_zero(), "rate window must be non-zero");
+        RateWindow {
+            window,
+            events: std::collections::VecDeque::new(),
+            total: 0,
+        }
+    }
+
+    /// Records `count` events at time `now`.
+    pub fn record(&mut self, now: crate::time::Cycle, count: u64) {
+        self.evict(now);
+        self.events.push_back((now, count));
+        self.total += count;
+    }
+
+    /// Events per microsecond over the window ending at `now`.
+    pub fn rate_per_us(&mut self, now: crate::time::Cycle) -> f64 {
+        self.evict(now);
+        self.total as f64 / self.window.as_us_f64()
+    }
+
+    /// Raw event count in the window ending at `now`.
+    pub fn count(&mut self, now: crate::time::Cycle) -> u64 {
+        self.evict(now);
+        self.total
+    }
+
+    fn evict(&mut self, now: crate::time::Cycle) {
+        let cutoff = now - self.window; // saturating
+        while let Some(&(t, c)) = self.events.front() {
+            if t < cutoff {
+                self.events.pop_front();
+                self.total -= c;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Cycle;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut s = Samples::new();
+        for v in [10.0, 20.0, 30.0, 40.0] {
+            s.push(v);
+        }
+        assert_eq!(s.percentile(0.25), 10.0);
+        assert_eq!(s.percentile(0.5), 20.0);
+        assert_eq!(s.percentile(0.99), 40.0);
+        assert_eq!(s.percentile(1.0), 40.0);
+    }
+
+    #[test]
+    fn percentile_after_interleaved_pushes() {
+        let mut s = Samples::new();
+        s.push(5.0);
+        assert_eq!(s.percentile(1.0), 5.0);
+        s.push(1.0);
+        assert_eq!(s.percentile(0.0), 1.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let mut s = Samples::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.percentile(0.5), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!(geomean(&[0.0, 1.0]) < 1e-3);
+    }
+
+    #[test]
+    fn rate_window_evicts_old_events() {
+        let mut w = RateWindow::new(Duration::from_us(100));
+        w.record(Cycle::from_cycles(0), 10);
+        assert_eq!(w.count(Cycle::from_cycles(0)), 10);
+        // Still inside the window.
+        assert_eq!(w.count(Cycle::ZERO + Duration::from_us(100)), 10);
+        // Now outside.
+        assert_eq!(w.count(Cycle::ZERO + Duration::from_us(201)), 0);
+    }
+
+    #[test]
+    fn rate_window_rate_per_us() {
+        let mut w = RateWindow::new(Duration::from_us(100));
+        let now = Cycle::ZERO + Duration::from_us(50);
+        w.record(now, 200);
+        assert_eq!(w.rate_per_us(now), 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_sample_panics() {
+        Samples::new().push(f64::NAN);
+    }
+}

@@ -1,0 +1,132 @@
+//! Plain-text table formatting for the experiment binaries.
+//!
+//! The paper reports results as figures and tables; our harness prints
+//! aligned ASCII tables that EXPERIMENTS.md embeds verbatim.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::table::Table;
+///
+/// let mut t = Table::new(vec!["bench".into(), "RR".into(), "LAX".into()]);
+/// t.row(vec!["LSTM".into(), "1.00".into(), "4.20".into()]);
+/// let s = t.render();
+/// assert!(s.contains("LSTM"));
+/// assert!(s.lines().count() >= 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `header` is empty.
+    pub fn new(header: Vec<String>) -> Self {
+        assert!(!header.is_empty(), "table needs at least one column");
+        Table { header, rows: Vec::new() }
+    }
+
+    /// Convenience constructor from string slices.
+    pub fn with_columns(cols: &[&str]) -> Self {
+        Table::new(cols.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a separator line under the header.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i == 0 {
+                    let _ = write!(out, "{:<w$}", cell, w = widths[i]);
+                } else {
+                    let _ = write!(out, "  {:>w$}", cell, w = widths[i]);
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a ratio like `4.2x` with two decimals.
+pub fn fmt_ratio(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Formats a float with `prec` decimals.
+pub fn fmt_f(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::with_columns(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All data lines have the same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_mismatch_panics() {
+        let mut t = Table::with_columns(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(fmt_ratio(4.2), "4.20x");
+        assert_eq!(fmt_f(1.23456, 3), "1.235");
+    }
+}

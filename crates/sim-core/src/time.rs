@@ -1,0 +1,379 @@
+//! Simulation time expressed in GPU core cycles.
+//!
+//! The simulated GPU runs at 1.5 GHz ([`CYCLES_PER_US`] = 1500), matching the
+//! paper's Table 2 configuration. All host-side overheads quoted by the paper
+//! are whole microseconds, so a cycle granularity keeps every latency exact.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// Number of GPU cycles per microsecond (1.5 GHz core clock).
+pub const CYCLES_PER_US: u64 = 1_500;
+
+/// Number of GPU cycles per millisecond.
+pub const CYCLES_PER_MS: u64 = CYCLES_PER_US * 1_000;
+
+/// Number of GPU cycles per second.
+pub const CYCLES_PER_SEC: u64 = CYCLES_PER_MS * 1_000;
+
+/// An absolute point in simulated time, measured in GPU cycles since reset.
+///
+/// `Cycle` is an absolute instant; [`Duration`] is a span. Mixing them up is a
+/// compile error, which prevents the classic deadline-arithmetic bugs
+/// (`deadline` is always stored as a `Duration` relative to job arrival).
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::time::{Cycle, Duration};
+///
+/// let start = Cycle::ZERO;
+/// let later = start + Duration::from_us(40);
+/// assert_eq!(later.as_cycles(), 60_000);
+/// assert_eq!(later - start, Duration::from_us(40));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(u64);
+
+/// A span of simulated time, measured in GPU cycles.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::time::Duration;
+///
+/// let d = Duration::from_us(3) + Duration::from_cycles(750);
+/// assert_eq!(d.as_us_f64(), 3.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(u64);
+
+impl Cycle {
+    /// The simulation epoch (time zero).
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// The greatest representable instant; useful as an "infinite" sentinel.
+    pub const MAX: Cycle = Cycle(u64::MAX);
+
+    /// Creates an instant at `cycles` after reset.
+    #[inline]
+    pub const fn from_cycles(cycles: u64) -> Self {
+        Cycle(cycles)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn as_cycles(self) -> u64 {
+        self.0
+    }
+
+    /// Converts to fractional microseconds (for reporting only).
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / CYCLES_PER_US as f64
+    }
+
+    /// Converts to fractional milliseconds (for reporting only).
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / CYCLES_PER_MS as f64
+    }
+
+    /// Duration elapsed since `earlier`, saturating to zero if `earlier` is
+    /// in the future.
+    #[inline]
+    pub fn saturating_since(self, earlier: Cycle) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition of a duration, `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, d: Duration) -> Option<Cycle> {
+        self.0.checked_add(d.0).map(Cycle)
+    }
+}
+
+impl Duration {
+    /// The empty span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// The greatest representable span; used as an "unschedulable" sentinel.
+    pub const MAX: Duration = Duration(u64::MAX);
+
+    /// Creates a span of `cycles` GPU cycles.
+    #[inline]
+    pub const fn from_cycles(cycles: u64) -> Self {
+        Duration(cycles)
+    }
+
+    /// Creates a span of `us` microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        Duration(us * CYCLES_PER_US)
+    }
+
+    /// Creates a span of `ms` milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        Duration(ms * CYCLES_PER_MS)
+    }
+
+    /// Creates a span from fractional microseconds, rounding to the nearest
+    /// cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `us` is negative or not finite.
+    #[inline]
+    pub fn from_us_f64(us: f64) -> Self {
+        assert!(us.is_finite() && us >= 0.0, "duration must be non-negative");
+        Duration((us * CYCLES_PER_US as f64).round() as u64)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn as_cycles(self) -> u64 {
+        self.0
+    }
+
+    /// Converts to fractional microseconds.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / CYCLES_PER_US as f64
+    }
+
+    /// Converts to fractional milliseconds.
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / CYCLES_PER_MS as f64
+    }
+
+    /// Converts to fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / CYCLES_PER_SEC as f64
+    }
+
+    /// `true` if the span is zero cycles.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, other: Duration) -> Duration {
+        Duration(self.0.saturating_sub(other.0))
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub fn saturating_add(self, other: Duration) -> Duration {
+        Duration(self.0.saturating_add(other.0))
+    }
+
+    /// Scales the span by a non-negative factor, rounding to nearest cycle
+    /// and saturating at [`Duration::MAX`].
+    #[inline]
+    pub fn mul_f64(self, factor: f64) -> Duration {
+        debug_assert!(factor >= 0.0);
+        let scaled = self.0 as f64 * factor;
+        if scaled >= u64::MAX as f64 {
+            Duration::MAX
+        } else {
+            Duration(scaled.round() as u64)
+        }
+    }
+
+    /// Returns the larger of the two spans.
+    #[inline]
+    pub fn max(self, other: Duration) -> Duration {
+        Duration(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of the two spans.
+    #[inline]
+    pub fn min(self, other: Duration) -> Duration {
+        Duration(self.0.min(other.0))
+    }
+}
+
+impl Add<Duration> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: Duration) -> Cycle {
+        Cycle(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<Duration> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<Duration> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Cycle {
+        Cycle(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub for Cycle {
+    type Output = Duration;
+    /// Span between two instants.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    #[inline]
+    fn sub(self, rhs: Cycle) -> Duration {
+        debug_assert!(self.0 >= rhs.0, "negative duration: {self:?} - {rhs:?}");
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        debug_assert!(self.0 >= rhs.0, "negative duration: {self:?} - {rhs:?}");
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Duration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Duration) {
+        debug_assert!(self.0 >= rhs.0);
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl Div for Duration {
+    type Output = f64;
+    /// Ratio of two spans, e.g. `elapsed / deadline`.
+    #[inline]
+    fn div(self, rhs: Duration) -> f64 {
+        self.0 as f64 / rhs.0 as f64
+    }
+}
+
+impl Rem for Duration {
+    type Output = Duration;
+    #[inline]
+    fn rem(self, rhs: Duration) -> Duration {
+        Duration(self.0 % rhs.0)
+    }
+}
+
+impl Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_us_f64())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= CYCLES_PER_MS {
+            write!(f, "{:.3}ms", self.as_ms_f64())
+        } else {
+            write!(f, "{:.3}us", self.as_us_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_duration_arithmetic_round_trips() {
+        let t0 = Cycle::from_cycles(100);
+        let d = Duration::from_us(2);
+        let t1 = t0 + d;
+        assert_eq!(t1 - t0, d);
+        assert_eq!(t1 - d, t0);
+    }
+
+    #[test]
+    fn microsecond_conversion_is_exact() {
+        assert_eq!(Duration::from_us(40).as_cycles(), 60_000);
+        assert_eq!(Duration::from_ms(7).as_cycles(), 10_500_000);
+        assert_eq!(Duration::from_ms(7).as_ms_f64(), 7.0);
+    }
+
+    #[test]
+    fn saturating_since_clamps_to_zero() {
+        let early = Cycle::from_cycles(10);
+        let late = Cycle::from_cycles(20);
+        assert_eq!(early.saturating_since(late), Duration::ZERO);
+        assert_eq!(late.saturating_since(early), Duration::from_cycles(10));
+    }
+
+    #[test]
+    fn mul_f64_rounds_and_saturates() {
+        assert_eq!(Duration::from_cycles(10).mul_f64(1.26), Duration::from_cycles(13));
+        assert_eq!(Duration::MAX.mul_f64(2.0), Duration::MAX);
+        assert_eq!(Duration::from_cycles(10).mul_f64(0.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn duration_ratio() {
+        let a = Duration::from_us(1);
+        let b = Duration::from_us(4);
+        assert_eq!(a / b, 0.25);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(Duration::from_us(40).to_string(), "40.000us");
+        assert_eq!(Duration::from_ms(7).to_string(), "7.000ms");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Duration = [Duration::from_us(1), Duration::from_us(2)].into_iter().sum();
+        assert_eq!(total, Duration::from_us(3));
+    }
+}

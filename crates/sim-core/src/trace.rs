@@ -1,0 +1,98 @@
+//! Time-series tracing for Figure-10 style plots (predicted execution time
+//! and priority of a job over its lifetime).
+
+use crate::time::Cycle;
+
+/// One sampled point of a traced quantity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePoint {
+    /// Simulation time of the sample.
+    pub at: Cycle,
+    /// Sampled value (units depend on the series).
+    pub value: f64,
+}
+
+/// A named time series with a bounded number of points.
+///
+/// The bound guards against a runaway tracer in a long simulation; once full,
+/// further samples are dropped (the interesting dynamics are at the start of
+/// a job's life anyway).
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::trace::TraceSeries;
+/// use sim_core::time::Cycle;
+///
+/// let mut s = TraceSeries::new("priority", 4);
+/// s.sample(Cycle::from_cycles(1), 10.0);
+/// s.sample(Cycle::from_cycles(2), 20.0);
+/// assert_eq!(s.points().len(), 2);
+/// assert_eq!(s.name(), "priority");
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceSeries {
+    name: String,
+    points: Vec<TracePoint>,
+    capacity: usize,
+}
+
+impl TraceSeries {
+    /// Creates an empty series that keeps at most `capacity` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(name: impl Into<String>, capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        TraceSeries {
+            name: name.into(),
+            points: Vec::new(),
+            capacity,
+        }
+    }
+
+    /// Series name (e.g. `"predicted_exec_us"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Records a sample; silently dropped when the series is full.
+    pub fn sample(&mut self, at: Cycle, value: f64) {
+        if self.points.len() < self.capacity {
+            self.points.push(TracePoint { at, value });
+        }
+    }
+
+    /// All recorded points, in sampling order.
+    pub fn points(&self) -> &[TracePoint] {
+        &self.points
+    }
+
+    /// `true` if the capacity has been reached.
+    pub fn is_full(&self) -> bool {
+        self.points.len() >= self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut s = TraceSeries::new("x", 2);
+        for i in 0..5 {
+            s.sample(Cycle::from_cycles(i), i as f64);
+        }
+        assert_eq!(s.points().len(), 2);
+        assert!(s.is_full());
+        assert_eq!(s.points()[1].value, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_panics() {
+        TraceSeries::new("x", 0);
+    }
+}

@@ -1,0 +1,205 @@
+//! RNN inference job structure (Section 3.1.1 / Table 1).
+//!
+//! An RNN job is a prologue of tensor-setup kernels followed by one group
+//! of kernels per time step; the sequence length (number of steps) is
+//! sampled per job from a WMT'15-like distribution with mean 16
+//! (Section 5.2). Kernel-call counts reproduce Table 1's LSTM seq-13 job:
+//! 3x tensor1 + 5x tensor2 + 2x tensor3 + 40x tensor4 + 39x activation +
+//! 13x GEMM.
+
+use std::sync::Arc;
+
+use gpu_sim::kernel::KernelDesc;
+use sim_core::rng::SimRng;
+
+/// Which RNN cell a job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RnnCell {
+    /// Long short-term memory (4 gates).
+    Lstm,
+    /// Gated recurrent unit (3 gates).
+    Gru,
+    /// Vanilla RNN (1 gate).
+    Vanilla,
+}
+
+/// Hidden-layer width variants used in the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hidden {
+    /// Hidden size 128 (LSTM/GRU defaults).
+    H128,
+    /// Hidden size 256 (VAN, and HYBRID's GRU jobs).
+    H256,
+}
+
+/// Looks up kernel descriptors by spec name.
+pub trait KernelSource {
+    /// The calibrated descriptor for a spec name.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic on unknown names (compiled-in specs only).
+    fn kernel(&self, name: &str) -> Arc<KernelDesc>;
+}
+
+/// Mean sequence length of the WMT'15 trace the paper uses.
+pub const MEAN_SEQ_LEN: f64 = 16.0;
+
+/// Sequence-length clamp range.
+pub const SEQ_RANGE: (u32, u32) = (4, 48);
+
+/// Samples a per-job sequence length.
+pub fn sample_seq_len(rng: &mut SimRng) -> u32 {
+    rng.seq_length(MEAN_SEQ_LEN, SEQ_RANGE.0, SEQ_RANGE.1)
+}
+
+fn suffix(hidden: Hidden) -> &'static str {
+    match hidden {
+        Hidden::H128 => "_h128",
+        Hidden::H256 => "_h256",
+    }
+}
+
+/// Builds the kernel chain for one RNN inference job.
+///
+/// Per-step kernel mixes scale with the gate count: LSTM runs
+/// `[GEMM, (tensor4, act) x3]` per step, GRU `[GEMM, (tensor4, act) x2]`,
+/// Vanilla `[GEMM, tensor4, act]`. At `seq_len == 13` the LSTM chain
+/// reproduces Table 1's call counts exactly.
+pub fn build_chain(
+    cell: RnnCell,
+    hidden: Hidden,
+    seq_len: u32,
+    source: &impl KernelSource,
+) -> Vec<Arc<KernelDesc>> {
+    assert!(seq_len >= 1, "sequence length must be positive");
+    let sfx = suffix(hidden);
+    let get = |base: &str| source.kernel(&format!("{base}{sfx}"));
+    let gemm = match (cell, hidden) {
+        (RnnCell::Vanilla, Hidden::H256) => source.kernel("gemm_van256"),
+        _ => get("gemm"),
+    };
+    let t1 = get("tensor1");
+    let t2 = get("tensor2");
+    let t3 = get("tensor3");
+    let t4 = get("tensor4");
+    let act = get("act");
+
+    let mut chain = Vec::new();
+    // Prologue (input embedding / tensor reshapes).
+    match cell {
+        RnnCell::Lstm => {
+            chain.extend([t1.clone(), t1.clone(), t1.clone()]);
+            chain.extend(std::iter::repeat_n(t2.clone(), 5));
+            chain.extend([t3.clone(), t3.clone()]);
+            chain.push(t4.clone()); // Table 1 counts 40 = 3 x 13 + 1
+        }
+        RnnCell::Gru => {
+            chain.extend([t1.clone(), t1.clone(), t1.clone()]);
+            chain.extend(std::iter::repeat_n(t2.clone(), 4));
+            chain.extend([t3.clone(), t3.clone()]);
+        }
+        RnnCell::Vanilla => {
+            chain.extend([t2.clone(), t2.clone()]);
+            chain.push(t3.clone());
+        }
+    }
+    // Recurrent steps.
+    let gates = match cell {
+        RnnCell::Lstm => 3,
+        RnnCell::Gru => 2,
+        RnnCell::Vanilla => 1,
+    };
+    for _ in 0..seq_len {
+        chain.push(gemm.clone());
+        for _ in 0..gates {
+            chain.push(t4.clone());
+            chain.push(act.clone());
+        }
+    }
+    chain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::kernel::{ComputeProfile, KernelClassId};
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+
+    struct Fake(Mutex<HashMap<String, Arc<KernelDesc>>>);
+    impl Fake {
+        fn new() -> Self {
+            Fake(Mutex::new(HashMap::new()))
+        }
+    }
+    impl KernelSource for Fake {
+        fn kernel(&self, name: &str) -> Arc<KernelDesc> {
+            let mut m = self.0.lock().unwrap();
+            let next = m.len() as u16;
+            m.entry(name.to_string())
+                .or_insert_with(|| {
+                    Arc::new(KernelDesc::new(
+                        KernelClassId(next),
+                        name.to_string(),
+                        64,
+                        64,
+                        8,
+                        0,
+                        ComputeProfile::compute_only(10),
+                    ))
+                })
+                .clone()
+        }
+    }
+
+    fn count(chain: &[Arc<KernelDesc>], name: &str) -> usize {
+        chain.iter().filter(|k| &*k.name == name).count()
+    }
+
+    #[test]
+    fn lstm_seq13_reproduces_table1_call_counts() {
+        let src = Fake::new();
+        let chain = build_chain(RnnCell::Lstm, Hidden::H128, 13, &src);
+        assert_eq!(count(&chain, "tensor1_h128"), 3);
+        assert_eq!(count(&chain, "tensor2_h128"), 5);
+        assert_eq!(count(&chain, "tensor3_h128"), 2);
+        assert_eq!(count(&chain, "tensor4_h128"), 40);
+        assert_eq!(count(&chain, "act_h128"), 39);
+        assert_eq!(count(&chain, "gemm_h128"), 13);
+        assert_eq!(chain.len(), 102);
+    }
+
+    #[test]
+    fn gru_is_lighter_than_lstm() {
+        let src = Fake::new();
+        let lstm = build_chain(RnnCell::Lstm, Hidden::H128, 16, &src);
+        let gru = build_chain(RnnCell::Gru, Hidden::H128, 16, &src);
+        assert!(gru.len() < lstm.len());
+    }
+
+    #[test]
+    fn vanilla_uses_van_gemm_at_h256() {
+        let src = Fake::new();
+        let van = build_chain(RnnCell::Vanilla, Hidden::H256, 8, &src);
+        assert_eq!(count(&van, "gemm_van256"), 8);
+        assert_eq!(count(&van, "gemm_h256"), 0);
+    }
+
+    #[test]
+    fn chain_scales_linearly_with_seq_len() {
+        let src = Fake::new();
+        let a = build_chain(RnnCell::Lstm, Hidden::H128, 10, &src);
+        let b = build_chain(RnnCell::Lstm, Hidden::H128, 20, &src);
+        assert_eq!(b.len() - a.len(), 10 * 7);
+    }
+
+    #[test]
+    fn seq_len_sampling_is_within_clamps() {
+        let mut rng = SimRng::seed_from(11);
+        for _ in 0..1000 {
+            let l = sample_seq_len(&mut rng);
+            assert!((SEQ_RANGE.0..=SEQ_RANGE.1).contains(&l));
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Benchmark specifications: deadlines, input sizes and arrival rates from
+//! the paper's Table 4, and the many-/few-kernel taxonomy of Figure 1.
+
+use sim_core::time::Duration;
+
+/// The eight latency-sensitive benchmarks (Section 3 / Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Benchmark {
+    /// LSTM RNN inference, hidden size 128 (DeepBench).
+    Lstm,
+    /// GRU RNN inference, hidden size 128.
+    Gru,
+    /// Vanilla RNN inference, hidden size 256 (Table 4: input 256).
+    Van,
+    /// Mixed LSTM-128 + GRU-256 jobs (Section 5.2).
+    Hybrid,
+    /// IPv6 longest-prefix-match packet lookup (G-Opt).
+    Ipv6,
+    /// Cuckoo-hash MAC-to-port lookup (G-Opt).
+    Cuckoo,
+    /// Gaussian mixture model scoring from the ASR pipeline (Sirius).
+    Gmm,
+    /// Porter stemmer from the ASR pipeline (Sirius).
+    Stem,
+}
+
+/// Table 4's three contention levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ArrivalRate {
+    /// High contention.
+    High,
+    /// Medium contention.
+    Medium,
+    /// Low contention.
+    Low,
+}
+
+impl Benchmark {
+    /// All eight, in the paper's reporting order.
+    pub const ALL: [Benchmark; 8] = [
+        Benchmark::Lstm,
+        Benchmark::Gru,
+        Benchmark::Van,
+        Benchmark::Hybrid,
+        Benchmark::Ipv6,
+        Benchmark::Cuckoo,
+        Benchmark::Gmm,
+        Benchmark::Stem,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Lstm => "LSTM",
+            Benchmark::Gru => "GRU",
+            Benchmark::Van => "VAN",
+            Benchmark::Hybrid => "HYBRID",
+            Benchmark::Ipv6 => "IPV6",
+            Benchmark::Cuckoo => "CUCKOO",
+            Benchmark::Gmm => "GMM",
+            Benchmark::Stem => "STEM",
+        }
+    }
+
+    /// Per-job deadline (Table 4).
+    pub fn deadline(self) -> Duration {
+        match self {
+            Benchmark::Lstm | Benchmark::Gru | Benchmark::Van | Benchmark::Hybrid => {
+                Duration::from_ms(7)
+            }
+            Benchmark::Ipv6 => Duration::from_us(40),
+            Benchmark::Cuckoo => Duration::from_us(600),
+            Benchmark::Gmm => Duration::from_ms(3),
+            Benchmark::Stem => Duration::from_us(300),
+        }
+    }
+
+    /// Arrival rate in jobs per second (Table 4).
+    pub fn rate_jobs_per_sec(self, rate: ArrivalRate) -> f64 {
+        use ArrivalRate::*;
+        use Benchmark::*;
+        let (h, m, l) = match self {
+            Lstm | Gru | Van | Hybrid => (8_000.0, 5_000.0, 3_000.0),
+            Ipv6 => (64_000.0, 32_000.0, 16_000.0),
+            Cuckoo => (8_000.0, 5_000.0, 3_000.0),
+            Gmm => (32_000.0, 16_000.0, 8_000.0),
+            Stem => (64_000.0, 32_000.0, 16_000.0),
+        };
+        match rate {
+            High => h,
+            Medium => m,
+            Low => l,
+        }
+    }
+
+    /// `true` for the RNN benchmarks with many small kernels per job
+    /// (Figure 1's "many-kernel" category).
+    pub fn is_many_kernel(self) -> bool {
+        matches!(
+            self,
+            Benchmark::Lstm | Benchmark::Gru | Benchmark::Van | Benchmark::Hybrid
+        )
+    }
+
+    /// Input size reported in Table 4 (threads for few-kernel benchmarks,
+    /// hidden-layer width for RNNs).
+    pub fn input_size(self) -> u32 {
+        match self {
+            Benchmark::Lstm | Benchmark::Gru => 128,
+            Benchmark::Van => 256,
+            Benchmark::Hybrid => 128, // mixed 128/256
+            Benchmark::Ipv6 | Benchmark::Cuckoo => 8192,
+            Benchmark::Gmm => 2048,
+            Benchmark::Stem => 4096,
+        }
+    }
+}
+
+impl ArrivalRate {
+    /// All three levels, highest first.
+    pub const ALL: [ArrivalRate; 3] = [ArrivalRate::High, ArrivalRate::Medium, ArrivalRate::Low];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArrivalRate::High => "high",
+            ArrivalRate::Medium => "medium",
+            ArrivalRate::Low => "low",
+        }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::fmt::Display for ArrivalRate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadlines_match_table4() {
+        assert_eq!(Benchmark::Ipv6.deadline(), Duration::from_us(40));
+        assert_eq!(Benchmark::Cuckoo.deadline(), Duration::from_us(600));
+        assert_eq!(Benchmark::Gmm.deadline(), Duration::from_ms(3));
+        assert_eq!(Benchmark::Stem.deadline(), Duration::from_us(300));
+        assert_eq!(Benchmark::Lstm.deadline(), Duration::from_ms(7));
+    }
+
+    #[test]
+    fn rates_match_table4() {
+        assert_eq!(Benchmark::Ipv6.rate_jobs_per_sec(ArrivalRate::High), 64_000.0);
+        assert_eq!(Benchmark::Gmm.rate_jobs_per_sec(ArrivalRate::Medium), 16_000.0);
+        assert_eq!(Benchmark::Lstm.rate_jobs_per_sec(ArrivalRate::Low), 3_000.0);
+        for b in Benchmark::ALL {
+            let h = b.rate_jobs_per_sec(ArrivalRate::High);
+            let m = b.rate_jobs_per_sec(ArrivalRate::Medium);
+            let l = b.rate_jobs_per_sec(ArrivalRate::Low);
+            assert!(h > m && m > l, "{b}: rates must decrease");
+        }
+    }
+
+    #[test]
+    fn taxonomy_matches_figure1() {
+        assert!(Benchmark::Lstm.is_many_kernel());
+        assert!(Benchmark::Hybrid.is_many_kernel());
+        assert!(!Benchmark::Ipv6.is_many_kernel());
+        assert!(!Benchmark::Stem.is_many_kernel());
+    }
+}

@@ -1,0 +1,234 @@
+//! The calibrated benchmark suite: kernel descriptors fitted to Table 1,
+//! job generators with Table 4 arrival processes, and the offline profile
+//! table for prediction-based schedulers.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+use gpu_sim::config::GpuConfig;
+use gpu_sim::job::{JobDesc, JobId};
+use gpu_sim::kernel::{ClassTable, KernelClassId, KernelDesc};
+use sim_core::rng::SimRng;
+use sim_core::time::Cycle;
+
+use crate::calibrate::{fit, CalibratedKernel};
+use crate::kernels::ALL_SPECS;
+use crate::rnn::{build_chain, sample_seq_len, Hidden, KernelSource, RnnCell};
+use crate::spec::{ArrivalRate, Benchmark};
+
+/// All calibrated kernels plus the machinery to generate benchmark jobs.
+#[derive(Debug)]
+pub struct BenchmarkSuite {
+    classes: ClassTable,
+    by_name: HashMap<&'static str, CalibratedKernel>,
+    config: GpuConfig,
+}
+
+impl KernelSource for BenchmarkSuite {
+    fn kernel(&self, name: &str) -> Arc<KernelDesc> {
+        self.by_name
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown kernel {name}"))
+            .desc
+            .clone()
+    }
+}
+
+impl BenchmarkSuite {
+    /// Calibrates every kernel spec against `config`. Takes ~1 s; prefer
+    /// [`BenchmarkSuite::calibrated`] which caches the default-config suite
+    /// for the process lifetime.
+    pub fn build(config: GpuConfig) -> Self {
+        let mut classes = ClassTable::new();
+        let mut by_name = HashMap::new();
+        for spec in ALL_SPECS {
+            let class = classes.register(spec.name);
+            by_name.insert(spec.name, fit(spec, class, &config));
+        }
+        BenchmarkSuite { classes, by_name, config }
+    }
+
+    /// The process-wide suite for the default (Table 2) machine.
+    pub fn calibrated() -> &'static BenchmarkSuite {
+        static SUITE: OnceLock<BenchmarkSuite> = OnceLock::new();
+        SUITE.get_or_init(|| BenchmarkSuite::build(GpuConfig::default()))
+    }
+
+    /// The machine configuration the suite was calibrated for.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// The kernel-class registry.
+    pub fn classes(&self) -> &ClassTable {
+        &self.classes
+    }
+
+    /// Calibration results by spec name, for reporting (Table 1).
+    pub fn calibrations(&self) -> impl Iterator<Item = &CalibratedKernel> {
+        ALL_SPECS.iter().map(|s| &self.by_name[s.name])
+    }
+
+    /// A named calibration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown names.
+    pub fn calibration(&self, name: &str) -> &CalibratedKernel {
+        self.by_name
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown kernel {name}"))
+    }
+
+    /// Offline per-class isolated rates (WGs/us) — the profile table the
+    /// prediction-based schedulers (SJF, LJF, BAY, PRO, PREMA) consume.
+    pub fn offline_rates(&self) -> Vec<(KernelClassId, f64)> {
+        ALL_SPECS
+            .iter()
+            .map(|s| {
+                let c = &self.by_name[s.name];
+                (c.desc.class, c.wgs_per_us())
+            })
+            .collect()
+    }
+
+    /// Builds the kernel chain of one job of `bench`. `ordinal` selects the
+    /// cell type for HYBRID (even = LSTM-128, odd = GRU-256) and `rng`
+    /// samples RNN sequence lengths.
+    pub fn job_kernels(
+        &self,
+        bench: Benchmark,
+        ordinal: usize,
+        rng: &mut SimRng,
+    ) -> Vec<Arc<KernelDesc>> {
+        match bench {
+            Benchmark::Lstm => build_chain(RnnCell::Lstm, Hidden::H128, sample_seq_len(rng), self),
+            Benchmark::Gru => build_chain(RnnCell::Gru, Hidden::H128, sample_seq_len(rng), self),
+            Benchmark::Van => {
+                build_chain(RnnCell::Vanilla, Hidden::H256, sample_seq_len(rng), self)
+            }
+            Benchmark::Hybrid => {
+                if ordinal.is_multiple_of(2) {
+                    build_chain(RnnCell::Lstm, Hidden::H128, sample_seq_len(rng), self)
+                } else {
+                    build_chain(RnnCell::Gru, Hidden::H256, sample_seq_len(rng), self)
+                }
+            }
+            Benchmark::Ipv6 => vec![self.kernel("ipv6")],
+            Benchmark::Cuckoo => vec![self.kernel("cuckoo")],
+            Benchmark::Gmm => vec![self.kernel("gmm")],
+            Benchmark::Stem => vec![self.kernel("stem")],
+        }
+    }
+
+    /// Generates `n` jobs of `bench` with exponential inter-arrival gaps at
+    /// the Table 4 rate (Section 5.3 simulates 128 jobs per benchmark).
+    ///
+    /// Jobs get dense ids `0..n` in arrival order, as the simulator
+    /// requires.
+    pub fn generate_jobs(
+        &self,
+        bench: Benchmark,
+        rate: ArrivalRate,
+        n: usize,
+        seed: u64,
+    ) -> Vec<JobDesc> {
+        let mut rng = SimRng::seed_from(seed ^ (bench as u64) << 8 ^ (rate as u64) << 4);
+        let jobs_per_sec = bench.rate_jobs_per_sec(rate);
+        let mut now = Cycle::ZERO;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            now += rng.exp_interarrival(jobs_per_sec);
+            let kernels = self.job_kernels(bench, i, &mut rng);
+            let label = match bench {
+                Benchmark::Hybrid => {
+                    if i % 2 == 0 {
+                        "HYBRID/LSTM128"
+                    } else {
+                        "HYBRID/GRU256"
+                    }
+                }
+                b => b.name(),
+            };
+            out.push(JobDesc::new(JobId(i as u32), label, kernels, bench.deadline(), now));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_calibrates_every_spec() {
+        let suite = BenchmarkSuite::calibrated();
+        assert_eq!(suite.calibrations().count(), ALL_SPECS.len());
+        for c in suite.calibrations() {
+            assert!(c.rel_error() < 0.15, "{} off by {}", c.desc.name, c.rel_error());
+        }
+    }
+
+    #[test]
+    fn offline_rates_cover_all_classes() {
+        let suite = BenchmarkSuite::calibrated();
+        let rates = suite.offline_rates();
+        assert_eq!(rates.len(), ALL_SPECS.len());
+        for (_, r) in rates {
+            assert!(r > 0.0);
+        }
+    }
+
+    #[test]
+    fn generated_jobs_are_sorted_and_dense() {
+        let suite = BenchmarkSuite::calibrated();
+        let jobs = suite.generate_jobs(Benchmark::Ipv6, ArrivalRate::High, 64, 1);
+        assert_eq!(jobs.len(), 64);
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.id.0 as usize, i);
+            if i > 0 {
+                assert!(j.arrival >= jobs[i - 1].arrival);
+            }
+            assert_eq!(j.num_kernels(), 1);
+        }
+    }
+
+    #[test]
+    fn arrival_gaps_match_the_rate() {
+        let suite = BenchmarkSuite::calibrated();
+        let jobs = suite.generate_jobs(Benchmark::Ipv6, ArrivalRate::High, 500, 2);
+        let span = jobs.last().unwrap().arrival.as_us_f64();
+        let mean_gap = span / 500.0;
+        // 64000 jobs/s -> 15.6us mean gap.
+        assert!((mean_gap - 15.6).abs() < 3.0, "mean gap {mean_gap}us");
+    }
+
+    #[test]
+    fn hybrid_alternates_cell_types() {
+        let suite = BenchmarkSuite::calibrated();
+        let jobs = suite.generate_jobs(Benchmark::Hybrid, ArrivalRate::Low, 4, 3);
+        assert_eq!(&*jobs[0].bench, "HYBRID/LSTM128");
+        assert_eq!(&*jobs[1].bench, "HYBRID/GRU256");
+        assert!(jobs[1].kernels.iter().any(|k| &*k.name == "gemm_h256"));
+    }
+
+    #[test]
+    fn rnn_jobs_have_many_kernels_and_vary() {
+        let suite = BenchmarkSuite::calibrated();
+        let jobs = suite.generate_jobs(Benchmark::Lstm, ArrivalRate::Low, 16, 4);
+        let lens: Vec<usize> = jobs.iter().map(|j| j.num_kernels()).collect();
+        assert!(lens.iter().all(|&l| l > 30));
+        assert!(lens.iter().any(|&l| l != lens[0]), "sequence lengths vary");
+    }
+
+    #[test]
+    fn same_seed_same_jobs() {
+        let suite = BenchmarkSuite::calibrated();
+        let a = suite.generate_jobs(Benchmark::Gmm, ArrivalRate::Medium, 32, 9);
+        let b = suite.generate_jobs(Benchmark::Gmm, ArrivalRate::Medium, 32, 9);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival, y.arrival);
+            assert_eq!(x.num_kernels(), y.num_kernels());
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Quickstart: run one latency-sensitive workload under the contemporary
+//! round-robin scheduler and under LAX, and compare deadline hits.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use deadline_gpu::quick::simulate;
+use workloads::spec::{ArrivalRate, Benchmark};
+
+fn main() {
+    // 64 IPv6 longest-prefix-match jobs arriving at the paper's "high"
+    // rate (64,000 jobs/s), each with a 40 us deadline.
+    let n = 64;
+    println!("IPv6 packet lookups, high arrival rate, {n} jobs, 40us deadline\n");
+    println!(
+        "{:<10} {:>8} {:>9} {:>12} {:>10} {:>12}",
+        "scheduler", "met", "rejected", "throughput", "p99 (ms)", "energy/job"
+    );
+    for scheduler in ["RR", "LAX"] {
+        let report = simulate(Benchmark::Ipv6, ArrivalRate::High, n, scheduler, 42);
+        println!(
+            "{:<10} {:>5}/{n} {:>9} {:>10.0}/s {:>10.3} {:>10.2}mJ",
+            scheduler,
+            report.deadlines_met(),
+            report.rejected(),
+            report.throughput_per_sec(),
+            report.p99_latency_ms(),
+            report.energy_per_success_mj(),
+        );
+    }
+    println!();
+    println!("LAX inspects each stream, estimates laxity from live workgroup");
+    println!("completion rates, rejects jobs that cannot make their deadline,");
+    println!("and prioritizes the tightest admitted jobs - so it completes more");
+    println!("jobs on time while wasting less energy on doomed work.");
+}

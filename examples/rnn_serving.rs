@@ -1,0 +1,42 @@
+//! An RNN inference-serving scenario (the paper's introduction workload):
+//! a stream of LSTM translation requests with 7 ms SLAs, compared across a
+//! spectrum of schedulers - from deadline-blind round-robin to CP-integrated
+//! laxity scheduling.
+//!
+//! ```text
+//! cargo run --release --example rnn_serving
+//! ```
+
+use deadline_gpu::quick::simulate;
+use workloads::spec::{ArrivalRate, Benchmark};
+
+fn main() {
+    let n = 96;
+    println!("LSTM-128 inference serving: {n} requests, 7ms SLA, high arrival rate");
+    println!("(each request is ~100 dependent kernels; sequence lengths follow a");
+    println!("WMT'15-like distribution with mean 16)\n");
+    println!(
+        "{:<9} {:>9} {:>9} {:>11} {:>10} {:>13} {:>8}",
+        "scheduler", "SLA met", "rejected", "throughput", "p99 (ms)", "energy/job", "useful"
+    );
+    for scheduler in ["RR", "EDF", "SJF", "SRF", "PREMA", "LAX"] {
+        let r = simulate(Benchmark::Lstm, ArrivalRate::High, n, scheduler, 7);
+        let energy = r.energy_per_success_mj();
+        println!(
+            "{:<9} {:>6}/{n} {:>9} {:>9.0}/s {:>10.2} {:>11.2}mJ {:>7.0}%",
+            scheduler,
+            r.deadlines_met(),
+            r.rejected(),
+            r.throughput_per_sec(),
+            r.p99_latency_ms(),
+            if energy.is_finite() { energy } else { f64::NAN },
+            r.useful_wg_fraction() * 100.0,
+        );
+    }
+    println!();
+    println!("Deadline-blind RR collapses: every request ages past 7ms while the");
+    println!("GPU round-robins across all of them. Size-aware SJF/SRF save the");
+    println!("short-sequence requests. LAX additionally sheds load it predicts");
+    println!("cannot make the SLA, so nearly all of its work is useful and its");
+    println!("tail latency stays inside the SLA.");
+}

@@ -1,0 +1,72 @@
+//! # deadline-gpu
+//!
+//! A full Rust reproduction of *Deadline-Aware Offloading for
+//! High-Throughput Accelerators* (Yeh, Sinclair, Beckmann, Rogers —
+//! HPCA 2021): the LAX laxity-aware GPU stream scheduler, a from-scratch
+//! event-driven GPU cycle simulator to host it, ten competing schedulers,
+//! and the paper's eight latency-sensitive benchmarks.
+//!
+//! This crate is the umbrella: it re-exports the workspace members and
+//! hosts the runnable examples and cross-crate integration tests.
+//!
+//! * [`gpu_sim`] — the GPU microarchitecture simulator (command processor,
+//!   CUs, caches, DRAM, energy model).
+//! * [`lax`] — the paper's contribution: stream inspection, the Job Table
+//!   and Kernel Profiling Table, Little's-Law admission control
+//!   (Algorithm 1) and laxity-aware priority updates (Algorithm 2), plus
+//!   the LAX-SW and LAX-CPU variants.
+//! * [`schedulers`] — the ten baselines of Table 3 (RR, MLFQ, EDF, SJF,
+//!   SRF, LJF, PREMA, BatchMaker, Baymax, Prophet).
+//! * [`workloads`] — Table 1-calibrated kernels and the eight benchmarks
+//!   (LSTM, GRU, VAN, HYBRID, IPV6, CUCKOO, GMM, STEM) with Table 4 arrival
+//!   processes.
+//! * [`sim_core`] — the discrete-event foundation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use deadline_gpu::quick::simulate;
+//! use workloads::spec::{ArrivalRate, Benchmark};
+//!
+//! // 16 IPV6 jobs at the paper's high arrival rate, under LAX.
+//! let report = simulate(Benchmark::Ipv6, ArrivalRate::High, 16, "LAX", 1);
+//! assert!(report.deadlines_met() > 0);
+//! ```
+
+pub use gpu_sim;
+pub use lax;
+pub use schedulers;
+pub use sim_core;
+pub use workloads;
+
+/// One-call helpers for examples and tests.
+pub mod quick {
+    use gpu_sim::prelude::*;
+    use schedulers::registry;
+    use workloads::spec::{ArrivalRate, Benchmark};
+
+    /// Runs `n_jobs` of `bench` at `rate` under the named scheduler (see
+    /// [`schedulers::registry::names`]) with the given RNG `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheduler name is unknown or the generated jobs cannot
+    /// run on the default machine.
+    pub fn simulate(
+        bench: Benchmark,
+        rate: ArrivalRate,
+        n_jobs: usize,
+        scheduler: &str,
+        seed: u64,
+    ) -> SimReport {
+        let suite = workloads::suite::BenchmarkSuite::calibrated();
+        let jobs = suite.generate_jobs(bench, rate, n_jobs, seed);
+        let params = SimParams {
+            offline_rates: suite.offline_rates(),
+            ..SimParams::default()
+        };
+        let mode = registry::build(scheduler).unwrap_or_else(|| panic!("unknown scheduler {scheduler}"));
+        let mut sim = Simulation::new(params, jobs, mode).expect("valid jobs");
+        sim.run()
+    }
+}

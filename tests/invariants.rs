@@ -1,0 +1,161 @@
+//! Property-based tests over the simulator core: for arbitrary job mixes
+//! and scheduler choices, structural invariants must hold.
+
+use std::sync::Arc;
+
+use gpu_sim::job::{JobDesc, JobFate, JobId};
+use gpu_sim::kernel::{AccessPattern, ComputeProfile, KernelClassId, KernelDesc};
+use gpu_sim::prelude::*;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct KernelSpec {
+    class: u16,
+    wgs: u32,
+    wg_size_waves: u32,
+    issue: u64,
+    mem: u32,
+}
+
+#[derive(Debug, Clone)]
+struct JobSpec {
+    kernels: Vec<KernelSpec>,
+    deadline_us: u64,
+    gap_us: u64,
+}
+
+fn kernel_strategy() -> impl Strategy<Value = KernelSpec> {
+    (0u16..4, 1u32..6, 1u32..3, 50u64..3_000, 0u32..6).prop_map(
+        |(class, wgs, waves, issue, mem)| KernelSpec {
+            class,
+            wgs,
+            wg_size_waves: waves,
+            issue,
+            mem,
+        },
+    )
+}
+
+fn job_strategy() -> impl Strategy<Value = JobSpec> {
+    (
+        proptest::collection::vec(kernel_strategy(), 1..5),
+        20u64..2_000,
+        0u64..60,
+    )
+        .prop_map(|(kernels, deadline_us, gap_us)| JobSpec { kernels, deadline_us, gap_us })
+}
+
+fn build_jobs(specs: &[JobSpec]) -> Vec<JobDesc> {
+    let mut now = Cycle::ZERO;
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            now += Duration::from_us(s.gap_us);
+            let kernels = s
+                .kernels
+                .iter()
+                .map(|k| {
+                    Arc::new(KernelDesc::new(
+                        KernelClassId(k.class),
+                        format!("pk{}", k.class),
+                        k.wgs * k.wg_size_waves * 64,
+                        k.wg_size_waves * 64,
+                        8,
+                        0,
+                        ComputeProfile {
+                            issue_cycles: k.issue,
+                            mem_accesses: k.mem,
+                            lines_per_access: 2,
+                            pattern: AccessPattern::Streaming,
+                        },
+                    ))
+                })
+                .collect();
+            JobDesc::new(JobId(i as u32), "prop", kernels, Duration::from_us(s.deadline_us), now)
+        })
+        .collect()
+}
+
+fn run(jobs: Vec<JobDesc>, sched: &str) -> SimReport {
+    let mode = schedulers::registry::build(sched).expect("known scheduler");
+    let mut sim = Simulation::new(SimParams::default(), jobs, mode).expect("valid jobs");
+    sim.run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every job is resolved exactly once, completions respect causality,
+    /// and work attribution matches the job's actual size.
+    #[test]
+    fn structural_invariants_hold_under_rr(specs in proptest::collection::vec(job_strategy(), 1..12)) {
+        let jobs = build_jobs(&specs);
+        let total_wgs: Vec<u64> = jobs.iter().map(JobDesc::total_wgs).collect();
+        let report = run(jobs, "RR");
+        let mut executed = 0.0;
+        for (i, rec) in report.records.iter().enumerate() {
+            match rec.fate {
+                JobFate::Completed(t) => {
+                    prop_assert!(t >= rec.arrival, "completion before arrival");
+                    prop_assert!((rec.wgs_executed - total_wgs[i] as f64).abs() < 1e-9,
+                        "job {i} executed {} of {} WGs", rec.wgs_executed, total_wgs[i]);
+                }
+                JobFate::Rejected(_) => {
+                    prop_assert!((rec.wgs_executed) == 0.0);
+                }
+                JobFate::Aborted(_) => {
+                    prop_assert!(false, "RR never aborts jobs");
+                }
+                JobFate::Unfinished => {
+                    prop_assert!(false, "RR must finish every job before the horizon");
+                }
+            }
+            executed += rec.wgs_executed;
+        }
+        prop_assert!((executed - report.total_wgs as f64).abs() < 1e-6,
+            "attributed {} vs executed {}", executed, report.total_wgs);
+        prop_assert!(report.energy_mj > 0.0);
+    }
+
+    /// The same invariants hold under LAX, plus: rejected jobs do no work.
+    #[test]
+    fn structural_invariants_hold_under_lax(specs in proptest::collection::vec(job_strategy(), 1..12)) {
+        let jobs = build_jobs(&specs);
+        let report = run(jobs, "LAX");
+        for rec in &report.records {
+            match rec.fate {
+                JobFate::Completed(t) => prop_assert!(t >= rec.arrival),
+                JobFate::Rejected(_) => prop_assert!(rec.wgs_executed == 0.0),
+                JobFate::Aborted(t) => prop_assert!(t >= rec.arrival),
+                JobFate::Unfinished => prop_assert!(false, "job left unfinished"),
+            }
+        }
+    }
+
+    /// Deadline classification is consistent with the recorded fates.
+    #[test]
+    fn deadline_classification_is_consistent(specs in proptest::collection::vec(job_strategy(), 1..10)) {
+        let jobs = build_jobs(&specs);
+        let report = run(jobs, "EDF");
+        for rec in &report.records {
+            if rec.met_deadline() {
+                let t = rec.fate.completed_at().expect("met implies completed");
+                prop_assert!(t <= rec.deadline_abs);
+            }
+        }
+        prop_assert!(report.deadlines_met() <= report.completed());
+    }
+
+    /// Two identical simulations agree event-for-event (determinism).
+    #[test]
+    fn simulation_is_deterministic(specs in proptest::collection::vec(job_strategy(), 1..8)) {
+        let a = run(build_jobs(&specs), "SRF");
+        let b = run(build_jobs(&specs), "SRF");
+        for (x, y) in a.records.iter().zip(&b.records) {
+            prop_assert_eq!(x.fate.completed_at(), y.fate.completed_at());
+        }
+        prop_assert_eq!(a.total_wgs, b.total_wgs);
+        prop_assert_eq!(a.energy_mj, b.energy_mj);
+    }
+}

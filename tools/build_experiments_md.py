@@ -1,0 +1,22 @@
+#!/usr/bin/env python3
+"""Assembles EXPERIMENTS.md from the template and the results/ artifacts.
+
+Usage: python3 tools/build_experiments_md.py
+Reads EXPERIMENTS.tpl.md, replaces {{name}} with results/name.txt contents.
+"""
+import pathlib
+import re
+
+root = pathlib.Path(__file__).resolve().parent.parent
+tpl = (root / "EXPERIMENTS.tpl.md").read_text()
+
+
+def sub(m: "re.Match[str]") -> str:
+    name = m.group(1)
+    path = root / "results" / f"{name}.txt"
+    return "```text\n" + path.read_text().rstrip() + "\n```"
+
+
+out = re.sub(r"\{\{(\w+)\}\}", sub, tpl)
+(root / "EXPERIMENTS.md").write_text(out)
+print(f"wrote EXPERIMENTS.md ({len(out)} bytes)")
