@@ -6,10 +6,12 @@
 //! even for the full 128-queue configuration: a priority-update tick over
 //! every busy queue, one admission evaluation, and one remaining-time
 //! estimate.
+//!
+//! Self-hosted harness (no external deps; the registry is offline).
 
+use std::hint::black_box;
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpu_sim::config::GpuConfig;
 use gpu_sim::counters::Counters;
 use gpu_sim::job::{JobDesc, JobId, JobState};
@@ -19,6 +21,19 @@ use gpu_sim::scheduler::{CpContext, CpScheduler, Occupancy};
 use lax::estimate::{remaining_time_us, LiveRates};
 use lax::lax::Lax;
 use sim_core::time::{Cycle, Duration};
+
+/// Times `f` over `iters` iterations (after warmup) and prints ns/iter.
+fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    for _ in 0..iters / 10 + 1 {
+        black_box(f());
+    }
+    let t0 = std::time::Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per_iter = t0.elapsed().as_nanos() / u128::from(iters);
+    println!("{name:<40} {per_iter:>12} ns/iter ({iters} iters)");
+}
 
 fn busy_queues(n: usize, kernels_per_job: usize) -> Vec<ComputeQueue> {
     (0..n)
@@ -64,72 +79,57 @@ fn warmed_counters() -> Counters {
     c
 }
 
-fn bench_priority_tick(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lax_priority_tick");
+fn bench_priority_tick() {
     for (n_queues, kernels) in [(16, 8), (64, 8), (128, 8), (128, 102)] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{n_queues}q_{kernels}k")),
-            &(n_queues, kernels),
-            |b, &(nq, nk)| {
-                let mut queues = busy_queues(nq, nk);
-                let mut counters = warmed_counters();
-                let cfg = GpuConfig::default();
-                let mut lax = Lax::new();
-                b.iter(|| {
-                    let mut ctx = CpContext {
-                        now: Cycle::ZERO + Duration::from_us(100),
-                        queues: &mut queues,
-                        counters: &mut counters,
-                        occupancy: Occupancy::default(),
-                        config: &cfg,
-                    };
-                    lax.on_tick(&mut ctx);
-                });
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_admission(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lax_admission");
-    for n_queues in [16usize, 128] {
-        group.bench_with_input(BenchmarkId::from_parameter(n_queues), &n_queues, |b, &nq| {
-            let mut queues = busy_queues(nq, 8);
-            queues[nq - 1].job_mut().state = JobState::Init;
-            let mut counters = warmed_counters();
-            let cfg = GpuConfig::default();
-            let mut lax = Lax::new();
-            b.iter(|| {
-                let mut ctx = CpContext {
-                    now: Cycle::ZERO + Duration::from_us(100),
-                    queues: &mut queues,
-                    counters: &mut counters,
-                    occupancy: Occupancy::default(),
-                    config: &cfg,
-                };
-                lax.admit(&mut ctx, nq - 1)
-            });
-        });
-    }
-    group.finish();
-}
-
-fn bench_estimator(c: &mut Criterion) {
-    c.bench_function("remaining_time_102_kernels", |b| {
-        let queues = busy_queues(1, 102);
+        let mut queues = busy_queues(n_queues, kernels);
         let mut counters = warmed_counters();
-        let job = queues[0].job().clone();
-        b.iter(|| {
-            let mut rates = LiveRates::new(&mut counters, Cycle::ZERO + Duration::from_us(100));
-            remaining_time_us(&job, &mut rates)
+        let cfg = GpuConfig::default();
+        let mut lax = Lax::new();
+        bench(&format!("lax_priority_tick/{n_queues}q_{kernels}k"), 2_000, || {
+            let mut ctx = CpContext {
+                now: Cycle::ZERO + Duration::from_us(100),
+                queues: &mut queues,
+                counters: &mut counters,
+                occupancy: Occupancy::default(),
+                config: &cfg,
+            };
+            lax.on_tick(&mut ctx);
         });
+    }
+}
+
+fn bench_admission() {
+    for n_queues in [16usize, 128] {
+        let mut queues = busy_queues(n_queues, 8);
+        queues[n_queues - 1].job_mut().state = JobState::Init;
+        let mut counters = warmed_counters();
+        let cfg = GpuConfig::default();
+        let mut lax = Lax::new();
+        bench(&format!("lax_admission/{n_queues}"), 2_000, || {
+            let mut ctx = CpContext {
+                now: Cycle::ZERO + Duration::from_us(100),
+                queues: &mut queues,
+                counters: &mut counters,
+                occupancy: Occupancy::default(),
+                config: &cfg,
+            };
+            lax.admit(&mut ctx, n_queues - 1)
+        });
+    }
+}
+
+fn bench_estimator() {
+    let queues = busy_queues(1, 102);
+    let mut counters = warmed_counters();
+    let job = queues[0].job().clone();
+    bench("remaining_time_102_kernels", 5_000, || {
+        let mut rates = LiveRates::new(&mut counters, Cycle::ZERO + Duration::from_us(100));
+        remaining_time_us(&job, &mut rates)
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_priority_tick, bench_admission, bench_estimator
+fn main() {
+    bench_priority_tick();
+    bench_admission();
+    bench_estimator();
 }
-criterion_main!(benches);

@@ -2,76 +2,88 @@
 //! channel arbitration, and whole small simulations per scheduler group —
 //! the knobs that determine how fast the reproduction can sweep the
 //! paper's experiment matrix.
+//!
+//! Self-hosted harness (no external deps; the registry is offline): each
+//! bench is warmed up, then timed over a fixed iteration count and reported
+//! as ns/iter.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
 use gpu_sim::cache::SetAssocCache;
 use gpu_sim::dram::Dram;
+use lax_bench::sweep::Scenario;
 use sim_core::event::EventQueue;
 use sim_core::time::Cycle;
 use workloads::spec::{ArrivalRate, Benchmark};
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_1k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..1_000u64 {
-                q.schedule(Cycle::from_cycles((i * 7919) % 10_000), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, v)) = q.pop() {
-                sum = sum.wrapping_add(v);
-            }
-            sum
-        });
+/// Times `f` over `iters` iterations (after `iters / 10 + 1` warmup calls)
+/// and prints a criterion-style ns/iter line.
+fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    for _ in 0..iters / 10 + 1 {
+        black_box(f());
+    }
+    let t0 = std::time::Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per_iter = t0.elapsed().as_nanos() / u128::from(iters);
+    println!("{name:<40} {per_iter:>12} ns/iter ({iters} iters)");
+}
+
+fn bench_event_queue() {
+    bench("event_queue_push_pop_1k", 500, || {
+        let mut q = EventQueue::new();
+        for i in 0..1_000u64 {
+            q.schedule(Cycle::from_cycles((i * 7919) % 10_000), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, v)) = q.pop() {
+            sum = sum.wrapping_add(v);
+        }
+        sum
     });
 }
 
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("l2_probe_streaming_4k", |b| {
-        let mut cache = SetAssocCache::new(4 * 1024 * 1024, 16, 64);
-        let mut addr = 0u64;
-        b.iter(|| {
-            let mut hits = 0;
-            for _ in 0..4_096 {
-                addr = addr.wrapping_add(64);
-                if cache.probe(addr) == gpu_sim::cache::ProbeResult::Hit {
-                    hits += 1;
-                }
+fn bench_cache() {
+    let mut cache = SetAssocCache::new(4 * 1024 * 1024, 16, 64);
+    let mut addr = 0u64;
+    bench("l2_probe_streaming_4k", 500, || {
+        let mut hits = 0;
+        for _ in 0..4_096 {
+            addr = addr.wrapping_add(64);
+            if cache.probe(addr) == gpu_sim::cache::ProbeResult::Hit {
+                hits += 1;
             }
-            hits
-        });
+        }
+        hits
     });
 }
 
-fn bench_dram(c: &mut Criterion) {
-    c.bench_function("dram_access_4k", |b| {
-        let mut dram = Dram::new(16, 220, 4);
-        let mut t = Cycle::ZERO;
-        let mut addr = 0u64;
-        b.iter(|| {
-            for _ in 0..4_096 {
-                addr = addr.wrapping_add(64 * 3);
-                t = dram.access(addr, t);
-            }
-            t
-        });
+fn bench_dram() {
+    let mut dram = Dram::new(16, 220, 4);
+    let mut t = Cycle::ZERO;
+    let mut addr = 0u64;
+    bench("dram_access_4k", 500, || {
+        for _ in 0..4_096 {
+            addr = addr.wrapping_add(64 * 3);
+            t = dram.access(addr, t);
+        }
+        t
     });
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut group = c.benchmark_group("small_simulation");
-    group.sample_size(10);
+fn bench_end_to_end() {
     for sched in ["RR", "LAX", "PREMA", "LAX-SW"] {
-        group.bench_with_input(BenchmarkId::from_parameter(sched), &sched, |b, &s| {
-            b.iter(|| lax_bench::run_once(s, Benchmark::Ipv6, ArrivalRate::Medium, 16, 7));
+        let scenario = Scenario::new(sched, Benchmark::Ipv6, ArrivalRate::Medium, 16, 7);
+        bench(&format!("small_simulation/{sched}"), 20, || {
+            lax_bench::run_scenario(&scenario).expect("known scheduler")
         });
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_event_queue, bench_cache, bench_dram, bench_end_to_end
+fn main() {
+    bench_event_queue();
+    bench_cache();
+    bench_dram();
+    bench_end_to_end();
 }
-criterion_main!(benches);

@@ -8,82 +8,121 @@
 //! * initial-priority policy (the paper's footnote 2).
 //!
 //! ```text
-//! cargo run --release -p lax-bench --bin ablation [n_jobs]
+//! cargo run --release -p lax-bench --bin ablation [n_jobs] [--jobs N]
 //! ```
+//!
+//! `LaxConfig` variants have no registry name, so the cells here run
+//! through the generic [`sweep::par_map`] fan-out rather than
+//! `Scenario`-keyed sweeps; `--jobs N` / `LAX_BENCH_JOBS` still picks the
+//! worker count and output stays bit-identical for any choice.
 
 use gpu_sim::prelude::*;
 use lax::ext::LaxDrop;
 use lax::lax::{InitPriority, Lax, LaxConfig};
+use lax_bench::sweep;
 use sim_core::table::Table;
 use workloads::spec::{ArrivalRate, Benchmark};
 use workloads::suite::BenchmarkSuite;
 
 const BENCHES: [Benchmark; 3] = [Benchmark::Lstm, Benchmark::Ipv6, Benchmark::Stem];
 
-fn run_mode(mode: SchedulerMode, period: sim_core::time::Duration, bench: Benchmark, n: usize) -> usize {
+/// One ablation cell: a row label plus how to build its scheduler.
+#[derive(Clone)]
+enum Variant {
+    Lax(LaxConfig),
+    Drop,
+}
+
+fn run_cell(variant: &Variant, bench: Benchmark, n: usize) -> usize {
+    let (mode, period): (SchedulerMode, _) = match variant {
+        Variant::Lax(cfg) => {
+            let period = cfg.update_period;
+            (SchedulerMode::Cp(Box::new(Lax::with_config(cfg.clone()))), period)
+        }
+        Variant::Drop => (
+            SchedulerMode::Cp(Box::new(LaxDrop::new())),
+            sim_core::time::Duration::from_us(100),
+        ),
+    };
     let suite = BenchmarkSuite::calibrated();
     let jobs = suite.generate_jobs(bench, ArrivalRate::High, n, lax_bench::runner::DEFAULT_SEED);
-    let params = SimParams {
-        offline_rates: suite.offline_rates(),
-        profiling_period: period,
-        ..SimParams::default()
-    };
-    let mut sim = Simulation::new(params, jobs, mode).expect("jobs run");
+    let mut sim = Simulation::builder()
+        .offline_rates(suite.offline_rates())
+        .profiling_period(period)
+        .jobs(jobs)
+        .scheduler(mode)
+        .build()
+        .expect("jobs run");
     sim.run().deadlines_met()
 }
 
-fn run_cfg(cfg: LaxConfig, bench: Benchmark, n: usize) -> usize {
-    let period = cfg.update_period;
-    run_mode(SchedulerMode::Cp(Box::new(Lax::with_config(cfg))), period, bench, n)
+/// Runs `variants` × [`BENCHES`] on `workers` threads and renders one row
+/// per variant.
+fn table_for(variants: &[(String, Variant)], n: usize, workers: usize) -> Table {
+    let cells: Vec<(usize, Benchmark)> = (0..variants.len())
+        .flat_map(|v| BENCHES.into_iter().map(move |b| (v, b)))
+        .collect();
+    let met = sweep::par_map(&cells, workers, |&(v, bench)| {
+        run_cell(&variants[v].1, bench, n)
+    });
+    let mut header = vec!["variant".to_string()];
+    header.extend(BENCHES.iter().map(|b| b.name().to_string()));
+    let mut t = Table::new(header);
+    for (v, (name, _)) in variants.iter().enumerate() {
+        let mut row = vec![name.clone()];
+        for (i, _) in BENCHES.iter().enumerate() {
+            row.push(met[v * BENCHES.len() + i].to_string());
+        }
+        t.row(row);
+    }
+    t
 }
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(128);
+    let (workers, rest) = sweep::jobs_from_cli(std::env::args().skip(1));
+    let n: usize = rest.first().and_then(|a| a.parse().ok()).unwrap_or(128);
     let mut report = String::new();
     report.push_str(&format!(
         "LAX ablations, high arrival rate, {n} jobs per cell (deadline-met counts)\n\n"
     ));
 
-    let variants: Vec<(&str, LaxConfig)> = vec![
-        ("LAX (paper)", LaxConfig::default()),
-        ("no admission", LaxConfig { admission: false, ..LaxConfig::default() }),
-        ("no laxity (SRT prio)", LaxConfig { use_laxity: false, ..LaxConfig::default() }),
-        ("no event updates", LaxConfig { event_driven_updates: false, ..LaxConfig::default() }),
-        ("init lowest prio", LaxConfig { init_priority: InitPriority::Lowest, ..LaxConfig::default() }),
-        ("init laxity estimate", LaxConfig { init_priority: InitPriority::InitialLaxity, ..LaxConfig::default() }),
+    let lax = |cfg: LaxConfig| Variant::Lax(cfg);
+    let variants: Vec<(String, Variant)> = vec![
+        ("LAX (paper)".into(), lax(LaxConfig::default())),
+        ("no admission".into(), lax(LaxConfig { admission: false, ..LaxConfig::default() })),
+        (
+            "no laxity (SRT prio)".into(),
+            lax(LaxConfig { use_laxity: false, ..LaxConfig::default() }),
+        ),
+        (
+            "no event updates".into(),
+            lax(LaxConfig { event_driven_updates: false, ..LaxConfig::default() }),
+        ),
+        (
+            "init lowest prio".into(),
+            lax(LaxConfig { init_priority: InitPriority::Lowest, ..LaxConfig::default() }),
+        ),
+        (
+            "init laxity estimate".into(),
+            lax(LaxConfig { init_priority: InitPriority::InitialLaxity, ..LaxConfig::default() }),
+        ),
+        // Beyond the paper: LAX-DROP aborts deadline-blown jobs mid-flight.
+        ("LAX-DROP (extension)".into(), Variant::Drop),
     ];
-    let mut header = vec!["variant".to_string()];
-    header.extend(BENCHES.iter().map(|b| b.name().to_string()));
-    let mut t = Table::new(header.clone());
-    for (name, cfg) in variants {
-        let mut row = vec![name.to_string()];
-        for bench in BENCHES {
-            row.push(run_cfg(cfg.clone(), bench, n).to_string());
-        }
-        t.row(row);
-    }
-    // Beyond the paper: LAX-DROP aborts deadline-blown jobs mid-flight.
-    let mut row = vec!["LAX-DROP (extension)".to_string()];
-    for bench in BENCHES {
-        let mode = SchedulerMode::Cp(Box::new(LaxDrop::new()));
-        row.push(run_mode(mode, sim_core::time::Duration::from_us(100), bench, n).to_string());
-    }
-    t.row(row);
-    report.push_str(&t.render());
+    report.push_str(&table_for(&variants, n, workers).render());
+
     report.push_str("\nProfiling-table update period sweep (paper: 100us):\n\n");
-    let mut t = Table::new(header);
-    for period_us in [25u64, 50, 100, 200, 400] {
-        let cfg = LaxConfig {
-            update_period: sim_core::time::Duration::from_us(period_us),
-            ..LaxConfig::default()
-        };
-        let mut row = vec![format!("{period_us}us")];
-        for bench in BENCHES {
-            row.push(run_cfg(cfg.clone(), bench, n).to_string());
-        }
-        t.row(row);
-    }
-    report.push_str(&t.render());
+    let periods: Vec<(String, Variant)> = [25u64, 50, 100, 200, 400]
+        .into_iter()
+        .map(|period_us| {
+            let cfg = LaxConfig {
+                update_period: sim_core::time::Duration::from_us(period_us),
+                ..LaxConfig::default()
+            };
+            (format!("{period_us}us"), Variant::Lax(cfg))
+        })
+        .collect();
+    report.push_str(&table_for(&periods, n, workers).render());
     println!("{report}");
     if std::fs::create_dir_all("results").is_ok() {
         let _ = std::fs::write("results/ablation.txt", &report);

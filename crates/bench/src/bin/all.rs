@@ -1,35 +1,55 @@
 //! Regenerates the paper's complete evaluation and writes each artifact to
-//! `results/<name>.txt`. Pass a maximum batch size for Figure 4 as the
-//! first argument (default 128; use 0 to skip Figure 4).
+//! `results/<name>.txt`.
+//!
+//! ```text
+//! cargo run --release -p lax-bench --bin all [max_batch] [--jobs N]
+//! ```
+//!
+//! `max_batch` bounds Figure 4's batch sweep (default 128; 0 skips it).
+//! `--jobs N` (or `LAX_BENCH_JOBS`) sets the sweep worker count; the
+//! default is every available core. Output is bit-identical for any worker
+//! count.
+use std::error::Error;
 use std::fs;
 use std::io::Write;
 
-fn save(dir: &str, name: &str, content: &str) {
+use lax_bench::sweep;
+
+fn save(dir: &str, name: &str, content: &str) -> Result<(), Box<dyn Error>> {
     let path = format!("{dir}/{name}.txt");
-    fs::write(&path, content).expect("write artifact");
+    fs::write(&path, content)?;
     eprintln!("[all] wrote {path}");
+    Ok(())
 }
 
-fn main() {
-    let max_batch: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(128);
+fn main() -> Result<(), Box<dyn Error>> {
+    let (jobs, rest) = sweep::jobs_from_cli(std::env::args().skip(1));
+    let max_batch: usize = rest.first().and_then(|a| a.parse().ok()).unwrap_or(128);
     let dir = "results";
-    fs::create_dir_all(dir).expect("create results dir");
+    fs::create_dir_all(dir)?;
+    eprintln!("[all] sweeping on {jobs} worker thread(s)");
     let t0 = std::time::Instant::now();
 
-    save(dir, "table1", &lax_bench::figures::table1());
-    save(dir, "fig1", &lax_bench::figures::fig1());
+    save(dir, "table1", &lax_bench::figures::table1())?;
+    save(dir, "fig1", &lax_bench::figures::fig1())?;
 
     let mut db = lax_bench::ResultsDb::new().verbose();
-    save(dir, "fig7", &lax_bench::figures::fig7(&mut db));
-    save(dir, "fig8", &lax_bench::figures::fig8(&mut db));
-    save(dir, "fig9", &lax_bench::figures::fig9(&mut db));
-    save(dir, "table5", &lax_bench::figures::table5(&mut db));
-    save(dir, "fig6", &lax_bench::figures::fig6(&mut db));
-    save(dir, "fig10", &lax_bench::figures::fig10(64, 128, lax_bench::runner::DEFAULT_SEED));
+    save(dir, "fig7", &lax_bench::figures::fig7(&mut db, jobs)?)?;
+    save(dir, "fig8", &lax_bench::figures::fig8(&mut db, jobs)?)?;
+    save(dir, "fig9", &lax_bench::figures::fig9(&mut db, jobs)?)?;
+    save(dir, "table5", &lax_bench::figures::table5(&mut db, jobs)?)?;
+    save(dir, "fig6", &lax_bench::figures::fig6(&mut db, jobs)?)?;
+    save(
+        dir,
+        "fig10",
+        &lax_bench::figures::fig10(64, 128, lax_bench::runner::DEFAULT_SEED, jobs),
+    )?;
     if max_batch > 0 {
-        save(dir, "fig4", &lax_bench::figures::fig4(max_batch));
+        save(dir, "fig4", &lax_bench::figures::fig4(max_batch, jobs))?;
     }
-    let mut f = fs::File::create(format!("{dir}/SUMMARY.txt")).unwrap();
-    writeln!(f, "full evaluation regenerated in {:?}", t0.elapsed()).unwrap();
-    eprintln!("[all] done in {:?}", t0.elapsed());
+    let wall = t0.elapsed();
+    let mut f = fs::File::create(format!("{dir}/SUMMARY.txt"))?;
+    writeln!(f, "full evaluation regenerated in {wall:?} on {jobs} worker thread(s)")?;
+    eprintln!("[all] done in {wall:?} ({} cells cached)", db.len());
+    Ok(())
 }

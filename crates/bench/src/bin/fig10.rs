@@ -1,4 +1,9 @@
 //! Regenerates Figure 10 (prediction & priority traces for one RNN job).
+//! `--jobs N` sets the worker-thread count for the per-benchmark runs.
 fn main() {
-    println!("{}", lax_bench::figures::fig10(64, 128, lax_bench::runner::DEFAULT_SEED));
+    let (jobs, _) = lax_bench::sweep::jobs_from_cli(std::env::args().skip(1));
+    println!(
+        "{}",
+        lax_bench::figures::fig10(64, 128, lax_bench::runner::DEFAULT_SEED, jobs)
+    );
 }

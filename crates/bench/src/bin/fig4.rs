@@ -1,6 +1,8 @@
 //! Regenerates Figure 4 (response time vs batch size). Pass a maximum batch
-//! size as the first argument (default 128) to bound runtime.
+//! size as the first argument (default 128) to bound runtime; `--jobs N`
+//! sets the worker-thread count.
 fn main() {
-    let max: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(128);
-    println!("{}", lax_bench::figures::fig4(max));
+    let (jobs, rest) = lax_bench::sweep::jobs_from_cli(std::env::args().skip(1));
+    let max: usize = rest.first().and_then(|a| a.parse().ok()).unwrap_or(128);
+    println!("{}", lax_bench::figures::fig4(max, jobs));
 }

@@ -1,5 +1,8 @@
-//! Regenerates Figure 7 (CP schedulers vs RR, high rate).
-fn main() {
+//! Regenerates Figure 7 (CP schedulers vs RR, high rate). `--jobs N` /
+//! `LAX_BENCH_JOBS` sets the sweep worker count.
+fn main() -> Result<(), lax_bench::BenchError> {
+    let (jobs, _) = lax_bench::sweep::jobs_from_cli(std::env::args().skip(1));
     let mut db = lax_bench::ResultsDb::new().verbose();
-    println!("{}", lax_bench::figures::fig7(&mut db));
+    println!("{}", lax_bench::figures::fig7(&mut db, jobs)?);
+    Ok(())
 }

@@ -1,5 +1,8 @@
-//! Regenerates Table 5 (throughput, p99 latency, energy).
-fn main() {
+//! Regenerates Table 5 (throughput, p99 latency, energy). `--jobs N` /
+//! `LAX_BENCH_JOBS` sets the sweep worker count.
+fn main() -> Result<(), lax_bench::BenchError> {
+    let (jobs, _) = lax_bench::sweep::jobs_from_cli(std::env::args().skip(1));
     let mut db = lax_bench::ResultsDb::new().verbose();
-    println!("{}", lax_bench::figures::table5(&mut db));
+    println!("{}", lax_bench::figures::table5(&mut db, jobs)?);
+    Ok(())
 }

@@ -1,5 +1,10 @@
 //! Figure and table generation: each function renders one artifact of the
 //! paper's evaluation from (cached) experiment runs.
+//!
+//! Functions that read a [`ResultsDb`] take a `workers` count and warm
+//! their whole grid through the parallel sweep engine before rendering, so
+//! a figure's cells run concurrently; pass `1` to force serial execution.
+//! Cell failures surface as typed [`BenchError`]s, never panics.
 
 use gpu_sim::prelude::*;
 use lax::lax::Lax;
@@ -12,6 +17,7 @@ use workloads::suite::BenchmarkSuite;
 use workloads::table1;
 
 use crate::runner::ResultsDb;
+use crate::sweep::{par_map, BenchError};
 
 /// Schedulers of Figure 6 (CPU-side study), excluding the RR baseline
 /// column itself.
@@ -53,8 +59,9 @@ pub fn fig1() -> String {
 }
 
 /// Renders Figure 4: mean response time versus batch size, normalized to
-/// batch size 1, per benchmark. `max_batch` bounds the sweep (paper: 128).
-pub fn fig4(max_batch: usize) -> String {
+/// batch size 1, per benchmark. `max_batch` bounds the sweep (paper: 128);
+/// benchmark rows run concurrently on `workers` threads.
+pub fn fig4(max_batch: usize, workers: usize) -> String {
     let suite = BenchmarkSuite::calibrated();
     let sizes: Vec<usize> = [1usize, 8, 32, 128]
         .into_iter()
@@ -63,22 +70,18 @@ pub fn fig4(max_batch: usize) -> String {
     let mut header = vec!["benchmark".to_string()];
     header.extend(sizes.iter().map(|b| format!("B={b}")));
     let mut t = Table::new(header);
-    for bench in Benchmark::ALL {
+    let rows = par_map(&Benchmark::ALL, workers, |&bench| {
         let mut base = None;
         let mut cells = vec![bench.name().to_string()];
         for &b in &sizes {
             let n = b.max(8);
             let w = batched_workload(suite, bench, ArrivalRate::High, n, b, 99);
-            let params = SimParams {
-                offline_rates: suite.offline_rates(),
-                ..SimParams::default()
-            };
-            let mut sim = Simulation::new(
-                params,
-                w.jobs.clone(),
-                SchedulerMode::Cp(Box::new(RoundRobin::new())),
-            )
-            .expect("batched jobs run");
+            let mut sim = Simulation::builder()
+                .offline_rates(suite.offline_rates())
+                .jobs(w.jobs.clone())
+                .scheduler(SchedulerMode::Cp(Box::new(RoundRobin::new())))
+                .build()
+                .expect("batched jobs run");
             let report = sim.run();
             let completions: Vec<Option<Cycle>> = report
                 .records
@@ -96,7 +99,10 @@ pub fn fig4(max_batch: usize) -> String {
             };
             cells.push(format!("{norm:.1}x"));
         }
-        t.row(cells);
+        cells
+    });
+    for row in rows {
+        t.row(row);
     }
     format!(
         "Figure 4: response time vs batch size (normalized to batch 1, RR)\n\n{}",
@@ -104,16 +110,21 @@ pub fn fig4(max_batch: usize) -> String {
     )
 }
 
-fn normalized_met_table(db: &mut ResultsDb, scheds: &[&str], baseline: &str, rate: ArrivalRate) -> String {
+fn normalized_met_table(
+    db: &mut ResultsDb,
+    scheds: &[&str],
+    baseline: &str,
+    rate: ArrivalRate,
+) -> Result<String, BenchError> {
     let mut header = vec!["benchmark".to_string(), format!("{baseline} (met)")];
     header.extend(scheds.iter().map(|s| s.to_string()));
     let mut t = Table::new(header);
     let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); scheds.len()];
     for bench in Benchmark::ALL {
-        let base = db.met(baseline, bench, rate);
+        let base = db.met(baseline, bench, rate)?;
         let mut cells = vec![bench.name().to_string(), base.to_string()];
         for (i, s) in scheds.iter().enumerate() {
-            let r = db.met_ratio(s, baseline, bench, rate);
+            let r = db.met_ratio(s, baseline, bench, rate)?;
             ratios[i].push(r);
             cells.push(format!("{r:.2}x"));
         }
@@ -124,41 +135,65 @@ fn normalized_met_table(db: &mut ResultsDb, scheds: &[&str], baseline: &str, rat
         gm.push(format!("{:.2}x", geomean(r)));
     }
     t.row(gm);
-    t.render()
+    Ok(t.render())
 }
 
 /// Renders Figure 6: jobs completed by deadline for CPU-side schedulers
 /// plus LAX, normalized to RR, at all three arrival rates.
-pub fn fig6(db: &mut ResultsDb) -> String {
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if any grid cell cannot run.
+pub fn fig6(db: &mut ResultsDb, workers: usize) -> Result<String, BenchError> {
+    let mut scheds = vec!["RR"];
+    scheds.extend_from_slice(FIG6_SCHEDS);
+    db.warm(&scheds, &Benchmark::ALL, &ArrivalRate::ALL, workers)?;
     let mut out = String::from("Figure 6: deadline-met jobs, CPU-side schedulers vs RR\n");
     for rate in ArrivalRate::ALL {
         out.push_str(&format!("\n({}) {} job arrival rate\n\n", rate.name(), rate.name()));
-        out.push_str(&normalized_met_table(db, FIG6_SCHEDS, "RR", rate));
+        out.push_str(&normalized_met_table(db, FIG6_SCHEDS, "RR", rate)?);
     }
-    out
+    Ok(out)
 }
 
 /// Renders Figure 7: CP-extending schedulers at the high arrival rate,
 /// normalized to RR.
-pub fn fig7(db: &mut ResultsDb) -> String {
-    format!(
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if any grid cell cannot run.
+pub fn fig7(db: &mut ResultsDb, workers: usize) -> Result<String, BenchError> {
+    let mut scheds = vec!["RR"];
+    scheds.extend_from_slice(FIG7_SCHEDS);
+    db.warm(&scheds, &Benchmark::ALL, &[ArrivalRate::High], workers)?;
+    Ok(format!(
         "Figure 7: deadline-met jobs, CP schedulers vs RR (high rate)\n\n{}",
-        normalized_met_table(db, FIG7_SCHEDS, "RR", ArrivalRate::High)
-    )
+        normalized_met_table(db, FIG7_SCHEDS, "RR", ArrivalRate::High)?
+    ))
 }
 
 /// Renders Figure 8: the three laxity-aware implementations normalized to
 /// LAX-SW, at the high arrival rate.
-pub fn fig8(db: &mut ResultsDb) -> String {
-    format!(
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if any grid cell cannot run.
+pub fn fig8(db: &mut ResultsDb, workers: usize) -> Result<String, BenchError> {
+    db.warm(FIG8_SCHEDS, &Benchmark::ALL, &[ArrivalRate::High], workers)?;
+    Ok(format!(
         "Figure 8: laxity-aware variants vs LAX-SW (high rate)\n\n{}",
-        normalized_met_table(db, FIG8_SCHEDS, "LAX-SW", ArrivalRate::High)
-    )
+        normalized_met_table(db, FIG8_SCHEDS, "LAX-SW", ArrivalRate::High)?
+    ))
 }
 
 /// Renders Figure 9: percentage of completed WGs belonging to jobs that met
 /// their deadline (scheduling effectiveness), high rate.
-pub fn fig9(db: &mut ResultsDb) -> String {
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if any grid cell cannot run.
+pub fn fig9(db: &mut ResultsDb, workers: usize) -> Result<String, BenchError> {
+    db.warm(TABLE5_SCHEDS, &Benchmark::ALL, &[ArrivalRate::High], workers)?;
     let mut header = vec!["benchmark".to_string()];
     header.extend(TABLE5_SCHEDS.iter().map(|s| s.to_string()));
     let mut t = Table::new(header);
@@ -166,7 +201,7 @@ pub fn fig9(db: &mut ResultsDb) -> String {
     for bench in Benchmark::ALL {
         let mut cells = vec![bench.name().to_string()];
         for (i, s) in TABLE5_SCHEDS.iter().enumerate() {
-            let f = db.get(s, bench, ArrivalRate::High).useful_wg_fraction();
+            let f = db.get(s, bench, ArrivalRate::High)?.useful_wg_fraction();
             per_sched[i].push(f.max(1e-6));
             cells.push(format!("{:.0}%", f * 100.0));
         }
@@ -177,39 +212,43 @@ pub fn fig9(db: &mut ResultsDb) -> String {
         gm.push(format!("{:.0}%", geomean(v) * 100.0));
     }
     t.row(gm);
-    format!("Figure 9: useful work (WGs in deadline-meeting jobs), high rate\n\n{}", t.render())
+    Ok(format!(
+        "Figure 9: useful work (WGs in deadline-meeting jobs), high rate\n\n{}",
+        t.render()
+    ))
 }
 
-/// Runs one traced LAX simulation per RNN benchmark and renders Figure 10:
-/// the predicted total execution time and priority of a sample job over its
-/// lifetime.
-pub fn fig10(sample_job: u32, n_jobs: usize, seed: u64) -> String {
+/// Runs one traced LAX simulation per RNN benchmark (concurrently on
+/// `workers` threads) and renders Figure 10: the predicted total execution
+/// time and priority of a sample job over its lifetime.
+pub fn fig10(sample_job: u32, n_jobs: usize, seed: u64, workers: usize) -> String {
     let suite = BenchmarkSuite::calibrated();
     let mut out = String::from(
         "Figure 10: LAX prediction & priority over time for one sample RNN job\n",
     );
-    for bench in [Benchmark::Lstm, Benchmark::Gru, Benchmark::Van, Benchmark::Hybrid] {
+    let benches = [Benchmark::Lstm, Benchmark::Gru, Benchmark::Van, Benchmark::Hybrid];
+    let sections = par_map(&benches, workers, |&bench| {
         let jobs = suite.generate_jobs(bench, ArrivalRate::High, n_jobs, seed);
         let trace = shared_trace(JobId(sample_job), 4096);
-        let params = SimParams {
-            offline_rates: suite.offline_rates(),
-            ..SimParams::default()
-        };
         let lax = Lax::new().with_trace(trace.clone());
-        let mut sim = Simulation::new(params, jobs, SchedulerMode::Cp(Box::new(lax)))
+        let mut sim = Simulation::builder()
+            .offline_rates(suite.offline_rates())
+            .jobs(jobs)
+            .cp(lax)
+            .build()
             .expect("jobs run");
         let report = sim.run();
         let rec = &report.records[sample_job as usize];
         let actual_us = rec.latency().map(|l| l.as_us_f64());
         let guard = trace.lock().expect("trace lock");
-        out.push_str(&format!(
+        let mut section = format!(
             "\n({}) job {}: fate {:?}, actual latency {:?} us, deadline {} us\n",
             bench.name(),
             sample_job,
             rec.fate,
             actual_us.map(|v| v.round()),
             bench.deadline().as_us_f64()
-        ));
+        );
         let mut t = Table::with_columns(&["t (us since arrival)", "predicted total (us)", "priority"]);
         let arrival = rec.arrival;
         for (p, q) in guard
@@ -228,7 +267,11 @@ pub fn fig10(sample_job: u32, n_jobs: usize, seed: u64) -> String {
                 },
             ]);
         }
-        out.push_str(&t.render());
+        section.push_str(&t.render());
+        section
+    });
+    for section in sections {
+        out.push_str(&section);
     }
     out
 }
@@ -236,7 +279,12 @@ pub fn fig10(sample_job: u32, n_jobs: usize, seed: u64) -> String {
 /// Renders Table 5: (a) successful-job throughput, (b) 99th-percentile
 /// latency, (c) energy per successful job — all schedulers at the high
 /// arrival rate.
-pub fn table5(db: &mut ResultsDb) -> String {
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if any grid cell cannot run.
+pub fn table5(db: &mut ResultsDb, workers: usize) -> Result<String, BenchError> {
+    db.warm(TABLE5_SCHEDS, &Benchmark::ALL, &[ArrivalRate::High], workers)?;
     /// How one Table 5 section turns a report into a cell.
     type Metric = fn(&gpu_sim::metrics::SimReport) -> String;
     let mut out = String::from("Table 5: throughput, tail latency, energy (high rate)\n");
@@ -256,14 +304,14 @@ pub fn table5(db: &mut ResultsDb) -> String {
         for bench in Benchmark::ALL {
             let mut cells = vec![bench.name().to_string()];
             for s in TABLE5_SCHEDS {
-                let r = db.get(s, bench, ArrivalRate::High);
+                let r = db.get(s, bench, ArrivalRate::High)?;
                 cells.push(metric(r));
             }
             t.row(cells);
         }
         out.push_str(&t.render());
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -280,8 +328,18 @@ mod tests {
     #[cfg_attr(debug_assertions, ignore = "runs 64 small simulations; use --release")]
     fn fig7_smoke_on_tiny_runs() {
         let mut db = ResultsDb::with_jobs(6, 3);
-        let s = fig7(&mut db);
+        let s = fig7(&mut db, 4).unwrap();
         assert!(s.contains("GMEAN"));
         assert!(s.contains("LAX"));
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "runs 64 small simulations; use --release")]
+    fn fig7_is_identical_serial_and_parallel() {
+        let mut serial = ResultsDb::with_jobs(6, 3);
+        let mut parallel = ResultsDb::with_jobs(6, 3);
+        let a = fig7(&mut serial, 1).unwrap();
+        let b = fig7(&mut parallel, 8).unwrap();
+        assert_eq!(a, b, "rendered figure must not depend on worker count");
     }
 }

@@ -4,10 +4,17 @@
 //! evaluation (see DESIGN.md's experiment index). The binaries in
 //! `src/bin/` are thin wrappers over [`runner`] and [`figures`]; `bin/all`
 //! reproduces the whole evaluation and emits EXPERIMENTS.md-ready text.
+//!
+//! Grids execute through the parallel [`sweep`] engine: every cell is an
+//! independent deterministic simulation, fanned across
+//! `--jobs N` / `LAX_BENCH_JOBS` worker threads (default: all cores) with
+//! bit-identical results regardless of thread count.
 
 #![warn(missing_docs)]
 
 pub mod figures;
 pub mod runner;
+pub mod sweep;
 
-pub use runner::{run_once, Key, ResultsDb};
+pub use runner::ResultsDb;
+pub use sweep::{run_scenario, BenchError, Scenario};

@@ -1,11 +1,13 @@
-//! Experiment execution and caching.
+//! Experiment execution and caching: a thin memoizing layer over the
+//! parallel [`sweep`](crate::sweep) engine, so every figure computed in one
+//! process reuses the same runs.
 
 use std::collections::BTreeMap;
 
 use gpu_sim::prelude::*;
-use schedulers::registry;
 use workloads::spec::{ArrivalRate, Benchmark};
-use workloads::suite::BenchmarkSuite;
+
+use crate::sweep::{self, BenchError, Scenario};
 
 /// Jobs per benchmark run (paper Section 5.3).
 pub const JOBS_PER_RUN: usize = 128;
@@ -13,48 +15,12 @@ pub const JOBS_PER_RUN: usize = 128;
 /// Default RNG seed for the published experiment set.
 pub const DEFAULT_SEED: u64 = 20210301;
 
-/// One experiment cell: a scheduler on a benchmark at an arrival rate.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
-pub struct Key {
-    /// Scheduler name (see [`schedulers::registry`]).
-    pub scheduler: String,
-    /// Benchmark.
-    pub bench: Benchmark,
-    /// Arrival rate level.
-    pub rate: ArrivalRate,
-}
-
-impl Key {
-    /// Convenience constructor.
-    pub fn new(scheduler: &str, bench: Benchmark, rate: ArrivalRate) -> Self {
-        Key { scheduler: scheduler.to_string(), bench, rate }
-    }
-}
-
-/// Runs one experiment cell.
-///
-/// # Panics
-///
-/// Panics on unknown scheduler names or unrunnable generated jobs — both
-/// indicate harness bugs, not user error.
-pub fn run_once(scheduler: &str, bench: Benchmark, rate: ArrivalRate, n_jobs: usize, seed: u64) -> SimReport {
-    let suite = BenchmarkSuite::calibrated();
-    let jobs = suite.generate_jobs(bench, rate, n_jobs, seed);
-    let params = SimParams {
-        offline_rates: suite.offline_rates(),
-        ..SimParams::default()
-    };
-    let mode = registry::build(scheduler)
-        .unwrap_or_else(|| panic!("unknown scheduler {scheduler}"));
-    let mut sim = Simulation::new(params, jobs, mode).expect("generated jobs must be valid");
-    sim.run()
-}
-
-/// Memoized experiment results, so every figure computed in one process
-/// reuses the same runs.
+/// Memoized experiment results keyed by [`Scenario`]. `get`/`met` run
+/// missing cells inline; [`ResultsDb::warm`] fans a whole grid across
+/// worker threads first, so the figure renderers afterwards only hit cache.
 #[derive(Debug, Default)]
 pub struct ResultsDb {
-    cache: BTreeMap<Key, SimReport>,
+    cache: BTreeMap<Scenario, SimReport>,
     n_jobs: usize,
     seed: u64,
     verbose: bool,
@@ -77,12 +43,84 @@ impl ResultsDb {
         self
     }
 
-    /// Returns (running if necessary) the report for a cell.
-    pub fn get(&mut self, scheduler: &str, bench: Benchmark, rate: ArrivalRate) -> &SimReport {
-        let key = Key::new(scheduler, bench, rate);
+    /// The [`Scenario`] this database associates with a cell.
+    pub fn scenario(&self, scheduler: &str, bench: Benchmark, rate: ArrivalRate) -> Scenario {
+        Scenario::new(scheduler, bench, rate, self.n_jobs, self.seed)
+    }
+
+    /// Runs every not-yet-cached cell of the `schedulers` × `benches` ×
+    /// `rates` grid on `jobs` worker threads and caches the reports.
+    ///
+    /// Deterministic: cached results are bit-identical for any `jobs` (each
+    /// cell's seed comes from [`Scenario::cell_seed`], not the worker that
+    /// ran it).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first cell failure (unknown scheduler, invalid jobs)
+    /// after all good cells have been cached.
+    pub fn warm(
+        &mut self,
+        schedulers: &[&str],
+        benches: &[Benchmark],
+        rates: &[ArrivalRate],
+        jobs: usize,
+    ) -> Result<(), BenchError> {
+        let mut missing: Vec<Scenario> = Vec::new();
+        for s in schedulers {
+            for &b in benches {
+                for &r in rates {
+                    let scenario = self.scenario(s, b, r);
+                    if !self.cache.contains_key(&scenario) {
+                        missing.push(scenario);
+                    }
+                }
+            }
+        }
+        if missing.is_empty() {
+            return Ok(());
+        }
+        let verbose = self.verbose;
+        let results = sweep::run_sweep(&missing, jobs, |p| {
+            if verbose {
+                eprintln!(
+                    "[sweep {:>3}/{}] {:<28} {} ({:.1?})",
+                    p.done,
+                    p.total,
+                    p.scenario.to_string(),
+                    if p.ok { "ok" } else { "FAILED" },
+                    p.cell_wall
+                );
+            }
+        });
+        let mut first_err = None;
+        for (scenario, result) in missing.into_iter().zip(results) {
+            match result {
+                Ok(report) => {
+                    self.cache.insert(scenario, report);
+                }
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Returns (running inline if necessary) the report for a cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError`] if the cell cannot run (unknown scheduler
+    /// name, invalid generated jobs).
+    pub fn get(&mut self, scheduler: &str, bench: Benchmark, rate: ArrivalRate) -> Result<&SimReport, BenchError> {
+        let key = self.scenario(scheduler, bench, rate);
         if !self.cache.contains_key(&key) {
             let t0 = std::time::Instant::now();
-            let report = run_once(scheduler, bench, rate, self.n_jobs, self.seed);
+            let report = sweep::run_scenario(&key)?;
             if self.verbose {
                 eprintln!(
                     "[run] {:<9} {:<7} {:<6} met {:>3}/{} ({:.1?})",
@@ -96,27 +134,35 @@ impl ResultsDb {
             }
             self.cache.insert(key.clone(), report);
         }
-        &self.cache[&key]
+        Ok(&self.cache[&key])
     }
 
     /// Deadline-met count for a cell.
-    pub fn met(&mut self, scheduler: &str, bench: Benchmark, rate: ArrivalRate) -> usize {
-        self.get(scheduler, bench, rate).deadlines_met()
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError`] if the cell cannot run.
+    pub fn met(&mut self, scheduler: &str, bench: Benchmark, rate: ArrivalRate) -> Result<usize, BenchError> {
+        Ok(self.get(scheduler, bench, rate)?.deadlines_met())
     }
 
     /// Ratio of deadline-met counts versus a baseline scheduler, clamped so
     /// a zero-over-zero cell reads as 1.0 and x-over-zero as x (matching
     /// how normalized bar charts handle empty baselines).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError`] if either cell cannot run.
     pub fn met_ratio(
         &mut self,
         scheduler: &str,
         baseline: &str,
         bench: Benchmark,
         rate: ArrivalRate,
-    ) -> f64 {
-        let a = self.met(scheduler, bench, rate) as f64;
-        let b = self.met(baseline, bench, rate) as f64;
-        if b == 0.0 {
+    ) -> Result<f64, BenchError> {
+        let a = self.met(scheduler, bench, rate)? as f64;
+        let b = self.met(baseline, bench, rate)? as f64;
+        Ok(if b == 0.0 {
             if a == 0.0 {
                 1.0
             } else {
@@ -124,12 +170,22 @@ impl ResultsDb {
             }
         } else {
             a / b
-        }
+        })
     }
 
     /// Number of jobs per run.
     pub fn n_jobs(&self) -> usize {
         self.n_jobs
+    }
+
+    /// Number of cached cells.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// `true` when nothing has been run yet.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
     }
 }
 
@@ -138,8 +194,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn run_once_produces_resolved_jobs() {
-        let r = run_once("RR", Benchmark::Ipv6, ArrivalRate::Low, 8, 1);
+    fn run_scenario_produces_resolved_jobs() {
+        let s = Scenario::new("RR", Benchmark::Ipv6, ArrivalRate::Low, 8, 1);
+        let r = sweep::run_scenario(&s).unwrap();
         assert_eq!(r.records.len(), 8);
         assert_eq!(r.completed() + r.rejected(), 8);
     }
@@ -147,17 +204,51 @@ mod tests {
     #[test]
     fn db_caches_runs() {
         let mut db = ResultsDb::with_jobs(4, 1);
-        let a = db.met("RR", Benchmark::Stem, ArrivalRate::Low);
-        let b = db.met("RR", Benchmark::Stem, ArrivalRate::Low);
+        let a = db.met("RR", Benchmark::Stem, ArrivalRate::Low).unwrap();
+        let b = db.met("RR", Benchmark::Stem, ArrivalRate::Low).unwrap();
         assert_eq!(a, b);
-        assert_eq!(db.cache.len(), 1);
+        assert_eq!(db.len(), 1);
     }
 
     #[test]
     fn ratio_handles_zero_baseline() {
         let mut db = ResultsDb::with_jobs(2, 1);
         // Against itself the ratio is exactly 1 (or 1-by-convention).
-        let r = db.met_ratio("RR", "RR", Benchmark::Ipv6, ArrivalRate::Low);
+        let r = db.met_ratio("RR", "RR", Benchmark::Ipv6, ArrivalRate::Low).unwrap();
         assert_eq!(r, 1.0);
+    }
+
+    #[test]
+    fn unknown_scheduler_surfaces_as_typed_error() {
+        let mut db = ResultsDb::with_jobs(2, 1);
+        let err = db.met("NOPE", Benchmark::Ipv6, ArrivalRate::Low).unwrap_err();
+        assert!(matches!(err, BenchError::UnknownScheduler(_)), "{err}");
+    }
+
+    #[test]
+    fn warm_matches_inline_get_bit_for_bit() {
+        let mut warmed = ResultsDb::with_jobs(4, 2);
+        warmed
+            .warm(&["RR", "EDF"], &[Benchmark::Ipv6], &[ArrivalRate::Low, ArrivalRate::High], 4)
+            .unwrap();
+        assert_eq!(warmed.len(), 4);
+        let mut inline = ResultsDb::with_jobs(4, 2);
+        for sched in ["RR", "EDF"] {
+            for rate in [ArrivalRate::Low, ArrivalRate::High] {
+                let a = warmed.get(sched, Benchmark::Ipv6, rate).unwrap().clone();
+                let b = inline.get(sched, Benchmark::Ipv6, rate).unwrap().clone();
+                assert_eq!(a, b, "{sched}/{rate}");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_reports_bad_cell_but_caches_good_ones() {
+        let mut db = ResultsDb::with_jobs(2, 1);
+        let err = db
+            .warm(&["RR", "NOPE"], &[Benchmark::Ipv6], &[ArrivalRate::Low], 2)
+            .unwrap_err();
+        assert!(matches!(err, BenchError::UnknownScheduler(_)));
+        assert_eq!(db.len(), 1, "the RR cell still landed in cache");
     }
 }

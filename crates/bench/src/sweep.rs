@@ -1,0 +1,489 @@
+//! Parallel sweep execution engine.
+//!
+//! The paper's evaluation is a large grid — 11+ schedulers × 8 benchmarks ×
+//! three arrival rates (× seeds for confidence runs) — and every cell is a
+//! fully independent deterministic simulation. This module fans those cells
+//! across worker threads with nothing beyond `std`:
+//!
+//! * [`Scenario`] — a self-describing, `Send`-able experiment cell with a
+//!   lossless string round-trip (`Display`/`FromStr`) for CLI use.
+//! * [`run_scenario`] — runs one cell, returning typed [`BenchError`]s
+//!   instead of the panics the old free-function path documented.
+//! * [`run_sweep`] — a work queue over `std::thread::scope`: `N` workers
+//!   pull cells from an atomic cursor, results flow back over a channel,
+//!   and a progress callback fires on the caller's thread per finished
+//!   cell.
+//! * [`par_map`] — the same fan-out for arbitrary cell types (the ablation
+//!   binary sweeps `LaxConfig` variants that have no registry name).
+//!
+//! # Determinism
+//!
+//! Each cell's RNG seed is derived as a hash of the base seed and the
+//! scenario itself ([`Scenario::cell_seed`]), never from worker identity or
+//! completion order, so per-scenario reports are **bit-identical** whether
+//! the sweep runs on 1 thread or 64 (covered by
+//! `sweeps_are_deterministic_across_thread_counts`). Results are returned
+//! in submission order.
+//!
+//! # Worker count
+//!
+//! Binaries take `--jobs N`, falling back to the `LAX_BENCH_JOBS`
+//! environment variable, falling back to
+//! [`std::thread::available_parallelism`] (see [`default_jobs`]).
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration as WallDuration, Instant};
+
+use gpu_sim::prelude::*;
+use schedulers::registry::{self, UnknownScheduler};
+use workloads::spec::{ArrivalRate, Benchmark, ParseSpecError};
+use workloads::suite::BenchmarkSuite;
+
+/// One experiment cell: a scheduler on a benchmark at an arrival rate, with
+/// a job count and a base RNG seed. Self-describing and totally ordered so
+/// it can key result caches; stringifiable for CLIs (`Display`/`FromStr`).
+///
+/// # Examples
+///
+/// ```
+/// use lax_bench::sweep::Scenario;
+/// use workloads::spec::{ArrivalRate, Benchmark};
+///
+/// let s = Scenario::new("LAX", Benchmark::Ipv6, ArrivalRate::High, 128, 42);
+/// assert_eq!(s.to_string(), "LAX:IPV6:high:j128:s42");
+/// assert_eq!("LAX:IPV6:high:j128:s42".parse::<Scenario>().unwrap(), s);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Scenario {
+    /// Scheduler name (see [`schedulers::registry`]).
+    pub scheduler: String,
+    /// Benchmark.
+    pub bench: Benchmark,
+    /// Arrival rate level.
+    pub rate: ArrivalRate,
+    /// Number of jobs to generate.
+    pub n_jobs: usize,
+    /// Base RNG seed; the per-cell stream is [`Scenario::cell_seed`].
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// Convenience constructor.
+    pub fn new(scheduler: &str, bench: Benchmark, rate: ArrivalRate, n_jobs: usize, seed: u64) -> Self {
+        Scenario { scheduler: scheduler.to_string(), bench, rate, n_jobs, seed }
+    }
+
+    /// The seed actually fed to the workload generator: an FNV-1a hash of
+    /// the base seed and every identifying field, so each cell gets an
+    /// independent stream and the value never depends on which worker runs
+    /// the cell or in what order.
+    pub fn cell_seed(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(&self.seed.to_le_bytes());
+        eat(self.scheduler.as_bytes());
+        eat(b":");
+        eat(self.bench.name().as_bytes());
+        eat(b":");
+        eat(self.rate.name().as_bytes());
+        eat(&(self.n_jobs as u64).to_le_bytes());
+        h
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}:j{}:s{}",
+            self.scheduler, self.bench, self.rate, self.n_jobs, self.seed
+        )
+    }
+}
+
+/// Error parsing a [`Scenario`] from its string form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseScenarioError {
+    input: String,
+    reason: String,
+}
+
+impl fmt::Display for ParseScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid scenario `{}`: {} (expected SCHED:BENCH:RATE:jN:sSEED, e.g. LAX:IPV6:high:j128:s42)",
+            self.input, self.reason
+        )
+    }
+}
+
+impl std::error::Error for ParseScenarioError {}
+
+impl FromStr for Scenario {
+    type Err = ParseScenarioError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = |reason: String| ParseScenarioError { input: s.to_string(), reason };
+        let parts: Vec<&str> = s.split(':').collect();
+        let [scheduler, bench, rate, jobs, seed] = parts.as_slice() else {
+            return Err(bad(format!("{} fields, expected 5", parts.len())));
+        };
+        let bench: Benchmark = bench.parse().map_err(|e: ParseSpecError| bad(e.to_string()))?;
+        let rate: ArrivalRate = rate.parse().map_err(|e: ParseSpecError| bad(e.to_string()))?;
+        let n_jobs = jobs
+            .strip_prefix('j')
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| bad(format!("bad job count `{jobs}`")))?;
+        let seed = seed
+            .strip_prefix('s')
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| bad(format!("bad seed `{seed}`")))?;
+        if scheduler.is_empty() {
+            return Err(bad("empty scheduler name".to_string()));
+        }
+        Ok(Scenario::new(scheduler, bench, rate, n_jobs, seed))
+    }
+}
+
+/// Typed failure of one experiment cell. Carries enough context to report
+/// the cell without aborting the rest of the grid.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BenchError {
+    /// The scenario names a scheduler outside the registry.
+    UnknownScheduler(UnknownScheduler),
+    /// The simulation rejected the configuration or generated jobs.
+    Sim(SimError),
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::UnknownScheduler(e) => write!(f, "{e}"),
+            BenchError::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::UnknownScheduler(e) => Some(e),
+            BenchError::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<UnknownScheduler> for BenchError {
+    fn from(e: UnknownScheduler) -> Self {
+        BenchError::UnknownScheduler(e)
+    }
+}
+
+impl From<SimError> for BenchError {
+    fn from(e: SimError) -> Self {
+        BenchError::Sim(e)
+    }
+}
+
+/// Runs one experiment cell.
+///
+/// # Errors
+///
+/// Returns [`BenchError::UnknownScheduler`] for scheduler names outside the
+/// registry and [`BenchError::Sim`] if the generated jobs cannot run — no
+/// panics on user input, unlike the free-function path this replaced.
+pub fn run_scenario(scenario: &Scenario) -> Result<SimReport, BenchError> {
+    let suite = BenchmarkSuite::calibrated();
+    let jobs = suite.generate_jobs(scenario.bench, scenario.rate, scenario.n_jobs, scenario.cell_seed());
+    let mode = registry::try_build(&scenario.scheduler)?;
+    let mut sim = Simulation::builder()
+        .offline_rates(suite.offline_rates())
+        .jobs(jobs)
+        .scheduler(mode)
+        .build()?;
+    Ok(sim.run())
+}
+
+/// Worker-thread count used when a binary gets no `--jobs` flag: the
+/// `LAX_BENCH_JOBS` environment variable if set and positive, otherwise
+/// [`std::thread::available_parallelism`].
+pub fn default_jobs() -> usize {
+    std::env::var("LAX_BENCH_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Splits a `--jobs N` (or `--jobs=N`) flag out of CLI arguments, returning
+/// the worker count and the remaining positional arguments in order. With
+/// no flag the count falls back to [`default_jobs`]; a malformed or
+/// non-positive count is reported on stderr and also falls back.
+///
+/// # Examples
+///
+/// ```
+/// let (jobs, rest) = lax_bench::sweep::jobs_from_cli(
+///     ["64", "--jobs", "4"].iter().map(|s| s.to_string()),
+/// );
+/// assert_eq!(jobs, 4);
+/// assert_eq!(rest, vec!["64".to_string()]);
+/// ```
+pub fn jobs_from_cli(args: impl Iterator<Item = String>) -> (usize, Vec<String>) {
+    let mut jobs = None;
+    let mut rest = Vec::new();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let value = if arg == "--jobs" || arg == "-j" {
+            args.next()
+        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+            Some(v.to_string())
+        } else {
+            rest.push(arg);
+            continue;
+        };
+        match value.as_deref().map(str::parse::<usize>) {
+            Some(Ok(n)) if n > 0 => jobs = Some(n),
+            _ => eprintln!(
+                "warning: ignoring bad --jobs value {:?} (want a positive integer)",
+                value.unwrap_or_default()
+            ),
+        }
+    }
+    (jobs.unwrap_or_else(default_jobs), rest)
+}
+
+/// Progress of a sweep, reported once per finished cell (on the calling
+/// thread, in completion order).
+#[derive(Debug, Clone, Copy)]
+pub struct Progress<'a> {
+    /// Cells finished so far (including this one).
+    pub done: usize,
+    /// Total cells in the sweep.
+    pub total: usize,
+    /// The cell that just finished.
+    pub scenario: &'a Scenario,
+    /// Wall time this cell took on its worker.
+    pub cell_wall: WallDuration,
+    /// Whether the cell produced a report (vs a [`BenchError`]).
+    pub ok: bool,
+}
+
+/// Fans `items` across `jobs` scoped worker threads and returns `f(item)`
+/// for each, **in input order**. `on_done(index, wall)` fires on the
+/// calling thread as each item finishes (completion order).
+///
+/// The engine underneath [`run_sweep`], exposed for sweeps whose cells are
+/// not [`Scenario`]s (e.g. the ablation study's `LaxConfig` variants).
+pub fn par_map_with<T, R, F>(
+    items: &[T],
+    jobs: usize,
+    f: F,
+    mut on_done: impl FnMut(usize, &R, WallDuration),
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = jobs.clamp(1, items.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R, WallDuration)>();
+    let mut results: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let t0 = Instant::now();
+                let r = f(&items[i]);
+                if tx.send((i, r, t0.elapsed())).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        while let Ok((i, r, wall)) = rx.recv() {
+            on_done(i, &r, wall);
+            results[i] = Some(r);
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every index was sent exactly once"))
+        .collect()
+}
+
+/// [`par_map_with`] without the completion callback.
+pub fn par_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_with(items, jobs, f, |_, _, _| {})
+}
+
+/// Runs every scenario on a pool of `jobs` worker threads, returning the
+/// per-cell results **in input order**. `on_progress` fires on the calling
+/// thread once per finished cell.
+///
+/// Cell failures (unknown scheduler, invalid jobs) are reported per cell,
+/// never aborting the rest of the grid.
+pub fn run_sweep<'s>(
+    scenarios: &'s [Scenario],
+    jobs: usize,
+    mut on_progress: impl FnMut(Progress<'s>),
+) -> Vec<Result<SimReport, BenchError>> {
+    let total = scenarios.len();
+    let mut done = 0;
+    par_map_with(scenarios, jobs, run_scenario, |i, r, cell_wall| {
+        done += 1;
+        on_progress(Progress {
+            done,
+            total,
+            scenario: &scenarios[i],
+            cell_wall,
+            ok: r.is_ok(),
+        });
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(scheduler: &str) -> Scenario {
+        Scenario::new(scheduler, Benchmark::Ipv6, ArrivalRate::Low, 4, 1)
+    }
+
+    #[test]
+    fn scenario_round_trips_through_strings() {
+        for s in [
+            Scenario::new("LAX", Benchmark::Ipv6, ArrivalRate::High, 128, 20210301),
+            Scenario::new("LAX-SW", Benchmark::Hybrid, ArrivalRate::Medium, 1, 0),
+            Scenario::new("RR", Benchmark::Stem, ArrivalRate::Low, 64, u64::MAX),
+        ] {
+            let text = s.to_string();
+            assert_eq!(text.parse::<Scenario>().unwrap(), s, "{text}");
+        }
+    }
+
+    #[test]
+    fn scenario_parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "LAX",
+            "LAX:IPV6:high:j128",
+            "LAX:IPV6:high:j128:s42:extra",
+            "LAX:WARP9:high:j128:s42",
+            "LAX:IPV6:sometimes:j128:s42",
+            "LAX:IPV6:high:128:s42",
+            "LAX:IPV6:high:j128:42",
+            "LAX:IPV6:high:jxx:s42",
+            ":IPV6:high:j128:s42",
+        ] {
+            let err = bad.parse::<Scenario>();
+            assert!(err.is_err(), "`{bad}` should not parse");
+            let msg = err.unwrap_err().to_string();
+            assert!(msg.contains("invalid scenario"), "{msg}");
+        }
+    }
+
+    #[test]
+    fn cell_seeds_differ_across_cells_but_not_runs() {
+        let a = Scenario::new("RR", Benchmark::Ipv6, ArrivalRate::High, 128, 1);
+        let b = Scenario::new("LAX", Benchmark::Ipv6, ArrivalRate::High, 128, 1);
+        let c = Scenario::new("RR", Benchmark::Stem, ArrivalRate::High, 128, 1);
+        assert_ne!(a.cell_seed(), b.cell_seed());
+        assert_ne!(a.cell_seed(), c.cell_seed());
+        assert_eq!(a.cell_seed(), a.clone().cell_seed());
+        assert_ne!(
+            a.cell_seed(),
+            Scenario { seed: 2, ..a.clone() }.cell_seed(),
+            "base seed must perturb the cell stream"
+        );
+    }
+
+    #[test]
+    fn unknown_scheduler_is_a_typed_error_not_a_panic() {
+        let err = run_scenario(&tiny("WARP-SPEED")).unwrap_err();
+        match &err {
+            BenchError::UnknownScheduler(e) => assert_eq!(e.name(), "WARP-SPEED"),
+            other => panic!("expected UnknownScheduler, got {other:?}"),
+        }
+        assert!(err.to_string().contains("WARP-SPEED"));
+    }
+
+    #[test]
+    fn sweep_reports_bad_cells_without_aborting_good_ones() {
+        let scenarios = vec![tiny("RR"), tiny("NOPE"), tiny("EDF")];
+        let mut seen = 0;
+        let results = run_sweep(&scenarios, 2, |p| {
+            seen += 1;
+            assert_eq!(p.total, 3);
+        });
+        assert_eq!(seen, 3);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(BenchError::UnknownScheduler(_))));
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn sweeps_are_deterministic_across_thread_counts() {
+        let scenarios: Vec<Scenario> = ["RR", "EDF", "LAX", "SJF"]
+            .iter()
+            .flat_map(|s| {
+                [ArrivalRate::High, ArrivalRate::Low]
+                    .into_iter()
+                    .map(|r| Scenario::new(s, Benchmark::Ipv6, r, 6, 7))
+            })
+            .collect();
+        let serial = run_sweep(&scenarios, 1, |_| {});
+        let parallel = run_sweep(&scenarios, 8, |_| {});
+        for ((s, a), b) in scenarios.iter().zip(&serial).zip(&parallel) {
+            let a = a.as_ref().expect("serial cell ran");
+            let b = b.as_ref().expect("parallel cell ran");
+            assert_eq!(a, b, "{s} must be bit-identical across thread counts");
+        }
+    }
+
+    #[test]
+    fn jobs_flag_parses_and_leaves_positionals() {
+        let argv = |a: &[&str]| a.iter().map(|s| s.to_string()).collect::<Vec<_>>().into_iter();
+        let (j, rest) = jobs_from_cli(argv(&["128", "--jobs", "3", "x"]));
+        assert_eq!(j, 3);
+        assert_eq!(rest, vec!["128".to_string(), "x".to_string()]);
+        let (j, rest) = jobs_from_cli(argv(&["--jobs=5"]));
+        assert_eq!(j, 5);
+        assert!(rest.is_empty());
+        let (j, _) = jobs_from_cli(argv(&["-j", "2"]));
+        assert_eq!(j, 2);
+        // A bad value is ignored, leaving the default.
+        let (j, _) = jobs_from_cli(argv(&["--jobs", "zero"]));
+        assert!(j >= 1);
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map(&items, 8, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+}

@@ -33,11 +33,10 @@
 //!     KernelClassId(0), "k", 256, 64, 16, 0, ComputeProfile::compute_only(1_000),
 //! ));
 //! let job = JobDesc::new(JobId(0), "demo", vec![kernel], Duration::from_us(500), Cycle::ZERO);
-//! let mut sim = Simulation::new(
-//!     SimParams::default(),
-//!     vec![job],
-//!     SchedulerMode::Cp(Box::new(Lax::new())),
-//! )?;
+//! let mut sim = Simulation::builder()
+//!     .jobs(vec![job])
+//!     .cp(Lax::new())
+//!     .build()?;
 //! assert_eq!(sim.run().deadlines_met(), 1);
 //! # Ok::<(), gpu_sim::sim::SimError>(())
 //! ```

@@ -1,58 +1,83 @@
 //! Property-based tests of the laxity/priority algebra (Algorithm 2) and
 //! the admission rule (Algorithm 1).
+//!
+//! Cases are sampled from a seeded [`SimRng`] (the registry is offline, so
+//! no proptest): every run draws the same inputs, keeping failures exactly
+//! reproducible — rerun with the printed case index to debug.
 
 use lax::admission::AdmissionEstimate;
 use lax::laxity::{us_to_prio, LaxityEstimate, PRIO_INF};
-use proptest::prelude::*;
+use sim_core::rng::SimRng;
 
-fn estimate() -> impl Strategy<Value = LaxityEstimate> {
-    (0.0f64..10_000.0, 0.0f64..10_000.0, 1.0f64..10_000.0).prop_map(
-        |(remaining_us, duration_us, deadline_us)| LaxityEstimate {
-            remaining_us,
-            duration_us,
-            deadline_us,
-        },
-    )
+const CASES: usize = 512;
+
+/// Uniform draw in `[lo, hi)`.
+fn uniform(rng: &mut SimRng, lo: f64, hi: f64) -> f64 {
+    lo + rng.uniform_f64() * (hi - lo)
 }
 
-proptest! {
-    /// Priorities always land in [0, PRIO_INF].
-    #[test]
-    fn priority_is_bounded(e in estimate()) {
+fn estimate(rng: &mut SimRng) -> LaxityEstimate {
+    LaxityEstimate {
+        remaining_us: uniform(rng, 0.0, 10_000.0),
+        duration_us: uniform(rng, 0.0, 10_000.0),
+        deadline_us: uniform(rng, 1.0, 10_000.0),
+    }
+}
+
+/// Priorities always land in [0, PRIO_INF].
+#[test]
+fn priority_is_bounded() {
+    let mut rng = SimRng::seed_from(0x1a71);
+    for case in 0..CASES {
+        let e = estimate(&mut rng);
         let p = e.priority();
-        prop_assert!((0..=PRIO_INF).contains(&p));
+        assert!((0..=PRIO_INF).contains(&p), "case {case}: {e:?} -> {p}");
     }
+}
 
-    /// Among jobs that will make their deadline, smaller laxity never gets
-    /// a lower priority rank (lower value = runs earlier).
-    #[test]
-    fn tighter_laxity_never_ranks_lower(
-        remaining in 0.0f64..1_000.0,
-        duration in 0.0f64..1_000.0,
-        deadline in 3_000.0f64..10_000.0,
-        extra in 0.0f64..500.0,
-    ) {
-        let e = LaxityEstimate { remaining_us: remaining, duration_us: duration, deadline_us: deadline };
-        let tighter = LaxityEstimate { remaining_us: remaining + extra, ..e };
-        prop_assert!(e.laxity_us() > 0.0 && tighter.laxity_us() > 0.0, "constructed with slack");
-        prop_assert!(tighter.priority() <= e.priority(),
-            "more remaining work => less laxity => must not rank lower");
+/// Among jobs that will make their deadline, smaller laxity never gets
+/// a lower priority rank (lower value = runs earlier).
+#[test]
+fn tighter_laxity_never_ranks_lower() {
+    let mut rng = SimRng::seed_from(0x1a72);
+    for case in 0..CASES {
+        let e = LaxityEstimate {
+            remaining_us: uniform(&mut rng, 0.0, 1_000.0),
+            duration_us: uniform(&mut rng, 0.0, 1_000.0),
+            deadline_us: uniform(&mut rng, 3_000.0, 10_000.0),
+        };
+        let extra = uniform(&mut rng, 0.0, 500.0);
+        let tighter = LaxityEstimate { remaining_us: e.remaining_us + extra, ..e };
+        assert!(
+            e.laxity_us() > 0.0 && tighter.laxity_us() > 0.0,
+            "case {case}: constructed with slack"
+        );
+        assert!(
+            tighter.priority() <= e.priority(),
+            "case {case}: more remaining work => less laxity => must not rank lower"
+        );
     }
+}
 
-    /// Among jobs with the SAME deadline (the paper's homogeneous-job
-    /// setting), a predicted miss never outranks a predicted hit. This is
-    /// Algorithm 2's line-14 guarantee: the miss's completion time exceeds
-    /// the shared deadline, which bounds every positive laxity. (It does
-    /// NOT hold across very different deadlines - a known limitation of
-    /// mixing laxities and completion times on one scale.)
-    #[test]
-    fn predicted_misses_rank_below_predicted_hits(
-        deadline in 1.0f64..10_000.0,
-        hit_completion in 0.0f64..10_000.0,
-        miss_remaining in 0.0f64..10_000.0,
-        duration_frac in 0.0f64..1.0,
-    ) {
-        prop_assume!(hit_completion < deadline);
+/// Among jobs with the SAME deadline (the paper's homogeneous-job
+/// setting), a predicted miss never outranks a predicted hit. This is
+/// Algorithm 2's line-14 guarantee: the miss's completion time exceeds
+/// the shared deadline, which bounds every positive laxity. (It does
+/// NOT hold across very different deadlines - a known limitation of
+/// mixing laxities and completion times on one scale.)
+#[test]
+fn predicted_misses_rank_below_predicted_hits() {
+    let mut rng = SimRng::seed_from(0x1a73);
+    let mut checked = 0;
+    for case in 0..CASES {
+        let deadline = uniform(&mut rng, 1.0, 10_000.0);
+        let hit_completion = uniform(&mut rng, 0.0, 10_000.0);
+        let miss_remaining = uniform(&mut rng, 0.0, 10_000.0);
+        let duration_frac = rng.uniform_f64();
+        if hit_completion >= deadline {
+            continue; // precondition, as prop_assume! did
+        }
+        checked += 1;
         let hit = LaxityEstimate {
             remaining_us: hit_completion,
             duration_us: 0.0,
@@ -64,50 +89,72 @@ proptest! {
             duration_us: deadline * duration_frac,
             deadline_us: deadline,
         };
-        prop_assert!(hit.laxity_us() > 0.0);
-        prop_assert!(miss.laxity_us() <= 0.0);
-        prop_assert!(miss.priority() >= hit.priority());
+        assert!(hit.laxity_us() > 0.0, "case {case}");
+        assert!(miss.laxity_us() <= 0.0, "case {case}");
+        assert!(miss.priority() >= hit.priority(), "case {case}");
     }
+    assert!(checked > CASES / 8, "precondition rejected too many cases");
+}
 
-    /// Expired jobs (elapsed past the deadline) are parked at infinity.
-    #[test]
-    fn expired_jobs_park_at_infinity(e in estimate()) {
-        prop_assume!(e.duration_us > e.deadline_us);
-        prop_assert_eq!(e.priority(), PRIO_INF);
+/// Expired jobs (elapsed past the deadline) are parked at infinity.
+#[test]
+fn expired_jobs_park_at_infinity() {
+    let mut rng = SimRng::seed_from(0x1a74);
+    let mut checked = 0;
+    for case in 0..CASES {
+        let e = estimate(&mut rng);
+        if e.duration_us <= e.deadline_us {
+            continue;
+        }
+        checked += 1;
+        assert_eq!(e.priority(), PRIO_INF, "case {case}: {e:?}");
     }
+    assert!(checked > CASES / 8, "precondition rejected too many cases");
+}
 
-    /// The priority conversion is monotone and saturating.
-    #[test]
-    fn prio_conversion_is_monotone(a in 0.0f64..1e7, b in 0.0f64..1e7) {
+/// The priority conversion is monotone and saturating.
+#[test]
+fn prio_conversion_is_monotone() {
+    let mut rng = SimRng::seed_from(0x1a75);
+    for case in 0..CASES {
+        let a = uniform(&mut rng, 0.0, 1e7);
+        let b = uniform(&mut rng, 0.0, 1e7);
         if a <= b {
-            prop_assert!(us_to_prio(a) <= us_to_prio(b));
+            assert!(us_to_prio(a) <= us_to_prio(b), "case {case}: {a} vs {b}");
         } else {
-            prop_assert!(us_to_prio(a) >= us_to_prio(b));
+            assert!(us_to_prio(a) >= us_to_prio(b), "case {case}: {a} vs {b}");
         }
     }
+}
 
-    /// Admission accepts exactly when the Algorithm 1 inequality holds.
-    #[test]
-    fn admission_matches_the_inequality(
-        queue in 0.0f64..10_000.0,
-        hold in 0.0f64..10_000.0,
-        age in 0.0f64..10_000.0,
-        deadline in 1.0f64..10_000.0,
-    ) {
+/// Admission accepts exactly when the Algorithm 1 inequality holds.
+#[test]
+fn admission_matches_the_inequality() {
+    let mut rng = SimRng::seed_from(0x1a76);
+    for case in 0..CASES {
+        let queue = uniform(&mut rng, 0.0, 10_000.0);
+        let hold = uniform(&mut rng, 0.0, 10_000.0);
+        let age = uniform(&mut rng, 0.0, 10_000.0);
+        let deadline = uniform(&mut rng, 1.0, 10_000.0);
         let e = AdmissionEstimate { queue_delay_us: queue, hold_us: hold, age_us: age, deadline_us: deadline };
-        prop_assert_eq!(e.accepts(), queue + hold + age < deadline);
+        assert_eq!(e.accepts(), queue + hold + age < deadline, "case {case}");
     }
+}
 
-    /// More queued work never turns a rejection into an acceptance.
-    #[test]
-    fn admission_is_monotone_in_queue_delay(
-        queue in 0.0f64..5_000.0,
-        extra in 0.0f64..5_000.0,
-        hold in 0.0f64..5_000.0,
-        deadline in 1.0f64..10_000.0,
-    ) {
+/// More queued work never turns a rejection into an acceptance.
+#[test]
+fn admission_is_monotone_in_queue_delay() {
+    let mut rng = SimRng::seed_from(0x1a77);
+    for case in 0..CASES {
+        let queue = uniform(&mut rng, 0.0, 5_000.0);
+        let extra = uniform(&mut rng, 0.0, 5_000.0);
+        let hold = uniform(&mut rng, 0.0, 5_000.0);
+        let deadline = uniform(&mut rng, 1.0, 10_000.0);
         let base = AdmissionEstimate { queue_delay_us: queue, hold_us: hold, age_us: 0.0, deadline_us: deadline };
         let worse = AdmissionEstimate { queue_delay_us: queue + extra, ..base };
-        prop_assert!(!(worse.accepts() && !base.accepts()));
+        assert!(
+            !worse.accepts() || base.accepts(),
+            "case {case}: more queued work turned a rejection into an acceptance"
+        );
     }
 }

@@ -44,11 +44,10 @@
 //!     ComputeProfile::compute_only(1_000),
 //! ));
 //! let job = JobDesc::new(JobId(0), "demo", vec![kernel], Duration::from_us(100), Cycle::ZERO);
-//! let mut sim = Simulation::new(
-//!     SimParams::default(),
-//!     vec![job],
-//!     SchedulerMode::Cp(Box::new(RoundRobin::new())),
-//! )?;
+//! let mut sim = Simulation::builder()
+//!     .jobs(vec![job])
+//!     .scheduler(SchedulerMode::Cp(Box::new(RoundRobin::new())))
+//!     .build()?;
 //! let report = sim.run();
 //! assert_eq!(report.deadlines_met(), 1);
 //! # Ok::<(), gpu_sim::sim::SimError>(())
@@ -85,6 +84,6 @@ pub mod prelude {
     pub use crate::metrics::{JobRecord, SimReport};
     pub use crate::queue::{ActiveJob, ComputeQueue};
     pub use crate::scheduler::{Admission, CpContext, CpScheduler, Occupancy, RoundRobin};
-    pub use crate::sim::{run_isolated, SchedulerMode, SimError, SimParams, Simulation};
+    pub use crate::sim::{run_isolated, SchedulerMode, SimBuilder, SimError, SimParams, Simulation};
     pub use sim_core::time::{Cycle, Duration, CYCLES_PER_MS, CYCLES_PER_US};
 }

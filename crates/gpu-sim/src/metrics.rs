@@ -10,7 +10,7 @@ use sim_core::time::{Cycle, Duration};
 use crate::job::{JobFate, JobId};
 
 /// Outcome of one job.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobRecord {
     /// Job id.
     pub id: JobId,
@@ -39,8 +39,9 @@ impl JobRecord {
     }
 }
 
-/// Aggregated result of one simulation run.
-#[derive(Debug, Clone)]
+/// Aggregated result of one simulation run. Compares bit-exactly
+/// (`PartialEq`), which the sweep engine's determinism tests rely on.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Scheduler name.
     pub scheduler: String,

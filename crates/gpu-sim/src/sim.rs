@@ -184,9 +184,129 @@ impl fmt::Debug for Simulation {
     }
 }
 
+/// Fluent constructor for [`Simulation`], the preferred front door:
+///
+/// ```
+/// use gpu_sim::prelude::*;
+/// use std::sync::Arc;
+///
+/// let kernel = Arc::new(KernelDesc::new(
+///     KernelClassId(0), "k", 256, 64, 16, 0, ComputeProfile::compute_only(1_000),
+/// ));
+/// let job = JobDesc::new(JobId(0), "demo", vec![kernel], Duration::from_us(100), Cycle::ZERO);
+/// let mut sim = Simulation::builder()
+///     .jobs(vec![job])
+///     .scheduler(SchedulerMode::Cp(Box::new(RoundRobin::new())))
+///     .build()?;
+/// assert_eq!(sim.run().deadlines_met(), 1);
+/// # Ok::<(), gpu_sim::sim::SimError>(())
+/// ```
+///
+/// Every knob of [`SimParams`] has a setter; unset fields keep their
+/// defaults, and the scheduler defaults to the contemporary round-robin
+/// baseline.
+#[derive(Debug)]
+pub struct SimBuilder {
+    params: SimParams,
+    jobs: Vec<JobDesc>,
+    mode: SchedulerMode,
+}
+
+impl Default for SimBuilder {
+    fn default() -> Self {
+        SimBuilder {
+            params: SimParams::default(),
+            jobs: Vec::new(),
+            mode: SchedulerMode::Cp(Box::new(RoundRobin::new())),
+        }
+    }
+}
+
+impl SimBuilder {
+    /// Replaces the whole parameter block (keeps other builder state).
+    pub fn params(mut self, params: SimParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Sets the machine configuration.
+    pub fn config(mut self, config: GpuConfig) -> Self {
+        self.params.config = config;
+        self
+    }
+
+    /// Sets the counter / profiling-table refresh period (paper: 100 us).
+    pub fn profiling_period(mut self, period: Duration) -> Self {
+        self.params.profiling_period = period;
+        self
+    }
+
+    /// Sets a hard stop for the event loop.
+    pub fn horizon(mut self, horizon: Cycle) -> Self {
+        self.params.horizon = Some(horizon);
+        self
+    }
+
+    /// Sets the offline per-class isolated rates for profile-driven
+    /// schedulers (typically from [`run_isolated`]).
+    pub fn offline_rates(mut self, rates: Vec<(KernelClassId, f64)>) -> Self {
+        self.params.offline_rates = rates;
+        self
+    }
+
+    /// Records a per-job [`Timeline`], retrievable with
+    /// [`Simulation::take_timeline`] after the run.
+    pub fn record_timeline(mut self, record: bool) -> Self {
+        self.params.record_timeline = record;
+        self
+    }
+
+    /// Sets the job stream (must be sorted by arrival with dense ids
+    /// `0..n`; validated by [`SimBuilder::build`]).
+    pub fn jobs(mut self, jobs: Vec<JobDesc>) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Sets the scheduler (either side). Defaults to CP round-robin.
+    pub fn scheduler(mut self, mode: SchedulerMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Shorthand for a command-processor scheduler.
+    pub fn cp(self, sched: impl CpScheduler + 'static) -> Self {
+        self.scheduler(SchedulerMode::Cp(Box::new(sched)))
+    }
+
+    /// Shorthand for a host-side scheduler.
+    pub fn host(self, sched: impl HostScheduler + 'static) -> Self {
+        self.scheduler(SchedulerMode::Host(Box::new(sched)))
+    }
+
+    /// Validates everything and constructs the [`Simulation`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the configuration is invalid or a job cannot
+    /// run on the machine.
+    pub fn build(self) -> Result<Simulation, SimError> {
+        Simulation::new(self.params, self.jobs, self.mode)
+    }
+}
+
 impl Simulation {
+    /// Starts a [`SimBuilder`] with default parameters, no jobs, and the
+    /// round-robin scheduler.
+    pub fn builder() -> SimBuilder {
+        SimBuilder::default()
+    }
+
     /// Builds a simulation over `jobs` (which must be sorted by arrival and
     /// have ids `0..n` in order) using the given scheduler.
+    ///
+    /// Equivalent to [`Simulation::builder`] with every field given; the
+    /// builder is preferred at call sites that do not set all three.
     ///
     /// # Errors
     ///

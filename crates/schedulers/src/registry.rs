@@ -27,6 +27,34 @@ pub const ALL: &[&str] = &[
     "RR", "MLFQ", "BAT", "BAY", "PRO", "LJF", "SJF", "SRF", "PREMA", "EDF", "LAX",
 ];
 
+/// Error returned by [`try_build`] for a scheduler name outside the
+/// registry. Its `Display` form names the bad input and lists every known
+/// name, so harness errors are self-explanatory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownScheduler {
+    name: String,
+}
+
+impl UnknownScheduler {
+    /// The name that failed to resolve.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl std::fmt::Display for UnknownScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown scheduler `{}` (known: {})",
+            self.name,
+            names().join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownScheduler {}
+
 /// Builds a scheduler by name.
 ///
 /// Known names: the eleven of [`ALL`], plus `"LAX-SW"`, `"LAX-CPU"`, the
@@ -35,18 +63,22 @@ pub const ALL: &[&str] = &[
 /// `"LAX-SRT"` (laxity replaced by pure shortest-remaining-time) and
 /// `"LAX-NOEVENT"` (no event-driven priority updates, tick only).
 ///
-/// Returns `None` for unknown names.
+/// # Errors
+///
+/// Returns [`UnknownScheduler`] for names outside the registry.
 ///
 /// # Examples
 ///
 /// ```
 /// use schedulers::registry;
 ///
-/// assert_eq!(registry::build("LAX").unwrap().name(), "LAX");
-/// assert!(registry::build("nope").is_none());
+/// assert_eq!(registry::try_build("LAX").unwrap().name(), "LAX");
+/// let err = registry::try_build("nope").unwrap_err();
+/// assert_eq!(err.name(), "nope");
+/// assert!(err.to_string().contains("PREMA"));
 /// ```
-pub fn build(name: &str) -> Option<SchedulerMode> {
-    Some(match name {
+pub fn try_build(name: &str) -> Result<SchedulerMode, UnknownScheduler> {
+    Ok(match name {
         "RR" => SchedulerMode::Cp(Box::new(RoundRobin::new())),
         "MLFQ" => SchedulerMode::Cp(Box::new(Mlfq::new())),
         "EDF" => SchedulerMode::Cp(Box::new(Edf::new())),
@@ -73,8 +105,25 @@ pub fn build(name: &str) -> Option<SchedulerMode> {
         "PRO" => SchedulerMode::Host(Box::new(Pro::new())),
         "LAX-SW" => SchedulerMode::Host(Box::new(LaxSw::new())),
         "LAX-CPU" => SchedulerMode::Host(Box::new(LaxCpu::new())),
-        _ => return None,
+        _ => return Err(UnknownScheduler { name: name.to_string() }),
     })
+}
+
+/// Builds a scheduler by name, collapsing the error to `None`.
+///
+/// Thin shim over [`try_build`] for callers that do not care why a name
+/// failed (prefer [`try_build`] in error-reporting paths).
+///
+/// # Examples
+///
+/// ```
+/// use schedulers::registry;
+///
+/// assert_eq!(registry::build("LAX").unwrap().name(), "LAX");
+/// assert!(registry::build("nope").is_none());
+/// ```
+pub fn build(name: &str) -> Option<SchedulerMode> {
+    try_build(name).ok()
 }
 
 /// All buildable scheduler names.
@@ -103,6 +152,17 @@ mod tests {
     #[test]
     fn unknown_name_is_none() {
         assert!(build("FIFO?").is_none());
+    }
+
+    #[test]
+    fn unknown_name_error_names_the_input_and_the_registry() {
+        let err = try_build("FIFO?").unwrap_err();
+        assert_eq!(err.name(), "FIFO?");
+        let msg = err.to_string();
+        assert!(msg.contains("unknown scheduler `FIFO?`"), "{msg}");
+        for known in names() {
+            assert!(msg.contains(known), "{msg} missing {known}");
+        }
     }
 
     #[test]

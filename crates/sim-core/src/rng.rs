@@ -3,11 +3,22 @@
 //! All stochastic inputs (arrival times, sequence lengths, address noise) draw
 //! from a [`SimRng`] seeded from the experiment configuration, so every run is
 //! exactly reproducible.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (Blackman & Vigna) seeded
+//! through SplitMix64, so the crate has no external dependencies and the
+//! streams are identical on every platform.
 
 use crate::time::Duration;
+
+/// SplitMix64 step: used to expand a 64-bit seed into the xoshiro state.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A seeded pseudo-random generator with the sampling helpers the workloads
 /// need.
@@ -23,14 +34,20 @@ use crate::time::Duration;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
     }
 
@@ -43,16 +60,28 @@ impl SimRng {
         SimRng::seed_from(s)
     }
 
-    /// Next raw 64-bit value.
+    /// Next raw 64-bit value (xoshiro256++ step).
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
     }
 
     /// Uniform float in `[0, 1)`.
     #[inline]
     pub fn uniform_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits -> uniform dyadic rational in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[0, n)`.
@@ -63,7 +92,9 @@ impl SimRng {
     #[inline]
     pub fn below(&mut self, n: u64) -> u64 {
         assert!(n > 0, "below(0) is meaningless");
-        self.inner.gen_range(0..n)
+        // Lemire's multiply-shift; the bias is < 2^-64 per draw, far below
+        // anything a simulation statistic can resolve.
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
     }
 
     /// Samples an exponential inter-arrival gap for a Poisson process with
@@ -125,6 +156,30 @@ mod tests {
         let mut f1 = root1.fork(10);
         let mut f2 = root2.fork(10);
         assert_eq!(f1.next_u64(), f2.next_u64());
+    }
+
+    #[test]
+    fn uniform_is_in_unit_interval_and_varies() {
+        let mut rng = SimRng::seed_from(11);
+        let mut distinct = std::collections::BTreeSet::new();
+        for _ in 0..1000 {
+            let u = rng.uniform_f64();
+            assert!((0.0..1.0).contains(&u));
+            distinct.insert(u.to_bits());
+        }
+        assert!(distinct.len() > 990, "draws should almost never collide");
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers_small_domains() {
+        let mut rng = SimRng::seed_from(13);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = rng.below(7);
+            assert!(v < 7);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
     }
 
     #[test]

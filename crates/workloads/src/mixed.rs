@@ -137,8 +137,11 @@ mod tests {
         assert_eq!(bg, 4);
         // Stream is runnable.
         use gpu_sim::prelude::*;
-        let params = SimParams { offline_rates: suite.offline_rates(), ..SimParams::default() };
-        let mut sim = Simulation::new(params, jobs, SchedulerMode::Cp(Box::new(RoundRobin::new())))
+        let mut sim = Simulation::builder()
+            .offline_rates(suite.offline_rates())
+            .jobs(jobs)
+            .cp(RoundRobin::new())
+            .build()
             .expect("mixed stream runs");
         let r = sim.run();
         let (_, fg_total, bg_done) = split_outcomes(&r);

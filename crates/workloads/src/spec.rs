@@ -142,6 +142,49 @@ impl std::fmt::Display for ArrivalRate {
     }
 }
 
+/// Error parsing a [`Benchmark`] or [`ArrivalRate`] from its display name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSpecError {
+    /// What was being parsed ("benchmark" or "arrival rate").
+    pub what: &'static str,
+    /// The rejected input.
+    pub input: String,
+}
+
+impl std::fmt::Display for ParseSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown {} `{}`", self.what, self.input)
+    }
+}
+
+impl std::error::Error for ParseSpecError {}
+
+impl std::str::FromStr for Benchmark {
+    type Err = ParseSpecError;
+
+    /// Parses a display name (as printed by [`Benchmark::name`]),
+    /// case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Benchmark::ALL
+            .into_iter()
+            .find(|b| b.name().eq_ignore_ascii_case(s))
+            .ok_or_else(|| ParseSpecError { what: "benchmark", input: s.to_string() })
+    }
+}
+
+impl std::str::FromStr for ArrivalRate {
+    type Err = ParseSpecError;
+
+    /// Parses a display name (as printed by [`ArrivalRate::name`]),
+    /// case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ArrivalRate::ALL
+            .into_iter()
+            .find(|r| r.name().eq_ignore_ascii_case(s))
+            .ok_or_else(|| ParseSpecError { what: "arrival rate", input: s.to_string() })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +209,20 @@ mod tests {
             let l = b.rate_jobs_per_sec(ArrivalRate::Low);
             assert!(h > m && m > l, "{b}: rates must decrease");
         }
+    }
+
+    #[test]
+    fn names_round_trip_through_from_str() {
+        for b in Benchmark::ALL {
+            assert_eq!(b.name().parse::<Benchmark>().unwrap(), b);
+            assert_eq!(b.name().to_lowercase().parse::<Benchmark>().unwrap(), b);
+        }
+        for r in ArrivalRate::ALL {
+            assert_eq!(r.name().parse::<ArrivalRate>().unwrap(), r);
+        }
+        let err = "warp9".parse::<Benchmark>().unwrap_err();
+        assert_eq!(err.to_string(), "unknown benchmark `warp9`");
+        assert!("sometimes".parse::<ArrivalRate>().is_err());
     }
 
     #[test]

@@ -44,8 +44,12 @@ impl CpScheduler for StaticSlack {
 }
 
 fn run(name: &str, mode: SchedulerMode, jobs: Vec<JobDesc>, rates: Vec<(KernelClassId, f64)>) {
-    let params = SimParams { offline_rates: rates, ..SimParams::default() };
-    let mut sim = Simulation::new(params, jobs, mode).expect("valid jobs");
+    let mut sim = Simulation::builder()
+        .offline_rates(rates)
+        .jobs(jobs)
+        .scheduler(mode)
+        .build()
+        .expect("valid jobs");
     let r = sim.run();
     println!(
         "{:<13} met {:>3}/{} rejected {:>3} p99 {:>7.2}ms useful {:>3.0}%",

@@ -29,8 +29,12 @@ fn main() {
         ("LAX", SchedulerMode::Cp(Box::new(Lax::new()))),
     ] {
         let jobs = with_background(suite, Benchmark::Gmm, ArrivalRate::Medium, n_fg, n_bg, 1_000, 17);
-        let params = SimParams { offline_rates: suite.offline_rates(), ..SimParams::default() };
-        let mut sim = Simulation::new(params, jobs, mode).expect("mixed stream runs");
+        let mut sim = Simulation::builder()
+            .offline_rates(suite.offline_rates())
+            .jobs(jobs)
+            .scheduler(mode)
+            .build()
+            .expect("mixed stream runs");
         let r = sim.run();
         let (fg_met, fg_total, bg_done) = split_outcomes(&r);
         println!(

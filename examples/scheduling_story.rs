@@ -82,12 +82,13 @@ fn story_jobs() -> Vec<JobDesc> {
 }
 
 fn run(name: &str, mode: SchedulerMode) {
-    let params = SimParams {
-        config: tiny_gpu(),
-        record_timeline: true,
-        ..SimParams::default()
-    };
-    let mut sim = Simulation::new(params, story_jobs(), mode).expect("valid jobs");
+    let mut sim = Simulation::builder()
+        .config(tiny_gpu())
+        .record_timeline(true)
+        .jobs(story_jobs())
+        .scheduler(mode)
+        .build()
+        .expect("valid jobs");
     let report = sim.run();
     println!("--- {name} ---");
     let mut met = 0;

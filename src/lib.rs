@@ -51,7 +51,8 @@ pub mod quick {
     /// # Panics
     ///
     /// Panics if the scheduler name is unknown or the generated jobs cannot
-    /// run on the default machine.
+    /// run on the default machine. For typed errors instead, use
+    /// `lax_bench::run_scenario`.
     pub fn simulate(
         bench: Benchmark,
         rate: ArrivalRate,
@@ -61,12 +62,13 @@ pub mod quick {
     ) -> SimReport {
         let suite = workloads::suite::BenchmarkSuite::calibrated();
         let jobs = suite.generate_jobs(bench, rate, n_jobs, seed);
-        let params = SimParams {
-            offline_rates: suite.offline_rates(),
-            ..SimParams::default()
-        };
-        let mode = registry::build(scheduler).unwrap_or_else(|| panic!("unknown scheduler {scheduler}"));
-        let mut sim = Simulation::new(params, jobs, mode).expect("valid jobs");
+        let mode = registry::try_build(scheduler).unwrap_or_else(|e| panic!("{e}"));
+        let mut sim = Simulation::builder()
+            .offline_rates(suite.offline_rates())
+            .jobs(jobs)
+            .scheduler(mode)
+            .build()
+            .expect("valid jobs");
         sim.run()
     }
 }

@@ -147,8 +147,13 @@ fn lax_drop_reclaims_work_from_expired_jobs() {
     let suite = BenchmarkSuite::calibrated();
     let run = |mode: SchedulerMode| {
         let jobs = suite.generate_jobs(Benchmark::Stem, ArrivalRate::High, 48, 9);
-        let params = SimParams { offline_rates: suite.offline_rates(), ..SimParams::default() };
-        Simulation::new(params, jobs, mode).unwrap().run()
+        Simulation::builder()
+            .offline_rates(suite.offline_rates())
+            .jobs(jobs)
+            .scheduler(mode)
+            .build()
+            .unwrap()
+            .run()
     };
     let plain = run(SchedulerMode::Cp(Box::new(Lax::with_config(no_admit.clone()))));
     let drop = run(SchedulerMode::Cp(Box::new(LaxDrop::with_config(no_admit))));

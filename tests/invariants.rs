@@ -1,12 +1,16 @@
 //! Property-based tests over the simulator core: for arbitrary job mixes
 //! and scheduler choices, structural invariants must hold.
+//!
+//! Job mixes are sampled from a seeded [`SimRng`] (the registry is offline,
+//! so no proptest): each test draws the same cases every run, keeping
+//! failures reproducible by the printed case index.
 
 use std::sync::Arc;
 
 use gpu_sim::job::{JobDesc, JobFate, JobId};
 use gpu_sim::kernel::{AccessPattern, ComputeProfile, KernelClassId, KernelDesc};
 use gpu_sim::prelude::*;
-use proptest::prelude::*;
+use sim_core::rng::SimRng;
 
 #[derive(Debug, Clone)]
 struct KernelSpec {
@@ -24,25 +28,29 @@ struct JobSpec {
     gap_us: u64,
 }
 
-fn kernel_strategy() -> impl Strategy<Value = KernelSpec> {
-    (0u16..4, 1u32..6, 1u32..3, 50u64..3_000, 0u32..6).prop_map(
-        |(class, wgs, waves, issue, mem)| KernelSpec {
-            class,
-            wgs,
-            wg_size_waves: waves,
-            issue,
-            mem,
-        },
-    )
+fn gen_kernel(rng: &mut SimRng) -> KernelSpec {
+    KernelSpec {
+        class: rng.below(4) as u16,
+        wgs: 1 + rng.below(5) as u32,
+        wg_size_waves: 1 + rng.below(2) as u32,
+        issue: 50 + rng.below(2_950),
+        mem: rng.below(6) as u32,
+    }
 }
 
-fn job_strategy() -> impl Strategy<Value = JobSpec> {
-    (
-        proptest::collection::vec(kernel_strategy(), 1..5),
-        20u64..2_000,
-        0u64..60,
-    )
-        .prop_map(|(kernels, deadline_us, gap_us)| JobSpec { kernels, deadline_us, gap_us })
+fn gen_job(rng: &mut SimRng) -> JobSpec {
+    let n_kernels = 1 + rng.below(4) as usize;
+    JobSpec {
+        kernels: (0..n_kernels).map(|_| gen_kernel(rng)).collect(),
+        deadline_us: 20 + rng.below(1_980),
+        gap_us: rng.below(60),
+    }
+}
+
+/// Samples a job mix of up to `max_jobs` (at least one).
+fn gen_specs(rng: &mut SimRng, max_jobs: u64) -> Vec<JobSpec> {
+    let n = 1 + rng.below(max_jobs) as usize;
+    (0..n).map(|_| gen_job(rng)).collect()
 }
 
 fn build_jobs(specs: &[JobSpec]) -> Vec<JobDesc> {
@@ -78,18 +86,22 @@ fn build_jobs(specs: &[JobSpec]) -> Vec<JobDesc> {
 }
 
 fn run(jobs: Vec<JobDesc>, sched: &str) -> SimReport {
-    let mode = schedulers::registry::build(sched).expect("known scheduler");
-    let mut sim = Simulation::new(SimParams::default(), jobs, mode).expect("valid jobs");
+    let mode = schedulers::registry::try_build(sched).expect("known scheduler");
+    let mut sim = Simulation::builder()
+        .jobs(jobs)
+        .scheduler(mode)
+        .build()
+        .expect("valid jobs");
     sim.run()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every job is resolved exactly once, completions respect causality,
-    /// and work attribution matches the job's actual size.
-    #[test]
-    fn structural_invariants_hold_under_rr(specs in proptest::collection::vec(job_strategy(), 1..12)) {
+/// Every job is resolved exactly once, completions respect causality,
+/// and work attribution matches the job's actual size.
+#[test]
+fn structural_invariants_hold_under_rr() {
+    let mut rng = SimRng::seed_from(0xBEEF_0001);
+    for case in 0..24 {
+        let specs = gen_specs(&mut rng, 11);
         let jobs = build_jobs(&specs);
         let total_wgs: Vec<u64> = jobs.iter().map(JobDesc::total_wgs).collect();
         let report = run(jobs, "RR");
@@ -97,65 +109,83 @@ proptest! {
         for (i, rec) in report.records.iter().enumerate() {
             match rec.fate {
                 JobFate::Completed(t) => {
-                    prop_assert!(t >= rec.arrival, "completion before arrival");
-                    prop_assert!((rec.wgs_executed - total_wgs[i] as f64).abs() < 1e-9,
-                        "job {i} executed {} of {} WGs", rec.wgs_executed, total_wgs[i]);
+                    assert!(t >= rec.arrival, "case {case}: completion before arrival");
+                    assert!(
+                        (rec.wgs_executed - total_wgs[i] as f64).abs() < 1e-9,
+                        "case {case}: job {i} executed {} of {} WGs",
+                        rec.wgs_executed,
+                        total_wgs[i]
+                    );
                 }
                 JobFate::Rejected(_) => {
-                    prop_assert!((rec.wgs_executed) == 0.0);
+                    assert!(rec.wgs_executed == 0.0, "case {case}");
                 }
                 JobFate::Aborted(_) => {
-                    prop_assert!(false, "RR never aborts jobs");
+                    panic!("case {case}: RR never aborts jobs");
                 }
                 JobFate::Unfinished => {
-                    prop_assert!(false, "RR must finish every job before the horizon");
+                    panic!("case {case}: RR must finish every job before the horizon");
                 }
             }
             executed += rec.wgs_executed;
         }
-        prop_assert!((executed - report.total_wgs as f64).abs() < 1e-6,
-            "attributed {} vs executed {}", executed, report.total_wgs);
-        prop_assert!(report.energy_mj > 0.0);
+        assert!(
+            (executed - report.total_wgs as f64).abs() < 1e-6,
+            "case {case}: attributed {} vs executed {}",
+            executed,
+            report.total_wgs
+        );
+        assert!(report.energy_mj > 0.0, "case {case}");
     }
+}
 
-    /// The same invariants hold under LAX, plus: rejected jobs do no work.
-    #[test]
-    fn structural_invariants_hold_under_lax(specs in proptest::collection::vec(job_strategy(), 1..12)) {
-        let jobs = build_jobs(&specs);
-        let report = run(jobs, "LAX");
+/// The same invariants hold under LAX, plus: rejected jobs do no work.
+#[test]
+fn structural_invariants_hold_under_lax() {
+    let mut rng = SimRng::seed_from(0xBEEF_0002);
+    for case in 0..24 {
+        let specs = gen_specs(&mut rng, 11);
+        let report = run(build_jobs(&specs), "LAX");
         for rec in &report.records {
             match rec.fate {
-                JobFate::Completed(t) => prop_assert!(t >= rec.arrival),
-                JobFate::Rejected(_) => prop_assert!(rec.wgs_executed == 0.0),
-                JobFate::Aborted(t) => prop_assert!(t >= rec.arrival),
-                JobFate::Unfinished => prop_assert!(false, "job left unfinished"),
+                JobFate::Completed(t) => assert!(t >= rec.arrival, "case {case}"),
+                JobFate::Rejected(_) => assert!(rec.wgs_executed == 0.0, "case {case}"),
+                JobFate::Aborted(t) => assert!(t >= rec.arrival, "case {case}"),
+                JobFate::Unfinished => panic!("case {case}: job left unfinished"),
             }
         }
     }
+}
 
-    /// Deadline classification is consistent with the recorded fates.
-    #[test]
-    fn deadline_classification_is_consistent(specs in proptest::collection::vec(job_strategy(), 1..10)) {
-        let jobs = build_jobs(&specs);
-        let report = run(jobs, "EDF");
+/// Deadline classification is consistent with the recorded fates.
+#[test]
+fn deadline_classification_is_consistent() {
+    let mut rng = SimRng::seed_from(0xBEEF_0003);
+    for case in 0..24 {
+        let specs = gen_specs(&mut rng, 9);
+        let report = run(build_jobs(&specs), "EDF");
         for rec in &report.records {
             if rec.met_deadline() {
                 let t = rec.fate.completed_at().expect("met implies completed");
-                prop_assert!(t <= rec.deadline_abs);
+                assert!(t <= rec.deadline_abs, "case {case}");
             }
         }
-        prop_assert!(report.deadlines_met() <= report.completed());
+        assert!(report.deadlines_met() <= report.completed(), "case {case}");
     }
+}
 
-    /// Two identical simulations agree event-for-event (determinism).
-    #[test]
-    fn simulation_is_deterministic(specs in proptest::collection::vec(job_strategy(), 1..8)) {
+/// Two identical simulations agree event-for-event (determinism).
+#[test]
+fn simulation_is_deterministic() {
+    let mut rng = SimRng::seed_from(0xBEEF_0004);
+    for case in 0..24 {
+        let specs = gen_specs(&mut rng, 7);
         let a = run(build_jobs(&specs), "SRF");
         let b = run(build_jobs(&specs), "SRF");
         for (x, y) in a.records.iter().zip(&b.records) {
-            prop_assert_eq!(x.fate.completed_at(), y.fate.completed_at());
+            assert_eq!(x.fate.completed_at(), y.fate.completed_at(), "case {case}");
         }
-        prop_assert_eq!(a.total_wgs, b.total_wgs);
-        prop_assert_eq!(a.energy_mj, b.energy_mj);
+        assert_eq!(a.total_wgs, b.total_wgs, "case {case}");
+        assert_eq!(a.energy_mj, b.energy_mj, "case {case}");
     }
 }

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: release build, full workspace test suite, and
+# lint-clean clippy. Run from anywhere; exits non-zero on the first failure.
+#
+#   tools/tier1.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier1: cargo build --release =="
+cargo build --release
+
+echo "== tier1: cargo test -q (workspace) =="
+cargo test --workspace -q
+
+echo "== tier1: cargo clippy -D warnings (workspace, all targets) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier1: OK =="
