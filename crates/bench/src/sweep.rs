@@ -19,11 +19,13 @@
 //! # Determinism
 //!
 //! Each cell's RNG seed is derived as a hash of the base seed and the
-//! scenario itself ([`Scenario::cell_seed`]), never from worker identity or
-//! completion order, so per-scenario reports are **bit-identical** whether
-//! the sweep runs on 1 thread or 64 (covered by
+//! workload-identifying fields ([`Scenario::cell_seed`]), never from worker
+//! identity or completion order, so per-scenario reports are
+//! **bit-identical** whether the sweep runs on 1 thread or 64 (covered by
 //! `sweeps_are_deterministic_across_thread_counts`). Results are returned
-//! in submission order.
+//! in submission order. The scheduler name is excluded from the hash so
+//! every scheduler in the same workload column runs the identical job
+//! trace — cross-scheduler comparisons stay paired.
 //!
 //! # Worker count
 //!
@@ -58,7 +60,10 @@ use workloads::suite::BenchmarkSuite;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Scenario {
-    /// Scheduler name (see [`schedulers::registry`]).
+    /// Scheduler name (see [`schedulers::registry`]). Must not contain
+    /// `':'` (the string-form field separator); registry names never do,
+    /// and [`Scenario::new`]/[`FromStr`] enforce it so the `Display` round
+    /// trip stays lossless.
     pub scheduler: String,
     /// Benchmark.
     pub bench: Benchmark,
@@ -72,14 +77,31 @@ pub struct Scenario {
 
 impl Scenario {
     /// Convenience constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scheduler` contains `':'`, which would make the
+    /// [`Display`](fmt::Display) form unparseable (no registry name does;
+    /// see [`schedulers::registry`]).
     pub fn new(scheduler: &str, bench: Benchmark, rate: ArrivalRate, n_jobs: usize, seed: u64) -> Self {
+        assert!(
+            !scheduler.contains(':'),
+            "scheduler name {scheduler:?} contains ':', the Scenario string-form separator"
+        );
         Scenario { scheduler: scheduler.to_string(), bench, rate, n_jobs, seed }
     }
 
     /// The seed actually fed to the workload generator: an FNV-1a hash of
-    /// the base seed and every identifying field, so each cell gets an
-    /// independent stream and the value never depends on which worker runs
-    /// the cell or in what order.
+    /// the base seed and the workload-identifying fields (benchmark, rate,
+    /// job count), so each workload column gets an independent stream and
+    /// the value never depends on which worker runs the cell or in what
+    /// order.
+    ///
+    /// The scheduler name is deliberately **not** mixed in: every scheduler
+    /// compared at the same `(bench, rate, n_jobs, seed)` must see the
+    /// identical job trace, or cross-scheduler metrics (met ratios, the
+    /// figure 6–10 grids) would pick up workload sampling noise instead of
+    /// scheduler differences.
     pub fn cell_seed(&self) -> u64 {
         const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const FNV_PRIME: u64 = 0x100_0000_01b3;
@@ -91,8 +113,6 @@ impl Scenario {
             }
         };
         eat(&self.seed.to_le_bytes());
-        eat(self.scheduler.as_bytes());
-        eat(b":");
         eat(self.bench.name().as_bytes());
         eat(b":");
         eat(self.rate.name().as_bytes());
@@ -246,7 +266,15 @@ pub fn jobs_from_cli(args: impl Iterator<Item = String>) -> (usize, Vec<String>)
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         let value = if arg == "--jobs" || arg == "-j" {
-            args.next()
+            // Only consume the next token as the value when it looks like
+            // one; `--jobs --verbose` must not eat `--verbose`.
+            match args.peek() {
+                Some(next) if !next.starts_with('-') => args.next(),
+                _ => {
+                    eprintln!("warning: {arg} is missing its value (want a positive integer)");
+                    continue;
+                }
+            }
         } else if let Some(v) = arg.strip_prefix("--jobs=") {
             Some(v.to_string())
         } else {
@@ -407,17 +435,39 @@ mod tests {
     }
 
     #[test]
-    fn cell_seeds_differ_across_cells_but_not_runs() {
+    fn cell_seeds_pair_schedulers_but_differ_across_workloads() {
         let a = Scenario::new("RR", Benchmark::Ipv6, ArrivalRate::High, 128, 1);
         let b = Scenario::new("LAX", Benchmark::Ipv6, ArrivalRate::High, 128, 1);
         let c = Scenario::new("RR", Benchmark::Stem, ArrivalRate::High, 128, 1);
-        assert_ne!(a.cell_seed(), b.cell_seed());
+        let d = Scenario::new("RR", Benchmark::Ipv6, ArrivalRate::Low, 128, 1);
+        let e = Scenario::new("RR", Benchmark::Ipv6, ArrivalRate::High, 64, 1);
+        assert_eq!(
+            a.cell_seed(),
+            b.cell_seed(),
+            "schedulers compared on the same workload must see identical jobs"
+        );
         assert_ne!(a.cell_seed(), c.cell_seed());
+        assert_ne!(a.cell_seed(), d.cell_seed());
+        assert_ne!(a.cell_seed(), e.cell_seed());
         assert_eq!(a.cell_seed(), a.clone().cell_seed());
         assert_ne!(
             a.cell_seed(),
             Scenario { seed: 2, ..a.clone() }.cell_seed(),
             "base seed must perturb the cell stream"
+        );
+    }
+
+    #[test]
+    fn schedulers_in_one_workload_column_get_identical_job_traces() {
+        let suite = BenchmarkSuite::calibrated();
+        let rr = tiny("RR");
+        let lax = tiny("LAX");
+        let jobs_rr = suite.generate_jobs(rr.bench, rr.rate, rr.n_jobs, rr.cell_seed());
+        let jobs_lax = suite.generate_jobs(lax.bench, lax.rate, lax.n_jobs, lax.cell_seed());
+        assert_eq!(
+            format!("{jobs_rr:?}"),
+            format!("{jobs_lax:?}"),
+            "paired comparison requires one shared job trace per column"
         );
     }
 
@@ -478,6 +528,27 @@ mod tests {
         // A bad value is ignored, leaving the default.
         let (j, _) = jobs_from_cli(argv(&["--jobs", "zero"]));
         assert!(j >= 1);
+    }
+
+    #[test]
+    fn jobs_flag_missing_value_does_not_eat_the_next_flag() {
+        let argv = |a: &[&str]| a.iter().map(|s| s.to_string()).collect::<Vec<_>>().into_iter();
+        // `--jobs --verbose`: --verbose is not a value; it must survive.
+        let (j, rest) = jobs_from_cli(argv(&["--jobs", "--verbose"]));
+        assert!(j >= 1);
+        assert_eq!(rest, vec!["--verbose".to_string()]);
+        let (j, rest) = jobs_from_cli(argv(&["-j"]));
+        assert!(j >= 1);
+        assert!(rest.is_empty());
+        let (j, rest) = jobs_from_cli(argv(&["-j", "-j", "2"]));
+        assert_eq!(j, 2);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "contains ':'")]
+    fn scenario_new_rejects_colon_in_scheduler_name() {
+        let _ = Scenario::new("LAX:EVIL", Benchmark::Ipv6, ArrivalRate::High, 1, 1);
     }
 
     #[test]
