@@ -2,18 +2,28 @@
 //! `results/<name>.txt`.
 //!
 //! ```text
-//! cargo run --release -p lax-bench --bin all [max_batch] [--jobs N]
+//! cargo run --release -p lax-bench --bin all [max_batch] [--jobs N] [--resume]
 //! ```
 //!
 //! `max_batch` bounds Figure 4's batch sweep (default 128; 0 skips it).
 //! `--jobs N` (or `LAX_BENCH_JOBS`) sets the sweep worker count; the
 //! default is every available core. Output is bit-identical for any worker
 //! count.
+//!
+//! Finished grid cells stream into `results/all.ckpt` as they land. If a
+//! run is interrupted (crash, SIGKILL, power loss), `--resume` reloads
+//! that file and re-runs only the missing cells; the regenerated artifacts
+//! are byte-identical to an uninterrupted run. Without `--resume` any
+//! stale checkpoint is discarded and the evaluation starts from scratch.
+//! The checkpoint is removed again once the run completes.
 use std::error::Error;
 use std::fs;
 use std::io::Write;
 
 use lax_bench::sweep;
+
+/// Where interrupted runs park their finished cells.
+const CHECKPOINT: &str = "results/all.ckpt";
 
 fn save(dir: &str, name: &str, content: &str) -> Result<(), Box<dyn Error>> {
     let path = format!("{dir}/{name}.txt");
@@ -24,16 +34,27 @@ fn save(dir: &str, name: &str, content: &str) -> Result<(), Box<dyn Error>> {
 
 fn main() -> Result<(), Box<dyn Error>> {
     let (jobs, rest) = sweep::jobs_from_cli(std::env::args().skip(1));
-    let max_batch: usize = rest.first().and_then(|a| a.parse().ok()).unwrap_or(128);
+    let resume = rest.iter().any(|a| a == "--resume");
+    let max_batch: usize = rest
+        .iter()
+        .filter(|a| *a != "--resume")
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(128);
     let dir = "results";
     fs::create_dir_all(dir)?;
+    if !resume {
+        // A fresh run must not silently adopt cells from an older one.
+        if fs::remove_file(CHECKPOINT).is_ok() {
+            eprintln!("[all] discarded stale checkpoint {CHECKPOINT} (run with --resume to keep it)");
+        }
+    }
     eprintln!("[all] sweeping on {jobs} worker thread(s)");
     let t0 = std::time::Instant::now();
 
     save(dir, "table1", &lax_bench::figures::table1())?;
     save(dir, "fig1", &lax_bench::figures::fig1())?;
 
-    let mut db = lax_bench::ResultsDb::new().verbose();
+    let mut db = lax_bench::ResultsDb::new().verbose().with_checkpoints(CHECKPOINT);
     save(dir, "fig7", &lax_bench::figures::fig7(&mut db, jobs)?)?;
     save(dir, "fig8", &lax_bench::figures::fig8(&mut db, jobs)?)?;
     save(dir, "fig9", &lax_bench::figures::fig9(&mut db, jobs)?)?;
@@ -50,6 +71,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     let wall = t0.elapsed();
     let mut f = fs::File::create(format!("{dir}/SUMMARY.txt"))?;
     writeln!(f, "full evaluation regenerated in {wall:?} on {jobs} worker thread(s)")?;
+    if let Some(ck) = db.checkpoint() {
+        ck.discard_file()?;
+    }
     eprintln!("[all] done in {wall:?} ({} cells cached)", db.len());
     Ok(())
 }

@@ -1,0 +1,363 @@
+//! Crash-safe incremental checkpointing of finished sweep cells.
+//!
+//! Long grids (`bin/all`, `bin/faults`) record every finished cell to a
+//! checkpoint file as they go; an interrupted run restarted with
+//! `--resume` reloads the file and re-runs only the missing cells. Two
+//! properties make this safe to lean on:
+//!
+//! * **Exact round-trip.** [`SimReport`]s compare bit-exactly across
+//!   thread counts, and resumed runs must stay byte-identical to
+//!   uninterrupted ones, so every `f64` is stored as the hex of its IEEE
+//!   bits ([`f64::to_bits`]) — never through decimal formatting, which
+//!   rounds. `restores_reports_bit_exactly` locks this in.
+//! * **Crash atomicity.** Each update rewrites the whole file to a
+//!   sibling `.tmp` and `rename`s it into place, so a `SIGKILL` at any
+//!   instant leaves either the previous complete snapshot or the new one,
+//!   never a torn file. (Snapshots are small — a full evaluation is a few
+//!   hundred cells of ~130 lines — so rewrite-per-cell is cheap.)
+//!
+//! Cells are keyed by caller-chosen strings (a [`Scenario`] string form,
+//! optionally suffixed, e.g. `LAX:IPV6:high:j128:s42:f0.5` for a fault
+//! cell) rather than parsed structs, so one format serves every binary.
+//! A file with an unknown header, or any cell block that fails to parse,
+//! is silently treated as absent — the worst case is re-running work.
+//!
+//! [`Scenario`]: crate::sweep::Scenario
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use gpu_sim::prelude::*;
+
+use crate::sweep::BenchError;
+
+/// First line of every checkpoint file; anything else is ignored wholesale.
+const HEADER: &str = "lax-bench-checkpoint v1";
+
+/// A checkpoint file plus its in-memory view: a map from cell key to the
+/// finished [`SimReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    path: PathBuf,
+    cells: BTreeMap<String, SimReport>,
+}
+
+impl Checkpoint {
+    /// Opens (or prepares to create) the checkpoint at `path`, loading any
+    /// cells a previous run left behind. A missing, unreadable or
+    /// unrecognized file simply yields an empty checkpoint.
+    pub fn open(path: impl Into<PathBuf>) -> Checkpoint {
+        let path = path.into();
+        let cells = match fs::read_to_string(&path) {
+            Ok(text) => parse_file(&text),
+            Err(_) => BTreeMap::new(),
+        };
+        Checkpoint { path, cells }
+    }
+
+    /// The file this checkpoint persists to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The report recorded for `key`, if any.
+    pub fn get(&self, key: &str) -> Option<&SimReport> {
+        self.cells.get(key)
+    }
+
+    /// `true` if `key` has a recorded report.
+    pub fn contains(&self, key: &str) -> bool {
+        self.cells.contains_key(key)
+    }
+
+    /// Iterates over all recorded `(key, report)` cells in key order.
+    pub fn cells(&self) -> impl Iterator<Item = (&str, &SimReport)> {
+        self.cells.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of recorded cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` when no cells are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Records one finished cell and atomically persists the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`BenchError::Io`] if the snapshot cannot be written; the in-memory
+    /// view still holds the cell, so the sweep can finish regardless.
+    pub fn record(&mut self, key: &str, report: &SimReport) -> Result<(), BenchError> {
+        self.cells.insert(key.to_string(), report.clone());
+        self.flush()
+    }
+
+    /// Deletes the checkpoint file (kept cells stay in memory). Used once
+    /// a run completes so a later fresh run does not resume by accident.
+    ///
+    /// # Errors
+    ///
+    /// [`BenchError::Io`] on filesystem failure (a missing file is fine).
+    pub fn discard_file(&self) -> Result<(), BenchError> {
+        match fs::remove_file(&self.path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(io_err(&self.path, &e)),
+        }
+    }
+
+    /// Rewrites the snapshot: serialize everything to `<path>.tmp`, then
+    /// rename over the real file so readers (and crashes) only ever see a
+    /// complete snapshot.
+    fn flush(&self) -> Result<(), BenchError> {
+        let mut text = String::from(HEADER);
+        text.push('\n');
+        for (key, report) in &self.cells {
+            render_cell(&mut text, key, report);
+        }
+        if let Some(dir) = self.path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir).map_err(|e| io_err(dir, &e))?;
+            }
+        }
+        let tmp = self.path.with_extension("tmp");
+        fs::write(&tmp, &text).map_err(|e| io_err(&tmp, &e))?;
+        fs::rename(&tmp, &self.path).map_err(|e| io_err(&self.path, &e))
+    }
+}
+
+fn io_err(path: &Path, e: &std::io::Error) -> BenchError {
+    BenchError::Io(format!("{}: {e}", path.display()))
+}
+
+/// Serializes one cell block. Free-text fields (the key, the scheduler
+/// name, each job's benchmark label) terminate their lines so embedded
+/// spaces survive; every float travels as the hex of its bits.
+fn render_cell(out: &mut String, key: &str, r: &SimReport) {
+    let _ = writeln!(out, "cell {key}");
+    let _ = writeln!(out, "scheduler {}", r.scheduler);
+    let _ = writeln!(
+        out,
+        "summary {} {:016x} {} {:016x} {:016x} {}",
+        r.makespan.as_cycles(),
+        r.energy_mj.to_bits(),
+        r.total_wgs,
+        r.l1_hit_rate.to_bits(),
+        r.l2_hit_rate.to_bits(),
+        r.records.len()
+    );
+    for rec in &r.records {
+        let fate = match rec.fate {
+            JobFate::Completed(t) => format!("C{}", t.as_cycles()),
+            JobFate::Rejected(t) => format!("R{}", t.as_cycles()),
+            JobFate::Aborted(t) => format!("A{}", t.as_cycles()),
+            JobFate::Unfinished => "U".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "job {} {} {} {} {:016x} {}",
+            rec.id.0,
+            rec.arrival.as_cycles(),
+            rec.deadline_abs.as_cycles(),
+            fate,
+            rec.wgs_executed.to_bits(),
+            rec.bench
+        );
+    }
+    out.push_str("end\n");
+}
+
+/// Parses a whole file; malformed cell blocks are dropped, everything else
+/// is kept. Returns empty on a bad header.
+fn parse_file(text: &str) -> BTreeMap<String, SimReport> {
+    let mut lines = text.lines();
+    if lines.next() != Some(HEADER) {
+        return BTreeMap::new();
+    }
+    let mut cells = BTreeMap::new();
+    let mut block: Option<(String, Vec<&str>)> = None;
+    for line in lines {
+        if let Some(key) = line.strip_prefix("cell ") {
+            // A `cell` line inside an unterminated block abandons it.
+            block = Some((key.to_string(), Vec::new()));
+        } else if line == "end" {
+            if let Some((key, body)) = block.take() {
+                if let Some(report) = parse_cell(&body) {
+                    cells.insert(key, report);
+                }
+            }
+        } else if let Some((_, body)) = block.as_mut() {
+            body.push(line);
+        }
+    }
+    cells
+}
+
+fn parse_cell(body: &[&str]) -> Option<SimReport> {
+    let mut lines = body.iter();
+    let scheduler = lines.next()?.strip_prefix("scheduler ")?.to_string();
+    let summary = lines.next()?.strip_prefix("summary ")?;
+    let mut s = summary.split(' ');
+    let makespan = Duration::from_cycles(s.next()?.parse().ok()?);
+    let energy_mj = f64_from_hex(s.next()?)?;
+    let total_wgs = s.next()?.parse().ok()?;
+    let l1_hit_rate = f64_from_hex(s.next()?)?;
+    let l2_hit_rate = f64_from_hex(s.next()?)?;
+    let n_records: usize = s.next()?.parse().ok()?;
+    if s.next().is_some() {
+        return None;
+    }
+    let mut records = Vec::with_capacity(n_records);
+    for _ in 0..n_records {
+        let line = lines.next()?.strip_prefix("job ")?;
+        // The benchmark label is free text: split off the 5 fixed fields,
+        // keep the rest of the line verbatim.
+        let mut f = line.splitn(6, ' ');
+        let id = JobId(f.next()?.parse().ok()?);
+        let arrival = Cycle::from_cycles(f.next()?.parse().ok()?);
+        let deadline_abs = Cycle::from_cycles(f.next()?.parse().ok()?);
+        let fate = parse_fate(f.next()?)?;
+        let wgs_executed = f64_from_hex(f.next()?)?;
+        let bench: Arc<str> = Arc::from(f.next()?);
+        records.push(JobRecord { id, bench, arrival, deadline_abs, fate, wgs_executed });
+    }
+    if lines.next().is_some() {
+        return None;
+    }
+    Some(SimReport {
+        scheduler,
+        records,
+        makespan,
+        energy_mj,
+        total_wgs,
+        l1_hit_rate,
+        l2_hit_rate,
+    })
+}
+
+fn parse_fate(s: &str) -> Option<JobFate> {
+    if s == "U" {
+        return Some(JobFate::Unfinished);
+    }
+    let (tag, t) = s.split_at(1);
+    let t = Cycle::from_cycles(t.parse().ok()?);
+    match tag {
+        "C" => Some(JobFate::Completed(t)),
+        "R" => Some(JobFate::Rejected(t)),
+        "A" => Some(JobFate::Aborted(t)),
+        _ => None,
+    }
+}
+
+fn f64_from_hex(s: &str) -> Option<f64> {
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(scheduler: &str, jobs: usize) -> SimReport {
+        let records = (0..jobs)
+            .map(|i| JobRecord {
+                id: JobId(i as u32),
+                bench: Arc::from("IPV6 mixed"),
+                arrival: Cycle::from_cycles(i as u64 * 1000),
+                deadline_abs: Cycle::from_cycles(i as u64 * 1000 + 777),
+                fate: match i % 4 {
+                    0 => JobFate::Completed(Cycle::from_cycles(i as u64 * 1000 + 500)),
+                    1 => JobFate::Rejected(Cycle::from_cycles(i as u64 * 1000)),
+                    2 => JobFate::Aborted(Cycle::from_cycles(i as u64 * 1000 + 900)),
+                    _ => JobFate::Unfinished,
+                },
+                // Deliberately awkward floats: non-terminating binary
+                // fractions and a subnormal — decimal formatting would
+                // corrupt them, to_bits must not.
+                wgs_executed: 0.1 + 0.2 + i as f64 * 1e-17,
+            })
+            .collect();
+        SimReport {
+            scheduler: scheduler.to_string(),
+            records,
+            makespan: Duration::from_cycles(123_456_789),
+            energy_mj: std::f64::consts::PI * 1e3,
+            total_wgs: 42,
+            l1_hit_rate: 2.0 / 3.0,
+            l2_hit_rate: f64::MIN_POSITIVE / 2.0,
+        }
+    }
+
+    fn tmp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("lax-ckpt-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn restores_reports_bit_exactly() {
+        let path = tmp_path("roundtrip");
+        let mut ck = Checkpoint::open(&path);
+        let a = report("LAX", 7);
+        let b = report("RR with spaces", 3);
+        ck.record("LAX:IPV6:high:j128:s42", &a).unwrap();
+        ck.record("RR:IPV6:high:j128:s42:f0.5", &b).unwrap();
+        let reloaded = Checkpoint::open(&path);
+        assert_eq!(reloaded.len(), 2);
+        assert_eq!(reloaded.get("LAX:IPV6:high:j128:s42"), Some(&a));
+        assert_eq!(reloaded.get("RR:IPV6:high:j128:s42:f0.5"), Some(&b));
+        ck.discard_file().unwrap();
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn recording_twice_overwrites_in_place() {
+        let path = tmp_path("overwrite");
+        let mut ck = Checkpoint::open(&path);
+        ck.record("k", &report("A", 2)).unwrap();
+        ck.record("k", &report("B", 1)).unwrap();
+        let reloaded = Checkpoint::open(&path);
+        assert_eq!(reloaded.len(), 1);
+        assert_eq!(reloaded.get("k").unwrap().scheduler, "B");
+        ck.discard_file().unwrap();
+    }
+
+    #[test]
+    fn missing_file_and_garbage_files_read_as_empty() {
+        assert!(Checkpoint::open(tmp_path("nonexistent")).is_empty());
+        let path = tmp_path("garbage");
+        fs::write(&path, "this is not a checkpoint\ncell x\nend\n").unwrap();
+        assert!(Checkpoint::open(&path).is_empty(), "bad header rejects the file");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_or_corrupt_cells_are_dropped_without_losing_good_ones() {
+        let path = tmp_path("torn");
+        let mut ck = Checkpoint::open(&path);
+        ck.record("good", &report("LAX", 2)).unwrap();
+        // Simulate a corrupted tail: a cell whose job count lies, then an
+        // unterminated block (as if truncated mid-write).
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str("cell bad\nscheduler X\nsummary 1 0 0 0 0 5\njob 0 0 0 U 0 b\nend\n");
+        text.push_str("cell truncated\nscheduler Y\n");
+        fs::write(&path, &text).unwrap();
+        let reloaded = Checkpoint::open(&path);
+        assert_eq!(reloaded.len(), 1, "only the intact cell survives");
+        assert!(reloaded.contains("good"));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn no_tmp_file_left_behind() {
+        let path = tmp_path("tmpclean");
+        let mut ck = Checkpoint::open(&path);
+        ck.record("k", &report("A", 1)).unwrap();
+        assert!(!path.with_extension("tmp").exists());
+        ck.discard_file().unwrap();
+    }
+}

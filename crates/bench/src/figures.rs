@@ -16,8 +16,9 @@ use workloads::spec::{ArrivalRate, Benchmark};
 use workloads::suite::BenchmarkSuite;
 use workloads::table1;
 
+use crate::checkpoint::Checkpoint;
 use crate::runner::ResultsDb;
-use crate::sweep::{par_map, BenchError};
+use crate::sweep::{par_map, par_map_with, run_cell_opts, BenchError, Scenario, SweepOptions};
 
 /// Schedulers of Figure 6 (CPU-side study), excluding the RR baseline
 /// column itself.
@@ -314,6 +315,174 @@ pub fn table5(db: &mut ResultsDb, workers: usize) -> Result<String, BenchError> 
     Ok(out)
 }
 
+/// Grid of the fault-robustness study: schedulers × benchmarks ×
+/// fault-plan intensities at the high arrival rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSweep {
+    /// Schedulers to degrade (registry names).
+    pub schedulers: Vec<String>,
+    /// Benchmarks to sweep.
+    pub benches: Vec<Benchmark>,
+    /// Fault intensities, `0.0` first (the clean baseline each scheduler's
+    /// degradation curve is normalized to).
+    pub intensities: Vec<f64>,
+    /// Jobs per cell.
+    pub n_jobs: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl FaultSweep {
+    /// The published study: LAX against a deadline-blind (RR) and a
+    /// deadline-aware (EDF) baseline across the four single-kernel-to-RNN
+    /// extremes, at intensities from clean to twice-nominal.
+    pub fn full() -> Self {
+        FaultSweep {
+            schedulers: vec!["RR".into(), "EDF".into(), "LAX".into()],
+            benches: vec![Benchmark::Ipv6, Benchmark::Stem, Benchmark::Gmm, Benchmark::Lstm],
+            intensities: vec![0.0, 0.5, 1.0, 2.0],
+            n_jobs: crate::runner::JOBS_PER_RUN,
+            seed: crate::runner::DEFAULT_SEED,
+        }
+    }
+
+    /// A seconds-scale grid for CI smoke runs and the kill-and-resume
+    /// check in `tools/tier1.sh`.
+    pub fn smoke() -> Self {
+        FaultSweep {
+            schedulers: vec!["RR".into(), "LAX".into()],
+            benches: vec![Benchmark::Ipv6],
+            intensities: vec![0.0, 1.0],
+            n_jobs: 8,
+            seed: crate::runner::DEFAULT_SEED,
+        }
+    }
+
+    /// The cells of this grid in render order, each with its checkpoint
+    /// key (the scenario string suffixed with `:f<intensity>` — not a
+    /// parseable [`Scenario`], so `bin/all`'s resume path ignores them).
+    fn cells(&self) -> Vec<(String, Scenario, f64)> {
+        let mut cells = Vec::new();
+        for s in &self.schedulers {
+            for &b in &self.benches {
+                for &i in &self.intensities {
+                    let scenario = Scenario::new(s, b, ArrivalRate::High, self.n_jobs, self.seed);
+                    cells.push((format!("{scenario}:f{i}"), scenario, i));
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// Renders the fault-robustness study: deadline-met counts and
+/// degradation ratios (vs each scheduler's own intensity-0 column) under
+/// seeded fault plans, plus per-scheduler geomean degradation curves.
+///
+/// Every scheduler at one `(benchmark, intensity)` cell faces the
+/// identical storm (the plan seeds from [`Scenario::cell_seed`], which
+/// excludes the scheduler name), so the comparison is paired. Finished
+/// cells stream into `checkpoint` when one is attached; cells already
+/// recorded there are not re-run, which is how an interrupted
+/// `bin/faults` resumes byte-identically.
+///
+/// # Errors
+///
+/// The first failing cell, after all runnable cells finished (and were
+/// checkpointed).
+pub fn faults(
+    sweep: &FaultSweep,
+    workers: usize,
+    mut checkpoint: Option<&mut Checkpoint>,
+) -> Result<String, BenchError> {
+    let cells = sweep.cells();
+    let mut reports: Vec<Option<SimReport>> = vec![None; cells.len()];
+    let mut missing: Vec<usize> = Vec::new();
+    for (idx, (key, _, _)) in cells.iter().enumerate() {
+        match checkpoint.as_ref().and_then(|ck| ck.get(key)) {
+            Some(report) => reports[idx] = Some(report.clone()),
+            None => missing.push(idx),
+        }
+    }
+    let mut first_err: Option<BenchError> = None;
+    if !missing.is_empty() {
+        let results = par_map_with(
+            &missing,
+            workers,
+            |&idx| {
+                let (_, scenario, intensity) = &cells[idx];
+                run_cell_opts(scenario, &SweepOptions::new(1).fault_intensity(*intensity))
+            },
+            |i, r: &Result<SimReport, BenchError>, _| {
+                if let (Ok(report), Some(ck)) = (r, checkpoint.as_deref_mut()) {
+                    if let Err(e) = ck.record(&cells[missing[i]].0, report) {
+                        eprintln!("warning: checkpoint write failed: {e}");
+                    }
+                }
+            },
+        );
+        for (&idx, result) in missing.iter().zip(results) {
+            match result {
+                Ok(report) => reports[idx] = Some(report),
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    let met = |sched: usize, bench: usize, inten: usize| -> usize {
+        let idx = (sched * sweep.benches.len() + bench) * sweep.intensities.len() + inten;
+        reports[idx].as_ref().expect("all cells ran").deadlines_met()
+    };
+    // Ratio vs the scheduler's own clean (intensity-0) cell, with the
+    // 0-over-0 -> 1.0 convention normalized bar charts use.
+    let ratio = |sched: usize, bench: usize, inten: usize| -> f64 {
+        let now = met(sched, bench, inten) as f64;
+        let clean = met(sched, bench, 0) as f64;
+        if clean == 0.0 {
+            if now == 0.0 {
+                1.0
+            } else {
+                now
+            }
+        } else {
+            now / clean
+        }
+    };
+    let mut out = format!(
+        "Fault robustness: deadline-met degradation under injected faults\n\
+         (high arrival rate, {} jobs/cell, seed {}; every scheduler faces the\n\
+         identical seeded storm per (benchmark, intensity) cell: compute\n\
+         slowdown windows, CU outages, DRAM throttles, arrival bursts)\n",
+        sweep.n_jobs, sweep.seed
+    );
+    for (si, sched) in sweep.schedulers.iter().enumerate() {
+        out.push_str(&format!("\n{sched}: deadlines met (fraction of own clean run)\n\n"));
+        let mut header = vec!["benchmark".to_string()];
+        header.extend(sweep.intensities.iter().map(|i| format!("f={i}")));
+        let mut t = Table::new(header);
+        for (bi, bench) in sweep.benches.iter().enumerate() {
+            let mut row = vec![bench.name().to_string()];
+            for ii in 0..sweep.intensities.len() {
+                row.push(format!("{} ({})", met(si, bi, ii), fmt_f(ratio(si, bi, ii), 2)));
+            }
+            t.row(row);
+        }
+        let mut gm = vec!["GMEAN ratio".to_string()];
+        for ii in 0..sweep.intensities.len() {
+            let ratios: Vec<f64> =
+                (0..sweep.benches.len()).map(|bi| ratio(si, bi, ii)).collect();
+            gm.push(fmt_f(geomean(&ratios), 2));
+        }
+        t.row(gm);
+        out.push_str(&t.render());
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -322,6 +491,36 @@ mod tests {
     fn fig1_and_table1_render() {
         assert!(table1().contains("gemm_h128"));
         assert!(fig1().contains("many-kernel"));
+    }
+
+    #[test]
+    fn faults_smoke_is_worker_independent_and_resumes_bit_identically() {
+        let grid = FaultSweep::smoke();
+        let serial = faults(&grid, 1, None).unwrap();
+        let parallel = faults(&grid, 4, None).unwrap();
+        assert_eq!(serial, parallel, "artifact must not depend on worker count");
+        assert!(serial.contains("GMEAN ratio"));
+
+        // Interrupted-run simulation: a checkpoint holding only part of the
+        // grid must complete to the identical artifact.
+        let path = std::env::temp_dir().join(format!("lax-faults-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut ck = Checkpoint::open(&path);
+        let full = faults(&grid, 2, Some(&mut ck)).unwrap();
+        assert_eq!(full, serial);
+        let partial_cells: Vec<(String, SimReport)> = ck
+            .cells()
+            .take(2)
+            .map(|(k, r)| (k.to_string(), r.clone()))
+            .collect();
+        std::fs::remove_file(&path).unwrap();
+        let mut partial = Checkpoint::open(&path);
+        for (k, r) in &partial_cells {
+            partial.record(k, r).unwrap();
+        }
+        let resumed = faults(&grid, 2, Some(&mut partial)).unwrap();
+        assert_eq!(resumed, serial, "resume from a partial checkpoint must be byte-identical");
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -8,13 +8,20 @@
 //! Grids execute through the parallel [`sweep`] engine: every cell is an
 //! independent deterministic simulation, fanned across
 //! `--jobs N` / `LAX_BENCH_JOBS` worker threads (default: all cores) with
-//! bit-identical results regardless of thread count.
+//! bit-identical results regardless of thread count. The engine is
+//! self-healing — a panicking or runaway cell degrades to a typed
+//! [`BenchError`] after bounded retries instead of killing the grid — and
+//! long runs stream finished cells into a crash-safe [`checkpoint`] file
+//! so an interrupted `bin/all` or `bin/faults` restarted with `--resume`
+//! only re-runs what is missing, byte-identically.
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod figures;
 pub mod runner;
 pub mod sweep;
 
+pub use checkpoint::Checkpoint;
 pub use runner::ResultsDb;
-pub use sweep::{run_scenario, BenchError, Scenario};
+pub use sweep::{run_scenario, BenchError, Scenario, SweepOptions};

@@ -3,11 +3,13 @@
 //! process reuses the same runs.
 
 use std::collections::BTreeMap;
+use std::path::Path;
 
 use gpu_sim::prelude::*;
 use workloads::spec::{ArrivalRate, Benchmark};
 
-use crate::sweep::{self, BenchError, Scenario};
+use crate::checkpoint::Checkpoint;
+use crate::sweep::{self, BenchError, Scenario, SweepOptions};
 
 /// Jobs per benchmark run (paper Section 5.3).
 pub const JOBS_PER_RUN: usize = 128;
@@ -24,23 +26,69 @@ pub struct ResultsDb {
     n_jobs: usize,
     seed: u64,
     verbose: bool,
+    checkpoint: Option<Checkpoint>,
 }
 
 impl ResultsDb {
     /// Creates a database using the default job count and seed.
     pub fn new() -> Self {
-        ResultsDb { cache: BTreeMap::new(), n_jobs: JOBS_PER_RUN, seed: DEFAULT_SEED, verbose: false }
+        ResultsDb {
+            cache: BTreeMap::new(),
+            n_jobs: JOBS_PER_RUN,
+            seed: DEFAULT_SEED,
+            verbose: false,
+            checkpoint: None,
+        }
     }
 
     /// Creates a database with a custom job count (for fast smoke tests).
     pub fn with_jobs(n_jobs: usize, seed: u64) -> Self {
-        ResultsDb { cache: BTreeMap::new(), n_jobs, seed, verbose: false }
+        ResultsDb { n_jobs, seed, ..ResultsDb::new() }
     }
 
     /// Prints one progress line per executed (non-cached) run.
     pub fn verbose(mut self) -> Self {
         self.verbose = true;
         self
+    }
+
+    /// Attaches a crash-safe checkpoint file: cells a previous run
+    /// recorded there are preloaded into the cache (reports round-trip
+    /// bit-exactly, so warmed figures stay byte-identical), and every cell
+    /// finished from now on is persisted as soon as it lands. Keys whose
+    /// string form does not parse back into a [`Scenario`] are ignored —
+    /// they belong to other binaries sharing the format.
+    pub fn with_checkpoints(mut self, path: impl AsRef<Path>) -> Self {
+        let ck = Checkpoint::open(path.as_ref());
+        let mut restored = 0;
+        for (key, report) in ck.cells() {
+            if let Ok(scenario) = key.parse::<Scenario>() {
+                self.cache.insert(scenario, report.clone());
+                restored += 1;
+            }
+        }
+        if self.verbose && restored > 0 {
+            eprintln!("[resume] restored {restored} cell(s) from {}", ck.path().display());
+        }
+        self.checkpoint = Some(ck);
+        self
+    }
+
+    /// The attached checkpoint, if any.
+    pub fn checkpoint(&self) -> Option<&Checkpoint> {
+        self.checkpoint.as_ref()
+    }
+
+    /// Persists one finished cell to the checkpoint file, if one is
+    /// attached. Write failures are reported but never fail the sweep:
+    /// checkpointing is an accelerator for `--resume`, not a correctness
+    /// dependency.
+    fn persist(checkpoint: &mut Option<Checkpoint>, scenario: &Scenario, report: &SimReport) {
+        if let Some(ck) = checkpoint.as_mut() {
+            if let Err(e) = ck.record(&scenario.to_string(), report) {
+                eprintln!("warning: checkpoint write failed: {e}");
+            }
+        }
     }
 
     /// The [`Scenario`] this database associates with a cell.
@@ -81,18 +129,35 @@ impl ResultsDb {
             return Ok(());
         }
         let verbose = self.verbose;
-        let results = sweep::run_sweep(&missing, jobs, |p| {
-            if verbose {
-                eprintln!(
-                    "[sweep {:>3}/{}] {:<28} {} ({:.1?})",
-                    p.done,
-                    p.total,
-                    p.scenario.to_string(),
-                    if p.ok { "ok" } else { "FAILED" },
-                    p.cell_wall
-                );
-            }
-        });
+        let opts = SweepOptions::new(jobs);
+        let total = missing.len();
+        let mut done = 0;
+        // Drive par_map_with directly (rather than run_sweep) so the
+        // completion callback sees each report and can checkpoint it the
+        // moment it lands — a kill -9 one cell before the end loses one
+        // cell, not the sweep.
+        let checkpoint = &mut self.checkpoint;
+        let results = sweep::par_map_with(
+            &missing,
+            jobs,
+            |s| sweep::run_cell_opts(s, &opts),
+            |i, r: &Result<SimReport, BenchError>, cell_wall| {
+                done += 1;
+                if let Ok(report) = r {
+                    Self::persist(checkpoint, &missing[i], report);
+                }
+                if verbose {
+                    eprintln!(
+                        "[sweep {:>3}/{}] {:<28} {} ({:.1?})",
+                        done,
+                        total,
+                        missing[i].to_string(),
+                        if r.is_ok() { "ok" } else { "FAILED" },
+                        cell_wall
+                    );
+                }
+            },
+        );
         let mut first_err = None;
         for (scenario, result) in missing.into_iter().zip(results) {
             match result {
@@ -121,6 +186,7 @@ impl ResultsDb {
         if !self.cache.contains_key(&key) {
             let t0 = std::time::Instant::now();
             let report = sweep::run_scenario(&key)?;
+            Self::persist(&mut self.checkpoint, &key, &report);
             if self.verbose {
                 eprintln!(
                     "[run] {:<9} {:<7} {:<6} met {:>3}/{} ({:.1?})",
@@ -240,6 +306,42 @@ mod tests {
                 assert_eq!(a, b, "{sched}/{rate}");
             }
         }
+    }
+
+    #[test]
+    fn checkpointed_cells_resume_bit_identically() {
+        let path = std::env::temp_dir().join(format!("lax-db-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut first = ResultsDb::with_jobs(4, 2).with_checkpoints(&path);
+        first
+            .warm(&["RR", "EDF"], &[Benchmark::Ipv6], &[ArrivalRate::Low], 2)
+            .unwrap();
+        assert_eq!(first.checkpoint().unwrap().len(), 2, "every warmed cell persisted");
+
+        // A new db over the same file starts fully warm — the resume path —
+        // and serves reports bit-identical to a from-scratch run.
+        let mut resumed = ResultsDb::with_jobs(4, 2).with_checkpoints(&path);
+        assert_eq!(resumed.len(), 2, "cells preloaded from the checkpoint");
+        let mut fresh = ResultsDb::with_jobs(4, 2);
+        for sched in ["RR", "EDF"] {
+            let a = resumed.get(sched, Benchmark::Ipv6, ArrivalRate::Low).unwrap().clone();
+            let b = fresh.get(sched, Benchmark::Ipv6, ArrivalRate::Low).unwrap().clone();
+            assert_eq!(a, b, "{sched}: resumed report must be bit-identical");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn foreign_checkpoint_keys_are_ignored_on_resume() {
+        let path = std::env::temp_dir().join(format!("lax-db-foreign-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut ck = crate::checkpoint::Checkpoint::open(&path);
+        let report = sweep::run_scenario(&Scenario::new("RR", Benchmark::Ipv6, ArrivalRate::Low, 2, 1)).unwrap();
+        // A fault-sweep style key: not a parseable Scenario.
+        ck.record("RR:IPV6:low:j2:s1:f0.5", &report).unwrap();
+        let db = ResultsDb::with_jobs(2, 1).with_checkpoints(&path);
+        assert!(db.is_empty(), "suffixed keys belong to other binaries");
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

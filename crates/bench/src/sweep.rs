@@ -7,12 +7,16 @@
 //!
 //! * [`Scenario`] — a self-describing, `Send`-able experiment cell with a
 //!   lossless string round-trip (`Display`/`FromStr`) for CLI use.
-//! * [`run_scenario`] — runs one cell, returning typed [`BenchError`]s
+//! * [`run_scenario`] / [`run_faulty_scenario`] — run one cell (optionally
+//!   under a seeded [`FaultPlan`]), returning typed [`BenchError`]s
 //!   instead of the panics the old free-function path documented.
-//! * [`run_sweep`] — a work queue over `std::thread::scope`: `N` workers
-//!   pull cells from an atomic cursor, results flow back over a channel,
-//!   and a progress callback fires on the caller's thread per finished
-//!   cell.
+//! * [`run_sweep`] / [`run_sweep_opts`] — a work queue over
+//!   `std::thread::scope`: `N` workers pull cells from an atomic cursor,
+//!   results flow back over a channel, and a progress callback fires on
+//!   the caller's thread per finished cell. [`SweepOptions`] adds per-cell
+//!   panic isolation with bounded retry and an optional wall-clock
+//!   deadline, so one broken cell degrades to a typed error instead of
+//!   killing a multi-hour grid.
 //! * [`par_map`] — the same fan-out for arbitrary cell types (the ablation
 //!   binary sweeps `LaxConfig` variants that have no registry name).
 //!
@@ -34,6 +38,7 @@
 //! [`std::thread::available_parallelism`] (see [`default_jobs`]).
 
 use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
 use std::str::FromStr;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -41,6 +46,7 @@ use std::time::{Duration as WallDuration, Instant};
 
 use gpu_sim::prelude::*;
 use schedulers::registry::{self, UnknownScheduler};
+use workloads::burst::apply_bursts;
 use workloads::spec::{ArrivalRate, Benchmark, ParseSpecError};
 use workloads::suite::BenchmarkSuite;
 
@@ -182,8 +188,29 @@ impl FromStr for Scenario {
 pub enum BenchError {
     /// The scenario names a scheduler outside the registry.
     UnknownScheduler(UnknownScheduler),
-    /// The simulation rejected the configuration or generated jobs.
+    /// The simulation rejected the configuration or generated jobs, or hit
+    /// a runtime fault (stall watchdog, event budget, queue overflow).
     Sim(SimError),
+    /// The cell's worker panicked on every attempt; the sweep isolated the
+    /// panic instead of unwinding through the pool.
+    Panicked {
+        /// How many times the cell was attempted before giving up.
+        attempts: u32,
+        /// The final panic payload, stringified.
+        message: String,
+    },
+    /// The cell exceeded its per-cell wall-clock deadline
+    /// ([`SweepOptions::cell_deadline`]).
+    DeadlineExceeded {
+        /// The configured limit.
+        limit: WallDuration,
+    },
+    /// The caller's progress callback panicked mid-sweep; the workers were
+    /// drained cleanly and the payload is reported here instead of
+    /// poisoning the result channel.
+    Callback(String),
+    /// A filesystem operation (checkpoint write, results file) failed.
+    Io(String),
 }
 
 impl fmt::Display for BenchError {
@@ -191,6 +218,14 @@ impl fmt::Display for BenchError {
         match self {
             BenchError::UnknownScheduler(e) => write!(f, "{e}"),
             BenchError::Sim(e) => write!(f, "{e}"),
+            BenchError::Panicked { attempts, message } => {
+                write!(f, "cell panicked on all {attempts} attempt(s): {message}")
+            }
+            BenchError::DeadlineExceeded { limit } => {
+                write!(f, "cell exceeded its {limit:?} wall-clock deadline")
+            }
+            BenchError::Callback(msg) => write!(f, "progress callback panicked: {msg}"),
+            BenchError::Io(msg) => write!(f, "I/O error: {msg}"),
         }
     }
 }
@@ -200,6 +235,7 @@ impl std::error::Error for BenchError {
         match self {
             BenchError::UnknownScheduler(e) => Some(e),
             BenchError::Sim(e) => Some(e),
+            _ => None,
         }
     }
 }
@@ -221,18 +257,47 @@ impl From<SimError> for BenchError {
 /// # Errors
 ///
 /// Returns [`BenchError::UnknownScheduler`] for scheduler names outside the
-/// registry and [`BenchError::Sim`] if the generated jobs cannot run — no
-/// panics on user input, unlike the free-function path this replaced.
+/// registry and [`BenchError::Sim`] if the generated jobs cannot run or the
+/// run hits a runtime fault (stall watchdog, event budget) — no panics on
+/// user input, unlike the free-function path this replaced.
 pub fn run_scenario(scenario: &Scenario) -> Result<SimReport, BenchError> {
+    run_faulty_scenario(scenario, 0.0)
+}
+
+/// Runs one experiment cell under a deterministic fault plan of the given
+/// intensity ([`FaultPlan::seeded`] over the cell's seed and workload span;
+/// `0.0` means no faults and is bit-identical to [`run_scenario`]).
+///
+/// The plan is derived from [`Scenario::cell_seed`] — which excludes the
+/// scheduler name — so every scheduler compared at one `(bench, rate,
+/// n_jobs, seed, intensity)` cell faces the *identical* storm: the same
+/// slowdown windows, CU outages, DRAM throttles and arrival bursts.
+///
+/// # Errors
+///
+/// Same contract as [`run_scenario`].
+pub fn run_faulty_scenario(scenario: &Scenario, intensity: f64) -> Result<SimReport, BenchError> {
     let suite = BenchmarkSuite::calibrated();
-    let jobs = suite.generate_jobs(scenario.bench, scenario.rate, scenario.n_jobs, scenario.cell_seed());
+    let mut jobs =
+        suite.generate_jobs(scenario.bench, scenario.rate, scenario.n_jobs, scenario.cell_seed());
     let mode = registry::try_build(&scenario.scheduler)?;
+    let cfg = GpuConfig::default();
+    // Faults are drawn over the span jobs can occupy: last arrival plus the
+    // latest relative deadline, so late windows still overlap live work.
+    let span = jobs
+        .iter()
+        .map(|j| j.arrival.saturating_since(Cycle::ZERO) + j.deadline)
+        .max()
+        .unwrap_or(Duration::ZERO);
+    let plan = FaultPlan::seeded(scenario.cell_seed(), intensity, span, cfg.num_cus);
+    apply_bursts(&mut jobs, &plan.bursts);
     let mut sim = Simulation::builder()
         .offline_rates(suite.offline_rates())
         .jobs(jobs)
         .scheduler(mode)
+        .faults(plan)
         .build()?;
-    Ok(sim.run())
+    sim.try_run().map_err(BenchError::Sim)
 }
 
 /// Worker-thread count used when a binary gets no `--jobs` flag: the
@@ -308,18 +373,36 @@ pub struct Progress<'a> {
     pub ok: bool,
 }
 
-/// Fans `items` across `jobs` scoped worker threads and returns `f(item)`
-/// for each, **in input order**. `on_done(index, wall)` fires on the
-/// calling thread as each item finishes (completion order).
+/// Renders a caught panic payload for error reports: the `&str`/`String`
+/// message when there is one, a placeholder otherwise.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The fan-out engine underneath [`par_map_with`] and [`run_sweep_opts`]:
+/// returns the per-item results **in input order** plus the first panic the
+/// `on_done` callback raised, if any.
 ///
-/// The engine underneath [`run_sweep`], exposed for sweeps whose cells are
-/// not [`Scenario`]s (e.g. the ablation study's `LaxConfig` variants).
-pub fn par_map_with<T, R, F>(
+/// A panicking callback must not poison the sweep: workers block on an
+/// unbounded channel send only when the receiver has hung up, so if the
+/// drain loop unwound mid-sweep the scope join would deadlock-free but the
+/// results would be lost and the panic would tear through caller frames
+/// that hold checkpoints half-written. Instead the callback runs under
+/// `catch_unwind`; on a panic the drain keeps consuming (workers finish
+/// their cells and exit cleanly) but stops invoking the callback, and the
+/// payload is handed back for the caller to surface as a typed error.
+fn par_map_catching<T, R, F>(
     items: &[T],
     jobs: usize,
     f: F,
     mut on_done: impl FnMut(usize, &R, WallDuration),
-) -> Vec<R>
+) -> (Vec<R>, Option<String>)
 where
     T: Sync,
     R: Send,
@@ -329,6 +412,7 @@ where
     let cursor = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, R, WallDuration)>();
     let mut results: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    let mut callback_panic: Option<String> = None;
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             let tx = tx.clone();
@@ -348,14 +432,51 @@ where
         }
         drop(tx);
         while let Ok((i, r, wall)) = rx.recv() {
-            on_done(i, &r, wall);
+            if callback_panic.is_none() {
+                if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| on_done(i, &r, wall)))
+                {
+                    callback_panic = Some(panic_message(&*payload));
+                }
+            }
             results[i] = Some(r);
         }
     });
-    results
+    let results = results
         .into_iter()
         .map(|r| r.expect("every index was sent exactly once"))
-        .collect()
+        .collect();
+    (results, callback_panic)
+}
+
+/// Fans `items` across `jobs` scoped worker threads and returns `f(item)`
+/// for each, **in input order**. `on_done(index, wall)` fires on the
+/// calling thread as each item finishes (completion order).
+///
+/// The engine underneath [`run_sweep`], exposed for sweeps whose cells are
+/// not [`Scenario`]s (e.g. the ablation binary's `LaxConfig` variants).
+///
+/// # Panics
+///
+/// If `on_done` panics, every in-flight cell still completes and the
+/// workers exit cleanly before the panic resumes on the calling thread
+/// ([`run_sweep`] converts the same situation into
+/// [`BenchError::Callback`] instead).
+pub fn par_map_with<T, R, F>(
+    items: &[T],
+    jobs: usize,
+    f: F,
+    on_done: impl FnMut(usize, &R, WallDuration),
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let (results, callback_panic) = par_map_catching(items, jobs, f, on_done);
+    if let Some(msg) = callback_panic {
+        panic!("par_map_with progress callback panicked: {msg}");
+    }
+    results
 }
 
 /// [`par_map_with`] without the completion callback.
@@ -368,29 +489,158 @@ where
     par_map_with(items, jobs, f, |_, _, _| {})
 }
 
+/// Robustness knobs for a sweep: worker count, per-cell panic isolation
+/// with bounded retry, and an optional per-cell wall-clock deadline.
+///
+/// The defaults reproduce the plain [`run_sweep`] behaviour (isolate
+/// panics, one retry, no deadline), so figure binaries opt in only to what
+/// they need.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOptions {
+    /// Worker-thread count (see [`default_jobs`]).
+    pub jobs: usize,
+    /// Extra attempts after a cell panics. The simulator is deterministic,
+    /// so a panic usually recurs — the retry guards against environmental
+    /// failures (allocation pressure on a loaded machine) and bounds how
+    /// long a genuinely broken cell is hammered.
+    pub retries: u32,
+    /// Per-cell wall-clock limit; `None` (default) runs cells inline on
+    /// their worker with no watcher overhead. When set, each cell runs on
+    /// a helper thread so the worker can give up at the limit; the
+    /// abandoned helper finishes (or panics) in the background and its
+    /// result is discarded — acceptable for a CLI sweep, so deadlines
+    /// default to off.
+    pub cell_deadline: Option<WallDuration>,
+    /// Fault-plan intensity applied to every cell via
+    /// [`run_faulty_scenario`]; `0.0` (default) is the fault-free grid.
+    pub fault_intensity: f64,
+}
+
+impl SweepOptions {
+    /// Options for a plain sweep on `jobs` workers.
+    pub fn new(jobs: usize) -> Self {
+        SweepOptions { jobs, retries: 1, cell_deadline: None, fault_intensity: 0.0 }
+    }
+
+    /// Sets the number of extra attempts after a panic.
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Sets the per-cell wall-clock deadline.
+    pub fn cell_deadline(mut self, limit: WallDuration) -> Self {
+        self.cell_deadline = Some(limit);
+        self
+    }
+
+    /// Sets the fault-plan intensity for every cell.
+    pub fn fault_intensity(mut self, intensity: f64) -> Self {
+        self.fault_intensity = intensity;
+        self
+    }
+}
+
+/// Runs one cell once, converting a panic into `Err(message)`.
+fn run_cell_caught(scenario: &Scenario, intensity: f64) -> Result<Result<SimReport, BenchError>, String> {
+    panic::catch_unwind(AssertUnwindSafe(|| run_faulty_scenario(scenario, intensity)))
+        .map_err(|payload| panic_message(&*payload))
+}
+
+/// Runs one cell under [`SweepOptions`]: catch panics, retry a bounded
+/// number of times, and (when configured) give up at the wall-clock
+/// deadline. The per-cell building block of [`run_sweep_opts`], public so
+/// binaries with non-`Scenario` grids (the fault sweep varies intensity
+/// per cell) get the same isolation.
+///
+/// # Errors
+///
+/// Everything [`run_faulty_scenario`] reports, plus
+/// [`BenchError::Panicked`] and [`BenchError::DeadlineExceeded`].
+pub fn run_cell_opts(scenario: &Scenario, opts: &SweepOptions) -> Result<SimReport, BenchError> {
+    let attempts = opts.retries.saturating_add(1);
+    let mut last_panic = String::new();
+    for _ in 0..attempts {
+        let outcome = match opts.cell_deadline {
+            None => run_cell_caught(scenario, opts.fault_intensity),
+            Some(limit) => {
+                // Run on a helper thread so this worker can enforce the
+                // deadline. On timeout the helper is abandoned (it keeps
+                // running detached until its cell finishes; the send to the
+                // dropped channel then fails silently).
+                let (tx, rx) = mpsc::channel();
+                let cell = scenario.clone();
+                let intensity = opts.fault_intensity;
+                std::thread::spawn(move || {
+                    let _ = tx.send(run_cell_caught(&cell, intensity));
+                });
+                match rx.recv_timeout(limit) {
+                    Ok(outcome) => outcome,
+                    Err(_) => return Err(BenchError::DeadlineExceeded { limit }),
+                }
+            }
+        };
+        match outcome {
+            Ok(result) => return result,
+            Err(message) => last_panic = message,
+        }
+    }
+    Err(BenchError::Panicked { attempts, message: last_panic })
+}
+
 /// Runs every scenario on a pool of `jobs` worker threads, returning the
 /// per-cell results **in input order**. `on_progress` fires on the calling
 /// thread once per finished cell.
 ///
-/// Cell failures (unknown scheduler, invalid jobs) are reported per cell,
-/// never aborting the rest of the grid.
+/// Cell failures — unknown scheduler, invalid jobs, runtime faults, even a
+/// panicking cell — are reported per cell, never aborting the rest of the
+/// grid.
+///
+/// # Errors
+///
+/// The outer `Err` is reserved for a panicking `on_progress` callback
+/// ([`BenchError::Callback`]): the workers are drained cleanly first, then
+/// the panic is surfaced as a value instead of unwinding mid-sweep.
 pub fn run_sweep<'s>(
     scenarios: &'s [Scenario],
     jobs: usize,
+    on_progress: impl FnMut(Progress<'s>),
+) -> Result<Vec<Result<SimReport, BenchError>>, BenchError> {
+    run_sweep_opts(scenarios, &SweepOptions::new(jobs), on_progress)
+}
+
+/// [`run_sweep`] with explicit [`SweepOptions`] (retry budget, per-cell
+/// deadline, fault intensity).
+///
+/// # Errors
+///
+/// Same contract as [`run_sweep`].
+pub fn run_sweep_opts<'s>(
+    scenarios: &'s [Scenario],
+    opts: &SweepOptions,
     mut on_progress: impl FnMut(Progress<'s>),
-) -> Vec<Result<SimReport, BenchError>> {
+) -> Result<Vec<Result<SimReport, BenchError>>, BenchError> {
     let total = scenarios.len();
     let mut done = 0;
-    par_map_with(scenarios, jobs, run_scenario, |i, r, cell_wall| {
-        done += 1;
-        on_progress(Progress {
-            done,
-            total,
-            scenario: &scenarios[i],
-            cell_wall,
-            ok: r.is_ok(),
-        });
-    })
+    let (results, callback_panic) = par_map_catching(
+        scenarios,
+        opts.jobs,
+        |s| run_cell_opts(s, opts),
+        |i, r, cell_wall| {
+            done += 1;
+            on_progress(Progress {
+                done,
+                total,
+                scenario: &scenarios[i],
+                cell_wall,
+                ok: r.is_ok(),
+            });
+        },
+    );
+    match callback_panic {
+        Some(msg) => Err(BenchError::Callback(msg)),
+        None => Ok(results),
+    }
 }
 
 #[cfg(test)]
@@ -415,22 +665,27 @@ mod tests {
 
     #[test]
     fn scenario_parse_rejects_malformed_input() {
-        for bad in [
-            "",
-            "LAX",
-            "LAX:IPV6:high:j128",
-            "LAX:IPV6:high:j128:s42:extra",
-            "LAX:WARP9:high:j128:s42",
-            "LAX:IPV6:sometimes:j128:s42",
-            "LAX:IPV6:high:128:s42",
-            "LAX:IPV6:high:j128:42",
-            "LAX:IPV6:high:jxx:s42",
-            ":IPV6:high:j128:s42",
+        // (input, expected fragment of the reason) — every arm of the
+        // parser's error handling, so CLI typos always get a diagnosis.
+        for (bad, why) in [
+            ("", "1 fields"),
+            ("LAX", "1 fields"),
+            ("LAX:IPV6:high:j128", "4 fields"),
+            ("LAX:IPV6:high:j128:s42:extra", "6 fields"),
+            ("LAX:WARP9:high:j128:s42", "WARP9"),
+            ("LAX:IPV6:sometimes:j128:s42", "sometimes"),
+            ("LAX:IPV6:high:128:s42", "bad job count"),
+            ("LAX:IPV6:high:j128:42", "bad seed"),
+            ("LAX:IPV6:high:jxx:s42", "bad job count"),
+            ("LAX:IPV6:high:j128:sQQ", "bad seed"),
+            (":IPV6:high:j128:s42", "empty scheduler"),
         ] {
             let err = bad.parse::<Scenario>();
             assert!(err.is_err(), "`{bad}` should not parse");
             let msg = err.unwrap_err().to_string();
             assert!(msg.contains("invalid scenario"), "{msg}");
+            assert!(msg.contains(why), "`{bad}` should diagnose `{why}`, got: {msg}");
+            assert!(msg.contains(bad), "the error must echo the input: {msg}");
         }
     }
 
@@ -488,7 +743,8 @@ mod tests {
         let results = run_sweep(&scenarios, 2, |p| {
             seen += 1;
             assert_eq!(p.total, 3);
-        });
+        })
+        .unwrap();
         assert_eq!(seen, 3);
         assert!(results[0].is_ok());
         assert!(matches!(results[1], Err(BenchError::UnknownScheduler(_))));
@@ -505,8 +761,8 @@ mod tests {
                     .map(|r| Scenario::new(s, Benchmark::Ipv6, r, 6, 7))
             })
             .collect();
-        let serial = run_sweep(&scenarios, 1, |_| {});
-        let parallel = run_sweep(&scenarios, 8, |_| {});
+        let serial = run_sweep(&scenarios, 1, |_| {}).unwrap();
+        let parallel = run_sweep(&scenarios, 8, |_| {}).unwrap();
         for ((s, a), b) in scenarios.iter().zip(&serial).zip(&parallel) {
             let a = a.as_ref().expect("serial cell ran");
             let b = b.as_ref().expect("parallel cell ran");
@@ -556,5 +812,97 @@ mod tests {
         let items: Vec<u64> = (0..100).collect();
         let out = par_map(&items, 8, |&x| x * 2);
         assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panicking_cell_becomes_a_typed_error_after_bounded_retries() {
+        // A negative intensity trips an assert inside the cell body — a
+        // stand-in for any cell-local panic. The sweep must isolate it.
+        let scenarios = vec![tiny("RR"), tiny("EDF")];
+        let opts = SweepOptions::new(2).retries(2).fault_intensity(-1.0);
+        let results = run_sweep_opts(&scenarios, &opts, |_| {}).unwrap();
+        for r in &results {
+            match r {
+                Err(BenchError::Panicked { attempts, message }) => {
+                    assert_eq!(*attempts, 3, "1 try + 2 retries");
+                    assert!(message.contains("non-negative"), "{message}");
+                }
+                other => panic!("expected Panicked, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn callback_panic_is_drained_and_surfaced_not_propagated() {
+        let scenarios = vec![tiny("RR"), tiny("EDF"), tiny("LAX"), tiny("SJF")];
+        let mut calls = 0;
+        let err = run_sweep(&scenarios, 2, |_| {
+            calls += 1;
+            panic!("boom in progress bar");
+        })
+        .unwrap_err();
+        match err {
+            BenchError::Callback(msg) => assert!(msg.contains("boom"), "{msg}"),
+            other => panic!("expected Callback, got {other:?}"),
+        }
+        assert_eq!(calls, 1, "callback must not be re-entered after panicking");
+    }
+
+    #[test]
+    fn cell_deadline_times_out_as_a_typed_error() {
+        let scenarios = vec![tiny("RR")];
+        let opts = SweepOptions::new(1).cell_deadline(WallDuration::ZERO);
+        let results = run_sweep_opts(&scenarios, &opts, |_| {}).unwrap();
+        match &results[0] {
+            Err(BenchError::DeadlineExceeded { limit }) => {
+                assert_eq!(*limit, WallDuration::ZERO);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_cell_deadline_still_returns_the_report() {
+        let scenarios = vec![tiny("RR")];
+        let opts = SweepOptions::new(1).cell_deadline(WallDuration::from_secs(300));
+        let deadline = run_sweep_opts(&scenarios, &opts, |_| {}).unwrap();
+        let plain = run_sweep(&scenarios, 1, |_| {}).unwrap();
+        assert_eq!(
+            deadline[0].as_ref().unwrap(),
+            plain[0].as_ref().unwrap(),
+            "the helper-thread path must not perturb results"
+        );
+    }
+
+    #[test]
+    fn zero_intensity_fault_path_is_bit_identical_to_a_fault_free_build() {
+        // The fault-free contract, end to end at the harness layer: running
+        // through `run_faulty_scenario(_, 0.0)` (which installs
+        // `FaultPlan::none()`) must reproduce a simulation built without
+        // ever touching the faults API, for multiple schedulers.
+        let suite = BenchmarkSuite::calibrated();
+        for sched in ["RR", "LAX"] {
+            let s = Scenario::new(sched, Benchmark::Ipv6, ArrivalRate::High, 12, 3);
+            let jobs = suite.generate_jobs(s.bench, s.rate, s.n_jobs, s.cell_seed());
+            let mut sim = Simulation::builder()
+                .offline_rates(suite.offline_rates())
+                .jobs(jobs)
+                .scheduler(registry::try_build(sched).unwrap())
+                .build()
+                .unwrap();
+            let bare = sim.run();
+            let faulty = run_faulty_scenario(&s, 0.0).unwrap();
+            assert_eq!(bare, faulty, "{sched}: FaultPlan::none() must be a no-op");
+        }
+    }
+
+    #[test]
+    fn nonzero_intensity_changes_outcomes_but_stays_deterministic() {
+        let s = Scenario::new("RR", Benchmark::Ipv6, ArrivalRate::High, 16, 3);
+        let a = run_faulty_scenario(&s, 1.0).unwrap();
+        let b = run_faulty_scenario(&s, 1.0).unwrap();
+        assert_eq!(a, b, "same intensity, same storm, same report");
+        let clean = run_scenario(&s).unwrap();
+        assert_ne!(a, clean, "an intensity-1.0 storm must perturb the run");
     }
 }

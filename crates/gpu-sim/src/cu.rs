@@ -17,6 +17,7 @@ pub struct ComputeUnit {
     threads_used: u32,
     vgpr_used: u32,
     lds_used: u32,
+    offline: bool,
 }
 
 impl ComputeUnit {
@@ -31,6 +32,7 @@ impl ComputeUnit {
             threads_used: 0,
             vgpr_used: 0,
             lds_used: 0,
+            offline: false,
         }
     }
 
@@ -47,9 +49,21 @@ impl ComputeUnit {
         self.simds.iter().map(SimdUnit::resident).sum()
     }
 
+    /// Marks the CU offline (fault injection): it stops accepting new
+    /// workgroups while resident waves drain normally. `false` restores it.
+    pub fn set_offline(&mut self, offline: bool) {
+        self.offline = offline;
+    }
+
+    /// `true` while the CU is marked offline by a fault.
+    pub fn is_offline(&self) -> bool {
+        self.offline
+    }
+
     /// `true` if one workgroup of `k` fits right now.
     pub fn can_fit(&self, k: &KernelDesc) -> bool {
-        self.threads_used + k.wg_size <= self.max_threads
+        !self.offline
+            && self.threads_used + k.wg_size <= self.max_threads
             && self.vgpr_used + k.vgpr_bytes_per_wg() <= self.vgpr_capacity
             && self.lds_used + k.lds_per_wg <= self.lds_capacity
             && self.free_wave_slots() >= k.waves_per_wg()
@@ -169,6 +183,18 @@ mod tests {
         let k = kernel(64, 4, 40 * 1024);
         c.place_wg(&k);
         assert!(!c.can_fit(&k), "two WGs need 80KB LDS > 64KB");
+    }
+
+    #[test]
+    fn offline_cu_refuses_new_work_until_restored() {
+        let mut c = cu();
+        let k = kernel(64, 4, 0);
+        assert!(c.can_fit(&k));
+        c.set_offline(true);
+        assert!(c.is_offline());
+        assert!(!c.can_fit(&k), "offline CU must not accept workgroups");
+        c.set_offline(false);
+        assert!(c.can_fit(&k), "restored CU accepts work again");
     }
 
     #[test]

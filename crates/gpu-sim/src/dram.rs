@@ -27,6 +27,9 @@ pub struct Dram {
     busy_until: Vec<Cycle>,
     latency: Duration,
     service: Duration,
+    /// Service time after the current fault throttle; equals `service`
+    /// whenever the throttle scale is exactly 1.0.
+    service_scaled: Duration,
     channel_mask: u64,
     accesses: u64,
 }
@@ -44,9 +47,28 @@ impl Dram {
             busy_until: vec![Cycle::ZERO; channels as usize],
             latency: Duration::from_cycles(latency_cycles),
             service: Duration::from_cycles(service_cycles),
+            service_scaled: Duration::from_cycles(service_cycles),
             channel_mask: (channels - 1) as u64,
             accesses: 0,
         }
+    }
+
+    /// Sets the fault-injection bandwidth throttle: per-line channel
+    /// occupancy becomes `scale` times the configured service time (at
+    /// least one cycle). A scale of exactly 1.0 restores the configured
+    /// value bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not finite or below 1.0 (plans are validated
+    /// before the run, so this is an internal invariant).
+    pub fn set_service_scale(&mut self, scale: f64) {
+        assert!(scale.is_finite() && scale >= 1.0, "bad DRAM throttle scale {scale}");
+        self.service_scaled = if scale == 1.0 {
+            self.service
+        } else {
+            self.service.mul_f64(scale).max(Duration::from_cycles(1))
+        };
     }
 
     /// Issues a line access at time `now`; returns the completion time
@@ -56,7 +78,7 @@ impl Dram {
         let line = addr >> 6;
         let ch = (line & self.channel_mask) as usize;
         let start = self.busy_until[ch].max(now);
-        let done = start + self.service;
+        let done = start + self.service_scaled;
         self.busy_until[ch] = done;
         done + self.latency
     }
@@ -103,6 +125,20 @@ mod tests {
         let a = d.access(0, Cycle::ZERO);
         let b = d.access(64, Cycle::ZERO); // line 1 -> channel 1
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn service_scale_throttles_and_restores_exactly() {
+        let mut d = Dram::new(4, 200, 4);
+        d.set_service_scale(3.0);
+        let a = d.access(0, Cycle::ZERO);
+        assert_eq!(a, Cycle::from_cycles(212), "3x service under throttle");
+        d.set_service_scale(1.0);
+        let mut fresh = Dram::new(4, 200, 4);
+        fresh.access(0, Cycle::ZERO);
+        let b = d.access(64, Cycle::ZERO); // different channel: no queueing
+        let f = fresh.access(64, Cycle::ZERO);
+        assert_eq!(b, f, "scale 1.0 restores the configured service exactly");
     }
 
     #[test]

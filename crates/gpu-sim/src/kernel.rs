@@ -207,6 +207,17 @@ impl KernelDesc {
     ///
     /// Returns the first violated constraint.
     pub fn validate(&self, cfg: &GpuConfig) -> Result<(), String> {
+        // Re-check the `KernelDesc::new` asserts: the fields are public, so
+        // a literal-constructed descriptor must not divide by zero later.
+        if self.grid_threads == 0 || self.wg_size == 0 {
+            return Err("kernel has an empty grid".into());
+        }
+        if !self.grid_threads.is_multiple_of(self.wg_size) {
+            return Err(format!(
+                "wg_size {} must divide grid {}",
+                self.wg_size, self.grid_threads
+            ));
+        }
         if self.wg_size > cfg.max_threads_per_cu {
             return Err(format!("WG of {} threads exceeds CU capacity", self.wg_size));
         }

@@ -23,6 +23,9 @@
 //! * [`scheduler`] / [`host`] — the two scheduler attachment points:
 //!   CP-integrated (fresh, fine-grained state) and host-side (stale
 //!   counters, kernel-granularity notifications, 4 us launch overhead).
+//! * [`faults`] — deterministic fault injection: seeded plans of slowdown
+//!   windows, CU offline spans, DRAM throttles and arrival bursts that the
+//!   event loop replays exactly.
 //! * [`sim`] — the event loop tying it all together; [`metrics`] the
 //!   per-job outcomes and run reports.
 //!
@@ -61,6 +64,7 @@ pub mod counters;
 pub mod cu;
 pub mod dram;
 pub mod energy;
+pub mod faults;
 pub mod host;
 pub mod job;
 pub mod kernel;
@@ -78,6 +82,7 @@ pub mod wave;
 pub mod prelude {
     pub use crate::config::GpuConfig;
     pub use crate::counters::Counters;
+    pub use crate::faults::{ArrivalBurst, CuFault, DramThrottle, FaultPlan, Slowdown};
     pub use crate::host::{HostCmd, HostEvent, HostScheduler, HostView};
     pub use crate::job::{JobDesc, JobFate, JobId, JobState};
     pub use crate::kernel::{AccessPattern, ClassTable, ComputeProfile, KernelClassId, KernelDesc};

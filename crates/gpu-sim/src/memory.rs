@@ -123,6 +123,12 @@ impl MemoryHierarchy {
     pub fn dram_accesses(&self) -> u64 {
         self.dram.accesses()
     }
+
+    /// Sets the fault-injection DRAM bandwidth throttle (see
+    /// [`Dram::set_service_scale`]); 1.0 restores nominal bandwidth exactly.
+    pub fn set_dram_scale(&mut self, scale: f64) {
+        self.dram.set_service_scale(scale);
+    }
 }
 
 /// Deterministically generates the base address of one access.

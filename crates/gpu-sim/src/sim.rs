@@ -12,6 +12,7 @@ use crate::config::GpuConfig;
 use crate::counters::Counters;
 use crate::cu::ComputeUnit;
 use crate::energy::EnergyMeter;
+use crate::faults::{FaultAction, FaultEffect, FaultInjector, FaultPlan};
 use crate::host::{HostCmd, HostEvent, HostJob, HostScheduler, HostView};
 use crate::job::{JobDesc, JobFate, JobId, JobState};
 use crate::kernel::{KernelClassId, KernelDesc};
@@ -57,13 +58,38 @@ impl SchedulerMode {
     }
 }
 
-/// Simulation construction error.
+/// Simulation construction or runtime error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
     /// The machine configuration is inconsistent.
     Config(String),
     /// A job or kernel cannot run on the configured machine.
     Job(String),
+    /// The fault plan is ill-formed for this machine.
+    Fault(String),
+    /// The event loop processed an implausible number of events without
+    /// simulated time advancing — a livelock. Deterministic: triggers at
+    /// the same event on every run, never from wall-clock.
+    Stalled {
+        /// The instant time stopped advancing at.
+        at: Cycle,
+        /// Zero-advance events processed before giving up.
+        events: u64,
+    },
+    /// The run exceeded the configured total event budget
+    /// ([`SimParams::event_budget`]) — a runaway simulation.
+    EventBudgetExceeded {
+        /// The configured budget.
+        budget: u64,
+    },
+    /// More jobs were backlogged waiting for a compute queue than
+    /// [`SimParams::max_backlog`] allows.
+    QueueOverflow {
+        /// Jobs (and pending deliveries) waiting for a queue.
+        pending: usize,
+        /// The configured limit.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -71,11 +97,27 @@ impl fmt::Display for SimError {
         match self {
             SimError::Config(m) => write!(f, "invalid configuration: {m}"),
             SimError::Job(m) => write!(f, "invalid job: {m}"),
+            SimError::Fault(m) => write!(f, "invalid fault plan: {m}"),
+            SimError::Stalled { at, events } => {
+                write!(f, "simulation stalled at {at}: {events} events without time advancing")
+            }
+            SimError::EventBudgetExceeded { budget } => {
+                write!(f, "simulation exceeded its event budget of {budget}")
+            }
+            SimError::QueueOverflow { pending, limit } => {
+                write!(f, "compute-queue backlog overflow: {pending} jobs pending, limit {limit}")
+            }
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+/// Zero-advance events tolerated before declaring a livelock. A full
+/// device has ~1.3k wavefronts and 128 queues, so even a pathological
+/// same-cycle cascade (mass arrival + every wave finishing at once) stays
+/// orders of magnitude below this.
+const STALL_EVENT_LIMIT: u64 = 500_000;
 
 /// Tunables beyond the machine configuration.
 #[derive(Debug, Clone)]
@@ -92,6 +134,16 @@ pub struct SimParams {
     /// Record a per-job [`Timeline`] (arrivals, admissions, kernel spans),
     /// retrievable with [`Simulation::take_timeline`] after the run.
     pub record_timeline: bool,
+    /// Deterministic fault schedule. [`FaultPlan::none`] (the default)
+    /// schedules no events and is bit-identical to a build without faults.
+    pub faults: FaultPlan,
+    /// Hard cap on total events processed; exceeding it aborts the run
+    /// with [`SimError::EventBudgetExceeded`]. `None` (default) = unlimited.
+    pub event_budget: Option<u64>,
+    /// Hard cap on jobs backlogged waiting for a compute queue; exceeding
+    /// it aborts with [`SimError::QueueOverflow`]. `None` (default) =
+    /// unlimited (matching real hardware, which blocks the submitter).
+    pub max_backlog: Option<usize>,
 }
 
 impl Default for SimParams {
@@ -102,6 +154,9 @@ impl Default for SimParams {
             horizon: None,
             offline_rates: Vec::new(),
             record_timeline: false,
+            faults: FaultPlan::none(),
+            event_budget: None,
+            max_backlog: None,
         }
     }
 }
@@ -119,6 +174,7 @@ enum Ev {
     Deliver(Delivery),
     PrioWrite { job: JobId, prio: i64 },
     Unblock(usize),
+    FaultTransition(usize),
 }
 
 #[derive(Debug)]
@@ -171,6 +227,16 @@ pub struct Simulation {
     profiling_period: Duration,
     total_wgs: u64,
     timeline: Option<Timeline>,
+
+    // Fault injection and hardening.
+    injector: FaultInjector,
+    fault_transitions: Vec<(Cycle, FaultAction)>,
+    event_budget: Option<u64>,
+    max_backlog: Option<usize>,
+    events_handled: u64,
+    stall_events: u64,
+    last_now: Cycle,
+    fatal: Option<SimError>,
 }
 
 impl fmt::Debug for Simulation {
@@ -261,6 +327,28 @@ impl SimBuilder {
         self
     }
 
+    /// Sets the deterministic fault schedule ([`FaultPlan::none`] to
+    /// disable; validated against the machine by [`SimBuilder::build`]).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.params.faults = plan;
+        self
+    }
+
+    /// Caps the total number of events a run may process (runaway guard);
+    /// exceeding it makes the run fail with
+    /// [`SimError::EventBudgetExceeded`].
+    pub fn event_budget(mut self, budget: u64) -> Self {
+        self.params.event_budget = Some(budget);
+        self
+    }
+
+    /// Caps the compute-queue backlog; exceeding it makes the run fail
+    /// with [`SimError::QueueOverflow`].
+    pub fn max_backlog(mut self, limit: usize) -> Self {
+        self.params.max_backlog = Some(limit);
+        self
+    }
+
     /// Sets the job stream (must be sorted by arrival with dense ids
     /// `0..n`; validated by [`SimBuilder::build`]).
     pub fn jobs(mut self, jobs: Vec<JobDesc>) -> Self {
@@ -314,6 +402,10 @@ impl Simulation {
     /// run on the machine.
     pub fn new(params: SimParams, jobs: Vec<JobDesc>, mode: SchedulerMode) -> Result<Self, SimError> {
         params.config.validate().map_err(SimError::Config)?;
+        params
+            .faults
+            .validate(params.config.num_cus)
+            .map_err(SimError::Fault)?;
         let mut max_class = 0usize;
         let mut last_arrival = Cycle::ZERO;
         let mut max_deadline = Duration::ZERO;
@@ -323,6 +415,14 @@ impl Simulation {
             }
             if i > 0 && j.arrival < jobs[i - 1].arrival {
                 return Err(SimError::Job("jobs must be sorted by arrival".into()));
+            }
+            // `JobDesc`'s fields are public, so re-check what `JobDesc::new`
+            // asserts: literal-constructed jobs must not panic the sim.
+            if j.kernels.is_empty() {
+                return Err(SimError::Job(format!("job {i} has no kernels")));
+            }
+            if j.deadline.is_zero() {
+                return Err(SimError::Job(format!("job {i} has a zero deadline")));
             }
             for k in &j.kernels {
                 k.validate(&params.config).map_err(SimError::Job)?;
@@ -384,13 +484,53 @@ impl Simulation {
             profiling_period: params.profiling_period,
             total_wgs: 0,
             events: EventQueue::new(),
+            fault_transitions: params.faults.transitions(),
+            injector: FaultInjector::new(params.faults),
+            event_budget: params.event_budget,
+            max_backlog: params.max_backlog,
+            events_handled: 0,
+            stall_events: 0,
+            last_now: Cycle::ZERO,
+            fatal: None,
             cfg: params.config,
         })
     }
 
     /// Runs the simulation to completion (all jobs resolved or the horizon
     /// reached) and returns the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run aborts with a runtime fault ([`SimError::Stalled`],
+    /// [`SimError::EventBudgetExceeded`], [`SimError::QueueOverflow`]);
+    /// callers that configure those guards should use
+    /// [`Simulation::try_run`] instead.
     pub fn run(&mut self) -> SimReport {
+        match self.try_run() {
+            Ok(report) => report,
+            Err(e) => panic!("simulation failed: {e}"),
+        }
+    }
+
+    /// Runs the simulation, converting livelock, event-budget exhaustion
+    /// and queue overflow into typed errors instead of hanging or
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Stalled`] if simulated time stops advancing,
+    /// [`SimError::EventBudgetExceeded`] if [`SimParams::event_budget`] is
+    /// exhausted, or [`SimError::QueueOverflow`] if the compute-queue
+    /// backlog exceeds [`SimParams::max_backlog`].
+    pub fn try_run(&mut self) -> Result<SimReport, SimError> {
+        // Scheduled before arrivals so that at equal timestamps the machine
+        // state change applies first (a CU offlined at t also rejects work
+        // arriving at t). An empty plan schedules nothing here, keeping
+        // fault-free runs event-for-event identical to builds without
+        // fault support.
+        for (i, &(t, _)) in self.fault_transitions.iter().enumerate() {
+            self.events.schedule(t, Ev::FaultTransition(i));
+        }
         for (i, j) in self.jobs.iter().enumerate() {
             self.events.schedule(j.arrival, Ev::Arrival(i as u32));
         }
@@ -407,15 +547,39 @@ impl Simulation {
             }
         }
         while self.resolved < self.jobs.len() {
+            if let Some(err) = self.fatal.take() {
+                return Err(err);
+            }
             let Some((now, ev)) = self.events.pop() else {
                 break;
             };
             if now > self.horizon {
                 break;
             }
+            self.events_handled += 1;
+            if let Some(budget) = self.event_budget {
+                if self.events_handled > budget {
+                    return Err(SimError::EventBudgetExceeded { budget });
+                }
+            }
+            // Deterministic livelock watchdog: simulated time must advance
+            // every so many events. Wall-clock plays no part, so the guard
+            // trips at the same event on every run.
+            if now > self.last_now {
+                self.last_now = now;
+                self.stall_events = 0;
+            } else {
+                self.stall_events += 1;
+                if self.stall_events > STALL_EVENT_LIMIT {
+                    return Err(SimError::Stalled { at: now, events: self.stall_events });
+                }
+            }
             self.handle(ev, now);
         }
-        self.report()
+        if let Some(err) = self.fatal.take() {
+            return Err(err);
+        }
+        Ok(self.report())
     }
 
     fn handle(&mut self, ev: Ev, now: Cycle) {
@@ -480,7 +644,29 @@ impl Simulation {
                     self.try_dispatch(now);
                 }
             }
+            Ev::FaultTransition(i) => self.on_fault_transition(i, now),
         }
+    }
+
+    fn on_fault_transition(&mut self, i: usize, now: Cycle) {
+        let (_, action) = self.fault_transitions[i];
+        match self.injector.apply(action) {
+            FaultEffect::None => {}
+            FaultEffect::SetCuOffline { cu, offline } => {
+                self.cus[cu].set_offline(offline);
+                if !offline {
+                    // Restored capacity: resume any starved queues.
+                    self.try_dispatch(now);
+                }
+            }
+            FaultEffect::SetDramScale(scale) => self.mem.set_dram_scale(scale),
+        }
+    }
+
+    /// Current compute/memory slowdown factor (1.0 outside fault windows).
+    #[inline]
+    fn fault_scale(&self) -> f64 {
+        self.injector.slowdown_factor()
     }
 
     // ----- arrivals, admission, binding -------------------------------------
@@ -491,6 +677,7 @@ impl Simulation {
             SchedulerMode::Cp(_) => {
                 if !self.bind_cp_job(idx, now) {
                     self.backlog.push_back(idx);
+                    self.check_backlog_limit();
                 }
             }
             SchedulerMode::Host(_) => {
@@ -566,6 +753,16 @@ impl Simulation {
             if !self.try_deliver(d, now) {
                 break;
             }
+        }
+    }
+
+    /// Arms the fatal-error latch when the queue backlog exceeds the
+    /// configured limit; the run loop surfaces it before the next event.
+    fn check_backlog_limit(&mut self) {
+        let Some(limit) = self.max_backlog else { return };
+        let pending = self.backlog.len() + self.pending_deliveries.len();
+        if pending > limit && self.fatal.is_none() {
+            self.fatal = Some(SimError::QueueOverflow { pending, limit });
         }
     }
 
@@ -755,7 +952,9 @@ impl Simulation {
             vgpr_bytes: desc.vgpr_bytes_per_wg(),
             lds_bytes: desc.lds_per_wg,
         });
-        let segment = desc.profile.segment_cycles();
+        // Segments started inside a slowdown window are stretched; `* 1.0`
+        // outside windows is bit-exact, preserving fault-free identity.
+        let segment = desc.profile.segment_cycles() * self.fault_scale();
         for simd_idx in placement {
             let wave_seq = {
                 let run = &mut self.runs[run_key];
@@ -825,6 +1024,14 @@ impl Simulation {
                     self.mem
                         .access_bundle(cu, addr, profile.lines_per_access, now);
                 self.energy.add_memory(mix);
+                // Slowdown windows also stretch memory latency; skipped
+                // entirely at scale 1.0 so fault-free runs stay bit-exact.
+                let scale = self.fault_scale();
+                let done = if scale > 1.0 {
+                    now + done.saturating_since(now).mul_f64(scale)
+                } else {
+                    done
+                };
                 self.events.schedule(done, Ev::MemDone { wave: key });
             } else {
                 self.finish_wave(key, now);
@@ -841,7 +1048,7 @@ impl Simulation {
         w.accesses_done += 1;
         w.state = WaveState::Computing;
         let (cu, simd, run_key) = (w.cu as usize, w.simd as usize, w.run);
-        let segment = self.runs[run_key].desc.profile.segment_cycles();
+        let segment = self.runs[run_key].desc.profile.segment_cycles() * self.fault_scale();
         self.waves[key].remaining = segment;
         let s = &mut self.cus[cu].simds[simd];
         s.advance(now, &mut self.waves);
@@ -1076,6 +1283,7 @@ impl Simulation {
     fn try_deliver(&mut self, d: Delivery, now: Cycle) -> bool {
         let Some(q) = self.queues.iter().position(ComputeQueue::is_free) else {
             self.pending_deliveries.push_back(d);
+            self.check_backlog_limit();
             return false;
         };
         match d {
@@ -1361,5 +1569,226 @@ mod tests {
             SchedulerMode::Cp(Box::new(RoundRobin::new())),
         )
         .is_err());
+    }
+
+    #[test]
+    fn rejects_literal_constructed_invalid_jobs() {
+        // Bypass JobDesc::new's asserts via the public fields.
+        let mut no_kernels = one_job(vec![kernel(0, 64, 100, 0)], 100, 0, 0);
+        no_kernels.kernels.clear();
+        let err = Simulation::builder().jobs(vec![no_kernels]).build().unwrap_err();
+        assert!(matches!(err, SimError::Job(ref m) if m.contains("no kernels")), "{err}");
+
+        let mut zero_deadline = one_job(vec![kernel(0, 64, 100, 0)], 100, 0, 0);
+        zero_deadline.deadline = Duration::ZERO;
+        let err = Simulation::builder().jobs(vec![zero_deadline]).build().unwrap_err();
+        assert!(matches!(err, SimError::Job(ref m) if m.contains("deadline")), "{err}");
+
+        // And a literal-constructed kernel with a broken grid.
+        let mut bad_kernel = (*kernel(0, 64, 100, 0)).clone();
+        bad_kernel.wg_size = 0;
+        let mut job = one_job(vec![kernel(0, 64, 100, 0)], 100, 0, 0);
+        job.kernels = vec![Arc::new(bad_kernel)];
+        let err = Simulation::builder().jobs(vec![job]).build().unwrap_err();
+        assert!(matches!(err, SimError::Job(ref m) if m.contains("empty grid")), "{err}");
+    }
+
+    // ----- fault injection ---------------------------------------------------
+
+    use crate::faults::{CuFault, DramThrottle, FaultPlan, Slowdown};
+
+    fn fault_jobs() -> Vec<JobDesc> {
+        vec![
+            one_job(vec![kernel(0, 512, 4000, 4)], 5000, 0, 0),
+            one_job(vec![kernel(1, 256, 2000, 2)], 5000, 20, 1),
+        ]
+    }
+
+    fn run_with_plan(jobs: Vec<JobDesc>, plan: FaultPlan) -> SimReport {
+        let mut sim = Simulation::builder()
+            .jobs(jobs)
+            .faults(plan)
+            .cp(RoundRobin::new())
+            .build()
+            .unwrap();
+        sim.run()
+    }
+
+    #[test]
+    fn none_plan_is_bit_identical_to_no_plan() {
+        let baseline = run_rr(fault_jobs());
+        let with_none = run_with_plan(fault_jobs(), FaultPlan::none());
+        assert_eq!(baseline, with_none, "FaultPlan::none() must not perturb anything");
+    }
+
+    #[test]
+    fn slowdown_window_stretches_latency() {
+        let clean = run_with_plan(fault_jobs(), FaultPlan::none());
+        let plan = FaultPlan {
+            slowdowns: vec![Slowdown {
+                at: Cycle::ZERO,
+                until: Cycle::ZERO + Duration::from_ms(100),
+                factor: 4.0,
+            }],
+            ..FaultPlan::none()
+        };
+        let slow = run_with_plan(fault_jobs(), plan);
+        let lc = clean.records[0].latency().unwrap();
+        let ls = slow.records[0].latency().unwrap();
+        assert!(ls > lc.mul_f64(2.0), "4x slowdown should at least double latency: {ls} vs {lc}");
+    }
+
+    #[test]
+    fn cu_fault_drains_and_restores() {
+        // All 8 CUs offline from t=0 until 1ms: nothing can dispatch, so
+        // the job only starts (and finishes) after the restore.
+        let restore = Cycle::ZERO + Duration::from_ms(1);
+        let plan = FaultPlan {
+            cu_faults: (0..8)
+                .map(|cu| CuFault { cu, at: Cycle::ZERO, until: restore })
+                .collect(),
+            ..FaultPlan::none()
+        };
+        let report = run_with_plan(vec![one_job(vec![kernel(0, 64, 1000, 0)], 10_000, 0, 0)], plan);
+        let done = report.records[0].fate.completed_at().expect("job completes after restore");
+        assert!(done > restore, "completed at {done}, before the CUs came back");
+        // With the same plan but a window that ends before arrival, latency
+        // matches the clean run.
+        let early_plan = FaultPlan {
+            cu_faults: (0..8)
+                .map(|cu| CuFault {
+                    cu,
+                    at: Cycle::ZERO,
+                    until: Cycle::ZERO + Duration::from_cycles(1),
+                })
+                .collect(),
+            ..FaultPlan::none()
+        };
+        let jobs = || {
+            vec![one_job(
+                vec![kernel(0, 64, 1000, 0)],
+                10_000,
+                10, // arrives after the 1-cycle outage
+                0,
+            )]
+        };
+        let clean = run_with_plan(jobs(), FaultPlan::none());
+        let early = run_with_plan(jobs(), early_plan);
+        assert_eq!(
+            clean.records[0].latency(),
+            early.records[0].latency(),
+            "an outage fully before arrival must not affect the job"
+        );
+    }
+
+    #[test]
+    fn dram_throttle_slows_memory_jobs_only_during_window() {
+        let jobs = || vec![one_job(vec![kernel(0, 2048, 2000, 16)], 50_000, 0, 0)];
+        let clean = run_with_plan(jobs(), FaultPlan::none());
+        let plan = FaultPlan {
+            dram_throttles: vec![DramThrottle {
+                at: Cycle::ZERO,
+                until: Cycle::ZERO + Duration::from_ms(100),
+                factor: 16.0,
+            }],
+            ..FaultPlan::none()
+        };
+        let throttled = run_with_plan(jobs(), plan);
+        let lc = clean.records[0].latency().unwrap();
+        let lt = throttled.records[0].latency().unwrap();
+        assert!(lt > lc, "16x DRAM service must slow a memory-heavy job: {lt} vs {lc}");
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let plan = || FaultPlan::seeded(99, 1.5, Duration::from_ms(2), 8);
+        assert!(!plan().is_none());
+        let a = run_with_plan(fault_jobs(), plan());
+        let b = run_with_plan(fault_jobs(), plan());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_plan_is_rejected_at_build() {
+        let plan = FaultPlan {
+            cu_faults: vec![CuFault {
+                cu: 99,
+                at: Cycle::ZERO,
+                until: Cycle::ZERO + Duration::from_us(1),
+            }],
+            ..FaultPlan::none()
+        };
+        let err = Simulation::builder()
+            .jobs(fault_jobs())
+            .faults(plan)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SimError::Fault(_)), "{err}");
+    }
+
+    // ----- hardening ---------------------------------------------------------
+
+    #[test]
+    fn event_budget_converts_runaway_into_typed_error() {
+        let mut sim = Simulation::builder()
+            .jobs(fault_jobs())
+            .event_budget(10)
+            .build()
+            .unwrap();
+        let err = sim.try_run().unwrap_err();
+        assert_eq!(err, SimError::EventBudgetExceeded { budget: 10 });
+    }
+
+    #[test]
+    fn queue_overflow_is_a_typed_error_not_a_hang() {
+        let cfg = GpuConfig { num_queues: 1, ..GpuConfig::default() };
+        let jobs = vec![
+            one_job(vec![kernel(0, 2048, 50_000, 0)], 100_000, 0, 0),
+            one_job(vec![kernel(0, 64, 100, 0)], 100_000, 1, 1),
+            one_job(vec![kernel(0, 64, 100, 0)], 100_000, 2, 2),
+        ];
+        let mut sim = Simulation::builder()
+            .config(cfg)
+            .jobs(jobs)
+            .max_backlog(1)
+            .build()
+            .unwrap();
+        let err = sim.try_run().unwrap_err();
+        assert!(matches!(err, SimError::QueueOverflow { pending: 2, limit: 1 }), "{err}");
+    }
+
+    #[test]
+    fn livelock_is_detected_deterministically() {
+        struct ZeroTick;
+        impl CpScheduler for ZeroTick {
+            fn name(&self) -> &'static str {
+                "ZERO-TICK"
+            }
+            fn tick_period(&self) -> Option<Duration> {
+                Some(Duration::ZERO) // reschedules itself at `now` forever
+            }
+        }
+        let mut sim = Simulation::builder()
+            .jobs(vec![one_job(vec![kernel(0, 64, 1000, 0)], 1000, 0, 0)])
+            .cp(ZeroTick)
+            .build()
+            .unwrap();
+        let err = sim.try_run().unwrap_err();
+        assert!(matches!(err, SimError::Stalled { .. }), "{err}");
+    }
+
+    #[test]
+    fn run_panics_on_runtime_fault_with_context() {
+        let result = std::panic::catch_unwind(|| {
+            let mut sim = Simulation::builder()
+                .jobs(fault_jobs())
+                .event_budget(5)
+                .build()
+                .unwrap();
+            sim.run()
+        });
+        let payload = result.unwrap_err();
+        let msg = payload.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("event budget"), "panic message was: {msg}");
     }
 }

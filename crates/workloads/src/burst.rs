@@ -1,0 +1,160 @@
+//! Arrival-burst storms: the workload half of fault injection.
+//!
+//! A [`gpu_sim::faults::FaultPlan`] can carry [`ArrivalBurst`] entries, but
+//! bursts cannot be replayed by the simulator's event loop — they change
+//! *when jobs arrive*, which is decided here at generation time. This
+//! module applies those entries to an already-generated job stream by
+//! compressing the inter-arrival gaps of a contiguous slice of jobs,
+//! locally multiplying the offered load without touching job identity,
+//! kernels, deadlines or ordering.
+//!
+//! Determinism: the transformation is a pure function of the job stream
+//! and the plan — no RNG draws — so a burst-free plan leaves the stream
+//! byte-identical and the same plan always produces the same storm.
+
+use gpu_sim::faults::ArrivalBurst;
+use gpu_sim::job::JobDesc;
+use sim_core::time::{Cycle, Duration};
+
+/// Applies every burst in `bursts` to `jobs` (sorted by arrival, as
+/// produced by `BenchmarkSuite::generate_jobs`).
+///
+/// Each burst addresses jobs by stream fraction: with `n` jobs,
+/// `start_frac`/`len_frac` select indices `[n*start, n*(start+len))`, and
+/// every inter-arrival gap *into* those jobs is divided by `compression`.
+/// Later jobs shift earlier by the time removed, so the stream stays
+/// sorted and gap-compression never reorders ids. Overlapping bursts
+/// compose (both divisions apply).
+///
+/// An empty `bursts` slice returns without touching anything.
+pub fn apply_bursts(jobs: &mut [JobDesc], bursts: &[ArrivalBurst]) {
+    if bursts.is_empty() || jobs.len() < 2 {
+        return;
+    }
+    // Work on gaps: gap[i] is the span between job i-1 and job i.
+    let mut gaps: Vec<Duration> = Vec::with_capacity(jobs.len());
+    gaps.push(jobs[0].arrival.saturating_since(Cycle::ZERO));
+    for i in 1..jobs.len() {
+        gaps.push(jobs[i].arrival.saturating_since(jobs[i - 1].arrival));
+    }
+    let n = jobs.len();
+    for b in bursts {
+        let start = ((n as f64) * b.start_frac).floor() as usize;
+        let end = (((n as f64) * (b.start_frac + b.len_frac)).ceil() as usize).min(n);
+        // Compress the gaps leading *into* the burst's jobs. Gap 0 (the
+        // stream's lead-in from time zero) is not between jobs, so the
+        // compressible range starts at 1; always cover at least one gap so
+        // a tiny len_frac on a short stream still does something.
+        let lo = start.max(1);
+        let hi = end.max(lo + 1).min(n);
+        for gap in gaps.iter_mut().take(hi).skip(lo) {
+            *gap = gap.mul_f64(1.0 / b.compression);
+        }
+    }
+    // Re-accumulate absolute arrivals.
+    let mut now = Cycle::ZERO;
+    for (job, gap) in jobs.iter_mut().zip(&gaps) {
+        now += *gap;
+        job.arrival = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use gpu_sim::job::JobId;
+    use gpu_sim::kernel::{ComputeProfile, KernelClassId, KernelDesc};
+
+    fn jobs_with_gap(n: usize, gap_us: u64) -> Vec<JobDesc> {
+        let k = Arc::new(KernelDesc::new(
+            KernelClassId(0),
+            "k",
+            64,
+            64,
+            8,
+            0,
+            ComputeProfile::compute_only(100),
+        ));
+        (0..n)
+            .map(|i| {
+                JobDesc::new(
+                    JobId(i as u32),
+                    "b",
+                    vec![k.clone()],
+                    Duration::from_us(100),
+                    Cycle::ZERO + Duration::from_us(gap_us * (i as u64 + 1)),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn no_bursts_is_identity() {
+        let mut jobs = jobs_with_gap(8, 10);
+        let before: Vec<Cycle> = jobs.iter().map(|j| j.arrival).collect();
+        apply_bursts(&mut jobs, &[]);
+        let after: Vec<Cycle> = jobs.iter().map(|j| j.arrival).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn burst_compresses_the_window_and_shifts_the_tail() {
+        let mut jobs = jobs_with_gap(10, 10);
+        apply_bursts(
+            &mut jobs,
+            &[ArrivalBurst { start_frac: 0.5, len_frac: 0.3, compression: 2.0 }],
+        );
+        // Jobs 5..8 arrive at half their original gaps; jobs before the
+        // window are untouched.
+        assert_eq!(jobs[4].arrival, Cycle::ZERO + Duration::from_us(50));
+        assert_eq!(jobs[5].arrival, Cycle::ZERO + Duration::from_us(55));
+        assert_eq!(jobs[6].arrival, Cycle::ZERO + Duration::from_us(60));
+        assert_eq!(jobs[7].arrival, Cycle::ZERO + Duration::from_us(65));
+        // Jobs after the window keep their 10us gaps, shifted earlier.
+        assert_eq!(jobs[8].arrival, Cycle::ZERO + Duration::from_us(75));
+        assert_eq!(jobs[9].arrival, Cycle::ZERO + Duration::from_us(85));
+    }
+
+    #[test]
+    fn bursts_keep_the_stream_sorted_and_ids_dense() {
+        let mut jobs = jobs_with_gap(32, 7);
+        apply_bursts(
+            &mut jobs,
+            &[
+                ArrivalBurst { start_frac: 0.0, len_frac: 0.5, compression: 4.0 },
+                ArrivalBurst { start_frac: 0.25, len_frac: 0.5, compression: 1.5 },
+            ],
+        );
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.id.0 as usize, i, "ids untouched");
+            if i > 0 {
+                assert!(j.arrival >= jobs[i - 1].arrival, "stream stays sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn application_is_deterministic() {
+        let burst = [ArrivalBurst { start_frac: 0.2, len_frac: 0.4, compression: 3.0 }];
+        let mut a = jobs_with_gap(16, 9);
+        let mut b = jobs_with_gap(16, 9);
+        apply_bursts(&mut a, &burst);
+        apply_bursts(&mut b, &burst);
+        let aa: Vec<Cycle> = a.iter().map(|j| j.arrival).collect();
+        let bb: Vec<Cycle> = b.iter().map(|j| j.arrival).collect();
+        assert_eq!(aa, bb);
+    }
+
+    #[test]
+    fn tiny_stream_still_gets_at_least_one_compressed_gap() {
+        let mut jobs = jobs_with_gap(2, 100);
+        apply_bursts(
+            &mut jobs,
+            &[ArrivalBurst { start_frac: 0.4, len_frac: 0.01, compression: 10.0 }],
+        );
+        // Gap into job 1 compressed 10x: arrivals 100us, 110us.
+        assert_eq!(jobs[1].arrival, Cycle::ZERO + Duration::from_us(110));
+    }
+}

@@ -15,6 +15,9 @@
 //! * [`suite`] — the calibrated [`suite::BenchmarkSuite`]: job generation
 //!   with exponential arrivals and the offline profile table.
 //! * [`batching`] — merged-batch workloads for Figure 4.
+//! * [`burst`] — arrival-burst storms: applies a fault plan's burst
+//!   entries to a generated job stream (the workload half of fault
+//!   injection).
 //! * [`mixed`] — interleaved streams and latency-insensitive background
 //!   work, for the paper's claim that LAX leaves no-deadline jobs alone.
 //! * [`table1`] — regenerates Table 1 and Figure 1 from the suite.
@@ -34,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod batching;
+pub mod burst;
 pub mod calibrate;
 pub mod kernels;
 pub mod mixed;

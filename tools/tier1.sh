@@ -15,4 +15,22 @@ cargo test --workspace -q
 echo "== tier1: cargo clippy -D warnings (workspace, all targets) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== tier1: fault-sweep smoke + kill-and-resume byte-identity =="
+FAULTS_BIN=target/release/faults
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+# Run A: an uninterrupted smoke sweep (2 schedulers x 2 intensities).
+"$FAULTS_BIN" --smoke --jobs 2 --out "$TMP/a.txt" --ckpt "$TMP/a.ckpt"
+# Run B: start the same sweep, SIGKILL it mid-flight, then finish it with
+# --resume from whatever the checkpoint captured. The artifact must come
+# out byte-identical to run A regardless of where the kill landed.
+"$FAULTS_BIN" --smoke --jobs 1 --out "$TMP/b.txt" --ckpt "$TMP/b.ckpt" &
+BPID=$!
+sleep 0.2
+kill -9 "$BPID" 2>/dev/null || true
+wait "$BPID" 2>/dev/null || true
+"$FAULTS_BIN" --smoke --jobs 2 --resume --out "$TMP/b.txt" --ckpt "$TMP/b.ckpt"
+cmp "$TMP/a.txt" "$TMP/b.txt"
+echo "   resumed fault sweep is byte-identical"
+
 echo "== tier1: OK =="
