@@ -20,6 +20,7 @@ use gpu_sim::queue::{ActiveJob, ComputeQueue};
 use gpu_sim::scheduler::{CpContext, CpScheduler, Occupancy};
 use lax::estimate::{remaining_time_us, LiveRates};
 use lax::lax::Lax;
+use sim_core::probe::ProbeHub;
 use sim_core::time::{Cycle, Duration};
 
 /// Times `f` over `iters` iterations (after warmup) and prints ns/iter.
@@ -85,6 +86,7 @@ fn bench_priority_tick() {
         let mut counters = warmed_counters();
         let cfg = GpuConfig::default();
         let mut lax = Lax::new();
+        let mut probes = ProbeHub::new();
         bench(&format!("lax_priority_tick/{n_queues}q_{kernels}k"), 2_000, || {
             let mut ctx = CpContext {
                 now: Cycle::ZERO + Duration::from_us(100),
@@ -92,6 +94,7 @@ fn bench_priority_tick() {
                 counters: &mut counters,
                 occupancy: Occupancy::default(),
                 config: &cfg,
+                probes: &mut probes,
             };
             lax.on_tick(&mut ctx);
         });
@@ -105,6 +108,7 @@ fn bench_admission() {
         let mut counters = warmed_counters();
         let cfg = GpuConfig::default();
         let mut lax = Lax::new();
+        let mut probes = ProbeHub::new();
         bench(&format!("lax_admission/{n_queues}"), 2_000, || {
             let mut ctx = CpContext {
                 now: Cycle::ZERO + Duration::from_us(100),
@@ -112,6 +116,7 @@ fn bench_admission() {
                 counters: &mut counters,
                 occupancy: Occupancy::default(),
                 config: &cfg,
+                probes: &mut probes,
             };
             lax.admit(&mut ctx, n_queues - 1)
         });

@@ -71,6 +71,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     let wall = t0.elapsed();
     let mut f = fs::File::create(format!("{dir}/SUMMARY.txt"))?;
     writeln!(f, "full evaluation regenerated in {wall:?} on {jobs} worker thread(s)")?;
+    if let Some(profile) = db.profile_summary(10) {
+        writeln!(f, "\n{profile}")?;
+    }
     if let Some(ck) = db.checkpoint() {
         ck.discard_file()?;
     }

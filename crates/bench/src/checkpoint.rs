@@ -35,14 +35,40 @@ use gpu_sim::prelude::*;
 use crate::sweep::BenchError;
 
 /// First line of every checkpoint file; anything else is ignored wholesale.
-const HEADER: &str = "lax-bench-checkpoint v1";
+/// v2 added the `events` summary field and the optional `profile` line —
+/// v1 files are treated as absent (their cells simply re-run).
+const HEADER: &str = "lax-bench-checkpoint v2";
+
+/// Per-cell execution profile: how long the cell took to simulate and how
+/// many fault-injected retries it needed. Persisted alongside the report so
+/// a resumed sweep can still render the slowest-cells table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellProfile {
+    /// Wall-clock time spent simulating the cell (including retries).
+    pub wall: std::time::Duration,
+    /// Extra attempts beyond the first (0 for a clean first run).
+    pub retries: u32,
+}
+
+impl CellProfile {
+    /// Simulated events per wall-clock second, given the cell's report.
+    pub fn events_per_sec(&self, report: &SimReport) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            report.events as f64 / secs
+        }
+    }
+}
 
 /// A checkpoint file plus its in-memory view: a map from cell key to the
-/// finished [`SimReport`].
+/// finished [`SimReport`] and (optionally) its [`CellProfile`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Checkpoint {
     path: PathBuf,
     cells: BTreeMap<String, SimReport>,
+    profiles: BTreeMap<String, CellProfile>,
 }
 
 impl Checkpoint {
@@ -51,11 +77,11 @@ impl Checkpoint {
     /// unrecognized file simply yields an empty checkpoint.
     pub fn open(path: impl Into<PathBuf>) -> Checkpoint {
         let path = path.into();
-        let cells = match fs::read_to_string(&path) {
+        let (cells, profiles) = match fs::read_to_string(&path) {
             Ok(text) => parse_file(&text),
-            Err(_) => BTreeMap::new(),
+            Err(_) => (BTreeMap::new(), BTreeMap::new()),
         };
-        Checkpoint { path, cells }
+        Checkpoint { path, cells, profiles }
     }
 
     /// The file this checkpoint persists to.
@@ -88,6 +114,16 @@ impl Checkpoint {
         self.cells.is_empty()
     }
 
+    /// The execution profile recorded for `key`, if any.
+    pub fn profile(&self, key: &str) -> Option<CellProfile> {
+        self.profiles.get(key).copied()
+    }
+
+    /// Iterates over all recorded `(key, profile)` pairs in key order.
+    pub fn profiles(&self) -> impl Iterator<Item = (&str, CellProfile)> {
+        self.profiles.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
     /// Records one finished cell and atomically persists the snapshot.
     ///
     /// # Errors
@@ -96,6 +132,24 @@ impl Checkpoint {
     /// view still holds the cell, so the sweep can finish regardless.
     pub fn record(&mut self, key: &str, report: &SimReport) -> Result<(), BenchError> {
         self.cells.insert(key.to_string(), report.clone());
+        self.profiles.remove(key);
+        self.flush()
+    }
+
+    /// Like [`Checkpoint::record`], also persisting the cell's execution
+    /// profile (wall-clock + retries) for sweep-level profiling.
+    ///
+    /// # Errors
+    ///
+    /// [`BenchError::Io`] if the snapshot cannot be written.
+    pub fn record_profiled(
+        &mut self,
+        key: &str,
+        report: &SimReport,
+        profile: CellProfile,
+    ) -> Result<(), BenchError> {
+        self.cells.insert(key.to_string(), report.clone());
+        self.profiles.insert(key.to_string(), profile);
         self.flush()
     }
 
@@ -120,7 +174,7 @@ impl Checkpoint {
         let mut text = String::from(HEADER);
         text.push('\n');
         for (key, report) in &self.cells {
-            render_cell(&mut text, key, report);
+            render_cell(&mut text, key, report, self.profiles.get(key).copied());
         }
         if let Some(dir) = self.path.parent() {
             if !dir.as_os_str().is_empty() {
@@ -140,19 +194,25 @@ fn io_err(path: &Path, e: &std::io::Error) -> BenchError {
 /// Serializes one cell block. Free-text fields (the key, the scheduler
 /// name, each job's benchmark label) terminate their lines so embedded
 /// spaces survive; every float travels as the hex of its bits.
-fn render_cell(out: &mut String, key: &str, r: &SimReport) {
+fn render_cell(out: &mut String, key: &str, r: &SimReport, profile: Option<CellProfile>) {
     let _ = writeln!(out, "cell {key}");
     let _ = writeln!(out, "scheduler {}", r.scheduler);
     let _ = writeln!(
         out,
-        "summary {} {:016x} {} {:016x} {:016x} {}",
+        "summary {} {:016x} {} {:016x} {:016x} {} {}",
         r.makespan.as_cycles(),
         r.energy_mj.to_bits(),
         r.total_wgs,
         r.l1_hit_rate.to_bits(),
         r.l2_hit_rate.to_bits(),
+        r.events,
         r.records.len()
     );
+    if let Some(p) = profile {
+        // Wall-clock as exact nanoseconds so resumed runs reload the same
+        // profile the original run measured.
+        let _ = writeln!(out, "profile {:x} {}", p.wall.as_nanos(), p.retries);
+    }
     for rec in &r.records {
         let fate = match rec.fate {
             JobFate::Completed(t) => format!("C{}", t.as_cycles()),
@@ -176,12 +236,13 @@ fn render_cell(out: &mut String, key: &str, r: &SimReport) {
 
 /// Parses a whole file; malformed cell blocks are dropped, everything else
 /// is kept. Returns empty on a bad header.
-fn parse_file(text: &str) -> BTreeMap<String, SimReport> {
+fn parse_file(text: &str) -> (BTreeMap<String, SimReport>, BTreeMap<String, CellProfile>) {
     let mut lines = text.lines();
     if lines.next() != Some(HEADER) {
-        return BTreeMap::new();
+        return (BTreeMap::new(), BTreeMap::new());
     }
     let mut cells = BTreeMap::new();
+    let mut profiles = BTreeMap::new();
     let mut block: Option<(String, Vec<&str>)> = None;
     for line in lines {
         if let Some(key) = line.strip_prefix("cell ") {
@@ -189,19 +250,22 @@ fn parse_file(text: &str) -> BTreeMap<String, SimReport> {
             block = Some((key.to_string(), Vec::new()));
         } else if line == "end" {
             if let Some((key, body)) = block.take() {
-                if let Some(report) = parse_cell(&body) {
-                    cells.insert(key, report);
+                if let Some((report, profile)) = parse_cell(&body) {
+                    cells.insert(key.clone(), report);
+                    if let Some(p) = profile {
+                        profiles.insert(key, p);
+                    }
                 }
             }
         } else if let Some((_, body)) = block.as_mut() {
             body.push(line);
         }
     }
-    cells
+    (cells, profiles)
 }
 
-fn parse_cell(body: &[&str]) -> Option<SimReport> {
-    let mut lines = body.iter();
+fn parse_cell(body: &[&str]) -> Option<(SimReport, Option<CellProfile>)> {
+    let mut lines = body.iter().peekable();
     let scheduler = lines.next()?.strip_prefix("scheduler ")?.to_string();
     let summary = lines.next()?.strip_prefix("summary ")?;
     let mut s = summary.split(' ');
@@ -210,10 +274,27 @@ fn parse_cell(body: &[&str]) -> Option<SimReport> {
     let total_wgs = s.next()?.parse().ok()?;
     let l1_hit_rate = f64_from_hex(s.next()?)?;
     let l2_hit_rate = f64_from_hex(s.next()?)?;
+    let events = s.next()?.parse().ok()?;
     let n_records: usize = s.next()?.parse().ok()?;
     if s.next().is_some() {
         return None;
     }
+    let profile = match lines.peek().and_then(|l| l.strip_prefix("profile ")) {
+        Some(rest) => {
+            lines.next();
+            let mut p = rest.split(' ');
+            let nanos = u128::from_str_radix(p.next()?, 16).ok()?;
+            let retries = p.next()?.parse().ok()?;
+            if p.next().is_some() {
+                return None;
+            }
+            Some(CellProfile {
+                wall: std::time::Duration::from_nanos(u64::try_from(nanos).ok()?),
+                retries,
+            })
+        }
+        None => None,
+    };
     let mut records = Vec::with_capacity(n_records);
     for _ in 0..n_records {
         let line = lines.next()?.strip_prefix("job ")?;
@@ -231,7 +312,7 @@ fn parse_cell(body: &[&str]) -> Option<SimReport> {
     if lines.next().is_some() {
         return None;
     }
-    Some(SimReport {
+    let report = SimReport {
         scheduler,
         records,
         makespan,
@@ -239,7 +320,9 @@ fn parse_cell(body: &[&str]) -> Option<SimReport> {
         total_wgs,
         l1_hit_rate,
         l2_hit_rate,
-    })
+        events,
+    };
+    Some((report, profile))
 }
 
 fn parse_fate(s: &str) -> Option<JobFate> {
@@ -291,6 +374,7 @@ mod tests {
             total_wgs: 42,
             l1_hit_rate: 2.0 / 3.0,
             l2_hit_rate: f64::MIN_POSITIVE / 2.0,
+            events: 1_234_567,
         }
     }
 
@@ -343,12 +427,42 @@ mod tests {
         // Simulate a corrupted tail: a cell whose job count lies, then an
         // unterminated block (as if truncated mid-write).
         let mut text = fs::read_to_string(&path).unwrap();
-        text.push_str("cell bad\nscheduler X\nsummary 1 0 0 0 0 5\njob 0 0 0 U 0 b\nend\n");
+        text.push_str("cell bad\nscheduler X\nsummary 1 0 0 0 0 0 5\njob 0 0 0 U 0 b\nend\n");
         text.push_str("cell truncated\nscheduler Y\n");
         fs::write(&path, &text).unwrap();
         let reloaded = Checkpoint::open(&path);
         assert_eq!(reloaded.len(), 1, "only the intact cell survives");
         assert!(reloaded.contains("good"));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn profiles_round_trip_and_are_optional() {
+        let path = tmp_path("profiles");
+        let mut ck = Checkpoint::open(&path);
+        let r = report("LAX", 2);
+        let p = CellProfile { wall: std::time::Duration::from_nanos(1_234_567_891), retries: 3 };
+        ck.record_profiled("with", &r, p).unwrap();
+        ck.record("without", &r).unwrap();
+        let reloaded = Checkpoint::open(&path);
+        assert_eq!(reloaded.len(), 2);
+        assert_eq!(reloaded.get("with"), Some(&r));
+        assert_eq!(reloaded.profile("with"), Some(p));
+        assert_eq!(reloaded.profile("without"), None);
+        assert_eq!(reloaded.profiles().count(), 1);
+        assert!(p.events_per_sec(&r) > 0.0);
+        ck.discard_file().unwrap();
+    }
+
+    #[test]
+    fn v1_files_are_rejected_wholesale() {
+        let path = tmp_path("v1");
+        fs::write(
+            &path,
+            "lax-bench-checkpoint v1\ncell k\nscheduler A\nsummary 1 0 0 0 0 0\nend\n",
+        )
+        .unwrap();
+        assert!(Checkpoint::open(&path).is_empty(), "v1 header reads as absent");
         fs::remove_file(&path).unwrap();
     }
 

@@ -6,9 +6,10 @@
 //! a figure's cells run concurrently; pass `1` to force serial execution.
 //! Cell failures surface as typed [`BenchError`]s, never panics.
 
+use std::sync::{Arc, Mutex};
+
 use gpu_sim::prelude::*;
 use lax::lax::Lax;
-use lax::trace::shared_trace;
 use sim_core::stats::geomean;
 use sim_core::table::{fmt_f, Table};
 use workloads::batching::batched_workload;
@@ -230,18 +231,18 @@ pub fn fig10(sample_job: u32, n_jobs: usize, seed: u64, workers: usize) -> Strin
     let benches = [Benchmark::Lstm, Benchmark::Gru, Benchmark::Van, Benchmark::Hybrid];
     let sections = par_map(&benches, workers, |&bench| {
         let jobs = suite.generate_jobs(bench, ArrivalRate::High, n_jobs, seed);
-        let trace = shared_trace(JobId(sample_job), 4096);
-        let lax = Lax::new().with_trace(trace.clone());
+        let sampler = Arc::new(Mutex::new(MetricsSampler::new().watch_job(JobId(sample_job))));
         let mut sim = Simulation::builder()
             .offline_rates(suite.offline_rates())
             .jobs(jobs)
-            .cp(lax)
+            .cp(Lax::new())
+            .observe(Box::new(Arc::clone(&sampler)))
             .build()
             .expect("jobs run");
         let report = sim.run();
         let rec = &report.records[sample_job as usize];
         let actual_us = rec.latency().map(|l| l.as_us_f64());
-        let guard = trace.lock().expect("trace lock");
+        let guard = sampler.lock().expect("sampler lock");
         let mut section = format!(
             "\n({}) job {}: fate {:?}, actual latency {:?} us, deadline {} us\n",
             bench.name(),
@@ -253,10 +254,10 @@ pub fn fig10(sample_job: u32, n_jobs: usize, seed: u64, workers: usize) -> Strin
         let mut t = Table::with_columns(&["t (us since arrival)", "predicted total (us)", "priority"]);
         let arrival = rec.arrival;
         for (p, q) in guard
-            .predicted_total_us
+            .watched_predicted()
             .points()
             .iter()
-            .zip(guard.priority.points())
+            .zip(guard.watched_priority().points())
         {
             t.row(vec![
                 fmt_f(p.at.saturating_since(arrival).as_us_f64(), 0),

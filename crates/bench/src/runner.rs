@@ -6,9 +6,10 @@ use std::collections::BTreeMap;
 use std::path::Path;
 
 use gpu_sim::prelude::*;
+use sim_core::table::{fmt_f, Table};
 use workloads::spec::{ArrivalRate, Benchmark};
 
-use crate::checkpoint::Checkpoint;
+use crate::checkpoint::{CellProfile, Checkpoint};
 use crate::sweep::{self, BenchError, Scenario, SweepOptions};
 
 /// Jobs per benchmark run (paper Section 5.3).
@@ -23,6 +24,7 @@ pub const DEFAULT_SEED: u64 = 20210301;
 #[derive(Debug, Default)]
 pub struct ResultsDb {
     cache: BTreeMap<Scenario, SimReport>,
+    profiles: BTreeMap<Scenario, CellProfile>,
     n_jobs: usize,
     seed: u64,
     verbose: bool,
@@ -34,6 +36,7 @@ impl ResultsDb {
     pub fn new() -> Self {
         ResultsDb {
             cache: BTreeMap::new(),
+            profiles: BTreeMap::new(),
             n_jobs: JOBS_PER_RUN,
             seed: DEFAULT_SEED,
             verbose: false,
@@ -63,6 +66,9 @@ impl ResultsDb {
         let mut restored = 0;
         for (key, report) in ck.cells() {
             if let Ok(scenario) = key.parse::<Scenario>() {
+                if let Some(profile) = ck.profile(key) {
+                    self.profiles.insert(scenario.clone(), profile);
+                }
                 self.cache.insert(scenario, report.clone());
                 restored += 1;
             }
@@ -83,9 +89,14 @@ impl ResultsDb {
     /// attached. Write failures are reported but never fail the sweep:
     /// checkpointing is an accelerator for `--resume`, not a correctness
     /// dependency.
-    fn persist(checkpoint: &mut Option<Checkpoint>, scenario: &Scenario, report: &SimReport) {
+    fn persist(
+        checkpoint: &mut Option<Checkpoint>,
+        scenario: &Scenario,
+        report: &SimReport,
+        profile: CellProfile,
+    ) {
         if let Some(ck) = checkpoint.as_mut() {
-            if let Err(e) = ck.record(&scenario.to_string(), report) {
+            if let Err(e) = ck.record_profiled(&scenario.to_string(), report, profile) {
                 eprintln!("warning: checkpoint write failed: {e}");
             }
         }
@@ -137,14 +148,17 @@ impl ResultsDb {
         // moment it lands — a kill -9 one cell before the end loses one
         // cell, not the sweep.
         let checkpoint = &mut self.checkpoint;
+        let profiles = &mut self.profiles;
         let results = sweep::par_map_with(
             &missing,
             jobs,
-            |s| sweep::run_cell_opts(s, &opts),
-            |i, r: &Result<SimReport, BenchError>, cell_wall| {
+            |s| sweep::run_cell_profiled(s, &opts),
+            |i, (r, attempts): &(Result<SimReport, BenchError>, u32), cell_wall| {
                 done += 1;
                 if let Ok(report) = r {
-                    Self::persist(checkpoint, &missing[i], report);
+                    let profile = CellProfile { wall: cell_wall, retries: attempts - 1 };
+                    profiles.insert(missing[i].clone(), profile);
+                    Self::persist(checkpoint, &missing[i], report, profile);
                 }
                 if verbose {
                     eprintln!(
@@ -159,7 +173,7 @@ impl ResultsDb {
             },
         );
         let mut first_err = None;
-        for (scenario, result) in missing.into_iter().zip(results) {
+        for (scenario, (result, _)) in missing.into_iter().zip(results) {
             match result {
                 Ok(report) => {
                     self.cache.insert(scenario, report);
@@ -186,7 +200,9 @@ impl ResultsDb {
         if !self.cache.contains_key(&key) {
             let t0 = std::time::Instant::now();
             let report = sweep::run_scenario(&key)?;
-            Self::persist(&mut self.checkpoint, &key, &report);
+            let profile = CellProfile { wall: t0.elapsed(), retries: 0 };
+            self.profiles.insert(key.clone(), profile);
+            Self::persist(&mut self.checkpoint, &key, &report, profile);
             if self.verbose {
                 eprintln!(
                     "[run] {:<9} {:<7} {:<6} met {:>3}/{} ({:.1?})",
@@ -242,6 +258,66 @@ impl ResultsDb {
     /// Number of jobs per run.
     pub fn n_jobs(&self) -> usize {
         self.n_jobs
+    }
+
+    /// Execution profiles of every cell this database ran (or restored from
+    /// a checkpoint), keyed by scenario.
+    pub fn profiles(&self) -> &BTreeMap<Scenario, CellProfile> {
+        &self.profiles
+    }
+
+    /// The `n` slowest cells by wall-clock, slowest first.
+    pub fn slowest_cells(&self, n: usize) -> Vec<(&Scenario, CellProfile)> {
+        let mut cells: Vec<(&Scenario, CellProfile)> =
+            self.profiles.iter().map(|(s, p)| (s, *p)).collect();
+        cells.sort_by(|a, b| b.1.wall.cmp(&a.1.wall).then_with(|| a.0.cmp(b.0)));
+        cells.truncate(n);
+        cells
+    }
+
+    /// Renders the sweep profiling summary: totals plus a slowest-`n`-cells
+    /// table (scenario, wall-clock, events simulated, events/sec, retries).
+    /// `None` when no cells were executed by this process or restored with
+    /// profiles.
+    pub fn profile_summary(&self, n: usize) -> Option<String> {
+        if self.profiles.is_empty() {
+            return None;
+        }
+        let total_wall: std::time::Duration = self.profiles.values().map(|p| p.wall).sum();
+        let total_events: u64 = self
+            .profiles
+            .keys()
+            .filter_map(|s| self.cache.get(s))
+            .map(|r| r.events)
+            .sum();
+        let total_retries: u32 = self.profiles.values().map(|p| p.retries).sum();
+        let mut out = format!(
+            "sweep profile: {} cell(s), {:.1?} total cell wall-clock, {} events simulated, {} retr{}\n\nslowest cells\n\n",
+            self.profiles.len(),
+            total_wall,
+            total_events,
+            total_retries,
+            if total_retries == 1 { "y" } else { "ies" },
+        );
+        let mut t = Table::with_columns(&["scenario", "wall (s)", "events", "events/sec", "retries"]);
+        for (scenario, profile) in self.slowest_cells(n) {
+            let events = self.cache.get(scenario).map(|r| r.events);
+            t.row(vec![
+                scenario.to_string(),
+                fmt_f(profile.wall.as_secs_f64(), 2),
+                events.map_or_else(|| "-".to_string(), |e| e.to_string()),
+                events.map_or_else(
+                    || "-".to_string(),
+                    |e| {
+                        let secs = profile.wall.as_secs_f64();
+                        if secs == 0.0 { "-".to_string() } else { fmt_f(e as f64 / secs, 0) }
+                    },
+                ),
+                profile.retries.to_string(),
+            ]);
+        }
+        out.push_str(&t.render());
+        Some(out)
     }
 
     /// Number of cached cells.
@@ -341,6 +417,28 @@ mod tests {
         ck.record("RR:IPV6:low:j2:s1:f0.5", &report).unwrap();
         let db = ResultsDb::with_jobs(2, 1).with_checkpoints(&path);
         assert!(db.is_empty(), "suffixed keys belong to other binaries");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn warm_profiles_every_cell_and_profiles_survive_resume() {
+        let path = std::env::temp_dir().join(format!("lax-db-prof-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut db = ResultsDb::with_jobs(4, 2).with_checkpoints(&path);
+        db.warm(&["RR", "EDF"], &[Benchmark::Ipv6], &[ArrivalRate::Low], 2).unwrap();
+        assert_eq!(db.profiles().len(), 2, "every warmed cell gets a profile");
+        for (s, p) in db.profiles() {
+            assert_eq!(p.retries, 0, "{s}: clean cells take one attempt");
+            let r = &db.cache[s];
+            assert!(r.events > 0, "{s}: report carries the event count");
+        }
+        let summary = db.profile_summary(10).unwrap();
+        assert!(summary.contains("slowest cells"), "{summary}");
+        assert!(summary.contains("RR:IPV6:low:j4:s2"), "{summary}");
+
+        let resumed = ResultsDb::with_jobs(4, 2).with_checkpoints(&path);
+        assert_eq!(resumed.profiles(), db.profiles(), "profiles restore from the checkpoint");
+        assert_eq!(resumed.slowest_cells(1).len(), 1);
         std::fs::remove_file(&path).unwrap();
     }
 

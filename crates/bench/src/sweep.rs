@@ -277,6 +277,23 @@ pub fn run_scenario(scenario: &Scenario) -> Result<SimReport, BenchError> {
 ///
 /// Same contract as [`run_scenario`].
 pub fn run_faulty_scenario(scenario: &Scenario, intensity: f64) -> Result<SimReport, BenchError> {
+    run_faulty_scenario_observed(scenario, intensity, Vec::new())
+}
+
+/// [`run_faulty_scenario`] with `observers` attached to the simulation's
+/// probe bus — the cell-running path of `lax-bench trace`. Attaching
+/// observers never perturbs the report (the probe layer schedules no
+/// events), so observed and unobserved runs of the same cell are
+/// bit-identical; `observers_do_not_perturb_cell_reports` locks this in.
+///
+/// # Errors
+///
+/// Same contract as [`run_scenario`].
+pub fn run_faulty_scenario_observed(
+    scenario: &Scenario,
+    intensity: f64,
+    observers: Vec<Box<dyn Observer<ProbeEvent> + Send>>,
+) -> Result<SimReport, BenchError> {
     let suite = BenchmarkSuite::calibrated();
     let mut jobs =
         suite.generate_jobs(scenario.bench, scenario.rate, scenario.n_jobs, scenario.cell_seed());
@@ -291,12 +308,15 @@ pub fn run_faulty_scenario(scenario: &Scenario, intensity: f64) -> Result<SimRep
         .unwrap_or(Duration::ZERO);
     let plan = FaultPlan::seeded(scenario.cell_seed(), intensity, span, cfg.num_cus);
     apply_bursts(&mut jobs, &plan.bursts);
-    let mut sim = Simulation::builder()
+    let mut builder = Simulation::builder()
         .offline_rates(suite.offline_rates())
         .jobs(jobs)
         .scheduler(mode)
-        .faults(plan)
-        .build()?;
+        .faults(plan);
+    for obs in observers {
+        builder = builder.observe(obs);
+    }
+    let mut sim = builder.build()?;
     sim.try_run().map_err(BenchError::Sim)
 }
 
@@ -558,9 +578,20 @@ fn run_cell_caught(scenario: &Scenario, intensity: f64) -> Result<Result<SimRepo
 /// Everything [`run_faulty_scenario`] reports, plus
 /// [`BenchError::Panicked`] and [`BenchError::DeadlineExceeded`].
 pub fn run_cell_opts(scenario: &Scenario, opts: &SweepOptions) -> Result<SimReport, BenchError> {
+    run_cell_profiled(scenario, opts).0
+}
+
+/// [`run_cell_opts`], additionally reporting how many attempts the cell
+/// consumed (1 for a clean first run; retries = attempts − 1). The sweep
+/// profiler records this into the checkpoint so resumed runs still know
+/// which cells were flaky.
+pub fn run_cell_profiled(
+    scenario: &Scenario,
+    opts: &SweepOptions,
+) -> (Result<SimReport, BenchError>, u32) {
     let attempts = opts.retries.saturating_add(1);
     let mut last_panic = String::new();
-    for _ in 0..attempts {
+    for attempt in 1..=attempts {
         let outcome = match opts.cell_deadline {
             None => run_cell_caught(scenario, opts.fault_intensity),
             Some(limit) => {
@@ -576,16 +607,16 @@ pub fn run_cell_opts(scenario: &Scenario, opts: &SweepOptions) -> Result<SimRepo
                 });
                 match rx.recv_timeout(limit) {
                     Ok(outcome) => outcome,
-                    Err(_) => return Err(BenchError::DeadlineExceeded { limit }),
+                    Err(_) => return (Err(BenchError::DeadlineExceeded { limit }), attempt),
                 }
             }
         };
         match outcome {
-            Ok(result) => return result,
+            Ok(result) => return (result, attempt),
             Err(message) => last_panic = message,
         }
     }
-    Err(BenchError::Panicked { attempts, message: last_panic })
+    (Err(BenchError::Panicked { attempts, message: last_panic }), attempts)
 }
 
 /// Runs every scenario on a pool of `jobs` worker threads, returning the
@@ -893,6 +924,36 @@ mod tests {
             let bare = sim.run();
             let faulty = run_faulty_scenario(&s, 0.0).unwrap();
             assert_eq!(bare, faulty, "{sched}: FaultPlan::none() must be a no-op");
+        }
+    }
+
+    #[test]
+    fn observers_do_not_perturb_cell_reports() {
+        // The tentpole determinism contract: attaching the full observer
+        // stack (time-series sampler + Chrome trace writer) must leave the
+        // report bit-identical to an unobserved run, for every scheduler
+        // family on the same cell.
+        use std::sync::{Arc, Mutex};
+        for sched in ["RR", "EDF", "LAX"] {
+            let s = Scenario::new(sched, Benchmark::Ipv6, ArrivalRate::High, 12, 3);
+            let plain = run_faulty_scenario(&s, 0.0).unwrap();
+            let sampler = Arc::new(Mutex::new(MetricsSampler::new()));
+            let writer = Arc::new(Mutex::new(ChromeTraceWriter::new()));
+            let observed = run_faulty_scenario_observed(
+                &s,
+                0.0,
+                vec![Box::new(Arc::clone(&sampler)), Box::new(Arc::clone(&writer))],
+            )
+            .unwrap();
+            assert_eq!(plain, observed, "{sched}: observers must not perturb the run");
+            assert!(
+                !sampler.lock().unwrap().series().is_empty(),
+                "{sched}: the sampler actually saw snapshots"
+            );
+            assert!(
+                !writer.lock().unwrap().is_empty(),
+                "{sched}: the trace writer actually saw spans"
+            );
         }
     }
 

@@ -136,12 +136,14 @@ mod tests {
         let mut queues = vec![queue_with(50), queue_with(5_000)];
         let mut counters = Counters::new(1, Duration::from_us(100));
         let cfg = GpuConfig::default();
+        let mut probes = gpu_sim::prelude::ProbeHub::new();
         let mut ctx = CpContext {
             now: Cycle::ZERO + Duration::from_us(100),
             queues: &mut queues,
             counters: &mut counters,
             occupancy: Occupancy::default(),
             config: &cfg,
+            probes: &mut probes,
         };
         s.on_tick(&mut ctx);
         assert!(queues[0].job().abort_requested, "50us deadline long gone");
@@ -155,6 +157,7 @@ mod tests {
         let mut queues = vec![queue_with(50)];
         let mut counters = Counters::new(1, Duration::from_us(100));
         let cfg = GpuConfig::default();
+        let mut probes = gpu_sim::prelude::ProbeHub::new();
         for _ in 0..3 {
             let mut ctx = CpContext {
                 now: Cycle::ZERO + Duration::from_us(100),
@@ -162,6 +165,7 @@ mod tests {
                 counters: &mut counters,
                 occupancy: Occupancy::default(),
                 config: &cfg,
+                probes: &mut probes,
             };
             s.on_tick(&mut ctx);
         }

@@ -12,13 +12,13 @@
 //!    estimated laxity.
 
 use gpu_sim::job::JobState;
+use gpu_sim::probe::ProbeEvent;
 use gpu_sim::scheduler::{Admission, CpContext, CpScheduler};
 use sim_core::time::Duration;
 
 use crate::admission;
 use crate::estimate::{remaining_time_us, LiveRates};
 use crate::laxity::LaxityEstimate;
-use crate::trace::SharedTrace;
 
 /// How new jobs are prioritized before their first laxity update
 /// (paper footnote 2: highest performed best; the alternatives cost 10% and
@@ -78,7 +78,6 @@ impl Default for LaxConfig {
 #[derive(Debug, Default)]
 pub struct Lax {
     cfg: LaxConfig,
-    trace: Option<SharedTrace>,
     rejected: u64,
     admitted: u64,
 }
@@ -94,13 +93,6 @@ impl Lax {
         Lax { cfg, ..Lax::default() }
     }
 
-    /// Attaches a Figure-10 trace capturing the watched job's prediction and
-    /// priority over time.
-    pub fn with_trace(mut self, trace: SharedTrace) -> Self {
-        self.trace = Some(trace);
-        self
-    }
-
     /// Jobs rejected by admission control so far.
     pub fn rejected_count(&self) -> u64 {
         self.rejected
@@ -113,7 +105,7 @@ impl Lax {
 
     /// Recomputes the priority of the job on queue `q`.
     fn update_queue_priority(&mut self, ctx: &mut CpContext<'_>, q: usize) {
-        let CpContext { now, queues, counters, .. } = ctx;
+        let CpContext { now, queues, counters, probes, .. } = ctx;
         let Some(job) = queues[q].active.as_ref() else {
             return;
         };
@@ -128,14 +120,12 @@ impl Lax {
         } else {
             crate::laxity::us_to_prio(est.remaining_us)
         };
-        if let Some(trace) = &self.trace {
-            if trace.lock().expect("trace lock").job == job.job.id {
-                trace
-                    .lock()
-                    .expect("trace lock")
-                    .sample(*now, est.completion_us(), prio);
-            }
-        }
+        let job_id = job.job.id;
+        probes.emit_with(*now, || ProbeEvent::CpPriority {
+            job: job_id,
+            predicted_total_us: est.completion_us(),
+            priority: prio,
+        });
         queues[q].active.as_mut().expect("checked above").priority = prio;
     }
 }
@@ -210,10 +200,12 @@ mod tests {
     use gpu_sim::counters::Counters;
     use gpu_sim::job::{JobDesc, JobId};
     use gpu_sim::kernel::{ComputeProfile, KernelClassId, KernelDesc};
+    use gpu_sim::probe::MetricsSampler;
     use gpu_sim::queue::{ActiveJob, ComputeQueue};
     use gpu_sim::scheduler::Occupancy;
+    use sim_core::probe::ProbeHub;
     use sim_core::time::Cycle;
-    use std::sync::Arc;
+    use std::sync::{Arc, Mutex};
 
     fn queue_with_job(id: u32, wgs: u32, deadline_us: u64, state: JobState) -> ComputeQueue {
         let k = Arc::new(KernelDesc::new(
@@ -244,12 +236,14 @@ mod tests {
         f: impl FnOnce(&mut CpContext<'_>) -> R,
     ) -> R {
         let cfg = GpuConfig::default();
+        let mut probes = ProbeHub::new();
         let mut ctx = CpContext {
             now,
             queues,
             counters,
             occupancy: Occupancy::default(),
             config: &cfg,
+            probes: &mut probes,
         };
         f(&mut ctx)
     }
@@ -353,14 +347,32 @@ mod tests {
     }
 
     #[test]
-    fn trace_records_watched_job() {
-        let trace = crate::trace::shared_trace(JobId(0), 32);
-        let mut lax = Lax::new().with_trace(trace.clone());
-        let mut queues = vec![queue_with_job(0, 10, 1_000, JobState::Ready)];
+    fn priority_probe_feeds_a_watching_sampler() {
+        let sampler = Arc::new(Mutex::new(MetricsSampler::new().watch_job(JobId(0))));
+        let mut probes = ProbeHub::new();
+        probes.attach(Box::new(Arc::clone(&sampler)));
+        let mut lax = Lax::new();
+        let mut queues = vec![
+            queue_with_job(0, 10, 1_000, JobState::Ready),
+            queue_with_job(1, 10, 1_000, JobState::Ready),
+        ];
         let mut counters = warmed_counters(1.0);
-        with_ctx(&mut queues, &mut counters, Cycle::ZERO + Duration::from_us(100), |ctx| {
-            lax.on_tick(ctx)
-        });
-        assert_eq!(trace.lock().unwrap().predicted_total_us.points().len(), 1);
+        let cfg = GpuConfig::default();
+        let mut ctx = CpContext {
+            now: Cycle::ZERO + Duration::from_us(100),
+            queues: &mut queues,
+            counters: &mut counters,
+            occupancy: Occupancy::default(),
+            config: &cfg,
+            probes: &mut probes,
+        };
+        lax.on_tick(&mut ctx);
+        let s = sampler.lock().unwrap();
+        assert_eq!(s.watched_predicted().points().len(), 1, "only the watched job is sampled");
+        assert_eq!(s.watched_priority().points().len(), 1);
+        assert_eq!(
+            s.watched_priority().points()[0].value,
+            queues[0].job().priority as f64
+        );
     }
 }

@@ -17,7 +17,6 @@
 //!   shortest-remaining, initial-priority policy).
 //! * [`host_variants`] — LAX-SW and LAX-CPU, the CPU-side variants of
 //!   Figure 8 that quantify how much of the benefit needs CP integration.
-//! * [`trace`] — prediction/priority capture for Figure 10.
 //! * [`ext`] — beyond-the-paper extensions (LAX-DROP: drop jobs mid-flight
 //!   once their deadline has passed, reclaiming the wasted work the paper's
 //!   LAX still performs).
@@ -49,7 +48,6 @@ pub mod ext;
 pub mod host_variants;
 pub mod lax;
 pub mod laxity;
-pub mod trace;
 
 /// Commonly used items.
 pub mod prelude {
@@ -59,5 +57,4 @@ pub mod prelude {
     pub use crate::host_variants::{LaxCpu, LaxSw};
     pub use crate::lax::{InitPriority, Lax, LaxConfig};
     pub use crate::laxity::{LaxityEstimate, PRIO_INF};
-    pub use crate::trace::{shared_trace, LaxTrace, SharedTrace};
 }

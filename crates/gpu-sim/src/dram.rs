@@ -32,6 +32,7 @@ pub struct Dram {
     service_scaled: Duration,
     channel_mask: u64,
     accesses: u64,
+    busy_cycles: u64,
 }
 
 impl Dram {
@@ -50,6 +51,7 @@ impl Dram {
             service_scaled: Duration::from_cycles(service_cycles),
             channel_mask: (channels - 1) as u64,
             accesses: 0,
+            busy_cycles: 0,
         }
     }
 
@@ -80,12 +82,25 @@ impl Dram {
         let start = self.busy_until[ch].max(now);
         let done = start + self.service_scaled;
         self.busy_until[ch] = done;
+        self.busy_cycles += done.saturating_since(start).as_cycles();
         done + self.latency
     }
 
     /// Total line accesses served.
     pub fn accesses(&self) -> u64 {
         self.accesses
+    }
+
+    /// Cumulative cycles any channel spent transferring lines (the sum of
+    /// per-access service occupancy). Divide a delta by
+    /// `channels() * elapsed cycles` for a bandwidth-utilization fraction.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Number of DRAM channels.
+    pub fn channels(&self) -> usize {
+        self.busy_until.len()
     }
 
     /// Current queueing backlog (cycles beyond `now`) of the most congested
@@ -149,5 +164,7 @@ mod tests {
         }
         assert_eq!(d.max_backlog(Cycle::ZERO), Duration::from_cycles(100));
         assert_eq!(d.accesses(), 10);
+        assert_eq!(d.busy_cycles(), 100, "ten transfers of ten cycles each");
+        assert_eq!(d.channels(), 2);
     }
 }

@@ -28,6 +28,11 @@
 //!   event loop replays exactly.
 //! * [`sim`] — the event loop tying it all together; [`metrics`] the
 //!   per-job outcomes and run reports.
+//! * [`probe`] — observability: typed probe events the event loop fires
+//!   through a [`sim_core::probe::ProbeHub`], plus the built-in
+//!   [`probe::MetricsSampler`] and [`probe::ChromeTraceWriter`] observers.
+//!   Zero overhead when no observer is attached, and attaching one never
+//!   perturbs results.
 //!
 //! ## Example
 //!
@@ -70,6 +75,7 @@ pub mod job;
 pub mod kernel;
 pub mod memory;
 pub mod metrics;
+pub mod probe;
 pub mod queue;
 pub mod scheduler;
 pub mod sim;
@@ -87,8 +93,10 @@ pub mod prelude {
     pub use crate::job::{JobDesc, JobFate, JobId, JobState};
     pub use crate::kernel::{AccessPattern, ClassTable, ComputeProfile, KernelClassId, KernelDesc};
     pub use crate::metrics::{JobRecord, SimReport};
+    pub use crate::probe::{ChromeTraceWriter, MetricsSampler, MetricsSnapshot, ProbeEvent};
     pub use crate::queue::{ActiveJob, ComputeQueue};
     pub use crate::scheduler::{Admission, CpContext, CpScheduler, Occupancy, RoundRobin};
     pub use crate::sim::{run_isolated, SchedulerMode, SimBuilder, SimError, SimParams, Simulation};
+    pub use sim_core::probe::{Observer, ProbeHub};
     pub use sim_core::time::{Cycle, Duration, CYCLES_PER_MS, CYCLES_PER_US};
 }

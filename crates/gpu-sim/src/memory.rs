@@ -124,6 +124,16 @@ impl MemoryHierarchy {
         self.dram.accesses()
     }
 
+    /// Cumulative DRAM channel-busy cycles (see [`Dram::busy_cycles`]).
+    pub fn dram_busy_cycles(&self) -> u64 {
+        self.dram.busy_cycles()
+    }
+
+    /// Number of DRAM channels.
+    pub fn dram_channels(&self) -> usize {
+        self.dram.channels()
+    }
+
     /// Sets the fault-injection DRAM bandwidth throttle (see
     /// [`Dram::set_service_scale`]); 1.0 restores nominal bandwidth exactly.
     pub fn set_dram_scale(&mut self, scale: f64) {

@@ -58,6 +58,9 @@ pub struct SimReport {
     pub l1_hit_rate: f64,
     /// Aggregate L2 hit rate.
     pub l2_hit_rate: f64,
+    /// Discrete events the simulator handled to produce this report — a
+    /// deterministic measure of simulation work (events/sec profiling).
+    pub events: u64,
 }
 
 impl SimReport {
@@ -184,6 +187,7 @@ mod tests {
             total_wgs: 0,
             l1_hit_rate: 0.0,
             l2_hit_rate: 0.0,
+            events: 0,
         }
     }
 

@@ -1,0 +1,739 @@
+//! Typed probe events and bundled observers for the GPU simulator.
+//!
+//! The simulation embeds a [`sim_core::probe::ProbeHub`] and fires a
+//! [`ProbeEvent`] at every interesting hardware moment: CP scheduling
+//! decisions, workgroup dispatch/retire, wavefront issue, memory accesses,
+//! fault injections, and a periodic [`MetricsSnapshot`] piggybacked on the
+//! existing counter-refresh tick. Probes never schedule simulator events or
+//! mutate simulator state, so an attached observer cannot perturb results —
+//! the bit-identity test in `sim.rs` pins that contract.
+//!
+//! Two ready-made observers live here:
+//!
+//! * [`MetricsSampler`] — turns periodic snapshots into named
+//!   [`TraceSeries`] (per-CU occupancy, queue depth, laxity distribution,
+//!   DRAM bandwidth utilization, cache hit rates, cumulative energy) with
+//!   CSV/JSON dumps, and can additionally follow one job's predicted
+//!   completion time and priority (the Figure 10 trace).
+//! * [`ChromeTraceWriter`] — emits Chrome trace-event JSON viewable in
+//!   Perfetto / `chrome://tracing`, with per-CU tracks of workgroup spans,
+//!   per-queue kernel spans, and counter tracks.
+
+use std::collections::BTreeMap;
+
+use sim_core::json;
+use sim_core::probe::Observer;
+use sim_core::time::{Cycle, Duration};
+use sim_core::trace::TraceSeries;
+
+use crate::job::JobId;
+use crate::memory::AccessMix;
+use crate::slab::SlabKey;
+
+/// One hardware moment fired through the simulation's probe hub.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProbeEvent {
+    /// A job arrived at the host.
+    JobArrived {
+        /// The arriving job.
+        job: JobId,
+    },
+    /// The CP resolved an admission query for the job on `queue`.
+    CpDecision {
+        /// The job the decision is about.
+        job: JobId,
+        /// Hardware queue the job is bound to.
+        queue: usize,
+        /// `true` for Accept, `false` for Reject.
+        admitted: bool,
+    },
+    /// A CP scheduler recomputed a job's priority (LAX-style policies emit
+    /// this from their periodic tick; the prediction feeds Figure 10).
+    CpPriority {
+        /// The job whose priority changed.
+        job: JobId,
+        /// Predicted total completion time since arrival, µs.
+        predicted_total_us: f64,
+        /// New priority value (lower runs first).
+        priority: i64,
+    },
+    /// Queue `queue`'s kernel `kernel` dispatched its first workgroup.
+    KernelStarted {
+        /// Owning job.
+        job: JobId,
+        /// Hardware queue index.
+        queue: usize,
+        /// Kernel index within the job's chain.
+        kernel: usize,
+    },
+    /// Queue `queue`'s kernel `kernel` completed.
+    KernelCompleted {
+        /// Owning job.
+        job: JobId,
+        /// Hardware queue index.
+        queue: usize,
+        /// Kernel index within the job's chain.
+        kernel: usize,
+    },
+    /// A workgroup was placed on compute unit `cu`.
+    WgDispatched {
+        /// Compute unit index.
+        cu: u16,
+        /// Owning job.
+        job: JobId,
+        /// Workgroup identity (stable for the WG's lifetime).
+        wg: SlabKey,
+    },
+    /// A workgroup finished and released its CU resources.
+    WgRetired {
+        /// Compute unit index.
+        cu: u16,
+        /// Owning job.
+        job: JobId,
+        /// Workgroup identity.
+        wg: SlabKey,
+    },
+    /// A wavefront started executing on `cu`'s SIMD `simd`.
+    WaveIssued {
+        /// Compute unit index.
+        cu: u16,
+        /// SIMD lane group within the CU.
+        simd: u16,
+    },
+    /// A memory request bundle was serviced for a wavefront on `cu`.
+    MemAccess {
+        /// Compute unit index.
+        cu: u16,
+        /// Which levels serviced the bundle's lines.
+        mix: AccessMix,
+    },
+    /// A planned fault transitioned (applied or reverted).
+    FaultTransition {
+        /// Index into the fault plan's schedule.
+        index: usize,
+    },
+    /// Periodic hardware state snapshot (fired on the counter-refresh tick,
+    /// so attaching a sampler never adds events to the queue).
+    Snapshot(MetricsSnapshot),
+}
+
+/// Point-in-time summary of device state, assembled by the simulation on its
+/// existing counter-refresh cadence (`profiling_period`, 100 µs by default).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Per-CU occupancy as resident waves / wave slots, `0.0..=1.0`.
+    pub cu_occupancy: Vec<f64>,
+    /// Resident wavefronts across the device.
+    pub resident_waves: u32,
+    /// Free wavefront slots across the device.
+    pub free_wave_slots: u32,
+    /// Hardware queues holding an uncompleted job.
+    pub busy_queues: u32,
+    /// Jobs parked at the host (backlog + not yet admitted).
+    pub host_pending: u32,
+    /// Laxity (absolute deadline minus now, µs; negative when past due) of
+    /// the most urgent runnable job, if any are resident.
+    pub laxity_min_us: Option<f64>,
+    /// Median laxity over runnable jobs, µs.
+    pub laxity_median_us: Option<f64>,
+    /// Cumulative DRAM line accesses.
+    pub dram_accesses: u64,
+    /// Cumulative DRAM channel-busy cycles.
+    pub dram_busy_cycles: u64,
+    /// Number of DRAM channels.
+    pub dram_channels: u32,
+    /// Aggregate L1 hit rate so far.
+    pub l1_hit_rate: f64,
+    /// L2 hit rate so far.
+    pub l2_hit_rate: f64,
+    /// Dynamic energy consumed so far, mJ.
+    pub energy_mj: f64,
+    /// Workgroups completed so far (all queues).
+    pub total_wgs: u64,
+}
+
+/// Default per-series point capacity for [`MetricsSampler`].
+pub const DEFAULT_SERIES_CAPACITY: usize = 4096;
+
+/// Observer that turns periodic [`MetricsSnapshot`]s into named
+/// [`TraceSeries`], optionally following one job's prediction/priority
+/// trace (Figure 10).
+///
+/// Attach via [`crate::sim::SimBuilder::observe`]; keep an
+/// `Arc<Mutex<MetricsSampler>>` clone to read the series back after the run.
+#[derive(Debug)]
+pub struct MetricsSampler {
+    /// Minimum simulated time between recorded snapshots; `ZERO` records
+    /// every snapshot the simulation fires.
+    period: Duration,
+    capacity: usize,
+    last_recorded: Option<Cycle>,
+    prev_dram: Option<(Cycle, u64)>,
+    /// Snapshot-aligned series; all sampled at the same instants.
+    series: Vec<TraceSeries>,
+    /// Timestamps of recorded snapshots (shared x-axis of `series`).
+    times: Vec<Cycle>,
+    times_dropped: u64,
+    watch: Option<JobId>,
+    watch_predicted: TraceSeries,
+    watch_priority: TraceSeries,
+}
+
+impl Default for MetricsSampler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsSampler {
+    /// A sampler recording every snapshot, with
+    /// [`DEFAULT_SERIES_CAPACITY`] points per series.
+    pub fn new() -> Self {
+        MetricsSampler {
+            period: Duration::ZERO,
+            capacity: DEFAULT_SERIES_CAPACITY,
+            last_recorded: None,
+            prev_dram: None,
+            series: Vec::new(),
+            times: Vec::new(),
+            times_dropped: 0,
+            watch: None,
+            watch_predicted: TraceSeries::new("predicted_total_us", DEFAULT_SERIES_CAPACITY),
+            watch_priority: TraceSeries::new("priority", DEFAULT_SERIES_CAPACITY),
+        }
+    }
+
+    /// Sets the minimum simulated time between recorded snapshots
+    /// (decimation below the simulation's own snapshot cadence).
+    pub fn with_period(mut self, period: Duration) -> Self {
+        self.period = period;
+        self
+    }
+
+    /// Sets the per-series point capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "sampler capacity must be positive");
+        self.capacity = capacity;
+        self.watch_predicted = TraceSeries::new("predicted_total_us", capacity);
+        self.watch_priority = TraceSeries::new("priority", capacity);
+        self
+    }
+
+    /// Additionally record every `CpPriority` event of `job` (undecimated)
+    /// into the `predicted_total_us` / `priority` series — the Figure 10
+    /// trace.
+    pub fn watch_job(mut self, job: JobId) -> Self {
+        self.watch = Some(job);
+        self
+    }
+
+    /// Snapshot-aligned series, in a fixed order (see CSV header).
+    pub fn series(&self) -> &[TraceSeries] {
+        &self.series
+    }
+
+    /// Looks up a snapshot-aligned series by name.
+    pub fn series_named(&self, name: &str) -> Option<&TraceSeries> {
+        self.series.iter().find(|s| s.name() == name)
+    }
+
+    /// Timestamps of the recorded snapshots.
+    pub fn times(&self) -> &[Cycle] {
+        &self.times
+    }
+
+    /// The watched job's predicted-completion series (empty when no watch
+    /// was set or the job never got a priority update).
+    pub fn watched_predicted(&self) -> &TraceSeries {
+        &self.watch_predicted
+    }
+
+    /// The watched job's priority series.
+    pub fn watched_priority(&self) -> &TraceSeries {
+        &self.watch_priority
+    }
+
+    /// Snapshots discarded because the series were full.
+    pub fn dropped(&self) -> u64 {
+        self.times_dropped
+    }
+
+    fn record(&mut self, at: Cycle, snap: &MetricsSnapshot) {
+        if self.series.is_empty() {
+            let mut names: Vec<String> = Vec::new();
+            for cu in 0..snap.cu_occupancy.len() {
+                names.push(format!("cu{cu}_occupancy"));
+            }
+            for n in [
+                "busy_queues",
+                "host_pending",
+                "resident_waves",
+                "free_wave_slots",
+                "laxity_min_us",
+                "laxity_median_us",
+                "dram_bw_util",
+                "dram_accesses",
+                "l1_hit_rate",
+                "l2_hit_rate",
+                "energy_mj",
+                "total_wgs",
+            ] {
+                names.push(n.to_string());
+            }
+            self.series = names
+                .into_iter()
+                .map(|n| TraceSeries::new(n, self.capacity))
+                .collect();
+        }
+        if self.times.len() >= self.capacity {
+            self.times_dropped += 1;
+            return;
+        }
+        self.times.push(at);
+        // Interval bandwidth utilization: busy-cycle delta over channel-cycle
+        // capacity since the previous recorded snapshot.
+        let bw_util = match self.prev_dram {
+            Some((prev_at, prev_busy)) => {
+                let elapsed = at.saturating_since(prev_at).as_cycles();
+                if elapsed == 0 {
+                    0.0
+                } else {
+                    let delta = snap.dram_busy_cycles.saturating_sub(prev_busy);
+                    delta as f64 / (snap.dram_channels.max(1) as u64 * elapsed) as f64
+                }
+            }
+            None => 0.0,
+        };
+        self.prev_dram = Some((at, snap.dram_busy_cycles));
+        let mut values: Vec<f64> = snap.cu_occupancy.clone();
+        values.extend([
+            snap.busy_queues as f64,
+            snap.host_pending as f64,
+            snap.resident_waves as f64,
+            snap.free_wave_slots as f64,
+            snap.laxity_min_us.unwrap_or(f64::NAN),
+            snap.laxity_median_us.unwrap_or(f64::NAN),
+            bw_util,
+            snap.dram_accesses as f64,
+            snap.l1_hit_rate,
+            snap.l2_hit_rate,
+            snap.energy_mj,
+            snap.total_wgs as f64,
+        ]);
+        debug_assert_eq!(values.len(), self.series.len());
+        for (s, v) in self.series.iter_mut().zip(values) {
+            s.sample(at, v);
+        }
+    }
+
+    /// Renders the snapshot-aligned series as wide-format CSV: one row per
+    /// snapshot, first column `time_us`, one column per series. NaN values
+    /// (e.g. laxity with no runnable job) render as empty cells.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_us");
+        for s in &self.series {
+            out.push(',');
+            out.push_str(s.name());
+        }
+        out.push('\n');
+        for (i, t) in self.times.iter().enumerate() {
+            out.push_str(&format!("{}", t.as_us_f64()));
+            for s in &self.series {
+                out.push(',');
+                let v = s.points()[i].value;
+                if v.is_finite() {
+                    out.push_str(&format!("{v}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders every series (snapshot-aligned plus any watched-job series)
+    /// as a JSON document: `{"series":[{"name":…,"points":[[t_us,v],…]},…]}`.
+    /// Non-finite values are emitted as `null`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"series\":[");
+        let mut first = true;
+        let watched: [&TraceSeries; 2] = [&self.watch_predicted, &self.watch_priority];
+        let all = self
+            .series
+            .iter()
+            .chain(watched.into_iter().filter(|s| !s.points().is_empty()));
+        for s in all {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"name\":\"");
+            json::escape_into(&mut out, s.name());
+            out.push_str("\",\"points\":[");
+            for (i, p) in s.points().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if p.value.is_finite() {
+                    out.push_str(&format!("[{},{}]", p.at.as_us_f64(), p.value));
+                } else {
+                    out.push_str(&format!("[{},null]", p.at.as_us_f64()));
+                }
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl Observer<ProbeEvent> for MetricsSampler {
+    fn on_event(&mut self, at: Cycle, event: &ProbeEvent) {
+        match event {
+            ProbeEvent::Snapshot(snap) => {
+                let due = match self.last_recorded {
+                    None => true,
+                    Some(last) => at.saturating_since(last) >= self.period,
+                };
+                if due {
+                    self.last_recorded = Some(at);
+                    self.record(at, snap);
+                }
+            }
+            ProbeEvent::CpPriority { job, predicted_total_us, priority }
+                if self.watch == Some(*job) =>
+            {
+                self.watch_predicted.sample(at, *predicted_total_us);
+                self.watch_priority.sample(at, *priority as f64);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Default cap on emitted trace records for [`ChromeTraceWriter`].
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 20;
+
+/// Observer emitting Chrome trace-event JSON (the format Perfetto and
+/// `chrome://tracing` load).
+///
+/// Track layout: pid 0 is the device — one thread per CU carrying workgroup
+/// spans; pid 1 is the CP — one thread per hardware queue carrying kernel
+/// spans; counters from periodic snapshots attach to pid 0.
+#[derive(Debug)]
+pub struct ChromeTraceWriter {
+    /// Pre-rendered JSON objects, one per trace record.
+    records: Vec<String>,
+    capacity: usize,
+    dropped: u64,
+    /// In-flight workgroups: key → (cu, dispatch time, job).
+    open_wgs: BTreeMap<SlabKey, (u16, Cycle, JobId)>,
+    /// In-flight kernels: queue → (job, kernel index, start time).
+    open_kernels: BTreeMap<usize, (JobId, usize, Cycle)>,
+    /// CU indices that carried at least one workgroup (for thread metadata).
+    cus_seen: BTreeMap<u16, ()>,
+    /// Queues that carried at least one kernel.
+    queues_seen: BTreeMap<usize, ()>,
+}
+
+impl Default for ChromeTraceWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChromeTraceWriter {
+    /// A writer holding up to [`DEFAULT_TRACE_CAPACITY`] records.
+    pub fn new() -> Self {
+        ChromeTraceWriter {
+            records: Vec::new(),
+            capacity: DEFAULT_TRACE_CAPACITY,
+            dropped: 0,
+            open_wgs: BTreeMap::new(),
+            open_kernels: BTreeMap::new(),
+            cus_seen: BTreeMap::new(),
+            queues_seen: BTreeMap::new(),
+        }
+    }
+
+    /// Sets the record cap; further records are dropped and counted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        self.capacity = capacity;
+        self
+    }
+
+    /// Records discarded because the cap was reached.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of records captured so far (excluding metadata, which is
+    /// generated at [`ChromeTraceWriter::finish`]).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    fn push(&mut self, record: String) {
+        if self.records.len() < self.capacity {
+            self.records.push(record);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    fn push_span(&mut self, name: &str, cat: &str, pid: u32, tid: u64, start: Cycle, end: Cycle) {
+        let ts = start.as_us_f64();
+        let dur = end.saturating_since(start).as_us_f64();
+        let mut r = String::from("{\"name\":\"");
+        json::escape_into(&mut r, name);
+        r.push_str(&format!(
+            "\",\"cat\":\"{cat}\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\"pid\":{pid},\"tid\":{tid}}}"
+        ));
+        self.push(r);
+    }
+
+    fn push_counter(&mut self, name: &str, at: Cycle, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let ts = at.as_us_f64();
+        let mut r = String::from("{\"name\":\"");
+        json::escape_into(&mut r, name);
+        r.push_str(&format!(
+            "\",\"ph\":\"C\",\"ts\":{ts},\"pid\":0,\"args\":{{\"value\":{value}}}}}"
+        ));
+        self.push(r);
+    }
+
+    /// Renders the complete trace document:
+    /// `{"traceEvents":[…metadata…, …records…]}`.
+    pub fn finish(&self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        parts.push(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"GPU device\"}}"
+                .to_string(),
+        );
+        parts.push(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"Command processor\"}}"
+                .to_string(),
+        );
+        for &cu in self.cus_seen.keys() {
+            parts.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{cu},\"args\":{{\"name\":\"CU {cu}\"}}}}"
+            ));
+        }
+        for &q in self.queues_seen.keys() {
+            parts.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{q},\"args\":{{\"name\":\"queue {q}\"}}}}"
+            ));
+        }
+        parts.extend(self.records.iter().cloned());
+        format!("{{\"traceEvents\":[{}]}}", parts.join(","))
+    }
+}
+
+impl Observer<ProbeEvent> for ChromeTraceWriter {
+    fn on_event(&mut self, at: Cycle, event: &ProbeEvent) {
+        match event {
+            ProbeEvent::WgDispatched { cu, job, wg } => {
+                self.open_wgs.insert(*wg, (*cu, at, *job));
+            }
+            ProbeEvent::WgRetired { wg, .. } => {
+                if let Some((cu, start, job)) = self.open_wgs.remove(wg) {
+                    self.cus_seen.insert(cu, ());
+                    self.push_span(&format!("wg job{}", job.0), "wg", 0, cu as u64, start, at);
+                }
+            }
+            ProbeEvent::KernelStarted { job, queue, kernel } => {
+                self.open_kernels.insert(*queue, (*job, *kernel, at));
+            }
+            ProbeEvent::KernelCompleted { queue, .. } => {
+                if let Some((job, kernel, start)) = self.open_kernels.remove(queue) {
+                    self.queues_seen.insert(*queue, ());
+                    self.push_span(
+                        &format!("job{} k{}", job.0, kernel),
+                        "kernel",
+                        1,
+                        *queue as u64,
+                        start,
+                        at,
+                    );
+                }
+            }
+            ProbeEvent::Snapshot(snap) => {
+                self.push_counter("busy_queues", at, snap.busy_queues as f64);
+                self.push_counter("resident_waves", at, snap.resident_waves as f64);
+                self.push_counter("energy_mj", at, snap.energy_mj);
+                self.push_counter("l1_hit_rate", at, snap.l1_hit_rate);
+                self.push_counter("l2_hit_rate", at, snap.l2_hit_rate);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> Cycle {
+        Cycle::ZERO + Duration::from_us(us)
+    }
+
+    fn wg_key() -> SlabKey {
+        crate::slab::Slab::new().insert(())
+    }
+
+    fn snap(busy: u32) -> MetricsSnapshot {
+        MetricsSnapshot {
+            cu_occupancy: vec![0.5, 0.25],
+            resident_waves: 30,
+            free_wave_slots: 50,
+            busy_queues: busy,
+            host_pending: 2,
+            laxity_min_us: Some(-5.0),
+            laxity_median_us: Some(40.0),
+            dram_accesses: 100,
+            dram_busy_cycles: 400,
+            dram_channels: 16,
+            l1_hit_rate: 0.8,
+            l2_hit_rate: 0.6,
+            energy_mj: 1.5,
+            total_wgs: 7,
+        }
+    }
+
+    #[test]
+    fn sampler_records_every_snapshot_by_default() {
+        let mut s = MetricsSampler::new();
+        s.on_event(t(100), &ProbeEvent::Snapshot(snap(1)));
+        s.on_event(t(200), &ProbeEvent::Snapshot(snap(2)));
+        assert_eq!(s.times().len(), 2);
+        let bq = s.series_named("busy_queues").unwrap();
+        assert_eq!(bq.points().len(), 2);
+        assert_eq!(bq.points()[1].value, 2.0);
+        assert!(s.series_named("cu1_occupancy").is_some());
+        assert!(s.series_named("dram_bw_util").is_some());
+        assert!(s.series_named("laxity_min_us").is_some());
+    }
+
+    #[test]
+    fn sampler_period_decimates() {
+        let mut s = MetricsSampler::new().with_period(Duration::from_us(250));
+        for us in [100u64, 200, 300, 400, 500, 600] {
+            s.on_event(t(us), &ProbeEvent::Snapshot(snap(0)));
+        }
+        // Recorded at 100, then next >= 350 is 400, then >= 650: none.
+        assert_eq!(s.times().len(), 2);
+        assert_eq!(s.times()[1], t(400));
+    }
+
+    #[test]
+    fn sampler_capacity_bounds_all_series() {
+        let mut s = MetricsSampler::new().with_capacity(3);
+        for us in 1..=10u64 {
+            s.on_event(t(us), &ProbeEvent::Snapshot(snap(0)));
+        }
+        assert_eq!(s.times().len(), 3);
+        assert_eq!(s.dropped(), 7);
+        for series in s.series() {
+            assert_eq!(series.points().len(), 3, "{}", series.name());
+        }
+    }
+
+    #[test]
+    fn sampler_watches_one_job_only() {
+        let mut s = MetricsSampler::new().watch_job(JobId(7));
+        s.on_event(
+            t(10),
+            &ProbeEvent::CpPriority { job: JobId(7), predicted_total_us: 123.0, priority: 55 },
+        );
+        s.on_event(
+            t(11),
+            &ProbeEvent::CpPriority { job: JobId(8), predicted_total_us: 9.0, priority: 1 },
+        );
+        assert_eq!(s.watched_predicted().points().len(), 1);
+        assert_eq!(s.watched_predicted().points()[0].value, 123.0);
+        assert_eq!(s.watched_priority().points()[0].value, 55.0);
+    }
+
+    #[test]
+    fn csv_has_header_row_per_snapshot_and_blank_nan() {
+        let mut s = MetricsSampler::new();
+        let mut empty = snap(3);
+        empty.laxity_min_us = None;
+        empty.laxity_median_us = None;
+        s.on_event(t(100), &ProbeEvent::Snapshot(empty));
+        let csv = s.to_csv();
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("time_us,cu0_occupancy,cu1_occupancy,busy_queues"));
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("100,0.5,0.25,3"));
+        assert!(row.contains(",,"), "NaN laxity renders as empty cells");
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn sampler_json_validates() {
+        let mut s = MetricsSampler::new().watch_job(JobId(1));
+        s.on_event(t(100), &ProbeEvent::Snapshot(snap(1)));
+        s.on_event(
+            t(150),
+            &ProbeEvent::CpPriority { job: JobId(1), predicted_total_us: 88.0, priority: 3 },
+        );
+        let doc = s.to_json();
+        json::validate(&doc).expect("sampler JSON must parse");
+        assert!(doc.contains("\"predicted_total_us\""));
+    }
+
+    #[test]
+    fn chrome_trace_pairs_spans_and_validates() {
+        let mut w = ChromeTraceWriter::new();
+        let wg = wg_key();
+        w.on_event(t(5), &ProbeEvent::KernelStarted { job: JobId(1), queue: 2, kernel: 0 });
+        w.on_event(t(10), &ProbeEvent::WgDispatched { cu: 3, job: JobId(1), wg });
+        w.on_event(t(20), &ProbeEvent::WgRetired { cu: 3, job: JobId(1), wg });
+        w.on_event(t(25), &ProbeEvent::KernelCompleted { job: JobId(1), queue: 2, kernel: 0 });
+        w.on_event(t(30), &ProbeEvent::Snapshot(snap(1)));
+        let doc = w.finish();
+        json::validate(&doc).expect("chrome trace must parse");
+        assert!(doc.contains("\"ph\":\"X\""), "span records present");
+        assert!(doc.contains("\"ph\":\"C\""), "counter records present");
+        assert!(doc.contains("\"CU 3\""), "CU thread metadata present");
+        assert!(doc.contains("\"queue 2\""), "queue thread metadata present");
+        assert!(doc.contains("\"dur\":10"), "wg span duration in us");
+    }
+
+    #[test]
+    fn chrome_trace_capacity_drops_and_counts() {
+        let mut w = ChromeTraceWriter::new().with_capacity(2);
+        for i in 0..5u64 {
+            w.on_event(t(i), &ProbeEvent::Snapshot(snap(0)));
+        }
+        assert_eq!(w.len(), 2);
+        assert!(w.dropped() > 0);
+        json::validate(&w.finish()).expect("still valid after drops");
+    }
+
+    #[test]
+    fn unmatched_retire_is_ignored() {
+        let mut w = ChromeTraceWriter::new();
+        w.on_event(t(20), &ProbeEvent::WgRetired { cu: 0, job: JobId(1), wg: wg_key() });
+        assert!(w.is_empty());
+        json::validate(&w.finish()).unwrap();
+    }
+}

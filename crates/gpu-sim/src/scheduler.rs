@@ -8,10 +8,12 @@
 //! first) and
 //! `blocked_until`, and by answering admission queries.
 
+use sim_core::probe::ProbeHub;
 use sim_core::time::{Cycle, Duration};
 
 use crate::config::GpuConfig;
 use crate::counters::Counters;
+use crate::probe::ProbeEvent;
 use crate::queue::ComputeQueue;
 
 /// Outcome of an admission query (paper Section 4.3: LAX rejects jobs
@@ -48,6 +50,10 @@ pub struct CpContext<'a> {
     pub occupancy: Occupancy,
     /// Machine configuration.
     pub config: &'a GpuConfig,
+    /// Probe hub for scheduler-decision observability (e.g.
+    /// [`ProbeEvent::CpPriority`]). A no-op unless an observer is attached;
+    /// emitting through it never perturbs the simulation.
+    pub probes: &'a mut ProbeHub<ProbeEvent>,
 }
 
 impl CpContext<'_> {
@@ -142,12 +148,14 @@ mod tests {
         let mut counters = Counters::new(1, Duration::from_us(100));
         let mut queues = vec![ComputeQueue::default()];
         let cfg = GpuConfig::default();
+        let mut probes = ProbeHub::new();
         let mut ctx = CpContext {
             now: Cycle::ZERO,
             queues: &mut queues,
             counters: &mut counters,
             occupancy: Occupancy::default(),
             config: &cfg,
+            probes: &mut probes,
         };
         assert_eq!(rr.admit(&mut ctx, 0), Admission::Accept);
         assert_eq!(rr.tick_period(), None);

@@ -6,7 +6,8 @@ use std::fmt;
 use std::sync::Arc;
 
 use sim_core::event::EventQueue;
-use sim_core::time::{Cycle, Duration};
+use sim_core::probe::{Observer, ProbeHub};
+use sim_core::time::{Cycle, Duration, CYCLES_PER_US};
 
 use crate::config::GpuConfig;
 use crate::counters::Counters;
@@ -18,6 +19,7 @@ use crate::job::{JobDesc, JobFate, JobId, JobState};
 use crate::kernel::{KernelClassId, KernelDesc};
 use crate::memory::{gen_address, MemoryHierarchy};
 use crate::metrics::{JobRecord, SimReport};
+use crate::probe::{MetricsSnapshot, ProbeEvent};
 use crate::queue::{ActiveJob, ComputeQueue};
 use crate::scheduler::{Admission, CpContext, CpScheduler, Occupancy, RoundRobin};
 use crate::slab::{Slab, SlabKey};
@@ -227,6 +229,7 @@ pub struct Simulation {
     profiling_period: Duration,
     total_wgs: u64,
     timeline: Option<Timeline>,
+    probes: ProbeHub<ProbeEvent>,
 
     // Fault injection and hardening.
     injector: FaultInjector,
@@ -271,11 +274,22 @@ impl fmt::Debug for Simulation {
 /// Every knob of [`SimParams`] has a setter; unset fields keep their
 /// defaults, and the scheduler defaults to the contemporary round-robin
 /// baseline.
-#[derive(Debug)]
 pub struct SimBuilder {
     params: SimParams,
     jobs: Vec<JobDesc>,
     mode: SchedulerMode,
+    observers: Vec<Box<dyn Observer<ProbeEvent> + Send>>,
+}
+
+impl fmt::Debug for SimBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimBuilder")
+            .field("params", &self.params)
+            .field("jobs", &self.jobs.len())
+            .field("mode", &self.mode)
+            .field("observers", &self.observers.len())
+            .finish()
+    }
 }
 
 impl Default for SimBuilder {
@@ -284,6 +298,7 @@ impl Default for SimBuilder {
             params: SimParams::default(),
             jobs: Vec::new(),
             mode: SchedulerMode::Cp(Box::new(RoundRobin::new())),
+            observers: Vec::new(),
         }
     }
 }
@@ -372,6 +387,16 @@ impl SimBuilder {
         self.scheduler(SchedulerMode::Host(Box::new(sched)))
     }
 
+    /// Attaches a probe observer (e.g. [`crate::probe::MetricsSampler`] or
+    /// [`crate::probe::ChromeTraceWriter`]) to the simulation's probe hub.
+    /// Observers receive every [`ProbeEvent`] the run fires; attaching one
+    /// never perturbs simulation results (no events are scheduled on its
+    /// behalf).
+    pub fn observe(mut self, observer: Box<dyn Observer<ProbeEvent> + Send>) -> Self {
+        self.observers.push(observer);
+        self
+    }
+
     /// Validates everything and constructs the [`Simulation`].
     ///
     /// # Errors
@@ -379,7 +404,11 @@ impl SimBuilder {
     /// Returns [`SimError`] if the configuration is invalid or a job cannot
     /// run on the machine.
     pub fn build(self) -> Result<Simulation, SimError> {
-        Simulation::new(self.params, self.jobs, self.mode)
+        let mut sim = Simulation::new(self.params, self.jobs, self.mode)?;
+        for obs in self.observers {
+            sim.attach_observer(obs);
+        }
+        Ok(sim)
     }
 }
 
@@ -479,6 +508,7 @@ impl Simulation {
             queue_of_job: HashMap::new(),
             rr_cursor: 0,
             timeline: params.record_timeline.then(Timeline::new),
+            probes: ProbeHub::new(),
             horizon,
             last_resolution: Cycle::ZERO,
             profiling_period: params.profiling_period,
@@ -588,6 +618,13 @@ impl Simulation {
             Ev::InspectDone(q) => self.on_inspected(q, now),
             Ev::CounterTick => {
                 self.counters.refresh(now);
+                // Snapshot probes piggyback on this existing tick so an
+                // attached sampler never adds events to the queue (which
+                // would shift FIFO tie-breaking and perturb the run).
+                if self.probes.is_active() {
+                    let snap = self.metrics_snapshot(now);
+                    self.probes.emit(now, ProbeEvent::Snapshot(snap));
+                }
                 if self.resolved < self.jobs.len() {
                     self.events
                         .schedule(now + self.profiling_period, Ev::CounterTick);
@@ -649,6 +686,7 @@ impl Simulation {
     }
 
     fn on_fault_transition(&mut self, i: usize, now: Cycle) {
+        self.probes.emit_with(now, || ProbeEvent::FaultTransition { index: i });
         let (_, action) = self.fault_transitions[i];
         match self.injector.apply(action) {
             FaultEffect::None => {}
@@ -673,6 +711,7 @@ impl Simulation {
 
     fn on_arrival(&mut self, idx: u32, now: Cycle) {
         self.mark(now, JobId(idx), TimelineKind::Arrived);
+        self.probes.emit_with(now, || ProbeEvent::JobArrived { job: JobId(idx) });
         match &self.mode {
             SchedulerMode::Cp(_) => {
                 if !self.bind_cp_job(idx, now) {
@@ -726,6 +765,8 @@ impl Simulation {
             Admission::Accept => {
                 let id = self.queues[q].job().job.id;
                 self.mark(now, id, TimelineKind::Admitted);
+                self.probes
+                    .emit_with(now, || ProbeEvent::CpDecision { job: id, queue: q, admitted: true });
                 let a = self.queues[q].job_mut();
                 a.state = JobState::Ready;
                 self.with_cp(|s, ctx| s.on_job_enqueued(ctx, q));
@@ -735,6 +776,9 @@ impl Simulation {
                 let a = self.queues[q].active.take().expect("admitting an empty queue");
                 self.queue_of_job.remove(&a.job.id);
                 self.mark(now, a.job.id, TimelineKind::Rejected);
+                let id = a.job.id;
+                self.probes
+                    .emit_with(now, || ProbeEvent::CpDecision { job: id, queue: q, admitted: false });
                 self.resolve(a.job.id, JobFate::Rejected(now), now);
                 self.pump_backlog(now);
             }
@@ -780,6 +824,60 @@ impl Simulation {
         self.timeline.take()
     }
 
+    /// Attaches a probe observer to the running (or not-yet-run) simulation.
+    /// Equivalent to [`SimBuilder::observe`]; attaching never perturbs
+    /// simulation results.
+    pub fn attach_observer(&mut self, observer: Box<dyn Observer<ProbeEvent> + Send>) {
+        self.probes.attach(observer);
+    }
+
+    /// Assembles the periodic device-state snapshot fired to observers on
+    /// each counter-refresh tick. Read-only: never touches machine state.
+    fn metrics_snapshot(&self, now: Cycle) -> MetricsSnapshot {
+        let mut cu_occupancy = Vec::with_capacity(self.cus.len());
+        let mut resident = 0u32;
+        let mut free = 0u32;
+        for cu in &self.cus {
+            let r = cu.resident_waves();
+            let f = cu.free_wave_slots();
+            resident += r;
+            free += f;
+            let slots = r + f;
+            cu_occupancy.push(if slots == 0 { 0.0 } else { r as f64 / slots as f64 });
+        }
+        let mut laxities: Vec<f64> = Vec::new();
+        let mut busy_queues = 0u32;
+        for q in &self.queues {
+            if let Some(a) = &q.active {
+                busy_queues += 1;
+                if a.state != JobState::Init {
+                    let lax_cycles =
+                        a.deadline_abs().as_cycles() as f64 - now.as_cycles() as f64;
+                    laxities.push(lax_cycles / CYCLES_PER_US as f64);
+                }
+            }
+        }
+        laxities.sort_by(f64::total_cmp);
+        let laxity_min_us = laxities.first().copied();
+        let laxity_median_us = (!laxities.is_empty()).then(|| laxities[laxities.len() / 2]);
+        MetricsSnapshot {
+            cu_occupancy,
+            resident_waves: resident,
+            free_wave_slots: free,
+            busy_queues,
+            host_pending: (self.backlog.len() + self.pending_deliveries.len()) as u32,
+            laxity_min_us,
+            laxity_median_us,
+            dram_accesses: self.mem.dram_accesses(),
+            dram_busy_cycles: self.mem.dram_busy_cycles(),
+            dram_channels: self.mem.dram_channels() as u32,
+            l1_hit_rate: self.mem.l1_hit_rate(),
+            l2_hit_rate: self.mem.l2_hit_rate(),
+            energy_mj: self.energy.dynamic_mj(),
+            total_wgs: self.total_wgs,
+        }
+    }
+
     fn resolve(&mut self, id: JobId, fate: JobFate, now: Cycle) {
         let rec = &mut self.records[id.index()];
         debug_assert!(matches!(rec.fate, JobFate::Unfinished), "double resolution of {id:?}");
@@ -816,6 +914,7 @@ impl Simulation {
             counters: &mut self.counters,
             occupancy,
             config: &self.cfg,
+            probes: &mut self.probes,
         };
         Some(f(sched.as_mut(), &mut ctx))
     }
@@ -916,6 +1015,8 @@ impl Simulation {
                 let rk = self.runs.insert(KernelRun::new(q, id, kernel.clone(), kidx, now));
                 self.queues[q].job_mut().head_run = Some(rk);
                 self.mark(now, id, TimelineKind::KernelStart(kidx));
+                self.probes
+                    .emit_with(now, || ProbeEvent::KernelStarted { job: id, queue: q, kernel: kidx });
                 rk
             }
         };
@@ -941,6 +1042,7 @@ impl Simulation {
 
     fn place_wg(&mut self, run_key: SlabKey, cu_idx: usize, now: Cycle) {
         let desc = self.runs[run_key].desc.clone();
+        let job = self.runs[run_key].job;
         let placement = self.cus[cu_idx].place_wg(&desc);
         self.counters.note_wg_placed(desc.class, now);
         let wg_key = self.wgs.insert(WorkgroupRun {
@@ -952,6 +1054,8 @@ impl Simulation {
             vgpr_bytes: desc.vgpr_bytes_per_wg(),
             lds_bytes: desc.lds_per_wg,
         });
+        self.probes
+            .emit_with(now, || ProbeEvent::WgDispatched { cu: cu_idx as u16, job, wg: wg_key });
         // Segments started inside a slowdown window are stretched; `* 1.0`
         // outside windows is bit-exact, preserving fault-free identity.
         let segment = desc.profile.segment_cycles() * self.fault_scale();
@@ -976,6 +1080,8 @@ impl Simulation {
             simd.advance(now, &mut self.waves);
             simd.activate(key);
             self.reschedule_simd(cu_idx, simd_idx as usize, now);
+            self.probes
+                .emit_with(now, || ProbeEvent::WaveIssued { cu: cu_idx as u16, simd: simd_idx as u16 });
         }
         self.runs[run_key].wgs_dispatched += 1;
     }
@@ -1024,6 +1130,8 @@ impl Simulation {
                     self.mem
                         .access_bundle(cu, addr, profile.lines_per_access, now);
                 self.energy.add_memory(mix);
+                self.probes
+                    .emit_with(now, || ProbeEvent::MemAccess { cu: cu as u16, mix });
                 // Slowdown windows also stretch memory latency; skipped
                 // entirely at scale 1.0 so fault-free runs stay bit-exact.
                 let scale = self.fault_scale();
@@ -1079,6 +1187,8 @@ impl Simulation {
         self.total_wgs += 1;
         let q = self.runs[run_key].queue;
         let job_id = self.runs[run_key].job;
+        self.probes
+            .emit_with(now, || ProbeEvent::WgRetired { cu: wg.cu as u16, job: job_id, wg: wg_key });
         {
             let a = self.queues[q].job_mut();
             a.head_wgs_completed += 1;
@@ -1112,6 +1222,8 @@ impl Simulation {
             a.is_complete()
         };
         self.mark(now, job_id, TimelineKind::KernelEnd(kernel_idx));
+        self.probes
+            .emit_with(now, || ProbeEvent::KernelCompleted { job: job_id, queue: q, kernel: kernel_idx });
         self.with_cp(|s, ctx| s.on_kernel_complete(ctx, q));
         if job_id.0 < SYNTH_BASE && matches!(self.mode, SchedulerMode::Host(_)) {
             // Chain-enqueued real job: notify the host of kernel progress.
@@ -1329,6 +1441,7 @@ impl Simulation {
             total_wgs: self.total_wgs,
             l1_hit_rate: self.mem.l1_hit_rate(),
             l2_hit_rate: self.mem.l2_hit_rate(),
+            events: self.events_handled,
         }
     }
 }
@@ -1619,6 +1732,101 @@ mod tests {
         let baseline = run_rr(fault_jobs());
         let with_none = run_with_plan(fault_jobs(), FaultPlan::none());
         assert_eq!(baseline, with_none, "FaultPlan::none() must not perturb anything");
+    }
+
+    // ----- observability -----------------------------------------------------
+
+    /// Jobs whose second arrival (150 us) keeps the run alive past the first
+    /// 100 us counter tick, so periodic snapshot probes are guaranteed to
+    /// fire at least once.
+    fn observed_jobs() -> Vec<JobDesc> {
+        vec![
+            one_job(vec![kernel(0, 512, 4000, 4)], 5000, 0, 0),
+            one_job(vec![kernel(1, 256, 2000, 2)], 5000, 150, 1),
+        ]
+    }
+
+    #[test]
+    fn attached_observers_are_bit_identical_to_detached() {
+        // The probe layer's determinism contract (same shape as
+        // `none_plan_is_bit_identical_to_no_plan`): observers piggyback on
+        // existing events and never schedule new ones, so an observed run's
+        // report is bit-exact against a bare run.
+        use crate::probe::{ChromeTraceWriter, MetricsSampler};
+        use std::sync::{Arc, Mutex};
+        let baseline = run_rr(observed_jobs());
+        let sampler = Arc::new(Mutex::new(MetricsSampler::new()));
+        let writer = Arc::new(Mutex::new(ChromeTraceWriter::new()));
+        let mut sim = Simulation::builder()
+            .jobs(observed_jobs())
+            .cp(RoundRobin::new())
+            .observe(Box::new(Arc::clone(&sampler)))
+            .observe(Box::new(Arc::clone(&writer)))
+            .build()
+            .unwrap();
+        let observed = sim.run();
+        assert_eq!(baseline, observed, "attached observers must not perturb the run");
+        let sampler = sampler.lock().unwrap();
+        assert!(!sampler.times().is_empty(), "periodic snapshots were recorded");
+        let writer = writer.lock().unwrap();
+        assert!(!writer.is_empty(), "workgroup/kernel spans were recorded");
+        let doc = writer.finish();
+        sim_core::json::validate(&doc).expect("emitted trace is well-formed JSON");
+    }
+
+    #[test]
+    fn probe_fire_sites_cover_the_event_lifecycle() {
+        use crate::probe::ProbeEvent;
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Default)]
+        struct Counts {
+            arrived: u64,
+            admitted: u64,
+            kernels_started: u64,
+            kernels_completed: u64,
+            wgs_dispatched: u64,
+            wgs_retired: u64,
+            waves_issued: u64,
+            mem_accesses: u64,
+            snapshots: u64,
+        }
+        impl sim_core::probe::Observer<ProbeEvent> for Counts {
+            fn on_event(&mut self, _at: Cycle, event: &ProbeEvent) {
+                match event {
+                    ProbeEvent::JobArrived { .. } => self.arrived += 1,
+                    ProbeEvent::CpDecision { admitted: true, .. } => self.admitted += 1,
+                    ProbeEvent::KernelStarted { .. } => self.kernels_started += 1,
+                    ProbeEvent::KernelCompleted { .. } => self.kernels_completed += 1,
+                    ProbeEvent::WgDispatched { .. } => self.wgs_dispatched += 1,
+                    ProbeEvent::WgRetired { .. } => self.wgs_retired += 1,
+                    ProbeEvent::WaveIssued { .. } => self.waves_issued += 1,
+                    ProbeEvent::MemAccess { .. } => self.mem_accesses += 1,
+                    ProbeEvent::Snapshot(_) => self.snapshots += 1,
+                    _ => {}
+                }
+            }
+        }
+
+        let counts = Arc::new(Mutex::new(Counts::default()));
+        let mut sim = Simulation::builder()
+            .jobs(observed_jobs())
+            .cp(RoundRobin::new())
+            .observe(Box::new(Arc::clone(&counts)))
+            .build()
+            .unwrap();
+        let report = sim.run();
+        assert_eq!(report.completed(), 2);
+        let c = counts.lock().unwrap();
+        assert_eq!(c.arrived, 2, "both jobs crossed the arrival probe");
+        assert_eq!(c.admitted, 2, "RR admits everything");
+        assert_eq!(c.kernels_started, 2, "one kernel per job");
+        assert_eq!(c.kernels_completed, 2);
+        assert_eq!(c.wgs_dispatched, c.wgs_retired, "every dispatched WG retired");
+        assert!(c.wgs_dispatched > 0);
+        assert!(c.waves_issued >= c.wgs_dispatched, "a WG issues at least one wave");
+        assert!(c.mem_accesses > 0, "the jobs perform memory accesses");
+        assert!(c.snapshots > 0, "counter ticks produced snapshots");
     }
 
     #[test]

@@ -39,21 +39,65 @@ pub struct TimelineEvent {
     pub kind: TimelineKind,
 }
 
-/// An append-only event recorder.
-#[derive(Debug, Clone, Default)]
+/// Default event cap for [`Timeline::new`]: generous for any single-cell
+/// run, small enough that a runaway fault sweep cannot balloon memory.
+pub const DEFAULT_TIMELINE_CAPACITY: usize = 1 << 20;
+
+/// An append-only event recorder with a bounded capacity.
+///
+/// Mirrors the guard pattern of [`sim_core::trace::TraceSeries`]: once the
+/// cap is reached further events are dropped and counted rather than
+/// growing without bound during long fault sweeps.
+#[derive(Debug, Clone)]
 pub struct Timeline {
     events: Vec<TimelineEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Default for Timeline {
+    fn default() -> Self {
+        Timeline::with_capacity(DEFAULT_TIMELINE_CAPACITY)
+    }
 }
 
 impl Timeline {
-    /// Creates an empty timeline.
+    /// Creates an empty timeline with [`DEFAULT_TIMELINE_CAPACITY`].
     pub fn new() -> Self {
         Timeline::default()
     }
 
-    /// Records an event.
+    /// Creates an empty timeline keeping at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "timeline capacity must be positive");
+        Timeline {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event; dropped (and counted) once the capacity is reached.
     pub fn record(&mut self, at: Cycle, job: JobId, kind: TimelineKind) {
-        self.events.push(TimelineEvent { at, job, kind });
+        if self.events.len() < self.capacity {
+            self.events.push(TimelineEvent { at, job, kind });
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// `true` if the capacity has been reached.
+    pub fn is_full(&self) -> bool {
+        self.events.len() >= self.capacity
+    }
+
+    /// Number of events discarded because the timeline was already full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// All events in record order (chronological: the simulator only moves
@@ -179,6 +223,25 @@ mod tests {
         tl.record(t(2), JobId(2), TimelineKind::Rejected);
         let g = tl.render_gantt(4, Duration::from_us(1));
         assert!(g.contains('X'));
+    }
+
+    #[test]
+    fn capacity_is_enforced_with_drop_count() {
+        let mut tl = Timeline::with_capacity(3);
+        for i in 0..10 {
+            tl.record(t(i), JobId(i as u32), TimelineKind::Arrived);
+        }
+        assert_eq!(tl.events().len(), 3);
+        assert!(tl.is_full());
+        assert_eq!(tl.dropped(), 7);
+        // The retained prefix is the chronologically earliest events.
+        assert_eq!(tl.events()[2].at, t(2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_panics() {
+        Timeline::with_capacity(0);
     }
 
     #[test]

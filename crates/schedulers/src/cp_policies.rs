@@ -256,12 +256,14 @@ mod tests {
         f: impl FnOnce(&mut CpContext<'_>) -> R,
     ) -> R {
         let cfg = GpuConfig::default();
+        let mut probes = gpu_sim::prelude::ProbeHub::new();
         let mut ctx = CpContext {
             now: Cycle::ZERO + Duration::from_us(now_us),
             queues,
             counters,
             occupancy: Occupancy::default(),
             config: &cfg,
+            probes: &mut probes,
         };
         f(&mut ctx)
     }

@@ -185,12 +185,14 @@ mod tests {
         // Make both big enough that one alone covers the 320-wave device.
         let mut queues = vec![queue_with(0, 400, 0), queue_with(1, 400, 900)];
         let cfg = GpuConfig::default();
+        let mut probes = gpu_sim::prelude::ProbeHub::new();
         let mut ctx = CpContext {
             now: Cycle::ZERO + Duration::from_us(1_000),
             queues: &mut queues,
             counters: &mut counters,
             occupancy: Occupancy::default(),
             config: &cfg,
+            probes: &mut probes,
         };
         prema.on_tick(&mut ctx);
         assert_eq!(queues[0].job().priority, 0, "old job selected");
@@ -206,12 +208,14 @@ mod tests {
         // Two tiny jobs: both fit, both selected.
         let mut queues = vec![queue_with(0, 2, 0), queue_with(1, 2, 100)];
         let cfg = GpuConfig::default();
+        let mut probes = gpu_sim::prelude::ProbeHub::new();
         let mut ctx = CpContext {
             now: Cycle::ZERO + Duration::from_us(500),
             queues: &mut queues,
             counters: &mut counters,
             occupancy: Occupancy::default(),
             config: &cfg,
+            probes: &mut probes,
         };
         prema.on_tick(&mut ctx);
         assert_eq!(queues[0].job().priority, 0);

@@ -1,0 +1,300 @@
+//! Minimal JSON helpers: string escaping for emitters and a strict
+//! syntax validator for smoke tests.
+//!
+//! The workspace is std-only (no serde), so trace writers hand-roll their
+//! JSON. [`escape_into`]/[`escaped`] implement RFC 8259 string escaping, and
+//! [`validate`] is a small recursive-descent syntax checker used by tests and
+//! `tools/tier1.sh` to prove emitted trace files parse without shelling out
+//! to an external JSON tool.
+
+/// Append `s` to `out` with JSON string escaping applied (no surrounding
+/// quotes). Escapes `"`, `\`, and all control characters below U+0020.
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// [`escape_into`] returning a fresh `String` (still without quotes).
+pub fn escaped(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_into(&mut out, s);
+    out
+}
+
+/// Why a document failed [`validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the offending character.
+    pub at: usize,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Maximum nesting depth [`validate`] accepts before giving up; deep enough
+/// for any trace file we emit, shallow enough to never blow the stack.
+const MAX_DEPTH: usize = 256;
+
+/// Check that `s` is one syntactically valid JSON document (with nothing but
+/// whitespace after it). Values are not materialized — this is a syntax
+/// check, not a parser.
+pub fn validate(s: &str) -> Result<(), JsonError> {
+    let b = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(b, &mut pos);
+    value(b, &mut pos, 0)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(err(pos, "trailing characters after document"));
+    }
+    Ok(())
+}
+
+fn err(at: usize, message: &str) -> JsonError {
+    JsonError { at, message: message.to_string() }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize, depth: usize) -> Result<(), JsonError> {
+    if depth > MAX_DEPTH {
+        return Err(err(*pos, "nesting too deep"));
+    }
+    match b.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'{') => object(b, pos, depth),
+        Some(b'[') => array(b, pos, depth),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, b"true"),
+        Some(b'f') => literal(b, pos, b"false"),
+        Some(b'n') => literal(b, pos, b"null"),
+        Some(c) if *c == b'-' || c.is_ascii_digit() => number(b, pos),
+        Some(_) => Err(err(*pos, "expected a JSON value")),
+    }
+}
+
+fn literal(b: &[u8], pos: &mut usize, word: &[u8]) -> Result<(), JsonError> {
+    if b[*pos..].starts_with(word) {
+        *pos += word.len();
+        Ok(())
+    } else {
+        Err(err(*pos, "invalid literal"))
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize, depth: usize) -> Result<(), JsonError> {
+    *pos += 1; // consume '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(err(*pos, "expected object key string"));
+        }
+        string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(err(*pos, "expected ':' after object key"));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        value(b, pos, depth + 1)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(err(*pos, "expected ',' or '}' in object")),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize, depth: usize) -> Result<(), JsonError> {
+    *pos += 1; // consume '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        value(b, pos, depth + 1)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(err(*pos, "expected ',' or ']' in array")),
+        }
+    }
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<(), JsonError> {
+    *pos += 1; // consume opening '"'
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            match b.get(*pos) {
+                                Some(h) if h.is_ascii_hexdigit() => *pos += 1,
+                                _ => return Err(err(*pos, "bad \\u escape")),
+                            }
+                        }
+                    }
+                    _ => return Err(err(*pos, "bad escape sequence")),
+                }
+            }
+            c if c < 0x20 => return Err(err(*pos, "raw control character in string")),
+            _ => *pos += 1,
+        }
+    }
+    Err(err(*pos, "unterminated string"))
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<(), JsonError> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let int_start = *pos;
+    while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+        *pos += 1;
+    }
+    if *pos == int_start {
+        return Err(err(*pos, "expected digits in number"));
+    }
+    // JSON forbids leading zeros on multi-digit integer parts.
+    if b[int_start] == b'0' && *pos - int_start > 1 {
+        return Err(err(int_start, "leading zero in number"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let frac_start = *pos;
+        while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+        }
+        if *pos == frac_start {
+            return Err(err(*pos, "expected digits after decimal point"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        let exp_start = *pos;
+        while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+        }
+        if *pos == exp_start {
+            return Err(err(*pos, "expected digits in exponent"));
+        }
+    }
+    debug_assert!(*pos > start);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_backslashes_and_controls() {
+        assert_eq!(escaped(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escaped(r"a\b"), r"a\\b");
+        assert_eq!(escaped("a\nb\tc"), r"a\nb\tc");
+        assert_eq!(escaped("\u{01}"), "\\u0001");
+        assert_eq!(escaped("plain"), "plain");
+    }
+
+    #[test]
+    fn escaped_strings_validate() {
+        let nasty = "quote\" slash\\ newline\n ctrl\u{02} unicode \u{2603}";
+        let doc = format!("{{\"k\":\"{}\"}}", escaped(nasty));
+        validate(&doc).expect("escaped output must be valid JSON");
+    }
+
+    #[test]
+    fn accepts_valid_documents() {
+        for doc in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "-12.5e-3",
+            "0",
+            r#"{"a":[1,2,{"b":null}],"c":"x"}"#,
+            "  [ 1 , 2 ]  ",
+            r#""é""#,
+        ] {
+            validate(doc).unwrap_or_else(|e| panic!("{doc:?} rejected: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_documents() {
+        for doc in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{a:1}",
+            "01",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "\"bad\\x\"",
+            "[1] trailing",
+            "\"raw\ncontrol\"",
+        ] {
+            assert!(validate(doc).is_err(), "{doc:?} wrongly accepted");
+        }
+    }
+
+    #[test]
+    fn depth_cap_rejects_pathological_nesting() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        assert!(validate(&deep).is_err());
+    }
+}

@@ -11,6 +11,10 @@
 //!   rate-window counter that models the paper's workgroup-completion-rate
 //!   hardware counter.
 //! * [`trace`] — bounded time-series capture for Figure-10 style plots.
+//! * [`probe`] — generic observer/probe bus for zero-overhead-when-off
+//!   instrumentation of a running simulation.
+//! * [`json`] — string escaping and a strict syntax validator for the
+//!   hand-rolled JSON trace emitters (std-only workspace, no serde).
 //! * [`table`] — plain-text result tables for the experiment binaries.
 //! * [`chart`] — terminal bar charts for quick visual comparisons.
 //!
@@ -40,6 +44,8 @@
 
 pub mod chart;
 pub mod event;
+pub mod json;
+pub mod probe;
 pub mod rng;
 pub mod stats;
 pub mod table;
@@ -47,5 +53,6 @@ pub mod time;
 pub mod trace;
 
 pub use event::{EventId, EventQueue};
+pub use probe::{Observer, ProbeHub};
 pub use rng::SimRng;
 pub use time::{Cycle, Duration};

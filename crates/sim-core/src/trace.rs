@@ -35,6 +35,7 @@ pub struct TraceSeries {
     name: String,
     points: Vec<TracePoint>,
     capacity: usize,
+    dropped: u64,
 }
 
 impl TraceSeries {
@@ -49,6 +50,7 @@ impl TraceSeries {
             name: name.into(),
             points: Vec::new(),
             capacity,
+            dropped: 0,
         }
     }
 
@@ -57,10 +59,12 @@ impl TraceSeries {
         &self.name
     }
 
-    /// Records a sample; silently dropped when the series is full.
+    /// Records a sample; dropped (and counted) when the series is full.
     pub fn sample(&mut self, at: Cycle, value: f64) {
         if self.points.len() < self.capacity {
             self.points.push(TracePoint { at, value });
+        } else {
+            self.dropped += 1;
         }
     }
 
@@ -72,6 +76,11 @@ impl TraceSeries {
     /// `true` if the capacity has been reached.
     pub fn is_full(&self) -> bool {
         self.points.len() >= self.capacity
+    }
+
+    /// Number of samples discarded because the series was already full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 }
 
@@ -88,6 +97,7 @@ mod tests {
         assert_eq!(s.points().len(), 2);
         assert!(s.is_full());
         assert_eq!(s.points()[1].value, 1.0);
+        assert_eq!(s.dropped(), 3);
     }
 
     #[test]

@@ -6,8 +6,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== tier1: cargo build --release =="
-cargo build --release
+echo "== tier1: cargo build --release --workspace =="
+# --workspace matters: the root manifest is both a workspace and a package,
+# so a bare `cargo build` only builds `deadline-gpu` and its dependencies —
+# leaving the lax-bench release binaries the smoke steps below run stale.
+cargo build --release --workspace
 
 echo "== tier1: cargo test -q (workspace) =="
 cargo test --workspace -q
@@ -32,5 +35,16 @@ wait "$BPID" 2>/dev/null || true
 "$FAULTS_BIN" --smoke --jobs 2 --resume --out "$TMP/b.txt" --ckpt "$TMP/b.ckpt"
 cmp "$TMP/a.txt" "$TMP/b.txt"
 echo "   resumed fault sweep is byte-identical"
+
+echo "== tier1: trace smoke (Chrome trace + metrics CSV) =="
+TRACE_BIN=target/release/trace
+"$TRACE_BIN" "RR:IPV6:low:j8:s1" --out "$TMP/trace.json" --csv "$TMP/metrics.csv"
+# The binary validates the trace itself before writing; double-check with an
+# independent parser and make sure the metrics series actually landed.
+python3 -m json.tool "$TMP/trace.json" > /dev/null
+[ -s "$TMP/metrics.csv" ]
+head -1 "$TMP/metrics.csv" | grep -q "time_us"
+head -1 "$TMP/metrics.csv" | grep -q "dram_bw_util"
+echo "   trace JSON parses and metrics CSV is populated"
 
 echo "== tier1: OK =="
