@@ -69,6 +69,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         save(dir, "fig4", &lax_bench::figures::fig4(max_batch, jobs))?;
     }
     let wall = t0.elapsed();
+    if let Some(json) = db.throughput_json() {
+        let path = format!("{dir}/BENCH_throughput.json");
+        fs::write(&path, json)?;
+        eprintln!("[all] wrote {path}");
+    }
     let mut f = fs::File::create(format!("{dir}/SUMMARY.txt"))?;
     writeln!(f, "full evaluation regenerated in {wall:?} on {jobs} worker thread(s)")?;
     if let Some(profile) = db.profile_summary(10) {

@@ -320,6 +320,43 @@ impl ResultsDb {
         Some(out)
     }
 
+    /// Renders the per-cell throughput profile as a JSON document:
+    /// one record per profiled cell (scenario, events simulated, wall-clock
+    /// nanoseconds, events/sec) plus the geometric mean of the per-cell
+    /// events/sec rates. Cells are emitted in scenario order, so the
+    /// document is deterministic for a given run. `None` when no cells
+    /// were executed by this process or restored with profiles.
+    pub fn throughput_json(&self) -> Option<String> {
+        if self.profiles.is_empty() {
+            return None;
+        }
+        let mut out = String::from("{\n  \"cells\": [\n");
+        let mut rates = Vec::with_capacity(self.profiles.len());
+        for (i, (scenario, profile)) in self.profiles.iter().enumerate() {
+            let events = self.cache.get(scenario).map_or(0, |r| r.events);
+            let secs = profile.wall.as_secs_f64();
+            let rate = if secs > 0.0 { events as f64 / secs } else { 0.0 };
+            if rate > 0.0 {
+                rates.push(rate);
+            }
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str("    {\"scenario\": \"");
+            sim_core::json::escape_into(&mut out, &scenario.to_string());
+            out.push_str(&format!(
+                "\", \"events\": {events}, \"wall_ns\": {}, \"events_per_sec\": {rate:.3}}}",
+                profile.wall.as_nanos()
+            ));
+        }
+        out.push_str(&format!(
+            "\n  ],\n  \"geomean_events_per_sec\": {:.3}\n}}\n",
+            sim_core::stats::geomean(&rates)
+        ));
+        debug_assert!(sim_core::json::validate(&out).is_ok());
+        Some(out)
+    }
+
     /// Number of cached cells.
     pub fn len(&self) -> usize {
         self.cache.len()
@@ -405,6 +442,18 @@ mod tests {
             assert_eq!(a, b, "{sched}: resumed report must be bit-identical");
         }
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn throughput_json_is_valid_and_covers_every_profiled_cell() {
+        let mut db = ResultsDb::with_jobs(4, 2);
+        assert!(db.throughput_json().is_none(), "no profiles yet");
+        db.warm(&["RR", "EDF"], &[Benchmark::Ipv6], &[ArrivalRate::Low], 2).unwrap();
+        let json = db.throughput_json().expect("profiles recorded by warm");
+        sim_core::json::validate(&json).expect("emitted document must parse");
+        assert_eq!(json.matches("\"scenario\"").count(), db.profiles().len());
+        assert!(json.contains("\"geomean_events_per_sec\""));
+        assert!(json.contains("\"wall_ns\""));
     }
 
     #[test]

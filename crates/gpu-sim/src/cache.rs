@@ -27,9 +27,16 @@ pub enum ProbeResult {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
-    sets: Vec<Vec<u64>>, // per set: tags in LRU order (front = LRU, back = MRU)
+    /// All tag storage, one fixed-stride `ways`-sized slice per set, each
+    /// slice in LRU order (slot 0 = LRU, `len-1` = MRU). Flat layout keeps
+    /// a probe inside one or two cache lines instead of chasing a per-set
+    /// heap allocation.
+    tags: Vec<u64>,
+    /// Occupied ways per set.
+    lens: Vec<u8>,
     ways: usize,
     set_mask: u64,
+    tag_shift: u32,
     line_shift: u32,
     hits: u64,
     misses: u64,
@@ -50,9 +57,11 @@ impl SetAssocCache {
         let num_sets = (lines / ways) as u64;
         assert!(num_sets.is_power_of_two(), "set count must be a power of two");
         SetAssocCache {
-            sets: vec![Vec::with_capacity(ways as usize); num_sets as usize],
+            tags: vec![0; (num_sets * ways as u64) as usize],
+            lens: vec![0; num_sets as usize],
             ways: ways as usize,
             set_mask: num_sets - 1,
+            tag_shift: num_sets.trailing_zeros(),
             line_shift: line_bytes.trailing_zeros(),
             hits: 0,
             misses: 0,
@@ -60,22 +69,40 @@ impl SetAssocCache {
     }
 
     /// Probes (and on miss, allocates) the line containing `addr`.
+    #[inline]
     pub fn probe(&mut self, addr: u64) -> ProbeResult {
         let line = addr >> self.line_shift;
         let set_idx = (line & self.set_mask) as usize;
-        let tag = line >> self.set_mask.count_ones();
-        let set = &mut self.sets[set_idx];
+        let tag = line >> self.tag_shift;
+        let len = self.lens[set_idx] as usize;
+        let base = set_idx * self.ways;
+        // Most probes re-touch the most recently used line; a hit there
+        // needs no reordering at all.
+        if len > 0 && self.tags[base + len - 1] == tag {
+            self.hits += 1;
+            return ProbeResult::Hit;
+        }
+        self.probe_slow(set_idx, base, len, tag)
+    }
+
+    /// Non-MRU probe outcome: scan the set, rotate on hit, allocate on miss.
+    fn probe_slow(&mut self, set_idx: usize, base: usize, len: usize, tag: u64) -> ProbeResult {
+        let set = &mut self.tags[base..base + len];
         if let Some(pos) = set.iter().position(|&t| t == tag) {
-            // Move to MRU position.
-            let t = set.remove(pos);
-            set.push(t);
+            // Move to MRU position (end), sliding the younger tags down.
+            set.copy_within(pos + 1.., pos);
+            set[len - 1] = tag;
             self.hits += 1;
             ProbeResult::Hit
+        } else if len == self.ways {
+            // Evict the LRU at slot 0, insert the new tag as MRU.
+            set.copy_within(1.., 0);
+            set[len - 1] = tag;
+            self.misses += 1;
+            ProbeResult::Miss
         } else {
-            if set.len() == self.ways {
-                set.remove(0); // evict LRU
-            }
-            set.push(tag);
+            self.tags[base + len] = tag;
+            self.lens[set_idx] += 1;
             self.misses += 1;
             ProbeResult::Miss
         }

@@ -1,0 +1,129 @@
+//! Workgroup dispatch: picks which queue's head kernel gets device
+//! capacity, in priority order with round-robin rotation at ties, and
+//! finalizes aborted jobs once their in-flight work drains.
+
+use sim_core::time::Cycle;
+
+use crate::cp_frontend;
+use crate::engine::Effects;
+use crate::exec;
+use crate::job::{JobFate, JobState};
+use crate::probe::ProbeEvent;
+use crate::state::SimState;
+use crate::timeline::TimelineKind;
+use crate::wave::KernelRun;
+
+/// Dispatcher state: the round-robin tie-break cursor plus reusable
+/// scratch buffers for the hot candidate scan.
+#[derive(Default)]
+pub(crate) struct Dispatch {
+    rr_cursor: usize,
+    candidates: Vec<(i64, usize, usize)>,
+    aborts: Vec<usize>,
+}
+
+/// Dispatches every eligible queue in (priority, round-robin) order,
+/// placing as many WGs as the device fits.
+pub(crate) fn try_dispatch(st: &mut SimState, fx: &mut Effects<'_>, now: Cycle) {
+    // Finalize aborted jobs whose in-flight workgroups have drained.
+    let mut aborts = std::mem::take(&mut st.dispatch.aborts);
+    aborts.clear();
+    for (i, q) in st.shared.queues.iter().enumerate() {
+        if let Some(a) = &q.active {
+            if a.abort_requested && a.state != JobState::Init {
+                let inflight = a.head_run.is_some_and(|rk| st.exec.run_inflight(rk));
+                if !inflight {
+                    aborts.push(i);
+                }
+            }
+        }
+    }
+    for &q in &aborts {
+        finalize_abort(st, fx, q, now);
+    }
+    aborts.clear();
+    st.dispatch.aborts = aborts;
+
+    let nq = st.shared.queues.len();
+    let cursor = st.dispatch.rr_cursor;
+    let mut candidates = std::mem::take(&mut st.dispatch.candidates);
+    candidates.clear();
+    for (i, q) in st.shared.queues.iter().enumerate() {
+        let Some(a) = &q.active else { continue };
+        if a.state == JobState::Init || a.blocked_until > now || a.abort_requested {
+            continue;
+        }
+        if a.head_kernel().is_none() {
+            continue;
+        }
+        let pending = match a.head_run {
+            Some(rk) => st.exec.wgs_pending(rk) > 0,
+            None => true,
+        };
+        if !pending {
+            continue;
+        }
+        let rot = (i + nq - cursor) % nq;
+        candidates.push((a.priority, rot, i));
+    }
+    candidates.sort_unstable();
+    let mut first_dispatched = None;
+    for &(_, _, q) in candidates.iter() {
+        let dispatched = dispatch_queue(st, fx, q, now);
+        if dispatched && first_dispatched.is_none() {
+            first_dispatched = Some(q);
+        }
+    }
+    candidates.clear();
+    st.dispatch.candidates = candidates;
+    if let Some(q) = first_dispatched {
+        st.dispatch.rr_cursor = (q + 1) % nq;
+    }
+}
+
+/// Drops an aborted job whose in-flight work has drained: squashes its
+/// remaining kernels and frees the queue.
+fn finalize_abort(st: &mut SimState, fx: &mut Effects<'_>, q: usize, now: Cycle) {
+    let Some(a) = st.shared.queues[q].active.take() else { return };
+    if let Some(rk) = a.head_run {
+        st.exec.remove_run(rk);
+    }
+    st.shared.queue_of_job.remove(&a.job.id);
+    st.shared.mark(now, a.job.id, TimelineKind::Aborted);
+    st.shared.resolve(a.job.id, JobFate::Aborted(now), now);
+    cp_frontend::pump(st, fx, now);
+}
+
+/// Dispatches as many WGs of queue `q`'s head kernel as fit. Returns
+/// `true` if at least one WG was placed.
+fn dispatch_queue(st: &mut SimState, fx: &mut Effects<'_>, q: usize, now: Cycle) -> bool {
+    let (kernel, head_run, id, kidx) = {
+        let a = st.shared.queues[q].job_mut();
+        let Some(kernel) = a.head_kernel().cloned() else {
+            return false;
+        };
+        (kernel, a.head_run, a.job.id, a.next_kernel)
+    };
+    let run_key = match head_run {
+        Some(rk) => rk,
+        None => {
+            let rk = st.exec.insert_run(KernelRun::new(q, id, kernel.clone(), kidx, now));
+            st.shared.queues[q].job_mut().head_run = Some(rk);
+            st.shared.mark(now, id, TimelineKind::KernelStart(kidx));
+            st.shared
+                .probes
+                .emit_with(now, || ProbeEvent::KernelStarted { job: id, queue: q, kernel: kidx });
+            rk
+        }
+    };
+    let mut any = false;
+    while st.exec.wgs_pending(run_key) > 0 {
+        let Some(cu_idx) = st.exec.best_cu(&kernel) else { break };
+        exec::place_wg(st, fx, run_key, cu_idx, now);
+        any = true;
+    }
+    if any {
+        st.shared.queues[q].job_mut().state = JobState::Running;
+    }
+    any
+}

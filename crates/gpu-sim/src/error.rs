@@ -1,0 +1,61 @@
+//! Simulation error type, shared by the builder (construction-time
+//! validation) and the engine (runtime guards).
+
+use std::fmt;
+
+use sim_core::time::Cycle;
+
+/// Simulation construction or runtime error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The machine configuration is inconsistent.
+    Config(String),
+    /// A job or kernel cannot run on the configured machine.
+    Job(String),
+    /// The fault plan is ill-formed for this machine.
+    Fault(String),
+    /// The event loop processed an implausible number of events without
+    /// simulated time advancing — a livelock. Deterministic: triggers at
+    /// the same event on every run, never from wall-clock.
+    Stalled {
+        /// The instant time stopped advancing at.
+        at: Cycle,
+        /// Zero-advance events processed before giving up.
+        events: u64,
+    },
+    /// The run exceeded the configured total event budget
+    /// ([`crate::sim::SimParams::event_budget`]) — a runaway simulation.
+    EventBudgetExceeded {
+        /// The configured budget.
+        budget: u64,
+    },
+    /// More jobs were backlogged waiting for a compute queue than
+    /// [`crate::sim::SimParams::max_backlog`] allows.
+    QueueOverflow {
+        /// Jobs (and pending deliveries) waiting for a queue.
+        pending: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(m) => write!(f, "invalid configuration: {m}"),
+            SimError::Job(m) => write!(f, "invalid job: {m}"),
+            SimError::Fault(m) => write!(f, "invalid fault plan: {m}"),
+            SimError::Stalled { at, events } => {
+                write!(f, "simulation stalled at {at}: {events} events without time advancing")
+            }
+            SimError::EventBudgetExceeded { budget } => {
+                write!(f, "simulation exceeded its event budget of {budget}")
+            }
+            SimError::QueueOverflow { pending, limit } => {
+                write!(f, "compute-queue backlog overflow: {pending} jobs pending, limit {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

@@ -1,0 +1,417 @@
+//! Execution subsystem: CU/SIMD wave advancement, workgroup placement, and
+//! the kernel/job completion cascade.
+//!
+//! ## Polled SIMD completions (the hot path)
+//!
+//! Per-wave segment completions dominate a run's event count. Instead of
+//! round-tripping each predicted completion through the engine's global
+//! heap (schedule, sift, pop, discard-if-stale), the subsystem keeps one
+//! [`Pred`] slot per SIMD unit. [`reschedule_simd`] writes the unit's next
+//! predicted completion into its slot, stamped with a sequence number from
+//! the same counter the event queue uses, so the engine can order the
+//! minimum prediction ([`Exec::next_poll`]) against the queue head by
+//! `(time, seq)` — exactly the order the old heap events popped in. Stale
+//! predictions are overwritten in place (generation mismatch) instead of
+//! lingering in the heap.
+
+use std::sync::Arc;
+
+use sim_core::time::Cycle;
+
+use crate::config::GpuConfig;
+use crate::cp_frontend;
+use crate::cu::ComputeUnit;
+use crate::dispatch;
+use crate::engine::{Effects, Ev};
+use crate::host;
+use crate::job::{JobFate, JobId};
+use crate::kernel::KernelDesc;
+use crate::probe::ProbeEvent;
+use crate::sim::SchedulerMode;
+use crate::slab::{Slab, SlabKey};
+use crate::state::{self, SimState};
+use crate::timeline::TimelineKind;
+use crate::wave::{KernelRun, WaveState, Wavefront, WorkgroupRun};
+
+/// One SIMD unit's next predicted segment completion.
+///
+/// `stamp` is a sequence number from the shared event-queue counter,
+/// allocated when the prediction is (re)written; `(at, stamp)` orders the
+/// prediction against heap events. `gen` snapshots the SIMD's membership
+/// generation so a stale slot is recognized and overwritten.
+#[derive(Debug, Clone, Copy, Default)]
+struct Pred {
+    at: Cycle,
+    stamp: u64,
+    gen: u64,
+    valid: bool,
+}
+
+/// The execution subsystem: compute units, the in-flight wave/WG/kernel
+/// arenas, and the per-SIMD completion predictions.
+pub(crate) struct Exec {
+    cus: Vec<ComputeUnit>,
+    waves: Slab<Wavefront>,
+    wgs: Slab<WorkgroupRun>,
+    runs: Slab<KernelRun>,
+    preds: Vec<Pred>,
+    /// Packed `(at, stamp)` sort keys parallel to `preds`, `u128::MAX` for
+    /// invalid slots. The engine's per-event poll takes the argmin of this
+    /// small dense array — a branch-light scan the optimizer vectorizes,
+    /// instead of walking the wider `Pred` structs.
+    keys: Vec<u128>,
+    /// Cached argmin of `keys` as `(key, slot)`; `(u128::MAX, 0)` when all
+    /// slots are idle. A write to a non-head slot updates this in O(1)
+    /// (only a *smaller* key can displace the head), so the scan reruns
+    /// only when the head slot itself changed (`head_dirty`) — i.e. once
+    /// per serviced poll, not once per event.
+    head: (u128, usize),
+    head_dirty: bool,
+    simds_per_cu: usize,
+    completed_buf: Vec<SlabKey>,
+}
+
+impl Exec {
+    pub(crate) fn new(cfg: &GpuConfig) -> Self {
+        Exec {
+            cus: (0..cfg.num_cus).map(|_| ComputeUnit::new(cfg)).collect(),
+            waves: Slab::new(),
+            wgs: Slab::new(),
+            runs: Slab::new(),
+            preds: vec![Pred::default(); (cfg.num_cus * cfg.simds_per_cu) as usize],
+            keys: vec![u128::MAX; (cfg.num_cus * cfg.simds_per_cu) as usize],
+            head: (u128::MAX, 0),
+            head_dirty: false,
+            simds_per_cu: cfg.simds_per_cu as usize,
+            completed_buf: Vec::new(),
+        }
+    }
+
+    /// Read-only view of the compute units (metrics, occupancy scans).
+    pub(crate) fn cus(&self) -> &[ComputeUnit] {
+        &self.cus
+    }
+
+    /// Totals of (free, resident) wave slots across the device.
+    pub(crate) fn wave_slot_totals(&self) -> (u32, u32) {
+        let mut free = 0;
+        let mut resident = 0;
+        for cu in &self.cus {
+            free += cu.free_wave_slots();
+            resident += cu.resident_waves();
+        }
+        (free, resident)
+    }
+
+    /// Applies a CU offline/online fault transition.
+    pub(crate) fn set_cu_offline(&mut self, cu: usize, offline: bool) {
+        self.cus[cu].set_offline(offline);
+    }
+
+    /// The CU best able to take a WG of `kernel`: most free wave slots,
+    /// lowest index at ties. `None` when nothing fits.
+    pub(crate) fn best_cu(&self, kernel: &KernelDesc) -> Option<usize> {
+        self.cus
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.can_fit(kernel))
+            .max_by_key(|(i, c)| (c.free_wave_slots(), usize::MAX - i))
+            .map(|(i, _)| i)
+    }
+
+    /// Registers a new kernel run, returning its arena key.
+    pub(crate) fn insert_run(&mut self, run: KernelRun) -> SlabKey {
+        self.runs.insert(run)
+    }
+
+    /// Drops a kernel run (abort path).
+    pub(crate) fn remove_run(&mut self, rk: SlabKey) {
+        self.runs.remove(rk);
+    }
+
+    /// Workgroups of run `rk` not yet dispatched.
+    pub(crate) fn wgs_pending(&self, rk: SlabKey) -> u32 {
+        self.runs[rk].wgs_pending()
+    }
+
+    /// `true` while run `rk` has dispatched WGs that have not completed.
+    pub(crate) fn run_inflight(&self, rk: SlabKey) -> bool {
+        self.runs[rk].wgs_dispatched > self.runs[rk].wgs_completed
+    }
+
+    /// The earliest live SIMD completion prediction as
+    /// `(time, stamp, slot)`, or `None` when every unit is idle. The engine
+    /// compares `(time, stamp)` against the event-queue head to decide what
+    /// fires next.
+    pub(crate) fn next_poll(&mut self) -> Option<(Cycle, u64, usize)> {
+        if self.head_dirty {
+            let mut best = 0usize;
+            let mut bk = u128::MAX;
+            for (i, &k) in self.keys.iter().enumerate() {
+                if k < bk {
+                    bk = k;
+                    best = i;
+                }
+            }
+            self.head = (bk, best);
+            self.head_dirty = false;
+        }
+        let (bk, best) = self.head;
+        if bk == u128::MAX {
+            None
+        } else {
+            let p = &self.preds[best];
+            Some((p.at, p.stamp, best))
+        }
+    }
+
+    /// Writes slot `slot`'s prediction.
+    #[inline]
+    fn write_pred(&mut self, slot: usize, at: Cycle, stamp: u64, gen: u64) {
+        self.preds[slot] = Pred { at, stamp, gen, valid: true };
+        let k = (at.as_cycles() as u128) << 64 | stamp as u128;
+        self.keys[slot] = k;
+        if !self.head_dirty {
+            if k < self.head.0 {
+                self.head = (k, slot);
+            } else if slot == self.head.1 {
+                self.head_dirty = true;
+            }
+        }
+    }
+
+    /// Invalidates slot `slot`'s prediction.
+    #[inline]
+    fn invalidate_pred(&mut self, slot: usize) {
+        self.preds[slot].valid = false;
+        self.keys[slot] = u128::MAX;
+        if !self.head_dirty && slot == self.head.1 {
+            self.head_dirty = true;
+        }
+    }
+}
+
+/// Re-predicts SIMD `(cu, simd)`'s next completion after a membership or
+/// progress change.
+///
+/// A still-valid slot with an unchanged generation keeps its existing
+/// stamp: the earliest allocation governs ordering, matching the old
+/// behavior where the first of several same-generation heap events was the
+/// one that fired.
+pub(crate) fn reschedule_simd(ex: &mut Exec, fx: &mut Effects<'_>, cu: usize, simd: usize, now: Cycle) {
+    let s = &ex.cus[cu].simds[simd];
+    let slot = cu * ex.simds_per_cu + simd;
+    match s.next_completion(now) {
+        Some(t) => {
+            let gen = s.generation();
+            let p = &ex.preds[slot];
+            if p.valid && p.gen == gen {
+                debug_assert_eq!(p.at, t, "same-generation prediction must be stable");
+            } else {
+                let stamp = fx.stamp();
+                ex.write_pred(slot, t, stamp, gen);
+            }
+        }
+        None => ex.invalidate_pred(slot),
+    }
+}
+
+/// Places one WG of run `run_key` onto CU `cu_idx`, issuing its waves.
+pub(crate) fn place_wg(st: &mut SimState, fx: &mut Effects<'_>, run_key: SlabKey, cu_idx: usize, now: Cycle) {
+    let SimState { shared, exec, .. } = st;
+    let desc = exec.runs[run_key].desc.clone();
+    let job = exec.runs[run_key].job;
+    let placement = exec.cus[cu_idx].place_wg(&desc);
+    shared.counters.note_wg_placed(desc.class, now);
+    let wg_key = exec.wgs.insert(WorkgroupRun {
+        run: run_key,
+        cu: cu_idx as u32,
+        waves_total: placement.len() as u32,
+        waves_done: 0,
+        threads: desc.wg_size,
+        vgpr_bytes: desc.vgpr_bytes_per_wg(),
+        lds_bytes: desc.lds_per_wg,
+    });
+    shared
+        .probes
+        .emit_with(now, || ProbeEvent::WgDispatched { cu: cu_idx as u16, job, wg: wg_key });
+    // Segments started inside a slowdown window are stretched; `* 1.0`
+    // outside windows is bit-exact, preserving fault-free identity.
+    let segment = desc.profile.segment_cycles() * shared.fault_scale();
+    for simd_idx in placement {
+        let wave_seq = {
+            let run = &mut exec.runs[run_key];
+            let s = run.next_wave_seq;
+            run.next_wave_seq += 1;
+            s
+        };
+        let key = exec.waves.insert(Wavefront {
+            wg: wg_key,
+            run: run_key,
+            cu: cu_idx as u32,
+            simd: simd_idx,
+            wave_seq,
+            remaining: segment,
+            accesses_done: 0,
+            state: WaveState::Computing,
+        });
+        let simd = &mut exec.cus[cu_idx].simds[simd_idx as usize];
+        simd.advance(now);
+        simd.activate(key, &exec.waves);
+        reschedule_simd(exec, fx, cu_idx, simd_idx as usize, now);
+        shared
+            .probes
+            .emit_with(now, || ProbeEvent::WaveIssued { cu: cu_idx as u16, simd: simd_idx as u16 });
+    }
+    exec.runs[run_key].wgs_dispatched += 1;
+}
+
+/// Services the SIMD whose prediction slot won the engine's poll: advances
+/// progress, retires completed segments into memory requests or wave
+/// completion, and re-predicts.
+pub(crate) fn service_poll(st: &mut SimState, fx: &mut Effects<'_>, slot: usize, now: Cycle) {
+    // Consume the slot first: if the unit re-predicts below without a
+    // membership change (completions drained to empty), the fresh write
+    // allocates a new stamp, exactly as the old heap path scheduled a new
+    // event after a no-op fire.
+    st.exec.invalidate_pred(slot);
+    let (cu, simd) = (slot / st.exec.simds_per_cu, slot % st.exec.simds_per_cu);
+    st.exec.cus[cu].simds[simd].advance(now);
+    let mut completed = std::mem::take(&mut st.exec.completed_buf);
+    completed.clear();
+    st.exec.cus[cu].simds[simd].collect_completed(&mut completed);
+    if completed.is_empty() {
+        st.exec.completed_buf = completed;
+        reschedule_simd(&mut st.exec, fx, cu, simd, now);
+        return;
+    }
+    for &key in &completed {
+        {
+            let exec = &mut st.exec;
+            exec.cus[cu].simds[simd].deactivate(key, &mut exec.waves);
+        }
+        let (run_key, wave_seq, accesses_done) = {
+            let w = &st.exec.waves[key];
+            (w.run, w.wave_seq, w.accesses_done)
+        };
+        let profile = st.exec.runs[run_key].desc.profile;
+        if accesses_done < profile.mem_accesses {
+            st.exec.waves[key].state = WaveState::MemPending;
+            let job_seed = st.exec.runs[run_key].job.0 as u64;
+            let done =
+                crate::memsys::request(st, cu, &profile, job_seed, wave_seq, accesses_done, now);
+            fx.schedule(done, Ev::MemDone { wave: key });
+        } else {
+            finish_wave(st, fx, key, now);
+        }
+    }
+    completed.clear();
+    st.exec.completed_buf = completed;
+    reschedule_simd(&mut st.exec, fx, cu, simd, now);
+}
+
+/// A wave's memory access returned: start its next compute segment.
+pub(crate) fn on_mem_done(st: &mut SimState, fx: &mut Effects<'_>, key: SlabKey, now: Cycle) {
+    let SimState { shared, exec, .. } = st;
+    let Some(w) = exec.waves.get_mut(key) else {
+        return;
+    };
+    debug_assert_eq!(w.state, WaveState::MemPending);
+    w.accesses_done += 1;
+    w.state = WaveState::Computing;
+    let (cu, simd, run_key) = (w.cu as usize, w.simd as usize, w.run);
+    let segment = exec.runs[run_key].desc.profile.segment_cycles() * shared.fault_scale();
+    exec.waves[key].remaining = segment;
+    let s = &mut exec.cus[cu].simds[simd];
+    s.advance(now);
+    s.activate(key, &exec.waves);
+    reschedule_simd(exec, fx, cu, simd, now);
+}
+
+fn finish_wave(st: &mut SimState, fx: &mut Effects<'_>, key: SlabKey, now: Cycle) {
+    let (wg_done, wg) = {
+        let SimState { shared, exec, .. } = st;
+        let w = exec.waves.remove(key).expect("finishing a dead wave");
+        let (cu, simd) = (w.cu as usize, w.simd as usize);
+        shared
+            .energy
+            .add_compute(exec.runs[w.run].desc.profile.issue_cycles as f64);
+        exec.cus[cu].simds[simd].release_slot();
+        let wg = &mut exec.wgs[w.wg];
+        wg.waves_done += 1;
+        (wg.waves_done == wg.waves_total, w.wg)
+    };
+    if wg_done {
+        complete_wg(st, fx, wg, now);
+    }
+}
+
+fn complete_wg(st: &mut SimState, fx: &mut Effects<'_>, wg_key: SlabKey, now: Cycle) {
+    let (run_key, q, job_id) = {
+        let SimState { shared, exec, .. } = st;
+        let wg = exec.wgs.remove(wg_key).expect("completing a dead WG");
+        let run_key = wg.run;
+        let desc: Arc<KernelDesc> = exec.runs[run_key].desc.clone();
+        exec.cus[wg.cu as usize].release_wg(&desc);
+        exec.runs[run_key].wgs_completed += 1;
+        shared.counters.record_wg(desc.class, now);
+        shared.total_wgs += 1;
+        let q = exec.runs[run_key].queue;
+        let job_id = exec.runs[run_key].job;
+        shared
+            .probes
+            .emit_with(now, || ProbeEvent::WgRetired { cu: wg.cu as u16, job: job_id, wg: wg_key });
+        shared.queues[q].job_mut().head_wgs_completed += 1;
+        (run_key, q, job_id)
+    };
+    // Attribute the WG to real jobs for wasted-work accounting.
+    host::attribute_wg(st, job_id);
+    state::with_cp(st, now, |s, ctx| s.on_wg_complete(ctx, q));
+    if st.exec.runs[run_key].is_complete() {
+        complete_kernel(st, fx, q, run_key, now);
+    }
+    dispatch::try_dispatch(st, fx, now);
+}
+
+fn complete_kernel(st: &mut SimState, fx: &mut Effects<'_>, q: usize, run_key: SlabKey, now: Cycle) {
+    let run = st.exec.runs.remove(run_key).expect("completing a dead run");
+    let job_id = run.job;
+    let kernel_idx = run.kernel_idx;
+    let complete = {
+        let a = st.shared.queues[q].job_mut();
+        a.next_kernel += 1;
+        a.head_run = None;
+        a.head_wgs_completed = 0;
+        a.is_complete()
+    };
+    st.shared.mark(now, job_id, TimelineKind::KernelEnd(kernel_idx));
+    st.shared.probes.emit_with(now, || ProbeEvent::KernelCompleted {
+        job: job_id,
+        queue: q,
+        kernel: kernel_idx,
+    });
+    state::with_cp(st, now, |s, ctx| s.on_kernel_complete(ctx, q));
+    if job_id.0 < host::SYNTH_BASE && matches!(st.shared.mode, SchedulerMode::Host(_)) {
+        // Chain-enqueued real job: notify the host of kernel progress.
+        host::on_device_kernel_done(st, fx, job_id, kernel_idx, complete, now);
+    }
+    if complete {
+        complete_job(st, fx, q, job_id, now);
+    }
+}
+
+fn complete_job(st: &mut SimState, fx: &mut Effects<'_>, q: usize, job_id: JobId, now: Cycle) {
+    state::with_cp(st, now, |s, ctx| s.on_job_complete(ctx, q));
+    st.shared.queues[q].active = None;
+    st.shared.queue_of_job.remove(&job_id);
+    if job_id.0 >= host::SYNTH_BASE {
+        host::complete_synth(st, fx, job_id.0, now);
+    } else if matches!(st.shared.mode, SchedulerMode::Host(_)) {
+        host::complete_real(st, fx, job_id, now);
+    } else {
+        st.shared.mark(now, job_id, TimelineKind::Completed);
+        st.shared.resolve(job_id, JobFate::Completed(now), now);
+    }
+    cp_frontend::pump(st, fx, now);
+    dispatch::try_dispatch(st, fx, now);
+}

@@ -172,6 +172,294 @@ pub trait HostScheduler {
     fn react(&mut self, event: HostEvent, view: &HostView<'_>, out: &mut Vec<HostCmd>);
 }
 
+// ----- the host-model subsystem ---------------------------------------------
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::dispatch;
+use crate::engine::{Delivery, Effects, Ev};
+use crate::job::{JobFate, JobState};
+use crate::queue::{ActiveJob, ComputeQueue};
+use crate::sim::SchedulerMode;
+use crate::state::{self, SimState};
+use crate::timeline::TimelineKind;
+
+/// Synthetic job ids (host-launched individual kernels / batches) start here.
+pub(crate) const SYNTH_BASE: u32 = 1 << 30;
+
+/// Latency of a memory-mapped priority-register write from the host
+/// (the LAX-CPU API extension).
+const PRIO_WRITE_LATENCY: Duration = Duration::from_us(1);
+
+/// A host-launched synthetic job: one kernel (possibly merged from several
+/// members) delivered to a device queue.
+#[derive(Debug)]
+struct SynthInfo {
+    desc: Arc<JobDesc>,
+    members: Vec<JobId>,
+    kernel_idx: usize,
+    prio: i64,
+}
+
+/// The host-model subsystem: per-job host bookkeeping, in-flight synthetic
+/// launches, and deliveries parked waiting for a free device queue.
+pub(crate) struct HostModel {
+    jobs: Vec<HostJob>,
+    inflight: usize,
+    synth: HashMap<u32, SynthInfo>,
+    next_synth: u32,
+    pending: VecDeque<Delivery>,
+    cmd_buf: Vec<HostCmd>,
+}
+
+impl HostModel {
+    pub(crate) fn new(jobs: Vec<HostJob>) -> Self {
+        HostModel {
+            jobs,
+            inflight: 0,
+            synth: HashMap::new(),
+            next_synth: SYNTH_BASE,
+            pending: VecDeque::new(),
+            cmd_buf: Vec::new(),
+        }
+    }
+
+    /// Deliveries parked waiting for a free device queue.
+    pub(crate) fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// Runs the host scheduler against `event` and applies the commands it
+/// issues. No-op in CP mode.
+pub(crate) fn react(st: &mut SimState, fx: &mut Effects<'_>, event: HostEvent, now: Cycle) {
+    let mut cmds = std::mem::take(&mut st.host.cmd_buf);
+    cmds.clear();
+    {
+        let SimState { shared, host, .. } = st;
+        let SchedulerMode::Host(sched) = &mut shared.mode else {
+            host.cmd_buf = cmds;
+            return;
+        };
+        let view = HostView {
+            now,
+            jobs: &host.jobs,
+            counters: &shared.counters,
+            config: &shared.cfg,
+            inflight_kernels: host.inflight,
+        };
+        sched.react(event, &view, &mut cmds);
+    }
+    for cmd in cmds.drain(..) {
+        apply_cmd(st, fx, cmd, now);
+    }
+    st.host.cmd_buf = cmds;
+}
+
+fn apply_cmd(st: &mut SimState, fx: &mut Effects<'_>, cmd: HostCmd, now: Cycle) {
+    match cmd {
+        HostCmd::Reject(j) => {
+            let hj = &mut st.host.jobs[j.index()];
+            if hj.rejected || hj.done || hj.inflight || hj.chain_enqueued || hj.next_kernel > 0 {
+                return; // can only reject before any work ran
+            }
+            hj.rejected = true;
+            st.shared.mark(now, j, TimelineKind::Rejected);
+            st.shared.resolve(j, JobFate::Rejected(now), now);
+        }
+        HostCmd::Launch { job, kernel_idx, extra, prio } => {
+            launch(st, fx, vec![job], kernel_idx, extra, prio, now);
+        }
+        HostCmd::LaunchBatch { members, kernel_idx, extra, prio } => {
+            launch(st, fx, members, kernel_idx, extra, prio, now);
+        }
+        HostCmd::EnqueueChain { job, prio } => {
+            let hj = &mut st.host.jobs[job.index()];
+            if !hj.launchable() || hj.next_kernel != 0 {
+                return;
+            }
+            hj.chain_enqueued = true;
+            st.host.inflight += 1;
+            fx.schedule(
+                now + st.shared.cfg.host_launch_overhead,
+                Ev::Deliver(Delivery::Chain { job_idx: job.0, prio }),
+            );
+        }
+        HostCmd::SetPriority { job, prio } => {
+            fx.schedule(now + PRIO_WRITE_LATENCY, Ev::PrioWrite { job, prio });
+        }
+        HostCmd::WakeAt(t) => {
+            if t > now {
+                fx.schedule(t, Ev::HostWake);
+            }
+        }
+    }
+}
+
+fn launch(
+    st: &mut SimState,
+    fx: &mut Effects<'_>,
+    members: Vec<JobId>,
+    kernel_idx: usize,
+    extra: Duration,
+    prio: i64,
+    now: Cycle,
+) {
+    if members.is_empty() {
+        return;
+    }
+    let host = &mut st.host;
+    for m in &members {
+        let hj = &host.jobs[m.index()];
+        if !hj.launchable() || hj.next_kernel != kernel_idx {
+            debug_assert!(false, "invalid launch of {m:?} kernel {kernel_idx}");
+            return;
+        }
+    }
+    // Build the (possibly merged) kernel.
+    let first = host.jobs[members[0].index()].desc.kernels[kernel_idx].clone();
+    let total_threads: u32 = members
+        .iter()
+        .map(|m| host.jobs[m.index()].desc.kernels[kernel_idx].grid_threads)
+        .sum();
+    debug_assert!(members.iter().all(|m| {
+        let k = &host.jobs[m.index()].desc.kernels[kernel_idx];
+        k.class == first.class && k.wg_size == first.wg_size
+    }));
+    let mut merged = (*first).clone();
+    merged.grid_threads = total_threads;
+    let min_deadline = members
+        .iter()
+        .map(|m| host.jobs[m.index()].desc.deadline)
+        .min()
+        .expect("non-empty members")
+        .max(Duration::from_cycles(1));
+    let synth_id = host.next_synth;
+    host.next_synth += 1;
+    let desc = Arc::new(JobDesc::new(
+        JobId(synth_id),
+        host.jobs[members[0].index()].desc.bench.clone(),
+        vec![Arc::new(merged)],
+        min_deadline,
+        now,
+    ));
+    for m in &members {
+        host.jobs[m.index()].inflight = true;
+    }
+    host.inflight += 1;
+    host.synth.insert(synth_id, SynthInfo { desc, members, kernel_idx, prio });
+    fx.schedule(
+        now + st.shared.cfg.host_launch_overhead + extra,
+        Ev::Deliver(Delivery::Synth(synth_id)),
+    );
+}
+
+/// A delivery reached the device: bind it if a queue is free, else park it
+/// (retried from [`drain_deliveries`] when a queue frees).
+pub(crate) fn on_deliver(st: &mut SimState, fx: &mut Effects<'_>, d: Delivery, now: Cycle) {
+    let _ = try_deliver(st, fx, d, now);
+}
+
+fn try_deliver(st: &mut SimState, fx: &mut Effects<'_>, d: Delivery, now: Cycle) -> bool {
+    let Some(q) = st.shared.queues.iter().position(ComputeQueue::is_free) else {
+        st.host.pending.push_back(d);
+        state::check_backlog_limit(st);
+        return false;
+    };
+    match d {
+        Delivery::Synth(id) => {
+            let info = &st.host.synth[&id];
+            let desc = info.desc.clone();
+            let prio = info.prio;
+            let kernels = desc.kernels.clone();
+            let mut a = ActiveJob::new(desc, kernels, true, now);
+            a.state = JobState::Ready;
+            a.priority = prio;
+            st.shared.queues[q].active = Some(a);
+            st.shared.queue_of_job.insert(JobId(id), q);
+        }
+        Delivery::Chain { job_idx, prio } => {
+            let desc = st.shared.jobs[job_idx as usize].clone();
+            let kernels = desc.kernels.clone();
+            let mut a = ActiveJob::new(desc, kernels, true, now);
+            a.state = JobState::Ready;
+            a.priority = prio;
+            st.shared.queues[q].active = Some(a);
+            st.shared.queue_of_job.insert(JobId(job_idx), q);
+        }
+    }
+    dispatch::try_dispatch(st, fx, now);
+    true
+}
+
+/// Retries parked deliveries after a device queue freed.
+pub(crate) fn drain_deliveries(st: &mut SimState, fx: &mut Effects<'_>, now: Cycle) {
+    while let Some(d) = st.host.pending.pop_front() {
+        if !try_deliver(st, fx, d, now) {
+            break;
+        }
+    }
+}
+
+/// Attributes a retired WG to real jobs for wasted-work accounting:
+/// synthetic jobs split the WG evenly across their members.
+pub(crate) fn attribute_wg(st: &mut SimState, job_id: JobId) {
+    if job_id.0 >= SYNTH_BASE {
+        let SimState { shared, host, .. } = st;
+        let members = &host.synth[&job_id.0].members;
+        let share = 1.0 / members.len() as f64;
+        for m in members {
+            shared.records[m.index()].wgs_executed += share;
+        }
+    } else {
+        st.shared.records[job_id.index()].wgs_executed += 1.0;
+    }
+}
+
+/// A chain-enqueued real job finished a kernel on the device: update host
+/// bookkeeping and (unless the whole job completed) notify the scheduler.
+pub(crate) fn on_device_kernel_done(
+    st: &mut SimState,
+    fx: &mut Effects<'_>,
+    job_id: JobId,
+    kernel_idx: usize,
+    job_complete: bool,
+    now: Cycle,
+) {
+    st.host.jobs[job_id.index()].next_kernel = kernel_idx + 1;
+    if !job_complete {
+        react(st, fx, HostEvent::KernelDone { job: job_id, kernel_idx }, now);
+    }
+}
+
+/// A synthetic (host-launched) job completed: propagate progress to its
+/// member jobs, resolving any that finished their last kernel, then notify
+/// the scheduler per member.
+pub(crate) fn complete_synth(st: &mut SimState, fx: &mut Effects<'_>, synth_id: u32, now: Cycle) {
+    let info = st.host.synth.remove(&synth_id).expect("unknown synthetic job");
+    st.host.inflight -= 1;
+    for m in &info.members {
+        let hj = &mut st.host.jobs[m.index()];
+        hj.inflight = false;
+        hj.next_kernel = info.kernel_idx + 1;
+        if hj.next_kernel >= hj.desc.num_kernels() {
+            hj.done = true;
+            st.shared.resolve(*m, JobFate::Completed(now), now);
+        }
+    }
+    for m in info.members {
+        react(st, fx, HostEvent::KernelDone { job: m, kernel_idx: info.kernel_idx }, now);
+    }
+}
+
+/// A chain-enqueued real job completed on the device.
+pub(crate) fn complete_real(st: &mut SimState, fx: &mut Effects<'_>, job_id: JobId, now: Cycle) {
+    st.host.jobs[job_id.index()].done = true;
+    let last = st.host.jobs[job_id.index()].desc.num_kernels() - 1;
+    st.shared.resolve(job_id, JobFate::Completed(now), now);
+    react(st, fx, HostEvent::KernelDone { job: job_id, kernel_idx: last }, now);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

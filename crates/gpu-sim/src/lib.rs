@@ -26,8 +26,15 @@
 //! * [`faults`] — deterministic fault injection: seeded plans of slowdown
 //!   windows, CU offline spans, DRAM throttles and arrival bursts that the
 //!   event loop replays exactly.
-//! * [`sim`] — the event loop tying it all together; [`metrics`] the
-//!   per-job outcomes and run reports.
+//! * [`sim`] — the front door: parameters, the builder, and the
+//!   [`sim::Simulation`] handle; [`metrics`] the per-job outcomes and run
+//!   reports. Internally the machine is decomposed into typed subsystems —
+//!   a command-processor frontend (arrival/inspection/admission), a
+//!   dispatcher (WG placement), an execution subsystem (CU/SIMD wave
+//!   advancement with polled completion predictions), a memory subsystem,
+//!   and the host model — stepped by a private event engine. Subsystems
+//!   request future events through an effect buffer rather than touching
+//!   the global queue or each other's state.
 //! * [`probe`] — observability: typed probe events the event loop fires
 //!   through a [`sim_core::probe::ProbeHub`], plus the built-in
 //!   [`probe::MetricsSampler`] and [`probe::ChromeTraceWriter`] observers.
@@ -66,14 +73,20 @@
 pub mod cache;
 pub mod config;
 pub mod counters;
+mod cp_frontend;
 pub mod cu;
+mod dispatch;
 pub mod dram;
 pub mod energy;
+mod engine;
+mod error;
+mod exec;
 pub mod faults;
 pub mod host;
 pub mod job;
 pub mod kernel;
 pub mod memory;
+mod memsys;
 pub mod metrics;
 pub mod probe;
 pub mod queue;
@@ -81,6 +94,7 @@ pub mod scheduler;
 pub mod sim;
 pub mod simd;
 pub mod slab;
+mod state;
 pub mod timeline;
 pub mod wave;
 

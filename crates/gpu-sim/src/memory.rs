@@ -74,9 +74,10 @@ impl MemoryHierarchy {
         debug_assert!(lines > 0);
         let mut mix = AccessMix::default();
         let mut done = now + Duration::from_cycles(self.cfg.l1_hit_cycles);
+        let l1 = &mut self.l1s[cu];
         for i in 0..lines as u64 {
             let addr = base_addr + i * self.cfg.line_bytes as u64;
-            let finish = match self.l1s[cu].probe(addr) {
+            let finish = match l1.probe(addr) {
                 ProbeResult::Hit => {
                     mix.l1 += 1;
                     now + Duration::from_cycles(self.cfg.l1_hit_cycles)
@@ -172,14 +173,25 @@ pub fn gen_address(
                 (wave_seq as u64) << 32 | access_idx as u64 ^ job_seed.rotate_left(17),
             );
             let line_count = (len / line_bytes as u64).max(1);
-            base + (h % line_count) * line_bytes as u64
+            base + fast_rem(h, line_count) * line_bytes as u64
         }
         AccessPattern::RandomWithin { len } => {
             let region = JOB_SPACE_BASE + (job_seed % (1 << 16)) * JOB_REGION_BYTES;
             let h = splitmix64(job_seed ^ ((wave_seq as u64) << 20) ^ access_idx as u64);
             let line_count = (len.min(JOB_REGION_BYTES) / line_bytes as u64).max(1);
-            region + (h % line_count) * line_bytes as u64
+            region + fast_rem(h, line_count) * line_bytes as u64
         }
+    }
+}
+
+/// `x % m` with a mask fast path: region line counts are usually powers of
+/// two, and `m` is a runtime value the compiler cannot strength-reduce.
+#[inline]
+fn fast_rem(x: u64, m: u64) -> u64 {
+    if m.is_power_of_two() {
+        x & (m - 1)
+    } else {
+        x % m
     }
 }
 

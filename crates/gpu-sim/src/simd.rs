@@ -20,11 +20,16 @@ const EPS: f64 = 1e-6;
 /// One SIMD unit's scheduling state.
 ///
 /// The wavefront *data* lives in the simulation's wave arena; the SIMD holds
-/// only membership. `resident` counts slot usage (computing + memory-blocked
-/// waves both hold their slot); `active` lists waves currently computing.
+/// membership plus each computing wave's remaining issue-cycles. `resident`
+/// counts slot usage (computing + memory-blocked waves both hold their
+/// slot); `active` lists waves currently computing as `(key, remaining)`.
+/// While a wave is active its arena `remaining` field is stale — the copy
+/// here is authoritative (written back on [`SimdUnit::deactivate`]) so the
+/// hot advance/predict scans stay inside one contiguous vector instead of
+/// chasing arena slots.
 #[derive(Debug, Clone)]
 pub struct SimdUnit {
-    active: Vec<SlabKey>,
+    active: Vec<(SlabKey, f64)>,
     resident: u32,
     last_update: Cycle,
     generation: u64,
@@ -100,7 +105,7 @@ impl SimdUnit {
     }
 
     /// Distributes elapsed issue service among active waves up to `now`.
-    pub fn advance(&mut self, now: Cycle, waves: &mut Slab<Wavefront>) {
+    pub fn advance(&mut self, now: Cycle) {
         let elapsed = now.saturating_since(self.last_update);
         self.last_update = now;
         let n = self.active.len();
@@ -108,47 +113,54 @@ impl SimdUnit {
             return;
         }
         let service = elapsed.as_cycles() as f64 * self.share(n);
-        for &key in &self.active {
-            let w = &mut waves[key];
-            w.remaining = (w.remaining - service).max(0.0);
+        for (_, rem) in &mut self.active {
+            *rem = (*rem - service).max(0.0);
         }
     }
 
-    /// Adds a wave to the active (computing) set. Caller must have called
+    /// Adds a wave to the active (computing) set, capturing its arena
+    /// `remaining` as the unit's working copy. Caller must have called
     /// [`SimdUnit::advance`] to `now` first.
-    pub fn activate(&mut self, key: SlabKey) {
-        debug_assert!(!self.active.contains(&key));
-        self.active.push(key);
+    pub fn activate(&mut self, key: SlabKey, waves: &Slab<Wavefront>) {
+        debug_assert!(!self.active.iter().any(|&(k, _)| k == key));
+        self.active.push((key, waves[key].remaining));
         self.generation += 1;
     }
 
     /// Removes a wave from the active set (it blocked on memory or
-    /// finished). Caller must have advanced to `now` first.
+    /// finished), writing its remaining issue-cycles back to the arena.
+    /// Caller must have advanced to `now` first.
     ///
     /// # Panics
     ///
     /// Panics if the wave was not active.
-    pub fn deactivate(&mut self, key: SlabKey) {
+    pub fn deactivate(&mut self, key: SlabKey, waves: &mut Slab<Wavefront>) {
         let pos = self
             .active
             .iter()
-            .position(|&k| k == key)
+            .position(|&(k, _)| k == key)
             .expect("deactivating a wave that is not active");
-        self.active.swap_remove(pos);
+        let (_, rem) = self.active.swap_remove(pos);
+        waves[key].remaining = rem;
         self.generation += 1;
     }
 
     /// Predicts when the next active wave finishes its compute segment,
     /// assuming membership stays fixed. `None` when idle.
-    pub fn next_completion(&self, now: Cycle, waves: &Slab<Wavefront>) -> Option<Cycle> {
+    pub fn next_completion(&self, now: Cycle) -> Option<Cycle> {
         let n = self.active.len();
         let min_rem = self
             .active
             .iter()
-            .map(|&k| waves[k].remaining)
+            .map(|&(_, rem)| rem)
             .fold(f64::INFINITY, f64::min);
         if min_rem.is_finite() {
-            let cycles = (min_rem / self.share(n)).ceil().max(1.0) as u64;
+            // Integer ceiling; identical to `.ceil().max(1.0) as u64` for the
+            // non-negative sub-2^53 values remaining/share take, without the
+            // libm call.
+            let x = min_rem / self.share(n);
+            let t = x as u64;
+            let cycles = if t as f64 == x { t } else { t + 1 }.max(1);
             Some(now + Duration::from_cycles(cycles))
         } else {
             None
@@ -157,12 +169,19 @@ impl SimdUnit {
 
     /// Returns the active waves whose current segment is complete
     /// (remaining ~ 0) after an [`SimdUnit::advance`].
-    pub fn completed_waves(&self, waves: &Slab<Wavefront>) -> Vec<SlabKey> {
+    pub fn completed_waves(&self) -> Vec<SlabKey> {
         self.active
             .iter()
-            .copied()
-            .filter(|&k| waves[k].remaining <= EPS)
+            .filter(|&&(_, rem)| rem <= EPS)
+            .map(|&(k, _)| k)
             .collect()
+    }
+
+    /// Appends the completed active waves to `out` instead of allocating —
+    /// the hot-path variant of [`SimdUnit::completed_waves`], yielding keys
+    /// in the same (active-list) order.
+    pub fn collect_completed(&self, out: &mut Vec<SlabKey>) {
+        out.extend(self.active.iter().filter(|&&(_, rem)| rem <= EPS).map(|&(k, _)| k));
     }
 }
 
@@ -195,11 +214,11 @@ mod tests {
         let k = waves.insert(wave(100.0));
         let mut s = SimdUnit::new(1);
         s.reserve_slot();
-        s.activate(k);
-        let done = s.next_completion(Cycle::ZERO, &waves).unwrap();
+        s.activate(k, &waves);
+        let done = s.next_completion(Cycle::ZERO).unwrap();
         assert_eq!(done, Cycle::from_cycles(100));
-        s.advance(done, &mut waves);
-        assert_eq!(s.completed_waves(&waves), vec![k]);
+        s.advance(done);
+        assert_eq!(s.completed_waves(), vec![k]);
     }
 
     #[test]
@@ -210,13 +229,13 @@ mod tests {
         let mut s = SimdUnit::new(1);
         s.reserve_slot();
         s.reserve_slot();
-        s.activate(a);
-        s.activate(b);
+        s.activate(a, &waves);
+        s.activate(b, &waves);
         // Each progresses at 1/2: both finish at t=200.
-        let done = s.next_completion(Cycle::ZERO, &waves).unwrap();
+        let done = s.next_completion(Cycle::ZERO).unwrap();
         assert_eq!(done, Cycle::from_cycles(200));
-        s.advance(done, &mut waves);
-        assert_eq!(s.completed_waves(&waves).len(), 2);
+        s.advance(done);
+        assert_eq!(s.completed_waves().len(), 2);
     }
 
     #[test]
@@ -226,15 +245,15 @@ mod tests {
         let mut s = SimdUnit::new(4);
         for &k in &keys {
             s.reserve_slot();
-            s.activate(k);
+            s.activate(k, &waves);
         }
         // Four waves within the co-issue window: all finish at t=100.
-        assert_eq!(s.next_completion(Cycle::ZERO, &waves), Some(Cycle::from_cycles(100)));
+        assert_eq!(s.next_completion(Cycle::ZERO), Some(Cycle::from_cycles(100)));
         // An eighth... a fifth wave pushes the share to 4/5.
         let extra = waves.insert(wave(100.0));
         s.reserve_slot();
-        s.activate(extra);
-        assert_eq!(s.next_completion(Cycle::ZERO, &waves), Some(Cycle::from_cycles(125)));
+        s.activate(extra, &waves);
+        assert_eq!(s.next_completion(Cycle::ZERO), Some(Cycle::from_cycles(125)));
     }
 
     #[test]
@@ -245,17 +264,17 @@ mod tests {
         let mut s = SimdUnit::new(1);
         s.reserve_slot();
         s.reserve_slot();
-        s.activate(a);
-        s.activate(b);
+        s.activate(a, &waves);
+        s.activate(b, &waves);
         // a finishes at t=100 (50 remaining at rate 1/2).
-        let t1 = s.next_completion(Cycle::ZERO, &waves).unwrap();
+        let t1 = s.next_completion(Cycle::ZERO).unwrap();
         assert_eq!(t1, Cycle::from_cycles(100));
-        s.advance(t1, &mut waves);
-        assert_eq!(s.completed_waves(&waves), vec![a]);
-        s.deactivate(a);
+        s.advance(t1);
+        assert_eq!(s.completed_waves(), vec![a]);
+        s.deactivate(a, &mut waves);
         s.release_slot();
         // b has 50 left, now alone -> finishes 50 cycles later.
-        let t2 = s.next_completion(t1, &waves).unwrap();
+        let t2 = s.next_completion(t1).unwrap();
         assert_eq!(t2, Cycle::from_cycles(150));
     }
 
@@ -266,19 +285,18 @@ mod tests {
         let mut s = SimdUnit::new(1);
         let g0 = s.generation();
         s.reserve_slot();
-        s.activate(a);
+        s.activate(a, &waves);
         assert!(s.generation() > g0);
         let g1 = s.generation();
-        s.advance(Cycle::from_cycles(5), &mut waves);
+        s.advance(Cycle::from_cycles(5));
         assert_eq!(s.generation(), g1, "advance alone does not invalidate");
-        s.deactivate(a);
+        s.deactivate(a, &mut waves);
         assert!(s.generation() > g1);
     }
 
     #[test]
     fn idle_unit_predicts_nothing() {
-        let waves: Slab<Wavefront> = Slab::new();
         let s = SimdUnit::new(1);
-        assert_eq!(s.next_completion(Cycle::ZERO, &waves), None);
+        assert_eq!(s.next_completion(Cycle::ZERO), None);
     }
 }

@@ -12,6 +12,11 @@ echo "== tier1: cargo build --release --workspace =="
 # leaving the lax-bench release binaries the smoke steps below run stale.
 cargo build --release --workspace
 
+echo "== tier1: quickstart example smoke run =="
+# Examples are compiled by clippy --all-targets but were never *executed*;
+# run the doorstep one end-to-end so a broken public API fails the gate.
+cargo run --release --example quickstart > /dev/null
+
 echo "== tier1: cargo test -q (workspace) =="
 cargo test --workspace -q
 
