@@ -76,7 +76,8 @@ fn bench_end_to_end() {
     for sched in ["RR", "LAX", "PREMA", "LAX-SW"] {
         let scenario = Scenario::new(sched, Benchmark::Ipv6, ArrivalRate::Medium, 16, 7);
         bench(&format!("small_simulation/{sched}"), 20, || {
-            lax_bench::run_scenario(&scenario).expect("known scheduler")
+            lax_bench::run_cell(&scenario, &lax_bench::RunOptions::default())
+                .expect("known scheduler")
         });
     }
 }

@@ -31,7 +31,7 @@ use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
 
 use gpu_sim::prelude::*;
-use lax_bench::sweep::{run_faulty_scenario_observed, Scenario};
+use lax_bench::sweep::{run_cell, RunOptions, Scenario};
 use sim_core::json;
 
 struct Args {
@@ -96,11 +96,11 @@ fn run(args: &Args) -> Result<(), Box<dyn Error>> {
     }
     let sampler = Arc::new(Mutex::new(sampler));
     let writer = Arc::new(Mutex::new(ChromeTraceWriter::new()));
-    let report = run_faulty_scenario_observed(
-        &args.scenario,
-        args.fault,
-        vec![Box::new(Arc::clone(&sampler)), Box::new(Arc::clone(&writer))],
-    )?;
+    let opts = RunOptions::default()
+        .fault_intensity(args.fault)
+        .observe(sampler.clone())
+        .observe(writer.clone());
+    let report = run_cell(&args.scenario, &opts)?;
 
     let writer = writer.lock().expect("trace writer lock");
     let trace = writer.finish();

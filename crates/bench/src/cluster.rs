@@ -1,0 +1,1118 @@
+//! Fleet-scale cluster simulation behind one unified run API.
+//!
+//! The paper evaluates one accelerator; a serving fleet fronts N of them
+//! with a router that decides, per arriving job, *which* device runs it —
+//! or whether any device can still make the deadline at all. This module
+//! generalizes the paper's command-processor admission test to that front
+//! door:
+//!
+//! * [`ClusterScenario`] — the cluster experiment cell (routing policy ×
+//!   benchmark × arrival rate × device count × job count × seed), with the
+//!   same lossless string round trip as [`crate::sweep::Scenario`].
+//! * [`ClusterBuilder`] — mirrors `gpu_sim`'s `SimBuilder`: fidelity tier,
+//!   per-device scheduler, slot count, jitter, worker count, probe
+//!   observers; [`ClusterBuilder::run`] produces a [`ClusterReport`].
+//! * Devices execute on the sweep engine's [`crate::sweep::par_map`] pool.
+//!   Per-device RNG seeds hash from the workload cell and device index —
+//!   never the routing policy — so policy comparisons are paired and the
+//!   report is bit-identical for any worker count.
+//! * Latency tails stream through [`StreamingQuantiles`] (p50/p99/p999),
+//!   merged across devices in device-index order, so a million-job run
+//!   reports SLO attainment without holding a million samples.
+//! * [`ClusterCheckpoint`] persists finished cells (summary + sketch) with
+//!   the same crash-safe atomic-rename discipline as [`crate::Checkpoint`],
+//!   so an interrupted grid resumes byte-identically.
+//!
+//! # Fidelity tiers
+//!
+//! The **fast** tier (default) runs each device as the calibrated queueing
+//! model in [`gpu_sim::fleet`]; a 16-device, million-job grid completes in
+//! seconds. The **detailed** tier materializes every routed job's kernel
+//! chain and runs a full [`gpu_sim::sim::Simulation`] per device under a
+//! registry scheduler (default LAX) — used for smokes and fidelity
+//! cross-checks at small job counts.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+use std::sync::Arc;
+
+use gpu_sim::prelude::*;
+use schedulers::registry;
+use schedulers::routing::{self, RouteDecision, RouteRequest, Router};
+use sim_core::rng::SimRng;
+use sim_core::stats::StreamingQuantiles;
+use sim_core::table::Table;
+use workloads::rnn::{build_chain, sample_seq_len, Hidden, RnnCell};
+use workloads::spec::{ArrivalRate, Benchmark, ParseSpecError};
+use workloads::suite::BenchmarkSuite;
+
+use crate::sweep::{default_jobs, par_map, BenchError, SharedObserver};
+
+/// One cluster experiment cell: a routing policy placing an open-loop
+/// arrival stream across `devices` accelerators. Self-describing, totally
+/// ordered, and stringifiable for CLIs — the cluster counterpart of
+/// [`crate::sweep::Scenario`].
+///
+/// # Examples
+///
+/// ```
+/// use lax_bench::cluster::ClusterScenario;
+/// use workloads::spec::{ArrivalRate, Benchmark};
+///
+/// let s = ClusterScenario::new("LL", Benchmark::Hybrid, ArrivalRate::High, 16, 1_000_000, 42);
+/// assert_eq!(s.to_string(), "LL:HYBRID:high:d16:j1000000:s42");
+/// assert_eq!("LL:HYBRID:high:d16:j1000000:s42".parse::<ClusterScenario>().unwrap(), s);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClusterScenario {
+    /// Routing policy name (see [`schedulers::routing`]). Must not contain
+    /// `':'`, the string-form separator.
+    pub policy: String,
+    /// Benchmark every job is drawn from.
+    pub bench: Benchmark,
+    /// Per-device arrival-rate level; the cluster stream runs at
+    /// `devices ×` the Table 4 rate, so per-device load is comparable to
+    /// the single-device experiments.
+    pub rate: ArrivalRate,
+    /// Number of devices behind the router (≥ 1).
+    pub devices: usize,
+    /// Jobs in the arrival stream.
+    pub n_jobs: usize,
+    /// Base RNG seed; the workload stream uses [`ClusterScenario::cell_seed`].
+    pub seed: u64,
+}
+
+impl ClusterScenario {
+    /// Convenience constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policy` contains `':'` (which would break the string
+    /// round trip) or if `devices` is zero.
+    pub fn new(
+        policy: &str,
+        bench: Benchmark,
+        rate: ArrivalRate,
+        devices: usize,
+        n_jobs: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            !policy.contains(':'),
+            "policy name {policy:?} contains ':', the ClusterScenario string-form separator"
+        );
+        assert!(devices > 0, "a cluster needs at least one device");
+        ClusterScenario { policy: policy.to_string(), bench, rate, devices, n_jobs, seed }
+    }
+
+    /// The seed feeding the cluster workload generator: an FNV-1a hash of
+    /// the base seed and the workload-identifying fields. The routing
+    /// policy is deliberately **not** mixed in — every policy compared at
+    /// one `(bench, rate, devices, n_jobs, seed)` cell must route the
+    /// identical arrival stream, or policy comparisons would pick up
+    /// sampling noise. The same contract as [`crate::sweep::Scenario::cell_seed`],
+    /// lifted to the fleet.
+    pub fn cell_seed(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.eat(&self.seed.to_le_bytes());
+        h.eat(self.bench.name().as_bytes());
+        h.eat(b":");
+        h.eat(self.rate.name().as_bytes());
+        h.eat(&(self.devices as u64).to_le_bytes());
+        h.eat(&(self.n_jobs as u64).to_le_bytes());
+        h.finish()
+    }
+
+    /// The jitter-stream seed of device `d`: hashed from the cell seed and
+    /// the device index, so devices are not clones of each other yet stay
+    /// identical across routing policies and worker counts.
+    pub fn device_seed(&self, d: usize) -> u64 {
+        let mut h = Fnv::new();
+        h.eat(&self.cell_seed().to_le_bytes());
+        h.eat(b"device");
+        h.eat(&(d as u64).to_le_bytes());
+        h.finish()
+    }
+}
+
+/// Incremental FNV-1a, shared by the cell/device seed derivations.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn eat(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ClusterScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}:d{}:j{}:s{}",
+            self.policy, self.bench, self.rate, self.devices, self.n_jobs, self.seed
+        )
+    }
+}
+
+/// Error parsing a [`ClusterScenario`] from its string form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseClusterScenarioError {
+    input: String,
+    reason: String,
+}
+
+impl fmt::Display for ParseClusterScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid cluster scenario `{}`: {} (expected POLICY:BENCH:RATE:dD:jN:sSEED, e.g. LL:HYBRID:high:d16:j1000000:s42)",
+            self.input, self.reason
+        )
+    }
+}
+
+impl std::error::Error for ParseClusterScenarioError {}
+
+impl FromStr for ClusterScenario {
+    type Err = ParseClusterScenarioError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = |reason: String| ParseClusterScenarioError { input: s.to_string(), reason };
+        let parts: Vec<&str> = s.split(':').collect();
+        let [policy, bench, rate, devices, jobs, seed] = parts.as_slice() else {
+            return Err(bad(format!("{} fields, expected 6", parts.len())));
+        };
+        let bench: Benchmark = bench.parse().map_err(|e: ParseSpecError| bad(e.to_string()))?;
+        let rate: ArrivalRate = rate.parse().map_err(|e: ParseSpecError| bad(e.to_string()))?;
+        let devices: usize = devices
+            .strip_prefix('d')
+            .and_then(|n| n.parse().ok())
+            .filter(|&n| n > 0)
+            .ok_or_else(|| bad(format!("bad device count `{devices}`")))?;
+        let n_jobs = jobs
+            .strip_prefix('j')
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| bad(format!("bad job count `{jobs}`")))?;
+        let seed = seed
+            .strip_prefix('s')
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| bad(format!("bad seed `{seed}`")))?;
+        if policy.is_empty() {
+            return Err(bad("empty policy name".to_string()));
+        }
+        Ok(ClusterScenario::new(policy, bench, rate, devices, n_jobs, seed))
+    }
+}
+
+/// What one generated job materializes into, kept symbolic so the fast
+/// tier never builds kernel chains and the detailed tier can rebuild the
+/// exact chain from the stored parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChainSpec {
+    /// An RNN chain (`build_chain` parameters).
+    Rnn { cell: RnnCell, hidden: Hidden, seq_len: u32 },
+    /// The benchmark's single calibrated kernel.
+    Single,
+}
+
+/// One job of the cluster arrival stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ClusterJob {
+    id: u32,
+    arrival: Cycle,
+    /// Calibrated isolated service time of the job's chain — what the
+    /// router predicts with and what the fast tier serves at.
+    service_est: Duration,
+    spec: ChainSpec,
+}
+
+/// The single calibrated kernel of a few-kernel benchmark.
+fn single_kernel_name(bench: Benchmark) -> &'static str {
+    match bench {
+        Benchmark::Ipv6 => "ipv6",
+        Benchmark::Cuckoo => "cuckoo",
+        Benchmark::Gmm => "gmm",
+        Benchmark::Stem => "stem",
+        other => panic!("{other} is a many-kernel benchmark"),
+    }
+}
+
+/// Stable cache key for an RNN chain variant.
+fn variant_key(cell: RnnCell, hidden: Hidden) -> u8 {
+    let c = match cell {
+        RnnCell::Lstm => 0,
+        RnnCell::Gru => 1,
+        RnnCell::Vanilla => 2,
+    };
+    let h = match hidden {
+        Hidden::H128 => 0,
+        Hidden::H256 => 1,
+    };
+    c * 2 + h
+}
+
+/// Isolated service time of one chain: the sum of its kernels' calibrated
+/// isolated times (chains execute sequentially).
+fn chain_service(suite: &BenchmarkSuite, spec: ChainSpec, bench: Benchmark) -> Duration {
+    let us = match spec {
+        ChainSpec::Single => suite.calibration(single_kernel_name(bench)).measured_us,
+        ChainSpec::Rnn { cell, hidden, seq_len } => build_chain(cell, hidden, seq_len, suite)
+            .iter()
+            .map(|k| suite.calibration(&k.name).measured_us)
+            .sum(),
+    };
+    Duration::from_us_f64(us)
+}
+
+/// Generates the cluster arrival stream: `n_jobs` open-loop arrivals at
+/// `devices ×` the benchmark's Table 4 rate, each with a calibrated
+/// service estimate. Seeded by [`ClusterScenario::cell_seed`] only — the
+/// routing policy never perturbs the stream.
+fn generate_cluster_jobs(scenario: &ClusterScenario, suite: &BenchmarkSuite) -> Vec<ClusterJob> {
+    let mut rng = SimRng::seed_from(scenario.cell_seed());
+    let rate = scenario.bench.rate_jobs_per_sec(scenario.rate) * scenario.devices as f64;
+    // (variant, seq_len) -> service; at most a few dozen distinct chains.
+    let mut costs: BTreeMap<(u8, u32), Duration> = BTreeMap::new();
+    let mut now = Cycle::ZERO;
+    let mut out = Vec::with_capacity(scenario.n_jobs);
+    for i in 0..scenario.n_jobs {
+        now += rng.exp_interarrival(rate);
+        let spec = match scenario.bench {
+            Benchmark::Lstm => rnn_spec(RnnCell::Lstm, Hidden::H128, &mut rng),
+            Benchmark::Gru => rnn_spec(RnnCell::Gru, Hidden::H128, &mut rng),
+            Benchmark::Van => rnn_spec(RnnCell::Vanilla, Hidden::H256, &mut rng),
+            Benchmark::Hybrid => {
+                if i % 2 == 0 {
+                    rnn_spec(RnnCell::Lstm, Hidden::H128, &mut rng)
+                } else {
+                    rnn_spec(RnnCell::Gru, Hidden::H256, &mut rng)
+                }
+            }
+            _ => ChainSpec::Single,
+        };
+        let key = match spec {
+            ChainSpec::Single => (u8::MAX, 0),
+            ChainSpec::Rnn { cell, hidden, seq_len } => (variant_key(cell, hidden), seq_len),
+        };
+        let service_est = *costs
+            .entry(key)
+            .or_insert_with(|| chain_service(suite, spec, scenario.bench));
+        out.push(ClusterJob { id: i as u32, arrival: now, service_est, spec });
+    }
+    out
+}
+
+fn rnn_spec(cell: RnnCell, hidden: Hidden, rng: &mut SimRng) -> ChainSpec {
+    ChainSpec::Rnn { cell, hidden, seq_len: sample_seq_len(rng) }
+}
+
+/// Display label of one job in the detailed tier, matching what
+/// [`workloads::suite::BenchmarkSuite::generate_jobs`] would emit.
+fn job_label(bench: Benchmark, spec: ChainSpec) -> &'static str {
+    match (bench, spec) {
+        (Benchmark::Hybrid, ChainSpec::Rnn { cell: RnnCell::Lstm, .. }) => "HYBRID/LSTM128",
+        (Benchmark::Hybrid, ChainSpec::Rnn { .. }) => "HYBRID/GRU256",
+        (b, _) => b.name(),
+    }
+}
+
+/// Builds a cluster run, mirroring `gpu_sim`'s `SimBuilder`: construct
+/// with [`ClusterBuilder::new`], chain option setters, then
+/// [`ClusterBuilder::run`].
+#[derive(Clone)]
+pub struct ClusterBuilder {
+    scenario: ClusterScenario,
+    fidelity: Fidelity,
+    device_scheduler: String,
+    slots: usize,
+    jitter: f64,
+    workers: usize,
+    observers: Vec<SharedObserver>,
+}
+
+impl fmt::Debug for ClusterBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClusterBuilder")
+            .field("scenario", &self.scenario)
+            .field("fidelity", &self.fidelity)
+            .field("device_scheduler", &self.device_scheduler)
+            .field("slots", &self.slots)
+            .field("jitter", &self.jitter)
+            .field("workers", &self.workers)
+            .field("observers", &self.observers.len())
+            .finish()
+    }
+}
+
+impl ClusterBuilder {
+    /// A builder with the defaults: fast fidelity, LAX device scheduler
+    /// (detailed tier only), one service slot per compute unit of the
+    /// Table 2 machine, 2% service jitter, [`default_jobs`] workers.
+    pub fn new(scenario: ClusterScenario) -> Self {
+        ClusterBuilder {
+            scenario,
+            fidelity: Fidelity::Fast,
+            device_scheduler: "LAX".to_string(),
+            slots: GpuConfig::default().num_cus as usize,
+            jitter: 0.02,
+            workers: default_jobs(),
+            observers: Vec::new(),
+        }
+    }
+
+    /// Selects the device fidelity tier.
+    pub fn fidelity(mut self, fidelity: Fidelity) -> Self {
+        self.fidelity = fidelity;
+        self
+    }
+
+    /// Scheduler each detailed-tier device runs (registry name; the fast
+    /// tier has no scheduler — it is a FIFO queueing model).
+    pub fn device_scheduler(mut self, name: &str) -> Self {
+        self.device_scheduler = name.to_string();
+        self
+    }
+
+    /// Concurrent service slots per device, for the router's free-time
+    /// model and the fast tier's servers.
+    pub fn slots(mut self, slots: usize) -> Self {
+        self.slots = slots;
+        self
+    }
+
+    /// Half-width of the fast tier's uniform service-jitter multiplier.
+    pub fn jitter(mut self, jitter: f64) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Worker threads devices are fanned across. The report is
+    /// bit-identical for any value (device seeds never depend on workers).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Attaches an observer to the router's probe bus; it sees one
+    /// [`ProbeEvent::JobRouted`] or [`ProbeEvent::JobRejected`] per job,
+    /// in arrival order, and never perturbs the report.
+    pub fn observe(mut self, observer: SharedObserver) -> Self {
+        self.observers.push(observer);
+        self
+    }
+
+    /// Routes the arrival stream and executes every device, returning the
+    /// merged [`ClusterReport`].
+    ///
+    /// # Errors
+    ///
+    /// [`BenchError::UnknownPolicy`] for routing policies outside the
+    /// registry; [`BenchError::UnknownScheduler`] / [`BenchError::Sim`]
+    /// from detailed-tier devices.
+    pub fn run(&self) -> Result<ClusterReport, BenchError> {
+        let policy = routing::try_build(&self.scenario.policy)?;
+        let suite = BenchmarkSuite::calibrated();
+        let jobs = generate_cluster_jobs(&self.scenario, suite);
+        let deadline = self.scenario.bench.deadline();
+        let n = self.scenario.devices;
+        // P2C's sampling stream is seeded from the cell, not the policy
+        // string, so the job trace and all derived seeds stay paired.
+        let mut router = Router::new(policy, n, self.slots, self.scenario.cell_seed());
+        let mut hub: ProbeHub<ProbeEvent> = ProbeHub::new();
+        for obs in &self.observers {
+            hub.attach(Box::new(Arc::clone(obs)));
+        }
+        let mut per_device: Vec<Vec<ClusterJob>> = vec![Vec::new(); n];
+        let mut rejected = 0u64;
+        for job in &jobs {
+            let req =
+                RouteRequest { arrival: job.arrival, service_est: job.service_est, deadline };
+            match router.route(&req) {
+                RouteDecision::Route { device, predicted_wait, laxity_us } => {
+                    hub.emit_with(job.arrival, || ProbeEvent::JobRouted {
+                        job: JobId(job.id),
+                        device: device as u16,
+                        predicted_wait_us: predicted_wait.as_us_f64(),
+                        laxity_us,
+                    });
+                    per_device[device].push(*job);
+                }
+                RouteDecision::Reject { laxity_us } => {
+                    hub.emit_with(job.arrival, || ProbeEvent::JobRejected {
+                        job: JobId(job.id),
+                        laxity_us,
+                    });
+                    rejected += 1;
+                }
+            }
+        }
+        drop(jobs);
+        let indices: Vec<usize> = (0..n).collect();
+        let slices = par_map(&indices, self.workers, |&d| {
+            self.run_device(&self.scenario, d, &per_device[d], deadline, suite)
+        });
+        // Merge in device-index order: StreamingQuantiles counts merge
+        // order-independently but the mean's f64 sum does not, and the
+        // report must be bit-identical across worker counts.
+        let mut latency_us = StreamingQuantiles::new();
+        let mut completed = 0u64;
+        let mut met = 0u64;
+        let mut device_rejected = 0u64;
+        let mut makespan = Duration::ZERO;
+        let mut events = 0u64;
+        let mut per_device_jobs = Vec::with_capacity(n);
+        for slice in slices {
+            let s = slice?;
+            latency_us.merge(&s.latency_us);
+            completed += s.completed;
+            met += s.met;
+            device_rejected += s.device_rejected;
+            makespan = makespan.max(s.makespan);
+            events += s.events;
+            per_device_jobs.push(s.jobs);
+        }
+        Ok(ClusterReport {
+            scenario: self.scenario.clone(),
+            fidelity: self.fidelity,
+            total: self.scenario.n_jobs as u64,
+            rejected,
+            device_rejected,
+            completed,
+            met,
+            latency_us,
+            per_device_jobs,
+            makespan,
+            events,
+        })
+    }
+
+    /// Executes device `d` over its routed jobs at the selected fidelity.
+    fn run_device(
+        &self,
+        scenario: &ClusterScenario,
+        d: usize,
+        jobs: &[ClusterJob],
+        deadline: Duration,
+        suite: &BenchmarkSuite,
+    ) -> Result<DeviceSlice, BenchError> {
+        match self.fidelity {
+            Fidelity::Fast => {
+                let fleet: Vec<FleetJob> = jobs
+                    .iter()
+                    .map(|j| FleetJob {
+                        id: j.id,
+                        arrival: j.arrival,
+                        service_est: j.service_est,
+                        deadline,
+                    })
+                    .collect();
+                let params = FastDeviceParams {
+                    slots: self.slots,
+                    jitter: self.jitter,
+                    seed: scenario.device_seed(d),
+                };
+                let report = run_fast_device(&fleet, &params);
+                let mut latency_us = StreamingQuantiles::new();
+                let mut met = 0u64;
+                for o in &report.outcomes {
+                    latency_us.push(o.latency.as_us_f64());
+                    met += u64::from(o.met);
+                }
+                Ok(DeviceSlice {
+                    latency_us,
+                    completed: jobs.len() as u64,
+                    met,
+                    device_rejected: 0,
+                    makespan: report.makespan.saturating_since(Cycle::ZERO),
+                    events: report.events,
+                    jobs: jobs.len() as u64,
+                })
+            }
+            Fidelity::Detailed => {
+                if jobs.is_empty() {
+                    return Ok(DeviceSlice::default());
+                }
+                let descs: Vec<JobDesc> = jobs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, j)| {
+                        let kernels = match j.spec {
+                            ChainSpec::Single => {
+                                vec![suite.calibration(single_kernel_name(scenario.bench)).desc.clone()]
+                            }
+                            ChainSpec::Rnn { cell, hidden, seq_len } => {
+                                build_chain(cell, hidden, seq_len, suite)
+                            }
+                        };
+                        JobDesc::new(
+                            JobId(i as u32),
+                            job_label(scenario.bench, j.spec),
+                            kernels,
+                            deadline,
+                            j.arrival,
+                        )
+                    })
+                    .collect();
+                let mode = registry::try_build(&self.device_scheduler)?;
+                let mut sim = Simulation::builder()
+                    .offline_rates(suite.offline_rates())
+                    .jobs(descs)
+                    .scheduler(mode)
+                    .build()?;
+                let report = sim.try_run().map_err(BenchError::Sim)?;
+                let mut latency_us = StreamingQuantiles::new();
+                for r in &report.records {
+                    if let Some(lat) = r.latency() {
+                        latency_us.push(lat.as_us_f64());
+                    }
+                }
+                Ok(DeviceSlice {
+                    latency_us,
+                    completed: report.completed() as u64,
+                    met: report.deadlines_met() as u64,
+                    device_rejected: report.rejected() as u64,
+                    makespan: report.makespan,
+                    events: report.events,
+                    jobs: jobs.len() as u64,
+                })
+            }
+        }
+    }
+}
+
+/// What one device contributes to the merged report.
+#[derive(Debug, Clone, Default)]
+struct DeviceSlice {
+    latency_us: StreamingQuantiles,
+    completed: u64,
+    met: u64,
+    device_rejected: u64,
+    makespan: Duration,
+    events: u64,
+    jobs: u64,
+}
+
+/// Merged outcome of one cluster cell. Compares bit-exactly (`PartialEq`),
+/// which the worker-count determinism tests and checkpoint round trip rely
+/// on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// The cell that produced this report.
+    pub scenario: ClusterScenario,
+    /// Fidelity tier the devices ran at.
+    pub fidelity: Fidelity,
+    /// Jobs in the arrival stream.
+    pub total: u64,
+    /// Jobs the router rejected at the front door (LL admission).
+    pub rejected: u64,
+    /// Jobs a device's own admission control rejected (detailed tier).
+    pub device_rejected: u64,
+    /// Jobs that completed on some device.
+    pub completed: u64,
+    /// Completed jobs that made their deadline.
+    pub met: u64,
+    /// Arrival-to-completion latency sketch over completed jobs,
+    /// microseconds (p50/p99/p999 within 0.5% relative error).
+    pub latency_us: StreamingQuantiles,
+    /// Jobs routed to each device, in device-index order.
+    pub per_device_jobs: Vec<u64>,
+    /// Latest device makespan.
+    pub makespan: Duration,
+    /// Model events processed, summed over devices.
+    pub events: u64,
+}
+
+impl ClusterReport {
+    /// Deadline attainment: the fraction of *all* offered jobs that
+    /// completed by their deadline. Rejected jobs — at the front door or a
+    /// device — count as misses, so admission cannot inflate the score.
+    pub fn attainment(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.met as f64 / self.total as f64
+    }
+}
+
+/// Renders the per-policy SLO-attainment table the `cluster` binary writes:
+/// one row per report, with streaming p50/p99/p999 latency tails.
+pub fn cluster_table(reports: &[ClusterReport]) -> Table {
+    let mut table = Table::with_columns(&[
+        "cell",
+        "policy",
+        "devices",
+        "jobs",
+        "routed",
+        "rejected",
+        "met",
+        "attain",
+        "p50_us",
+        "p99_us",
+        "p999_us",
+        "mean_us",
+        "makespan_ms",
+    ]);
+    for r in reports {
+        let s = &r.scenario;
+        table.row(vec![
+            format!("{}:{}", s.bench, s.rate),
+            s.policy.clone(),
+            s.devices.to_string(),
+            r.total.to_string(),
+            (r.total - r.rejected).to_string(),
+            (r.rejected + r.device_rejected).to_string(),
+            r.met.to_string(),
+            format!("{:.4}", r.attainment()),
+            format!("{:.1}", r.latency_us.p50()),
+            format!("{:.1}", r.latency_us.p99()),
+            format!("{:.1}", r.latency_us.p999()),
+            format!("{:.1}", r.latency_us.mean()),
+            format!("{:.2}", r.makespan.as_us_f64() / 1000.0),
+        ]);
+    }
+    table
+}
+
+const CLUSTER_CKPT_HEADER: &str = "lax-bench-cluster-checkpoint v1";
+
+/// Crash-safe store of finished cluster cells, keyed by the scenario's
+/// string form — the fleet counterpart of [`crate::Checkpoint`]. Reports
+/// persist as their summary scalars plus the latency sketch's raw buckets,
+/// so a resumed grid reproduces its output byte-identically without
+/// storing a million per-job records.
+///
+/// Every [`ClusterCheckpoint::record`] rewrites the file via
+/// write-to-temporary + atomic rename, so a crash mid-write leaves the
+/// previous consistent snapshot.
+#[derive(Debug)]
+pub struct ClusterCheckpoint {
+    path: PathBuf,
+    cells: BTreeMap<String, ClusterReport>,
+}
+
+impl ClusterCheckpoint {
+    /// Opens (or starts) a checkpoint at `path`. A missing, foreign or
+    /// corrupt file yields an empty checkpoint — resuming is best-effort,
+    /// never an error.
+    pub fn open(path: impl Into<PathBuf>) -> ClusterCheckpoint {
+        let path = path.into();
+        let cells = fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| parse_checkpoint(&text))
+            .unwrap_or_default();
+        ClusterCheckpoint { path, cells }
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The stored report for a scenario key, if present.
+    pub fn get(&self, key: &str) -> Option<&ClusterReport> {
+        self.cells.get(key)
+    }
+
+    /// Whether `key` is already stored.
+    pub fn contains(&self, key: &str) -> bool {
+        self.cells.contains_key(key)
+    }
+
+    /// Number of stored cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Stores one finished cell and flushes the file atomically.
+    ///
+    /// # Errors
+    ///
+    /// [`BenchError::Io`] if the file cannot be written.
+    pub fn record(&mut self, key: &str, report: &ClusterReport) -> Result<(), BenchError> {
+        self.cells.insert(key.to_string(), report.clone());
+        self.flush()
+    }
+
+    /// Removes the backing file (kept-state is gone; the in-memory cells
+    /// survive). Used after a grid completes successfully.
+    ///
+    /// # Errors
+    ///
+    /// [`BenchError::Io`] on filesystem failure other than the file already
+    /// being gone.
+    pub fn discard_file(&self) -> Result<(), BenchError> {
+        match fs::remove_file(&self.path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(BenchError::Io(e.to_string())),
+        }
+    }
+
+    fn flush(&self) -> Result<(), BenchError> {
+        let io = |e: std::io::Error| BenchError::Io(e.to_string());
+        if let Some(dir) = self.path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir).map_err(io)?;
+            }
+        }
+        let mut text = String::new();
+        text.push_str(CLUSTER_CKPT_HEADER);
+        text.push('\n');
+        for (key, report) in &self.cells {
+            write_cell(&mut text, key, report);
+        }
+        let tmp = self.path.with_extension("tmp");
+        let mut f = fs::File::create(&tmp).map_err(io)?;
+        f.write_all(text.as_bytes()).map_err(io)?;
+        f.sync_all().map_err(io)?;
+        fs::rename(&tmp, &self.path).map_err(io)
+    }
+}
+
+fn f64_hex(x: f64) -> String {
+    format!("{:x}", x.to_bits())
+}
+
+fn f64_from_hex(s: &str) -> Option<f64> {
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+fn write_cell(text: &mut String, key: &str, r: &ClusterReport) {
+    use fmt::Write as _;
+    let (counts, zeros, sum, min, max) = r.latency_us.raw_parts();
+    writeln!(text, "cell {key}").unwrap();
+    writeln!(text, "fidelity {}", r.fidelity).unwrap();
+    writeln!(
+        text,
+        "summary {} {} {} {} {} {} {}",
+        r.total,
+        r.rejected,
+        r.device_rejected,
+        r.completed,
+        r.met,
+        r.makespan.as_cycles(),
+        r.events
+    )
+    .unwrap();
+    write!(text, "devices").unwrap();
+    for c in &r.per_device_jobs {
+        write!(text, " {c}").unwrap();
+    }
+    text.push('\n');
+    writeln!(text, "sketch {} {} {} {}", zeros, f64_hex(sum), f64_hex(min), f64_hex(max)).unwrap();
+    write!(text, "buckets").unwrap();
+    for (i, &c) in counts.iter().enumerate() {
+        if c > 0 {
+            write!(text, " {i}:{c}").unwrap();
+        }
+    }
+    text.push('\n');
+    writeln!(text, "end").unwrap();
+}
+
+fn parse_checkpoint(text: &str) -> Option<BTreeMap<String, ClusterReport>> {
+    let mut lines = text.lines();
+    if lines.next()? != CLUSTER_CKPT_HEADER {
+        return None;
+    }
+    let mut cells = BTreeMap::new();
+    while let Some(line) = lines.next() {
+        if line.is_empty() {
+            continue;
+        }
+        let key = line.strip_prefix("cell ")?;
+        let scenario: ClusterScenario = key.parse().ok()?;
+        let fidelity: Fidelity = lines.next()?.strip_prefix("fidelity ")?.parse().ok()?;
+        let mut summary = lines.next()?.strip_prefix("summary ")?.split(' ');
+        let total: u64 = summary.next()?.parse().ok()?;
+        let rejected: u64 = summary.next()?.parse().ok()?;
+        let device_rejected: u64 = summary.next()?.parse().ok()?;
+        let completed: u64 = summary.next()?.parse().ok()?;
+        let met: u64 = summary.next()?.parse().ok()?;
+        let makespan = Duration::from_cycles(summary.next()?.parse().ok()?);
+        let events: u64 = summary.next()?.parse().ok()?;
+        let devices_line = lines.next()?.strip_prefix("devices")?;
+        let per_device_jobs: Vec<u64> = devices_line
+            .split_whitespace()
+            .map(|c| c.parse().ok())
+            .collect::<Option<_>>()?;
+        let mut sk = lines.next()?.strip_prefix("sketch ")?.split(' ');
+        let zeros: u64 = sk.next()?.parse().ok()?;
+        let sum = f64_from_hex(sk.next()?)?;
+        let min = f64_from_hex(sk.next()?)?;
+        let max = f64_from_hex(sk.next()?)?;
+        let buckets_line = lines.next()?.strip_prefix("buckets")?;
+        let mut counts = Vec::new();
+        for pair in buckets_line.split_whitespace() {
+            let (i, c) = pair.split_once(':')?;
+            let i: usize = i.parse().ok()?;
+            let c: u64 = c.parse().ok()?;
+            if i >= counts.len() {
+                counts.resize(i + 1, 0);
+            }
+            counts[i] = c;
+        }
+        if lines.next()? != "end" {
+            return None;
+        }
+        let latency_us = StreamingQuantiles::from_raw_parts(counts, zeros, sum, min, max);
+        cells.insert(
+            key.to_string(),
+            ClusterReport {
+                scenario,
+                fidelity,
+                total,
+                rejected,
+                device_rejected,
+                completed,
+                met,
+                latency_us,
+                per_device_jobs,
+                makespan,
+                events,
+            },
+        );
+    }
+    Some(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Mutex;
+
+    use super::*;
+
+    fn scen(policy: &str) -> ClusterScenario {
+        ClusterScenario::new(policy, Benchmark::Hybrid, ArrivalRate::High, 4, 400, 7)
+    }
+
+    #[test]
+    fn cluster_scenario_round_trips_through_strings() {
+        for s in [
+            ClusterScenario::new("LL", Benchmark::Hybrid, ArrivalRate::High, 16, 1_000_000, 20210301),
+            ClusterScenario::new("RR", Benchmark::Ipv6, ArrivalRate::Low, 1, 1, 0),
+            ClusterScenario::new("P2C", Benchmark::Stem, ArrivalRate::Medium, 64, 12, u64::MAX),
+        ] {
+            let text = s.to_string();
+            assert_eq!(text.parse::<ClusterScenario>().unwrap(), s, "{text}");
+        }
+    }
+
+    #[test]
+    fn cluster_scenario_parse_rejects_malformed_input() {
+        for (bad, why) in [
+            ("", "1 fields"),
+            ("LL", "1 fields"),
+            ("LL:HYBRID:high:d16:j128", "5 fields"),
+            ("LL:HYBRID:high:d16:j128:s42:x", "7 fields"),
+            ("LL:WARP9:high:d16:j128:s42", "WARP9"),
+            ("LL:HYBRID:sometimes:d16:j128:s42", "sometimes"),
+            ("LL:HYBRID:high:16:j128:s42", "bad device count"),
+            ("LL:HYBRID:high:d0:j128:s42", "bad device count"),
+            ("LL:HYBRID:high:dx:j128:s42", "bad device count"),
+            ("LL:HYBRID:high:d16:128:s42", "bad job count"),
+            ("LL:HYBRID:high:d16:j128:42", "bad seed"),
+            (":HYBRID:high:d16:j128:s42", "empty policy"),
+        ] {
+            let err = bad.parse::<ClusterScenario>();
+            assert!(err.is_err(), "`{bad}` should not parse");
+            let msg = err.unwrap_err().to_string();
+            assert!(msg.contains("invalid cluster scenario"), "{msg}");
+            assert!(msg.contains(why), "`{bad}` should diagnose `{why}`, got: {msg}");
+            assert!(msg.contains(bad), "the error must echo the input: {msg}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "contains ':'")]
+    fn cluster_scenario_rejects_colon_in_policy() {
+        let _ = ClusterScenario::new("LL:EVIL", Benchmark::Ipv6, ArrivalRate::High, 1, 1, 1);
+    }
+
+    #[test]
+    fn cell_seeds_pair_policies_but_differ_across_workloads() {
+        let a = scen("RR");
+        let b = scen("LL");
+        assert_eq!(
+            a.cell_seed(),
+            b.cell_seed(),
+            "policies compared on one cell must route identical streams"
+        );
+        assert_ne!(a.cell_seed(), ClusterScenario { devices: 8, ..a.clone() }.cell_seed());
+        assert_ne!(a.cell_seed(), ClusterScenario { n_jobs: 401, ..a.clone() }.cell_seed());
+        assert_ne!(a.cell_seed(), ClusterScenario { seed: 8, ..a.clone() }.cell_seed());
+        assert_ne!(
+            a.cell_seed(),
+            ClusterScenario { bench: Benchmark::Gmm, ..a.clone() }.cell_seed()
+        );
+        assert_ne!(a.device_seed(0), a.device_seed(1));
+        assert_eq!(a.device_seed(3), b.device_seed(3), "device seeds are policy-blind");
+    }
+
+    #[test]
+    fn fast_cluster_is_bit_identical_across_worker_counts() {
+        for policy in routing::names() {
+            let s = scen(policy);
+            let one = ClusterBuilder::new(s.clone()).workers(1).run().unwrap();
+            let eight = ClusterBuilder::new(s).workers(8).run().unwrap();
+            assert_eq!(one, eight, "{policy}: reports must not depend on worker count");
+        }
+    }
+
+    #[test]
+    fn fast_tier_accounting_identity_holds() {
+        let r = ClusterBuilder::new(scen("LL")).run().unwrap();
+        assert_eq!(r.completed + r.rejected, r.total);
+        assert_eq!(r.latency_us.len() as u64, r.completed);
+        assert_eq!(r.per_device_jobs.iter().sum::<u64>() + r.rejected, r.total);
+        assert_eq!(r.per_device_jobs.len(), r.scenario.devices);
+        assert!(r.met <= r.completed);
+        assert!((0.0..=1.0).contains(&r.attainment()));
+        assert!(r.events > 0);
+    }
+
+    /// An overloaded fleet (one slot per device at the high HYBRID rate):
+    /// deadline-aware routing must beat deadline-blind round-robin, and its
+    /// admission test must actually fire. This is the paper's claim at
+    /// cluster scope.
+    #[test]
+    fn least_laxity_beats_round_robin_when_overloaded() {
+        let run = |policy: &str| {
+            let s = ClusterScenario::new(policy, Benchmark::Hybrid, ArrivalRate::High, 4, 2000, 7);
+            ClusterBuilder::new(s).slots(1).run().unwrap()
+        };
+        let rr = run("RR");
+        let ll = run("LL");
+        assert!(ll.rejected > 0, "LL's front-door admission must fire under overload");
+        assert!(
+            ll.met > rr.met,
+            "LL ({} met) must beat RR ({} met) under overload",
+            ll.met,
+            rr.met
+        );
+    }
+
+    struct DecisionCounter {
+        routed: u64,
+        rejected: u64,
+    }
+
+    impl Observer<ProbeEvent> for DecisionCounter {
+        fn on_event(&mut self, _at: Cycle, event: &ProbeEvent) {
+            match event {
+                ProbeEvent::JobRouted { .. } => self.routed += 1,
+                ProbeEvent::JobRejected { .. } => self.rejected += 1,
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn router_probes_cover_every_job_and_do_not_perturb() {
+        let s = scen("LL");
+        let plain = ClusterBuilder::new(s.clone()).run().unwrap();
+        let counter = Arc::new(Mutex::new(DecisionCounter { routed: 0, rejected: 0 }));
+        let observed = ClusterBuilder::new(s).observe(counter.clone()).run().unwrap();
+        assert_eq!(plain, observed, "observers must not perturb the cluster report");
+        let c = counter.lock().unwrap();
+        assert_eq!(c.routed + c.rejected, observed.total);
+        assert_eq!(c.rejected, observed.rejected);
+    }
+
+    #[test]
+    fn detailed_tier_runs_full_simulations_per_device() {
+        let s = ClusterScenario::new("LOW", Benchmark::Ipv6, ArrivalRate::Low, 2, 12, 3);
+        let r = ClusterBuilder::new(s).fidelity(Fidelity::Detailed).run().unwrap();
+        assert_eq!(r.fidelity, Fidelity::Detailed);
+        assert_eq!(r.completed + r.rejected + r.device_rejected, r.total);
+        assert_eq!(r.latency_us.len() as u64, r.completed);
+        assert!(r.met > 0, "a low-rate IPV6 cell must meet deadlines");
+        assert!(
+            r.events > 2 * r.total,
+            "detailed devices process real event streams, got {}",
+            r.events
+        );
+    }
+
+    #[test]
+    fn unknown_policy_and_scheduler_are_typed_errors() {
+        let err = ClusterBuilder::new(scen("WARP")).run().unwrap_err();
+        match &err {
+            BenchError::UnknownPolicy(e) => assert_eq!(e.name(), "WARP"),
+            other => panic!("expected UnknownPolicy, got {other:?}"),
+        }
+        assert!(err.to_string().contains("WARP"));
+        let s = ClusterScenario::new("RR", Benchmark::Ipv6, ArrivalRate::Low, 2, 4, 3);
+        let err = ClusterBuilder::new(s)
+            .fidelity(Fidelity::Detailed)
+            .device_scheduler("NOPE")
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, BenchError::UnknownScheduler(_)), "{err:?}");
+    }
+
+    #[test]
+    fn cluster_table_reports_policies_and_tail_tiers() {
+        let reports: Vec<ClusterReport> =
+            ["RR", "LL"].iter().map(|p| ClusterBuilder::new(scen(p)).run().unwrap()).collect();
+        let text = cluster_table(&reports).render();
+        for needle in ["policy", "attain", "p99_us", "p999_us", "RR", "LL", "HYBRID:high"] {
+            assert!(text.contains(needle), "table must mention {needle}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_reports_exactly() {
+        let dir = std::env::temp_dir().join(format!("lax-cluster-ckpt-{}", std::process::id()));
+        let path = dir.join("cluster.ckpt");
+        let _ = fs::remove_file(&path);
+        let mut ckpt = ClusterCheckpoint::open(&path);
+        assert!(ckpt.is_empty());
+        let reports: Vec<ClusterReport> =
+            ["RR", "LL"].iter().map(|p| ClusterBuilder::new(scen(p)).run().unwrap()).collect();
+        for r in &reports {
+            ckpt.record(&r.scenario.to_string(), r).unwrap();
+        }
+        let reopened = ClusterCheckpoint::open(&path);
+        assert_eq!(reopened.len(), 2);
+        for r in &reports {
+            let key = r.scenario.to_string();
+            assert!(reopened.contains(&key));
+            assert_eq!(reopened.get(&key).unwrap(), r, "{key} must round-trip bit-exactly");
+        }
+        ckpt.discard_file().unwrap();
+        assert!(ClusterCheckpoint::open(&path).is_empty());
+        let _ = fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn foreign_checkpoint_files_are_ignored() {
+        let dir = std::env::temp_dir().join(format!("lax-cluster-foreign-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("foreign.ckpt");
+        fs::write(&path, "not a checkpoint\ncell garbage\n").unwrap();
+        assert!(ClusterCheckpoint::open(&path).is_empty());
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_dir(&dir);
+    }
+}

@@ -18,10 +18,12 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod cluster;
 pub mod figures;
 pub mod runner;
 pub mod sweep;
 
 pub use checkpoint::Checkpoint;
+pub use cluster::{ClusterBuilder, ClusterReport, ClusterScenario};
 pub use runner::ResultsDb;
-pub use sweep::{run_scenario, BenchError, Scenario, SweepOptions};
+pub use sweep::{run_cell, BenchError, RunOptions, Scenario, SweepOptions};

@@ -199,7 +199,7 @@ impl ResultsDb {
         let key = self.scenario(scheduler, bench, rate);
         if !self.cache.contains_key(&key) {
             let t0 = std::time::Instant::now();
-            let report = sweep::run_scenario(&key)?;
+            let report = sweep::run_cell(&key, &sweep::RunOptions::default())?;
             let profile = CellProfile { wall: t0.elapsed(), retries: 0 };
             self.profiles.insert(key.clone(), profile);
             Self::persist(&mut self.checkpoint, &key, &report, profile);
@@ -373,9 +373,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn run_scenario_produces_resolved_jobs() {
+    fn run_cell_produces_resolved_jobs() {
         let s = Scenario::new("RR", Benchmark::Ipv6, ArrivalRate::Low, 8, 1);
-        let r = sweep::run_scenario(&s).unwrap();
+        let r = sweep::run_cell(&s, &sweep::RunOptions::default()).unwrap();
         assert_eq!(r.records.len(), 8);
         assert_eq!(r.completed() + r.rejected(), 8);
     }
@@ -461,7 +461,11 @@ mod tests {
         let path = std::env::temp_dir().join(format!("lax-db-foreign-{}", std::process::id()));
         let _ = std::fs::remove_file(&path);
         let mut ck = crate::checkpoint::Checkpoint::open(&path);
-        let report = sweep::run_scenario(&Scenario::new("RR", Benchmark::Ipv6, ArrivalRate::Low, 2, 1)).unwrap();
+        let report = sweep::run_cell(
+            &Scenario::new("RR", Benchmark::Ipv6, ArrivalRate::Low, 2, 1),
+            &sweep::RunOptions::default(),
+        )
+        .unwrap();
         // A fault-sweep style key: not a parseable Scenario.
         ck.record("RR:IPV6:low:j2:s1:f0.5", &report).unwrap();
         let db = ResultsDb::with_jobs(2, 1).with_checkpoints(&path);

@@ -7,9 +7,10 @@
 //!
 //! * [`Scenario`] — a self-describing, `Send`-able experiment cell with a
 //!   lossless string round-trip (`Display`/`FromStr`) for CLI use.
-//! * [`run_scenario`] / [`run_faulty_scenario`] — run one cell (optionally
-//!   under a seeded [`FaultPlan`]), returning typed [`BenchError`]s
-//!   instead of the panics the old free-function path documented.
+//! * [`run_cell`] — run one cell under [`RunOptions`] (fault intensity,
+//!   probe observers, wall-clock deadline), returning typed [`BenchError`]s
+//!   instead of panics. One entrypoint; faults and observers are options,
+//!   not separate functions.
 //! * [`run_sweep`] / [`run_sweep_opts`] — a work queue over
 //!   `std::thread::scope`: `N` workers pull cells from an atomic cursor,
 //!   results flow back over a channel, and a progress callback fires on
@@ -41,11 +42,12 @@ use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
 use std::str::FromStr;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration as WallDuration, Instant};
 
 use gpu_sim::prelude::*;
 use schedulers::registry::{self, UnknownScheduler};
+use schedulers::routing::UnknownRoutePolicy;
 use workloads::burst::apply_bursts;
 use workloads::spec::{ArrivalRate, Benchmark, ParseSpecError};
 use workloads::suite::BenchmarkSuite;
@@ -188,6 +190,8 @@ impl FromStr for Scenario {
 pub enum BenchError {
     /// The scenario names a scheduler outside the registry.
     UnknownScheduler(UnknownScheduler),
+    /// The cluster scenario names a routing policy outside the registry.
+    UnknownPolicy(UnknownRoutePolicy),
     /// The simulation rejected the configuration or generated jobs, or hit
     /// a runtime fault (stall watchdog, event budget, queue overflow).
     Sim(SimError),
@@ -217,6 +221,7 @@ impl fmt::Display for BenchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BenchError::UnknownScheduler(e) => write!(f, "{e}"),
+            BenchError::UnknownPolicy(e) => write!(f, "{e}"),
             BenchError::Sim(e) => write!(f, "{e}"),
             BenchError::Panicked { attempts, message } => {
                 write!(f, "cell panicked on all {attempts} attempt(s): {message}")
@@ -234,6 +239,7 @@ impl std::error::Error for BenchError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             BenchError::UnknownScheduler(e) => Some(e),
+            BenchError::UnknownPolicy(e) => Some(e),
             BenchError::Sim(e) => Some(e),
             _ => None,
         }
@@ -246,54 +252,145 @@ impl From<UnknownScheduler> for BenchError {
     }
 }
 
+impl From<UnknownRoutePolicy> for BenchError {
+    fn from(e: UnknownRoutePolicy) -> Self {
+        BenchError::UnknownPolicy(e)
+    }
+}
+
 impl From<SimError> for BenchError {
     fn from(e: SimError) -> Self {
         BenchError::Sim(e)
     }
 }
 
-/// Runs one experiment cell.
+/// A shareable handle to a probe-bus observer, as accepted by
+/// [`RunOptions::observe`].
 ///
-/// # Errors
+/// The `Arc<Mutex<..>>` shape is what lets [`RunOptions`] be `Clone` (a
+/// deadline-bounded cell re-runs on a helper thread with the same options)
+/// while the caller keeps its own handle to read the observer back after the
+/// run. Any concrete `Arc<Mutex<MetricsSampler>>`-style handle coerces to
+/// this type at the call site.
+pub type SharedObserver = Arc<Mutex<dyn Observer<ProbeEvent> + Send>>;
+
+/// Everything that can vary about *how* one cell is executed, as opposed to
+/// *what* it simulates (the [`Scenario`]): fault intensity, attached
+/// observers, and an optional wall-clock deadline.
 ///
-/// Returns [`BenchError::UnknownScheduler`] for scheduler names outside the
-/// registry and [`BenchError::Sim`] if the generated jobs cannot run or the
-/// run hits a runtime fault (stall watchdog, event budget) — no panics on
-/// user input, unlike the free-function path this replaced.
-pub fn run_scenario(scenario: &Scenario) -> Result<SimReport, BenchError> {
-    run_faulty_scenario(scenario, 0.0)
+/// This is the single knob struct behind [`run_cell`], replacing the old
+/// `run_scenario` / `run_faulty_scenario` / `run_faulty_scenario_observed`
+/// trio. The default value runs the cell fault-free, unobserved and
+/// unbounded — byte-identical to what plain `run_scenario` produced.
+///
+/// # Examples
+///
+/// ```
+/// use lax_bench::sweep::{run_cell, RunOptions, Scenario};
+/// use workloads::spec::{ArrivalRate, Benchmark};
+///
+/// let s = Scenario::new("LAX", Benchmark::Ipv6, ArrivalRate::Low, 4, 1);
+/// let clean = run_cell(&s, &RunOptions::default()).unwrap();
+/// let faulty = run_cell(&s, &RunOptions::default().fault_intensity(1.0)).unwrap();
+/// assert_ne!(clean, faulty);
+/// ```
+#[derive(Clone, Default)]
+pub struct RunOptions {
+    /// Fault-plan intensity ([`FaultPlan::seeded`] over the cell's seed and
+    /// workload span); `0.0` (default) installs the empty plan, which is
+    /// bit-identical to a build that never touches the faults API.
+    pub fault_intensity: f64,
+    /// Observers attached to the simulation's probe bus. Attaching
+    /// observers never perturbs the report (the probe layer schedules no
+    /// events), so observed and unobserved runs of the same cell are
+    /// bit-identical; `observers_do_not_perturb_cell_reports` locks this in.
+    pub observers: Vec<SharedObserver>,
+    /// Per-cell wall-clock limit; `None` (default) runs the cell inline on
+    /// the calling thread with no watcher overhead. When set, the cell runs
+    /// on a helper thread so the caller can give up at the limit with
+    /// [`BenchError::DeadlineExceeded`]; the abandoned helper finishes (or
+    /// panics) detached and its result is discarded.
+    pub deadline: Option<WallDuration>,
 }
 
-/// Runs one experiment cell under a deterministic fault plan of the given
-/// intensity ([`FaultPlan::seeded`] over the cell's seed and workload span;
-/// `0.0` means no faults and is bit-identical to [`run_scenario`]).
+impl fmt::Debug for RunOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunOptions")
+            .field("fault_intensity", &self.fault_intensity)
+            .field("observers", &self.observers.len())
+            .field("deadline", &self.deadline)
+            .finish()
+    }
+}
+
+impl RunOptions {
+    /// Sets the fault-plan intensity.
+    pub fn fault_intensity(mut self, intensity: f64) -> Self {
+        self.fault_intensity = intensity;
+        self
+    }
+
+    /// Attaches one observer to the cell's probe bus. Concrete
+    /// `Arc<Mutex<T>>` handles coerce to [`SharedObserver`] here, so callers
+    /// pass `sampler.clone()` and keep their handle for reading results.
+    pub fn observe(mut self, observer: SharedObserver) -> Self {
+        self.observers.push(observer);
+        self
+    }
+
+    /// Sets the per-cell wall-clock deadline.
+    pub fn deadline(mut self, limit: WallDuration) -> Self {
+        self.deadline = Some(limit);
+        self
+    }
+}
+
+/// Runs one experiment cell under the given [`RunOptions`] — the sole cell
+/// entrypoint (faults, observers and deadlines are all options, not
+/// separate functions).
 ///
-/// The plan is derived from [`Scenario::cell_seed`] — which excludes the
-/// scheduler name — so every scheduler compared at one `(bench, rate,
+/// The fault plan is derived from [`Scenario::cell_seed`] — which excludes
+/// the scheduler name — so every scheduler compared at one `(bench, rate,
 /// n_jobs, seed, intensity)` cell faces the *identical* storm: the same
 /// slowdown windows, CU outages, DRAM throttles and arrival bursts.
 ///
 /// # Errors
 ///
-/// Same contract as [`run_scenario`].
-pub fn run_faulty_scenario(scenario: &Scenario, intensity: f64) -> Result<SimReport, BenchError> {
-    run_faulty_scenario_observed(scenario, intensity, Vec::new())
+/// Returns [`BenchError::UnknownScheduler`] for scheduler names outside the
+/// registry, [`BenchError::Sim`] if the generated jobs cannot run or the
+/// run hits a runtime fault (stall watchdog, event budget), and
+/// [`BenchError::DeadlineExceeded`] past `opts.deadline` — no panics on
+/// user input.
+pub fn run_cell(scenario: &Scenario, opts: &RunOptions) -> Result<SimReport, BenchError> {
+    match opts.deadline {
+        None => run_cell_inline(scenario, opts),
+        Some(limit) => {
+            // Run on a helper thread so this thread can enforce the
+            // deadline. On timeout the helper is abandoned (it keeps running
+            // detached until its cell finishes; the send to the dropped
+            // channel then fails silently). A panicking cell is re-raised
+            // here so the caller sees the same unwind as the inline path.
+            let (tx, rx) = mpsc::channel();
+            let cell = scenario.clone();
+            let inner = opts.clone();
+            std::thread::spawn(move || {
+                let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                    run_cell_inline(&cell, &inner)
+                }));
+                let _ = tx.send(outcome);
+            });
+            match rx.recv_timeout(limit) {
+                Ok(Ok(result)) => result,
+                Ok(Err(payload)) => panic::resume_unwind(payload),
+                Err(_) => Err(BenchError::DeadlineExceeded { limit }),
+            }
+        }
+    }
 }
 
-/// [`run_faulty_scenario`] with `observers` attached to the simulation's
-/// probe bus — the cell-running path of `lax-bench trace`. Attaching
-/// observers never perturbs the report (the probe layer schedules no
-/// events), so observed and unobserved runs of the same cell are
-/// bit-identical; `observers_do_not_perturb_cell_reports` locks this in.
-///
-/// # Errors
-///
-/// Same contract as [`run_scenario`].
-pub fn run_faulty_scenario_observed(
-    scenario: &Scenario,
-    intensity: f64,
-    observers: Vec<Box<dyn Observer<ProbeEvent> + Send>>,
-) -> Result<SimReport, BenchError> {
+/// The deadline-free cell body: generate jobs, seed the fault plan, attach
+/// observers, run.
+fn run_cell_inline(scenario: &Scenario, opts: &RunOptions) -> Result<SimReport, BenchError> {
     let suite = BenchmarkSuite::calibrated();
     let mut jobs =
         suite.generate_jobs(scenario.bench, scenario.rate, scenario.n_jobs, scenario.cell_seed());
@@ -306,15 +403,15 @@ pub fn run_faulty_scenario_observed(
         .map(|j| j.arrival.saturating_since(Cycle::ZERO) + j.deadline)
         .max()
         .unwrap_or(Duration::ZERO);
-    let plan = FaultPlan::seeded(scenario.cell_seed(), intensity, span, cfg.num_cus);
+    let plan = FaultPlan::seeded(scenario.cell_seed(), opts.fault_intensity, span, cfg.num_cus);
     apply_bursts(&mut jobs, &plan.bursts);
     let mut builder = Simulation::builder()
         .offline_rates(suite.offline_rates())
         .jobs(jobs)
         .scheduler(mode)
         .faults(plan);
-    for obs in observers {
-        builder = builder.observe(obs);
+    for obs in &opts.observers {
+        builder = builder.observe(Box::new(Arc::clone(obs)));
     }
     let mut sim = builder.build()?;
     sim.try_run().map_err(BenchError::Sim)
@@ -513,9 +610,9 @@ where
 /// with bounded retry, and an optional per-cell wall-clock deadline.
 ///
 /// The defaults reproduce the plain [`run_sweep`] behaviour (isolate
-/// panics, one retry, no deadline), so figure binaries opt in only to what
-/// they need.
-#[derive(Debug, Clone, PartialEq)]
+/// panics, one retry, default [`RunOptions`]), so figure binaries opt in
+/// only to what they need.
+#[derive(Debug, Clone)]
 pub struct SweepOptions {
     /// Worker-thread count (see [`default_jobs`]).
     pub jobs: usize,
@@ -524,22 +621,14 @@ pub struct SweepOptions {
     /// failures (allocation pressure on a loaded machine) and bounds how
     /// long a genuinely broken cell is hammered.
     pub retries: u32,
-    /// Per-cell wall-clock limit; `None` (default) runs cells inline on
-    /// their worker with no watcher overhead. When set, each cell runs on
-    /// a helper thread so the worker can give up at the limit; the
-    /// abandoned helper finishes (or panics) in the background and its
-    /// result is discarded — acceptable for a CLI sweep, so deadlines
-    /// default to off.
-    pub cell_deadline: Option<WallDuration>,
-    /// Fault-plan intensity applied to every cell via
-    /// [`run_faulty_scenario`]; `0.0` (default) is the fault-free grid.
-    pub fault_intensity: f64,
+    /// Per-cell execution options, passed through to [`run_cell`].
+    pub run: RunOptions,
 }
 
 impl SweepOptions {
     /// Options for a plain sweep on `jobs` workers.
     pub fn new(jobs: usize) -> Self {
-        SweepOptions { jobs, retries: 1, cell_deadline: None, fault_intensity: 0.0 }
+        SweepOptions { jobs, retries: 1, run: RunOptions::default() }
     }
 
     /// Sets the number of extra attempts after a panic.
@@ -548,23 +637,18 @@ impl SweepOptions {
         self
     }
 
-    /// Sets the per-cell wall-clock deadline.
+    /// Sets the per-cell wall-clock deadline ([`RunOptions::deadline`]).
     pub fn cell_deadline(mut self, limit: WallDuration) -> Self {
-        self.cell_deadline = Some(limit);
+        self.run.deadline = Some(limit);
         self
     }
 
-    /// Sets the fault-plan intensity for every cell.
+    /// Sets the fault-plan intensity for every cell
+    /// ([`RunOptions::fault_intensity`]).
     pub fn fault_intensity(mut self, intensity: f64) -> Self {
-        self.fault_intensity = intensity;
+        self.run.fault_intensity = intensity;
         self
     }
-}
-
-/// Runs one cell once, converting a panic into `Err(message)`.
-fn run_cell_caught(scenario: &Scenario, intensity: f64) -> Result<Result<SimReport, BenchError>, String> {
-    panic::catch_unwind(AssertUnwindSafe(|| run_faulty_scenario(scenario, intensity)))
-        .map_err(|payload| panic_message(&*payload))
 }
 
 /// Runs one cell under [`SweepOptions`]: catch panics, retry a bounded
@@ -575,8 +659,7 @@ fn run_cell_caught(scenario: &Scenario, intensity: f64) -> Result<Result<SimRepo
 ///
 /// # Errors
 ///
-/// Everything [`run_faulty_scenario`] reports, plus
-/// [`BenchError::Panicked`] and [`BenchError::DeadlineExceeded`].
+/// Everything [`run_cell`] reports, plus [`BenchError::Panicked`].
 pub fn run_cell_opts(scenario: &Scenario, opts: &SweepOptions) -> Result<SimReport, BenchError> {
     run_cell_profiled(scenario, opts).0
 }
@@ -592,28 +675,9 @@ pub fn run_cell_profiled(
     let attempts = opts.retries.saturating_add(1);
     let mut last_panic = String::new();
     for attempt in 1..=attempts {
-        let outcome = match opts.cell_deadline {
-            None => run_cell_caught(scenario, opts.fault_intensity),
-            Some(limit) => {
-                // Run on a helper thread so this worker can enforce the
-                // deadline. On timeout the helper is abandoned (it keeps
-                // running detached until its cell finishes; the send to the
-                // dropped channel then fails silently).
-                let (tx, rx) = mpsc::channel();
-                let cell = scenario.clone();
-                let intensity = opts.fault_intensity;
-                std::thread::spawn(move || {
-                    let _ = tx.send(run_cell_caught(&cell, intensity));
-                });
-                match rx.recv_timeout(limit) {
-                    Ok(outcome) => outcome,
-                    Err(_) => return (Err(BenchError::DeadlineExceeded { limit }), attempt),
-                }
-            }
-        };
-        match outcome {
+        match panic::catch_unwind(AssertUnwindSafe(|| run_cell(scenario, &opts.run))) {
             Ok(result) => return (result, attempt),
-            Err(message) => last_panic = message,
+            Err(payload) => last_panic = panic_message(&*payload),
         }
     }
     (Err(BenchError::Panicked { attempts, message: last_panic }), attempts)
@@ -759,7 +823,7 @@ mod tests {
 
     #[test]
     fn unknown_scheduler_is_a_typed_error_not_a_panic() {
-        let err = run_scenario(&tiny("WARP-SPEED")).unwrap_err();
+        let err = run_cell(&tiny("WARP-SPEED"), &RunOptions::default()).unwrap_err();
         match &err {
             BenchError::UnknownScheduler(e) => assert_eq!(e.name(), "WARP-SPEED"),
             other => panic!("expected UnknownScheduler, got {other:?}"),
@@ -908,7 +972,7 @@ mod tests {
     #[test]
     fn zero_intensity_fault_path_is_bit_identical_to_a_fault_free_build() {
         // The fault-free contract, end to end at the harness layer: running
-        // through `run_faulty_scenario(_, 0.0)` (which installs
+        // through `run_cell` with default options (which installs
         // `FaultPlan::none()`) must reproduce a simulation built without
         // ever touching the faults API, for multiple schedulers.
         let suite = BenchmarkSuite::calibrated();
@@ -922,8 +986,8 @@ mod tests {
                 .build()
                 .unwrap();
             let bare = sim.run();
-            let faulty = run_faulty_scenario(&s, 0.0).unwrap();
-            assert_eq!(bare, faulty, "{sched}: FaultPlan::none() must be a no-op");
+            let defaulted = run_cell(&s, &RunOptions::default()).unwrap();
+            assert_eq!(bare, defaulted, "{sched}: FaultPlan::none() must be a no-op");
         }
     }
 
@@ -933,18 +997,13 @@ mod tests {
         // stack (time-series sampler + Chrome trace writer) must leave the
         // report bit-identical to an unobserved run, for every scheduler
         // family on the same cell.
-        use std::sync::{Arc, Mutex};
         for sched in ["RR", "EDF", "LAX"] {
             let s = Scenario::new(sched, Benchmark::Ipv6, ArrivalRate::High, 12, 3);
-            let plain = run_faulty_scenario(&s, 0.0).unwrap();
+            let plain = run_cell(&s, &RunOptions::default()).unwrap();
             let sampler = Arc::new(Mutex::new(MetricsSampler::new()));
             let writer = Arc::new(Mutex::new(ChromeTraceWriter::new()));
-            let observed = run_faulty_scenario_observed(
-                &s,
-                0.0,
-                vec![Box::new(Arc::clone(&sampler)), Box::new(Arc::clone(&writer))],
-            )
-            .unwrap();
+            let opts = RunOptions::default().observe(sampler.clone()).observe(writer.clone());
+            let observed = run_cell(&s, &opts).unwrap();
             assert_eq!(plain, observed, "{sched}: observers must not perturb the run");
             assert!(
                 !sampler.lock().unwrap().series().is_empty(),
@@ -960,10 +1019,29 @@ mod tests {
     #[test]
     fn nonzero_intensity_changes_outcomes_but_stays_deterministic() {
         let s = Scenario::new("RR", Benchmark::Ipv6, ArrivalRate::High, 16, 3);
-        let a = run_faulty_scenario(&s, 1.0).unwrap();
-        let b = run_faulty_scenario(&s, 1.0).unwrap();
+        let storm = RunOptions::default().fault_intensity(1.0);
+        let a = run_cell(&s, &storm).unwrap();
+        let b = run_cell(&s, &storm).unwrap();
         assert_eq!(a, b, "same intensity, same storm, same report");
-        let clean = run_scenario(&s).unwrap();
+        let clean = run_cell(&s, &RunOptions::default()).unwrap();
         assert_ne!(a, clean, "an intensity-1.0 storm must perturb the run");
+    }
+
+    #[test]
+    fn deadline_and_panic_compose_into_the_panicked_error() {
+        // A cell that panics *before* its generous deadline must surface as
+        // Panicked, not DeadlineExceeded: the helper thread re-raises the
+        // panic on the caller, and the retry loop converts it.
+        let s = tiny("RR");
+        let opts = SweepOptions::new(1)
+            .retries(0)
+            .cell_deadline(WallDuration::from_secs(300))
+            .fault_intensity(-1.0);
+        match run_cell_profiled(&s, &opts) {
+            (Err(BenchError::Panicked { attempts: 1, message }), 1) => {
+                assert!(message.contains("non-negative"), "{message}");
+            }
+            other => panic!("expected Panicked after 1 attempt, got {other:?}"),
+        }
     }
 }

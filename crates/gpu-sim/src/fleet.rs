@@ -1,0 +1,270 @@
+//! Fleet front end: device fidelity tiers for cluster-scale simulation.
+//!
+//! A cluster run drives N devices behind a router. At million-job scale the
+//! full event-driven machine (~20k events per RNN job) is unaffordable, so
+//! the fleet layer offers two tiers:
+//!
+//! * **Fast** — each device is a `c`-slot queueing model served at the
+//!   calibrated isolated service time of each job's kernel chain (one slot
+//!   per compute unit: the same capacity abstraction the router's
+//!   free-time model uses). A seeded per-device jitter widens service
+//!   times slightly so devices are not bit-for-bit clones. Costs O(1) per
+//!   job; a million jobs route and execute in seconds.
+//! * **Detailed** — each device is a full [`crate::sim::Simulation`]; the
+//!   cluster layer materializes kernel chains per routed job. Costs what
+//!   the single-device simulator costs; used for smokes and fidelity
+//!   cross-checks.
+//!
+//! The fast tier lives here (it only needs `sim-core` types); the detailed
+//! tier is assembled by the bench crate, which owns workload
+//! materialization and the scheduler registry.
+
+use std::str::FromStr;
+
+use sim_core::rng::SimRng;
+use sim_core::time::{Cycle, Duration};
+
+/// How much machinery each cluster device runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Fidelity {
+    /// Calibrated queueing model, O(1) per job (the default: million-job
+    /// runs are its reason to exist).
+    #[default]
+    Fast,
+    /// Full event-driven simulation per device.
+    Detailed,
+}
+
+impl Fidelity {
+    /// Display name (`fast` / `detailed`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Fidelity::Fast => "fast",
+            Fidelity::Detailed => "detailed",
+        }
+    }
+}
+
+impl std::fmt::Display for Fidelity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error parsing a [`Fidelity`] from its display name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFidelityError(String);
+
+impl std::fmt::Display for ParseFidelityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown fidelity `{}` (known: fast, detailed)", self.0)
+    }
+}
+
+impl std::error::Error for ParseFidelityError {}
+
+impl FromStr for Fidelity {
+    type Err = ParseFidelityError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "fast" => Ok(Fidelity::Fast),
+            "detailed" => Ok(Fidelity::Detailed),
+            _ => Err(ParseFidelityError(s.to_string())),
+        }
+    }
+}
+
+/// One job as the fleet's fast tier sees it: arrival, predicted isolated
+/// service time, and relative deadline. Cluster-wide ids survive routing so
+/// outcomes can be correlated with the probe stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetJob {
+    /// Cluster-wide job id.
+    pub id: u32,
+    /// Arrival instant.
+    pub arrival: Cycle,
+    /// Calibrated isolated service time of the job's kernel chain.
+    pub service_est: Duration,
+    /// Relative deadline.
+    pub deadline: Duration,
+}
+
+/// Per-job outcome of a fast-tier device run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetOutcome {
+    /// Cluster-wide job id.
+    pub id: u32,
+    /// Completion instant.
+    pub completion: Cycle,
+    /// Arrival-to-completion latency.
+    pub latency: Duration,
+    /// Whether the job met its deadline.
+    pub met: bool,
+}
+
+/// Knobs of one fast-tier device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FastDeviceParams {
+    /// Concurrent service slots (one per compute unit models the machine's
+    /// job-level parallelism; must be ≥ 1).
+    pub slots: usize,
+    /// Half-width of the uniform service-time multiplier `[1-j, 1+j]`.
+    /// `0.0` makes service exactly the calibrated estimate. Must be in
+    /// `[0, 1)`.
+    pub jitter: f64,
+    /// Per-device RNG seed for the jitter stream — hashed from the workload
+    /// cell and device index by the cluster layer, never from the routing
+    /// policy, so policy comparisons stay paired.
+    pub seed: u64,
+}
+
+/// What one fast-tier device reports back to the cluster merger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FastDeviceReport {
+    /// Per-job outcomes, in arrival order.
+    pub outcomes: Vec<FleetOutcome>,
+    /// Total busy time summed over slots.
+    pub busy: Duration,
+    /// Latest completion instant (`Cycle::ZERO` when idle).
+    pub makespan: Cycle,
+    /// Model events processed (start + completion per job), so fast-tier
+    /// runs report throughput on the same axis as detailed ones.
+    pub events: u64,
+}
+
+/// Runs one fast-tier device over its routed jobs (must be in
+/// non-decreasing arrival order): a FIFO queueing model with
+/// `params.slots` parallel servers at calibrated service times.
+///
+/// Deterministic for fixed inputs: the only randomness is the seeded
+/// per-device jitter stream, consumed one draw per job in arrival order.
+///
+/// # Panics
+///
+/// Panics if `params.slots == 0`, `params.jitter` is outside `[0, 1)`, or
+/// jobs are not sorted by arrival.
+pub fn run_fast_device(jobs: &[FleetJob], params: &FastDeviceParams) -> FastDeviceReport {
+    assert!(params.slots >= 1, "a device needs at least one service slot");
+    assert!(
+        (0.0..1.0).contains(&params.jitter),
+        "jitter must be in [0, 1), got {}",
+        params.jitter
+    );
+    let mut rng = SimRng::seed_from(params.seed);
+    // Free-at instants of each slot; jobs take the earliest-free slot.
+    let mut slots = vec![Cycle::ZERO; params.slots];
+    let mut outcomes = Vec::with_capacity(jobs.len());
+    let mut busy = Duration::ZERO;
+    let mut makespan = Cycle::ZERO;
+    let mut last_arrival = Cycle::ZERO;
+    for job in jobs {
+        assert!(job.arrival >= last_arrival, "jobs must be sorted by arrival");
+        last_arrival = job.arrival;
+        let service = if params.jitter == 0.0 {
+            job.service_est
+        } else {
+            let m = 1.0 - params.jitter + 2.0 * params.jitter * rng.uniform_f64();
+            job.service_est.mul_f64(m)
+        };
+        let slot = slots.iter_mut().min().expect("at least one slot");
+        let start = (*slot).max(job.arrival);
+        let completion = start + service;
+        *slot = completion;
+        busy = busy.saturating_add(service);
+        makespan = makespan.max(completion);
+        outcomes.push(FleetOutcome {
+            id: job.id,
+            completion,
+            latency: completion.saturating_since(job.arrival),
+            met: completion <= job.arrival + job.deadline,
+        });
+    }
+    FastDeviceReport { outcomes, busy, makespan, events: 2 * jobs.len() as u64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u32, arrival_us: u64, service_us: u64, deadline_us: u64) -> FleetJob {
+        FleetJob {
+            id,
+            arrival: Cycle::ZERO + Duration::from_us(arrival_us),
+            service_est: Duration::from_us(service_us),
+            deadline: Duration::from_us(deadline_us),
+        }
+    }
+
+    fn quiet(slots: usize) -> FastDeviceParams {
+        FastDeviceParams { slots, jitter: 0.0, seed: 1 }
+    }
+
+    #[test]
+    fn fidelity_names_round_trip() {
+        assert_eq!("fast".parse::<Fidelity>().unwrap(), Fidelity::Fast);
+        assert_eq!("DETAILED".parse::<Fidelity>().unwrap(), Fidelity::Detailed);
+        let err = "cinematic".parse::<Fidelity>().unwrap_err();
+        assert!(err.to_string().contains("cinematic"));
+    }
+
+    #[test]
+    fn single_slot_fifo_queueing_math_is_exact() {
+        // Job 0: [0, 100); job 1 arrives at 30, waits until 100, done 180;
+        // job 2 arrives at 250 on an idle device, done 300.
+        let jobs = [job(0, 0, 100, 1000), job(1, 30, 80, 1000), job(2, 250, 50, 1000)];
+        let r = run_fast_device(&jobs, &quiet(1));
+        let done: Vec<f64> = r.outcomes.iter().map(|o| o.completion.as_us_f64()).collect();
+        assert_eq!(done, vec![100.0, 180.0, 300.0]);
+        assert_eq!(r.outcomes[1].latency, Duration::from_us(150));
+        assert_eq!(r.makespan.as_us_f64(), 300.0);
+        assert_eq!(r.busy, Duration::from_us(230));
+        assert_eq!(r.events, 6);
+    }
+
+    #[test]
+    fn extra_slots_overlap_service() {
+        let jobs = [job(0, 0, 100, 1000), job(1, 0, 100, 1000), job(2, 0, 100, 1000)];
+        let one = run_fast_device(&jobs, &quiet(1));
+        let two = run_fast_device(&jobs, &quiet(2));
+        assert_eq!(one.makespan.as_us_f64(), 300.0);
+        assert_eq!(two.makespan.as_us_f64(), 200.0);
+    }
+
+    #[test]
+    fn deadline_misses_are_flagged_not_dropped() {
+        let jobs = [job(0, 0, 100, 1000), job(1, 0, 100, 120)];
+        let r = run_fast_device(&jobs, &quiet(1));
+        assert!(r.outcomes[0].met);
+        assert!(!r.outcomes[1].met, "second job completes at 200 > 120 deadline");
+        assert_eq!(r.outcomes.len(), 2, "missed jobs still complete and report");
+    }
+
+    #[test]
+    fn jitter_is_seeded_and_bounded() {
+        let jobs: Vec<FleetJob> = (0..200).map(|i| job(i, u64::from(i) * 10, 100, 10_000)).collect();
+        let a = run_fast_device(&jobs, &FastDeviceParams { slots: 2, jitter: 0.05, seed: 9 });
+        let b = run_fast_device(&jobs, &FastDeviceParams { slots: 2, jitter: 0.05, seed: 9 });
+        assert_eq!(a, b, "same seed, same report");
+        let c = run_fast_device(&jobs, &FastDeviceParams { slots: 2, jitter: 0.05, seed: 10 });
+        assert_ne!(a, c, "the jitter seed matters");
+        // Busy time stays within the jitter envelope of the nominal total.
+        let nominal = 200.0 * 100.0;
+        assert!((a.busy.as_us_f64() - nominal).abs() < nominal * 0.05);
+    }
+
+    #[test]
+    #[should_panic = "sorted by arrival"]
+    fn unsorted_jobs_are_rejected() {
+        let jobs = [job(0, 100, 10, 1000), job(1, 0, 10, 1000)];
+        run_fast_device(&jobs, &quiet(1));
+    }
+
+    #[test]
+    fn empty_device_reports_cleanly() {
+        let r = run_fast_device(&[], &quiet(4));
+        assert!(r.outcomes.is_empty());
+        assert_eq!(r.makespan, Cycle::ZERO);
+        assert_eq!(r.events, 0);
+    }
+}

@@ -26,6 +26,9 @@
 //! * [`faults`] — deterministic fault injection: seeded plans of slowdown
 //!   windows, CU offline spans, DRAM throttles and arrival bursts that the
 //!   event loop replays exactly.
+//! * [`fleet`] — the cluster front end's device tiers: a calibrated
+//!   fast-path queueing model for million-job fleet runs next to the full
+//!   simulation, plus the shared fidelity vocabulary.
 //! * [`sim`] — the front door: parameters, the builder, and the
 //!   [`sim::Simulation`] handle; [`metrics`] the per-job outcomes and run
 //!   reports. Internally the machine is decomposed into typed subsystems —
@@ -82,6 +85,7 @@ mod engine;
 mod error;
 mod exec;
 pub mod faults;
+pub mod fleet;
 pub mod host;
 pub mod job;
 pub mod kernel;
@@ -103,6 +107,9 @@ pub mod prelude {
     pub use crate::config::GpuConfig;
     pub use crate::counters::Counters;
     pub use crate::faults::{ArrivalBurst, CuFault, DramThrottle, FaultPlan, Slowdown};
+    pub use crate::fleet::{
+        run_fast_device, FastDeviceParams, FastDeviceReport, Fidelity, FleetJob, FleetOutcome,
+    };
     pub use crate::host::{HostCmd, HostEvent, HostScheduler, HostView};
     pub use crate::job::{JobDesc, JobFate, JobId, JobState};
     pub use crate::kernel::{AccessPattern, ClassTable, ComputeProfile, KernelClassId, KernelDesc};

@@ -112,6 +112,27 @@ pub enum ProbeEvent {
         /// Index into the fault plan's schedule.
         index: usize,
     },
+    /// The cluster router bound a job to a device. Fired by the fleet front
+    /// end (`fleet`/`lax-bench cluster`), not by a single-device run; the
+    /// paper's per-device CP admission generalized to placement.
+    JobRouted {
+        /// The routed job (cluster-wide id).
+        job: JobId,
+        /// Destination device index in the fleet.
+        device: u16,
+        /// Predicted queueing delay on that device at routing time, µs.
+        predicted_wait_us: f64,
+        /// Predicted laxity at completion, µs (non-negative on admit).
+        laxity_us: f64,
+    },
+    /// The cluster front door rejected a job: no device's predicted
+    /// completion would meet its deadline (least-laxity admission).
+    JobRejected {
+        /// The rejected job (cluster-wide id).
+        job: JobId,
+        /// Best laxity across devices, µs (negative by definition).
+        laxity_us: f64,
+    },
     /// Periodic hardware state snapshot (fired on the counter-refresh tick,
     /// so attaching a sampler never adds events to the queue).
     Snapshot(MetricsSnapshot),

@@ -25,6 +25,11 @@
 //! * [`pro::Pro`] — Prophet utilization-driven co-scheduling (ASPLOS'17).
 //!
 //! [`registry`] builds any of them — plus LAX and its variants — by name.
+//!
+//! [`routing`] holds the cluster-level counterpart: the four
+//! router/admission policies (`RR`, `LOW`, `P2C`, `LL`) that place jobs
+//! across a fleet of devices, with the paper's laxity admission test
+//! generalized to the front door.
 
 #![warn(missing_docs)]
 
@@ -35,5 +40,6 @@ pub mod host_common;
 pub mod prema;
 pub mod pro;
 pub mod registry;
+pub mod routing;
 
 pub use registry::build;

@@ -1,0 +1,417 @@
+//! Cluster-level routing/admission policies.
+//!
+//! The paper's CP admission test is per-device: a job is dropped when its
+//! laxity — deadline minus predicted queueing plus service time — is
+//! already negative (Little's-Law gating, Section 4.1.1). A fleet
+//! generalizes that decision to *placement*: the router holds a predicted
+//! free-time model of every device and either binds an arriving job to one
+//! device or rejects it at the front door because no device can make the
+//! deadline. Four policies, same registry idiom as
+//! [`crate::registry`]:
+//!
+//! * `RR` — round-robin, deadline- and load-blind (the baseline).
+//! * `LOW` — least-outstanding-work: bind to the device with the least
+//!   predicted backlog.
+//! * `P2C` — power-of-two-choices: sample two devices, take the less
+//!   loaded (the classic low-coordination balancer).
+//! * `LL` — least-laxity offload: bind where predicted laxity is maximal
+//!   and *reject* jobs whose best laxity is still negative — the paper's
+//!   admission test lifted to cluster scope.
+//!
+//! The router is an estimate holder, not a simulator: devices execute
+//! independently (in parallel) after routing, so policies must rely only on
+//! arrival-time predictions — exactly the information a real front door
+//! has.
+
+use std::fmt;
+use std::str::FromStr;
+
+use sim_core::rng::SimRng;
+use sim_core::time::{Cycle, Duration};
+
+/// A cluster routing/admission policy, buildable by registry name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoutePolicy {
+    /// Round-robin over devices in index order.
+    RoundRobin,
+    /// Least outstanding predicted work.
+    LeastOutstanding,
+    /// Power-of-two-choices: two sampled devices, less loaded wins.
+    PowerOfTwo,
+    /// Deadline-aware least-laxity placement with front-door admission.
+    LeastLaxity,
+}
+
+impl RoutePolicy {
+    /// All policies, in reporting order.
+    pub const ALL: [RoutePolicy; 4] = [
+        RoutePolicy::RoundRobin,
+        RoutePolicy::LeastOutstanding,
+        RoutePolicy::PowerOfTwo,
+        RoutePolicy::LeastLaxity,
+    ];
+
+    /// Registry name (what `ClusterScenario` strings and CLIs use).
+    pub fn name(self) -> &'static str {
+        match self {
+            RoutePolicy::RoundRobin => "RR",
+            RoutePolicy::LeastOutstanding => "LOW",
+            RoutePolicy::PowerOfTwo => "P2C",
+            RoutePolicy::LeastLaxity => "LL",
+        }
+    }
+}
+
+impl fmt::Display for RoutePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error for a routing-policy name outside the registry; lists the valid
+/// names, mirroring [`crate::registry::UnknownScheduler`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownRoutePolicy {
+    name: String,
+}
+
+impl UnknownRoutePolicy {
+    /// The rejected name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for UnknownRoutePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown routing policy `{}` (known: {})",
+            self.name,
+            names().join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownRoutePolicy {}
+
+impl FromStr for RoutePolicy {
+    type Err = UnknownRoutePolicy;
+
+    /// Parses a registry name, case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        RoutePolicy::ALL
+            .into_iter()
+            .find(|p| p.name().eq_ignore_ascii_case(s))
+            .ok_or_else(|| UnknownRoutePolicy { name: s.to_string() })
+    }
+}
+
+/// Builds a policy by registry name.
+///
+/// # Errors
+///
+/// Returns [`UnknownRoutePolicy`] (listing the registry) for unknown names.
+pub fn try_build(name: &str) -> Result<RoutePolicy, UnknownRoutePolicy> {
+    name.parse()
+}
+
+/// Every registry name, in reporting order.
+pub fn names() -> Vec<&'static str> {
+    RoutePolicy::ALL.iter().map(|p| p.name()).collect()
+}
+
+/// One arriving job as the router sees it: when it arrived, how long a
+/// device is predicted to need for it in isolation, and its relative
+/// deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteRequest {
+    /// Arrival instant (requests must be fed in non-decreasing order).
+    pub arrival: Cycle,
+    /// Predicted service time on an unloaded device.
+    pub service_est: Duration,
+    /// Relative deadline (absolute deadline = `arrival + deadline`).
+    pub deadline: Duration,
+}
+
+/// The router's verdict on one request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RouteDecision {
+    /// Bind the job to `device`.
+    Route {
+        /// Chosen device index.
+        device: usize,
+        /// Predicted queueing delay before service starts there.
+        predicted_wait: Duration,
+        /// Predicted laxity at completion, in microseconds (negative means
+        /// the job is predicted to miss even on the best device).
+        laxity_us: f64,
+    },
+    /// No device is predicted to meet the deadline; drop at the front door
+    /// (only [`RoutePolicy::LeastLaxity`] rejects).
+    Reject {
+        /// The best (least negative) laxity across devices, microseconds.
+        laxity_us: f64,
+    },
+}
+
+/// Stateful router over `n` devices, each modeled as `slots` independent
+/// service slots (one per compute unit in the fast fidelity tier).
+///
+/// The model is intentionally the same one the per-device admission test
+/// uses: each slot stores the instant it becomes free; a routed job takes
+/// the earliest-free slot of its device and pushes that slot's free time to
+/// `max(now, free) + service_est`. All predictions are made at arrival
+/// time, so routing one pass over an arrival-ordered stream is O(jobs ×
+/// devices × slots) and completely deterministic.
+#[derive(Debug, Clone)]
+pub struct Router {
+    policy: RoutePolicy,
+    /// `slots[d][k]` = predicted instant device `d`'s slot `k` frees up.
+    slots: Vec<Vec<Cycle>>,
+    rr_next: usize,
+    /// Consumed only by [`RoutePolicy::PowerOfTwo`]; seeded from the
+    /// workload cell so P2C is deterministic per cell.
+    rng: SimRng,
+}
+
+impl Router {
+    /// A router over `devices` devices of `slots_per_device` slots each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` or `slots_per_device` is zero.
+    pub fn new(policy: RoutePolicy, devices: usize, slots_per_device: usize, seed: u64) -> Self {
+        assert!(devices > 0, "router needs at least one device");
+        assert!(slots_per_device > 0, "router needs at least one slot per device");
+        Router {
+            policy,
+            slots: vec![vec![Cycle::ZERO; slots_per_device]; devices],
+            rr_next: 0,
+            rng: SimRng::seed_from(seed),
+        }
+    }
+
+    /// Number of devices behind the router.
+    pub fn devices(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The earliest instant any slot of device `d` frees up.
+    fn earliest_free(&self, d: usize) -> Cycle {
+        *self.slots[d].iter().min().expect("at least one slot")
+    }
+
+    /// Total predicted backlog of device `d` at `now`: the sum over slots
+    /// of how far each free time lies in the future.
+    fn outstanding(&self, d: usize, now: Cycle) -> Duration {
+        self.slots[d]
+            .iter()
+            .map(|&free| free.saturating_since(now))
+            .fold(Duration::ZERO, |acc, w| acc.saturating_add(w))
+    }
+
+    /// Predicted (wait, completion) if `req` were bound to device `d`.
+    fn predict(&self, d: usize, req: &RouteRequest) -> (Duration, Cycle) {
+        let start = self.earliest_free(d).max(req.arrival);
+        let wait = start.saturating_since(req.arrival);
+        (wait, start + req.service_est)
+    }
+
+    /// Signed laxity in microseconds of completing at `completion` against
+    /// the request's absolute deadline.
+    fn laxity_us(req: &RouteRequest, completion: Cycle) -> f64 {
+        let deadline_abs = req.arrival + req.deadline;
+        if completion <= deadline_abs {
+            deadline_abs.saturating_since(completion).as_us_f64()
+        } else {
+            -completion.saturating_since(deadline_abs).as_us_f64()
+        }
+    }
+
+    /// Books `req` onto device `d`, updating the slot model, and returns
+    /// the decision.
+    fn commit(&mut self, d: usize, req: &RouteRequest) -> RouteDecision {
+        let (wait, completion) = self.predict(d, req);
+        let slot = self.slots[d]
+            .iter_mut()
+            .min()
+            .expect("at least one slot");
+        *slot = completion;
+        RouteDecision::Route {
+            device: d,
+            predicted_wait: wait,
+            laxity_us: Self::laxity_us(req, completion),
+        }
+    }
+
+    /// Among `candidates`, the device with the least outstanding work
+    /// (ties to the lowest index).
+    fn least_loaded(&self, candidates: impl Iterator<Item = usize>, now: Cycle) -> usize {
+        candidates
+            .map(|d| (self.outstanding(d, now), d))
+            .min()
+            .expect("at least one candidate")
+            .1
+    }
+
+    /// Routes one request. Requests must arrive in non-decreasing `arrival`
+    /// order (the generator produces them that way).
+    pub fn route(&mut self, req: &RouteRequest) -> RouteDecision {
+        let n = self.devices();
+        match self.policy {
+            RoutePolicy::RoundRobin => {
+                let d = self.rr_next;
+                self.rr_next = (self.rr_next + 1) % n;
+                self.commit(d, req)
+            }
+            RoutePolicy::LeastOutstanding => {
+                let d = self.least_loaded(0..n, req.arrival);
+                self.commit(d, req)
+            }
+            RoutePolicy::PowerOfTwo => {
+                let a = self.rng.below(n as u64) as usize;
+                let d = if n == 1 {
+                    a
+                } else {
+                    // Sample b uniformly from the other n-1 devices.
+                    let mut b = self.rng.below(n as u64 - 1) as usize;
+                    if b >= a {
+                        b += 1;
+                    }
+                    self.least_loaded([a, b].into_iter(), req.arrival)
+                };
+                self.commit(d, req)
+            }
+            RoutePolicy::LeastLaxity => {
+                // Maximal laxity == minimal predicted completion; scan all
+                // devices, ties to the lowest index.
+                let best = (0..n)
+                    .map(|d| (self.predict(d, req).1, d))
+                    .min()
+                    .expect("at least one device");
+                let laxity = Self::laxity_us(req, best.0);
+                if laxity < 0.0 {
+                    RouteDecision::Reject { laxity_us: laxity }
+                } else {
+                    self.commit(best.1, req)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(arrival_us: u64, service_us: u64, deadline_us: u64) -> RouteRequest {
+        RouteRequest {
+            arrival: Cycle::ZERO + Duration::from_us(arrival_us),
+            service_est: Duration::from_us(service_us),
+            deadline: Duration::from_us(deadline_us),
+        }
+    }
+
+    fn device_of(d: RouteDecision) -> usize {
+        match d {
+            RouteDecision::Route { device, .. } => device,
+            RouteDecision::Reject { .. } => panic!("unexpected rejection"),
+        }
+    }
+
+    #[test]
+    fn names_round_trip_and_unknowns_list_the_registry() {
+        for p in RoutePolicy::ALL {
+            assert_eq!(try_build(p.name()).unwrap(), p);
+            assert_eq!(p.name().to_lowercase().parse::<RoutePolicy>().unwrap(), p);
+        }
+        let err = try_build("SHORTEST-QUEUE-EVER").unwrap_err();
+        assert_eq!(err.name(), "SHORTEST-QUEUE-EVER");
+        let msg = err.to_string();
+        for name in names() {
+            assert!(msg.contains(name), "{msg} must list {name}");
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_devices_in_order() {
+        let mut r = Router::new(RoutePolicy::RoundRobin, 3, 1, 1);
+        let picks: Vec<usize> =
+            (0..6).map(|i| device_of(r.route(&req(i, 10, 1000)))).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn least_outstanding_prefers_the_idle_device() {
+        let mut r = Router::new(RoutePolicy::LeastOutstanding, 2, 1, 1);
+        // Pin device 0 with a long job; the next two must go to device 1
+        // until it accumulates as much work.
+        assert_eq!(device_of(r.route(&req(0, 1000, 100_000))), 0);
+        assert_eq!(device_of(r.route(&req(0, 10, 100_000))), 1);
+        assert_eq!(device_of(r.route(&req(0, 10, 100_000))), 1);
+    }
+
+    #[test]
+    fn least_laxity_places_on_earliest_completion_and_rejects_hopeless_jobs() {
+        let mut r = Router::new(RoutePolicy::LeastLaxity, 2, 1, 1);
+        // Both idle: first job lands on device 0 (tie to lowest index).
+        assert_eq!(device_of(r.route(&req(0, 100, 500))), 0);
+        // Device 0 busy for 100us: same job now completes earlier on 1.
+        assert_eq!(device_of(r.route(&req(0, 100, 500))), 1);
+        // A job that cannot make its deadline anywhere is rejected and the
+        // slot model is left untouched.
+        let before = r.clone();
+        match r.route(&req(0, 100, 50)) {
+            RouteDecision::Reject { laxity_us } => assert!(laxity_us < 0.0),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        assert_eq!(format!("{:?}", r.slots), format!("{:?}", before.slots));
+        // A feasible job is still admitted afterwards.
+        assert!(matches!(r.route(&req(200, 10, 500)), RouteDecision::Route { .. }));
+    }
+
+    #[test]
+    fn least_laxity_reports_nonnegative_laxity_on_admit() {
+        let mut r = Router::new(RoutePolicy::LeastLaxity, 2, 1, 1);
+        for i in 0..10 {
+            match r.route(&req(i * 5, 40, 400)) {
+                RouteDecision::Route { laxity_us, .. } => assert!(laxity_us >= 0.0),
+                RouteDecision::Reject { .. } => {}
+            }
+        }
+    }
+
+    #[test]
+    fn power_of_two_is_deterministic_per_seed_and_spreads_load() {
+        let run = |seed: u64| {
+            let mut r = Router::new(RoutePolicy::PowerOfTwo, 8, 1, seed);
+            (0..64).map(|i| device_of(r.route(&req(i, 100, 100_000)))).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7), "same seed, same placements");
+        assert_ne!(run(7), run(8), "the sampling seed matters");
+        let picks = run(7);
+        let distinct: std::collections::HashSet<_> = picks.iter().collect();
+        assert!(distinct.len() >= 4, "P2C must spread across devices: {picks:?}");
+    }
+
+    #[test]
+    fn multi_slot_devices_overlap_jobs() {
+        // Two slots: two concurrent jobs, the third queues behind the first.
+        let mut r = Router::new(RoutePolicy::LeastOutstanding, 1, 2, 1);
+        r.route(&req(0, 100, 10_000));
+        r.route(&req(0, 100, 10_000));
+        match r.route(&req(0, 100, 10_000)) {
+            RouteDecision::Route { predicted_wait, .. } => {
+                assert_eq!(predicted_wait, Duration::from_us(100));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn router_demands_at_least_one_device() {
+        let r = std::panic::catch_unwind(|| Router::new(RoutePolicy::RoundRobin, 0, 1, 1));
+        assert!(r.is_err());
+    }
+}

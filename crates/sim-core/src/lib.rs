@@ -7,9 +7,10 @@
 //! * [`event`] — a deterministic event queue with lazy cancellation.
 //! * [`rng`] — seeded RNG with exponential-arrival and sequence-length
 //!   samplers.
-//! * [`stats`] — exact percentiles, geometric means, and the sliding
-//!   rate-window counter that models the paper's workgroup-completion-rate
-//!   hardware counter.
+//! * [`stats`] — exact percentiles, a bounded-memory streaming quantile
+//!   sketch with a p999 tier for million-job runs, geometric means, and the
+//!   sliding rate-window counter that models the paper's
+//!   workgroup-completion-rate hardware counter.
 //! * [`trace`] — bounded time-series capture for Figure-10 style plots.
 //! * [`probe`] — generic observer/probe bus for zero-overhead-when-off
 //!   instrumentation of a running simulation.

@@ -52,7 +52,7 @@ pub mod quick {
     ///
     /// Panics if the scheduler name is unknown or the generated jobs cannot
     /// run on the default machine. For typed errors instead, use
-    /// `lax_bench::run_scenario`.
+    /// `lax_bench::run_cell`.
     pub fn simulate(
         bench: Benchmark,
         rate: ArrivalRate,

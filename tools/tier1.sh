@@ -52,4 +52,35 @@ head -1 "$TMP/metrics.csv" | grep -q "time_us"
 head -1 "$TMP/metrics.csv" | grep -q "dram_bw_util"
 echo "   trace JSON parses and metrics CSV is populated"
 
+echo "== tier1: cluster smoke + worker-count byte-identity =="
+CLUSTER_BIN=target/release/cluster
+# A small fleet (4 devices, 4k jobs, all four routing policies). Per-device
+# seeds hash from the workload cell — never the worker thread — so the SLO
+# table must come out byte-identical for any --jobs N.
+"$CLUSTER_BIN" --smoke --jobs 1 --out "$TMP/cl1.txt"
+"$CLUSTER_BIN" --smoke --jobs 8 --out "$TMP/cl8.txt"
+cmp "$TMP/cl1.txt" "$TMP/cl8.txt"
+# The table must carry the tail tiers and one row per policy, and the
+# attainment column must parse as a probability.
+grep -q "p999_us" "$TMP/cl1.txt"
+grep -q "attain" "$TMP/cl1.txt"
+grep -qE '\bRR\b' "$TMP/cl1.txt"
+grep -qE '\bLL\b' "$TMP/cl1.txt"
+python3 - "$TMP/cl1.txt" <<'EOF'
+import sys
+header, rows = None, 0
+for line in open(sys.argv[1]):
+    cols = line.split()
+    if not cols or line.startswith(("#", "-")):
+        continue
+    if header is None:
+        header = cols
+        continue
+    rows += 1
+    attain = float(cols[header.index("attain")])
+    assert 0.0 <= attain <= 1.0, attain
+assert rows >= 4, rows
+EOF
+echo "   cluster SLO table parses and is byte-identical across worker counts"
+
 echo "== tier1: OK =="
