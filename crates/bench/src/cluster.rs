@@ -31,6 +31,21 @@
 //! chain and runs a full [`gpu_sim::sim::Simulation`] per device under a
 //! registry scheduler (default LAX) — used for smokes and fidelity
 //! cross-checks at small job counts.
+//!
+//! # Failure domains
+//!
+//! A [`FleetFaultPlan`] (from [`ClusterScenario::fault_seed`] at intensity
+//! `:fI`, or injected via [`ClusterBuilder::fleet_faults`]) switches
+//! [`ClusterBuilder::run`] to the chaos engine: one time-ordered pass
+//! interleaving fault transitions, arrivals and deadline-aware retries.
+//! Crashes lose in-flight work (recovered through the front door while
+//! some survivor's predicted laxity admits it, bounded by
+//! [`ClusterBuilder::retry_budget`]); drains stop new placements; straggler
+//! windows stretch service; correlated outages down whole device blocks.
+//! Every job ends completed, rejected, shed or lost, and the probe bus
+//! narrates `DeviceDown`/`DeviceRestored`/`JobRetried`/`JobShed`. A no-op
+//! plan is bit-identical to the fault-free path, and reports remain
+//! bit-identical for any worker count.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -40,6 +55,7 @@ use std::path::{Path, PathBuf};
 use std::str::FromStr;
 use std::sync::Arc;
 
+use gpu_sim::fleet::FleetFaultAction;
 use gpu_sim::prelude::*;
 use schedulers::registry;
 use schedulers::routing::{self, RouteDecision, RouteRequest, Router};
@@ -84,6 +100,11 @@ pub struct ClusterScenario {
     pub n_jobs: usize,
     /// Base RNG seed; the workload stream uses [`ClusterScenario::cell_seed`].
     pub seed: u64,
+    /// Fleet-fault intensity in milli-units (`1000` = intensity 1.0),
+    /// stored fixed-point so the scenario stays totally ordered and
+    /// hashable. `0` (the default) injects nothing and is omitted from the
+    /// string form, so fault-free scenario strings are unchanged.
+    pub fault_milli: u32,
 }
 
 impl ClusterScenario {
@@ -106,7 +127,20 @@ impl ClusterScenario {
             "policy name {policy:?} contains ':', the ClusterScenario string-form separator"
         );
         assert!(devices > 0, "a cluster needs at least one device");
-        ClusterScenario { policy: policy.to_string(), bench, rate, devices, n_jobs, seed }
+        ClusterScenario { policy: policy.to_string(), bench, rate, devices, n_jobs, seed, fault_milli: 0 }
+    }
+
+    /// The same cell with a fleet-fault intensity (in milli-units; `1000` =
+    /// intensity 1.0). String form gains a `:fI` suffix when non-zero.
+    pub fn with_fault_milli(mut self, fault_milli: u32) -> Self {
+        self.fault_milli = fault_milli;
+        self
+    }
+
+    /// Fleet-fault intensity as the float [`gpu_sim::fleet::FleetFaultPlan::seeded`]
+    /// consumes.
+    pub fn fault_intensity(&self) -> f64 {
+        f64::from(self.fault_milli) / 1000.0
     }
 
     /// The seed feeding the cluster workload generator: an FNV-1a hash of
@@ -137,6 +171,21 @@ impl ClusterScenario {
         h.eat(&(d as u64).to_le_bytes());
         h.finish()
     }
+
+    /// The seed feeding [`gpu_sim::fleet::FleetFaultPlan::seeded`]: hashed
+    /// from the cell seed and the fault intensity, never the policy, so
+    /// every policy compared at one faulted cell replays the identical
+    /// failure schedule against the identical arrival stream. Deliberately
+    /// **not** part of [`ClusterScenario::cell_seed`] — arrival streams
+    /// must pair across intensities too (intensity 0 vs 2 differ only in
+    /// the faults, not the offered load).
+    pub fn fault_seed(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.eat(&self.cell_seed().to_le_bytes());
+        h.eat(b"fleet-faults");
+        h.eat(&u64::from(self.fault_milli).to_le_bytes());
+        h.finish()
+    }
 }
 
 /// Incremental FNV-1a, shared by the cell/device seed derivations.
@@ -165,7 +214,14 @@ impl fmt::Display for ClusterScenario {
             f,
             "{}:{}:{}:d{}:j{}:s{}",
             self.policy, self.bench, self.rate, self.devices, self.n_jobs, self.seed
-        )
+        )?;
+        if self.fault_milli > 0 {
+            // f64 Display prints the shortest round-tripping form, so
+            // `(printed * 1000).round()` in the parser recovers the exact
+            // milli value.
+            write!(f, ":f{}", self.fault_intensity())?;
+        }
+        Ok(())
     }
 }
 
@@ -180,7 +236,7 @@ impl fmt::Display for ParseClusterScenarioError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "invalid cluster scenario `{}`: {} (expected POLICY:BENCH:RATE:dD:jN:sSEED, e.g. LL:HYBRID:high:d16:j1000000:s42)",
+            "invalid cluster scenario `{}`: {} (expected POLICY:BENCH:RATE:dD:jN:sSEED[:fI], e.g. LL:HYBRID:high:d16:j1000000:s42:f1.5)",
             self.input, self.reason
         )
     }
@@ -194,8 +250,12 @@ impl FromStr for ClusterScenario {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let bad = |reason: String| ParseClusterScenarioError { input: s.to_string(), reason };
         let parts: Vec<&str> = s.split(':').collect();
-        let [policy, bench, rate, devices, jobs, seed] = parts.as_slice() else {
-            return Err(bad(format!("{} fields, expected 6", parts.len())));
+        let (core, fault) = match parts.as_slice() {
+            [p @ .., f] if parts.len() == 7 => (p, Some(*f)),
+            p => (p, None),
+        };
+        let [policy, bench, rate, devices, jobs, seed] = core else {
+            return Err(bad(format!("{} fields, expected 6 or 7", parts.len())));
         };
         let bench: Benchmark = bench.parse().map_err(|e: ParseSpecError| bad(e.to_string()))?;
         let rate: ArrivalRate = rate.parse().map_err(|e: ParseSpecError| bad(e.to_string()))?;
@@ -215,7 +275,20 @@ impl FromStr for ClusterScenario {
         if policy.is_empty() {
             return Err(bad("empty policy name".to_string()));
         }
-        Ok(ClusterScenario::new(policy, bench, rate, devices, n_jobs, seed))
+        let fault_milli = match fault {
+            None => 0,
+            Some(f) => f
+                .strip_prefix('f')
+                .and_then(|v| v.parse::<f64>().ok())
+                .filter(|&v| v.is_finite() && v > 0.0)
+                .map(|v| (v * 1000.0).round())
+                .filter(|&m| m <= f64::from(u32::MAX))
+                .map(|m| m as u32)
+                .filter(|&m| m > 0)
+                .ok_or_else(|| bad(format!("bad fault intensity `{f}`")))?,
+        };
+        Ok(ClusterScenario::new(policy, bench, rate, devices, n_jobs, seed)
+            .with_fault_milli(fault_milli))
     }
 }
 
@@ -343,6 +416,10 @@ pub struct ClusterBuilder {
     jitter: f64,
     workers: usize,
     observers: Vec<SharedObserver>,
+    fleet_faults: Option<FleetFaultPlan>,
+    retry_budget: u32,
+    retry_backoff: Duration,
+    shed_degraded: bool,
 }
 
 impl fmt::Debug for ClusterBuilder {
@@ -355,6 +432,10 @@ impl fmt::Debug for ClusterBuilder {
             .field("jitter", &self.jitter)
             .field("workers", &self.workers)
             .field("observers", &self.observers.len())
+            .field("fleet_faults", &self.fleet_faults)
+            .field("retry_budget", &self.retry_budget)
+            .field("retry_backoff", &self.retry_backoff)
+            .field("shed_degraded", &self.shed_degraded)
             .finish()
     }
 }
@@ -372,6 +453,10 @@ impl ClusterBuilder {
             jitter: 0.02,
             workers: default_jobs(),
             observers: Vec::new(),
+            fleet_faults: None,
+            retry_budget: 3,
+            retry_backoff: Duration::from_us(100),
+            shed_degraded: false,
         }
     }
 
@@ -410,24 +495,99 @@ impl ClusterBuilder {
 
     /// Attaches an observer to the router's probe bus; it sees one
     /// [`ProbeEvent::JobRouted`] or [`ProbeEvent::JobRejected`] per job,
-    /// in arrival order, and never perturbs the report.
+    /// in arrival order (plus the failure-domain events under a fleet
+    /// fault plan), and never perturbs the report.
     pub fn observe(mut self, observer: SharedObserver) -> Self {
         self.observers.push(observer);
+        self
+    }
+
+    /// Overrides the fleet fault plan. Without this, the plan derives from
+    /// the scenario's fault intensity via [`ClusterScenario::fault_seed`]
+    /// ([`FleetFaultPlan::none`] at intensity 0).
+    pub fn fleet_faults(mut self, plan: FleetFaultPlan) -> Self {
+        self.fleet_faults = Some(plan);
+        self
+    }
+
+    /// Maximum times one job lost to a device crash (or stalled with no
+    /// device in rotation) re-enters the front door. `0` disables retry:
+    /// every crash-lost job counts as lost. Default 3.
+    pub fn retry_budget(mut self, budget: u32) -> Self {
+        self.retry_budget = budget;
+        self
+    }
+
+    /// Base sim-time backoff before a lost job's first retry; doubles per
+    /// subsequent attempt. Deterministic — no wall-clock. Default 100 µs.
+    pub fn retry_backoff(mut self, backoff: Duration) -> Self {
+        self.retry_backoff = backoff;
+        self
+    }
+
+    /// Enables load shedding under degraded capacity: while any device is
+    /// out of rotation, an arriving job whose best predicted laxity across
+    /// the survivors is already negative is shed at the front door
+    /// (counted separately from policy rejections). Off by default.
+    pub fn shed_degraded(mut self, shed: bool) -> Self {
+        self.shed_degraded = shed;
         self
     }
 
     /// Routes the arrival stream and executes every device, returning the
     /// merged [`ClusterReport`].
     ///
+    /// With an empty fleet fault plan this is the exact two-phase path
+    /// (route everything, then execute devices in parallel); under faults
+    /// it is the time-ordered chaos engine interleaving fault transitions,
+    /// arrivals and retries. The dispatch is on the *plan*, so an
+    /// intensity-0 scenario is bit-identical to one that never mentions
+    /// faults.
+    ///
     /// # Errors
     ///
     /// [`BenchError::UnknownPolicy`] for routing policies outside the
-    /// registry; [`BenchError::UnknownScheduler`] / [`BenchError::Sim`]
-    /// from detailed-tier devices.
+    /// registry; [`BenchError::FleetFault`] for an ill-formed fault plan;
+    /// [`BenchError::UnknownScheduler`] / [`BenchError::Sim`] from
+    /// detailed-tier devices.
     pub fn run(&self) -> Result<ClusterReport, BenchError> {
         let policy = routing::try_build(&self.scenario.policy)?;
         let suite = BenchmarkSuite::calibrated();
         let jobs = generate_cluster_jobs(&self.scenario, suite);
+        let plan = match &self.fleet_faults {
+            Some(p) => p.clone(),
+            None if self.scenario.fault_milli > 0 => {
+                // Fault windows span the arrival stream; the span is a pure
+                // function of the cell (arrivals are policy-blind), so the
+                // plan is too.
+                let span = jobs
+                    .last()
+                    .map_or(Duration::ZERO, |j| j.arrival.saturating_since(Cycle::ZERO));
+                FleetFaultPlan::seeded(
+                    self.scenario.fault_seed(),
+                    self.scenario.fault_intensity(),
+                    span,
+                    self.scenario.devices as u32,
+                )
+            }
+            None => FleetFaultPlan::none(),
+        };
+        if plan.is_none() {
+            self.run_plain(policy, jobs, suite)
+        } else {
+            plan.validate(self.scenario.devices as u32)?;
+            self.run_chaos(policy, jobs, suite, &plan)
+        }
+    }
+
+    /// The fault-free two-phase path: route the whole stream, then execute
+    /// devices on the worker pool.
+    fn run_plain(
+        &self,
+        policy: routing::RoutePolicy,
+        jobs: Vec<ClusterJob>,
+        suite: &BenchmarkSuite,
+    ) -> Result<ClusterReport, BenchError> {
         let deadline = self.scenario.bench.deadline();
         let n = self.scenario.devices;
         // P2C's sampling stream is seeded from the cell, not the policy
@@ -458,6 +618,9 @@ impl ClusterBuilder {
                         laxity_us,
                     });
                     rejected += 1;
+                }
+                RouteDecision::NoDevice => {
+                    unreachable!("all devices are Up on the fault-free path")
                 }
             }
         }
@@ -494,6 +657,9 @@ impl ClusterBuilder {
             device_rejected,
             completed,
             met,
+            lost: 0,
+            retried: 0,
+            shed: 0,
             latency_us,
             per_device_jobs,
             makespan,
@@ -595,6 +761,705 @@ impl ClusterBuilder {
     }
 }
 
+impl ClusterBuilder {
+    /// The chaos engine: one time-ordered pass interleaving fleet fault
+    /// transitions, job arrivals and retries. Deterministic global order:
+    /// by instant, then kind (fault transitions < arrivals < retries),
+    /// then stream/schedule position — so the run is a pure function of
+    /// the cell and plan, independent of worker count.
+    ///
+    /// The fast tier executes bookings inline against per-device slot
+    /// models with the same jitter stream and arithmetic as
+    /// [`run_fast_device`], so a plan whose only effect is a no-op (e.g.
+    /// factor-1.0 stragglers) reproduces the fault-free report
+    /// bit-identically. The detailed tier uses the slot model (un-jittered)
+    /// only to decide crash losses, then materializes each device's
+    /// surviving bookings as a full [`Simulation`] with the device's
+    /// straggler windows translated to [`Slowdown`] faults.
+    fn run_chaos(
+        &self,
+        policy: routing::RoutePolicy,
+        jobs: Vec<ClusterJob>,
+        suite: &BenchmarkSuite,
+        plan: &FleetFaultPlan,
+    ) -> Result<ClusterReport, BenchError> {
+        assert!(self.slots >= 1, "a device needs at least one service slot");
+        assert!(
+            (0.0..1.0).contains(&self.jitter),
+            "jitter must be in [0, 1), got {}",
+            self.jitter
+        );
+        let deadline = self.scenario.bench.deadline();
+        let n = self.scenario.devices;
+        let detailed = self.fidelity == Fidelity::Detailed;
+        let mut router = Router::new(policy, n, self.slots, self.scenario.cell_seed());
+        let mut hub: ProbeHub<ProbeEvent> = ProbeHub::new();
+        for obs in &self.observers {
+            hub.attach(Box::new(Arc::clone(obs)));
+        }
+        let mut devs: Vec<ChaosDevice> = (0..n)
+            .map(|d| ChaosDevice::new(self.slots, self.scenario.device_seed(d)))
+            .collect();
+        // Straggler windows per device, scanned statically at booking time
+        // (the schedule is known a priori, so no transition state needed).
+        let mut stragglers: Vec<Vec<(Cycle, Cycle, f64)>> = vec![Vec::new(); n];
+        for w in &plan.stragglers {
+            stragglers[w.device as usize].push((w.at, w.until, w.factor));
+        }
+        // Health transitions, expanded so correlated outages become one
+        // event per member device; `transitions()` order (ends before
+        // starts at equal instants) is preserved.
+        let mut fleet_events: Vec<(Cycle, DevAction)> = Vec::new();
+        for (t, action) in plan.transitions() {
+            match action {
+                FleetFaultAction::CrashStart(i) => {
+                    fleet_events.push((t, DevAction::Down(plan.crashes[i].device as usize)));
+                }
+                FleetFaultAction::CrashEnd(i) => {
+                    fleet_events.push((t, DevAction::Up(plan.crashes[i].device as usize)));
+                }
+                FleetFaultAction::OutageStart(i) => {
+                    let o = &plan.outages[i];
+                    for d in o.first..o.first + o.count {
+                        fleet_events.push((t, DevAction::Down(d as usize)));
+                    }
+                }
+                FleetFaultAction::OutageEnd(i) => {
+                    let o = &plan.outages[i];
+                    for d in o.first..o.first + o.count {
+                        fleet_events.push((t, DevAction::Up(d as usize)));
+                    }
+                }
+                FleetFaultAction::DrainStart(i) => {
+                    fleet_events.push((t, DevAction::DrainOn(plan.drains[i].device as usize)));
+                }
+                FleetFaultAction::DrainEnd(i) => {
+                    fleet_events.push((t, DevAction::DrainOff(plan.drains[i].device as usize)));
+                }
+                FleetFaultAction::StragglerStart(_) | FleetFaultAction::StragglerEnd(_) => {}
+            }
+        }
+        let mut ei = 0usize;
+        let mut retries: std::collections::BinaryHeap<std::cmp::Reverse<RetryEntry>> =
+            std::collections::BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut rejected = 0u64;
+        let mut shed = 0u64;
+        let mut lost = 0u64;
+        let mut retried = 0u64;
+
+        // One fleet event: flush/restore device state and drive health.
+        macro_rules! apply_fleet_event {
+            ($t:expr, $action:expr) => {{
+                let t = $t;
+                match $action {
+                    DevAction::Down(d) => {
+                        let dev = &mut devs[d];
+                        dev.down += 1;
+                        if dev.down == 1 {
+                            let bookings = std::mem::take(&mut dev.bookings);
+                            let mut lost_here = 0u32;
+                            for b in bookings {
+                                if b.completion <= t {
+                                    // Done before the crash hit.
+                                    if detailed {
+                                        dev.survivors.push(b);
+                                    } else {
+                                        dev.complete(&b);
+                                    }
+                                } else {
+                                    // In flight or queued: gone with the
+                                    // device; retry if budget remains.
+                                    lost_here += 1;
+                                    if !detailed {
+                                        dev.events += 1;
+                                    }
+                                    chaos_lose(
+                                        b,
+                                        t,
+                                        self.retry_budget,
+                                        self.retry_backoff,
+                                        &mut retries,
+                                        &mut seq,
+                                        &mut lost,
+                                    );
+                                }
+                            }
+                            hub.emit_with(t, || ProbeEvent::DeviceDown {
+                                device: d as u16,
+                                crashed: true,
+                                lost: lost_here,
+                            });
+                            router.set_health(d, DeviceHealth::Down);
+                        }
+                    }
+                    DevAction::Up(d) => {
+                        let dev = &mut devs[d];
+                        dev.down -= 1;
+                        if dev.down == 0 {
+                            // Restored with an empty queue: both the actual
+                            // model and the router's predictions restart at
+                            // the restore instant.
+                            for s in &mut dev.slots {
+                                *s = t;
+                            }
+                            router.reset_device(d, t);
+                            let h = if dev.draining > 0 {
+                                DeviceHealth::Draining
+                            } else {
+                                DeviceHealth::Up
+                            };
+                            router.set_health(d, h);
+                            if h == DeviceHealth::Up {
+                                hub.emit_with(t, || ProbeEvent::DeviceRestored {
+                                    device: d as u16,
+                                });
+                            }
+                        }
+                    }
+                    DevAction::DrainOn(d) => {
+                        let dev = &mut devs[d];
+                        dev.draining += 1;
+                        if dev.draining == 1 && dev.down == 0 {
+                            // In-flight work keeps running; only new
+                            // placements stop.
+                            hub.emit_with(t, || ProbeEvent::DeviceDown {
+                                device: d as u16,
+                                crashed: false,
+                                lost: 0,
+                            });
+                            router.set_health(d, DeviceHealth::Draining);
+                        }
+                    }
+                    DevAction::DrainOff(d) => {
+                        let dev = &mut devs[d];
+                        dev.draining -= 1;
+                        if dev.draining == 0 && dev.down == 0 {
+                            router.set_health(d, DeviceHealth::Up);
+                            hub.emit_with(t, || ProbeEvent::DeviceRestored { device: d as u16 });
+                        }
+                    }
+                }
+            }};
+        }
+
+        // One retry firing: deadline-aware re-admission for every policy.
+        macro_rules! fire_retry {
+            ($entry:expr) => {{
+                let RetryEntry { at, job, .. } = $entry;
+                let req = RouteRequest {
+                    arrival: at,
+                    service_est: job.service_est,
+                    deadline: job.deadline_abs.saturating_since(at),
+                };
+                match router.best_laxity(&req) {
+                    None => {
+                        // Still nothing in rotation; back off again until
+                        // the budget runs out.
+                        if job.attempt < self.retry_budget {
+                            seq += 1;
+                            retries.push(std::cmp::Reverse(RetryEntry {
+                                at: at + backoff_for(self.retry_backoff, job.attempt),
+                                seq,
+                                job: RetryJob { attempt: job.attempt + 1, ..job },
+                            }));
+                        } else {
+                            lost += 1;
+                        }
+                    }
+                    Some(lax) if lax < 0.0 => {
+                        // The laxity gate: no survivor can make the
+                        // remaining deadline, so re-placing would only
+                        // burn capacity on a guaranteed miss.
+                        lost += 1;
+                    }
+                    Some(_) => match router.route(&req) {
+                        RouteDecision::Route { device, .. } => {
+                            retried += 1;
+                            hub.emit_with(at, || ProbeEvent::JobRetried {
+                                job: JobId(job.id),
+                                attempt: job.attempt,
+                                device: device as u16,
+                            });
+                            devs[device].book(
+                                self.jitter,
+                                &stragglers[device],
+                                detailed,
+                                at,
+                                &job,
+                            );
+                        }
+                        // best_laxity was non-negative, so LL admits and
+                        // some device is Up; defensive completeness.
+                        RouteDecision::Reject { .. } | RouteDecision::NoDevice => lost += 1,
+                    },
+                }
+            }};
+        }
+
+        for job in &jobs {
+            let t_arr = job.arrival;
+            // Replay fault transitions (≤ arrival) and retries (< arrival)
+            // in merged time order; equal-instant ties go to transitions.
+            loop {
+                let next_ev = fleet_events.get(ei).map(|e| e.0);
+                let next_re = retries.peek().map(|r| r.0.at);
+                let ev_ok = next_ev.is_some_and(|te| te <= t_arr);
+                let re_ok = next_re.is_some_and(|tr| tr < t_arr);
+                if ev_ok && (!re_ok || next_ev <= next_re) {
+                    let (t, action) = fleet_events[ei];
+                    ei += 1;
+                    apply_fleet_event!(t, action);
+                } else if re_ok {
+                    let std::cmp::Reverse(entry) = retries.pop().expect("peeked");
+                    fire_retry!(entry);
+                } else {
+                    break;
+                }
+            }
+            let deadline_abs = t_arr + deadline;
+            let req =
+                RouteRequest { arrival: t_arr, service_est: job.service_est, deadline };
+            if self.shed_degraded && (0..n).any(|d| router.health(d) != DeviceHealth::Up) {
+                if let Some(lax) = router.best_laxity(&req) {
+                    if lax < 0.0 {
+                        shed += 1;
+                        hub.emit_with(t_arr, || ProbeEvent::JobShed {
+                            job: JobId(job.id),
+                            laxity_us: lax,
+                        });
+                        continue;
+                    }
+                }
+            }
+            match router.route(&req) {
+                RouteDecision::Route { device, predicted_wait, laxity_us } => {
+                    hub.emit_with(t_arr, || ProbeEvent::JobRouted {
+                        job: JobId(job.id),
+                        device: device as u16,
+                        predicted_wait_us: predicted_wait.as_us_f64(),
+                        laxity_us,
+                    });
+                    let retry = RetryJob {
+                        id: job.id,
+                        original_arrival: t_arr,
+                        service_est: job.service_est,
+                        deadline_abs,
+                        attempt: 0,
+                        spec: job.spec,
+                    };
+                    devs[device].book(self.jitter, &stragglers[device], detailed, t_arr, &retry);
+                }
+                RouteDecision::Reject { laxity_us } => {
+                    hub.emit_with(t_arr, || ProbeEvent::JobRejected {
+                        job: JobId(job.id),
+                        laxity_us,
+                    });
+                    rejected += 1;
+                }
+                RouteDecision::NoDevice => {
+                    // Whole fleet out of rotation: hold the job and retry
+                    // once capacity returns, budget permitting.
+                    if self.retry_budget > 0 {
+                        seq += 1;
+                        retries.push(std::cmp::Reverse(RetryEntry {
+                            at: t_arr + backoff_for(self.retry_backoff, 0),
+                            seq,
+                            job: RetryJob {
+                                id: job.id,
+                                original_arrival: t_arr,
+                                service_est: job.service_est,
+                                deadline_abs,
+                                attempt: 1,
+                                spec: job.spec,
+                            },
+                        }));
+                    } else {
+                        lost += 1;
+                    }
+                }
+            }
+        }
+        drop(jobs);
+        // Drain what remains: the tail of the fault schedule and every
+        // pending retry, still in merged time order.
+        loop {
+            let next_ev = fleet_events.get(ei).map(|e| e.0);
+            let next_re = retries.peek().map(|r| r.0.at);
+            match (next_ev, next_re) {
+                (Some(te), Some(tr)) if te <= tr => {
+                    let (t, action) = fleet_events[ei];
+                    ei += 1;
+                    apply_fleet_event!(t, action);
+                }
+                (Some(_), None) => {
+                    let (t, action) = fleet_events[ei];
+                    ei += 1;
+                    apply_fleet_event!(t, action);
+                }
+                (_, Some(_)) => {
+                    let std::cmp::Reverse(entry) = retries.pop().expect("peeked");
+                    fire_retry!(entry);
+                }
+                (None, None) => break,
+            }
+        }
+        // Everything still booked outlives the fault schedule and
+        // completes.
+        for dev in &mut devs {
+            let bookings = std::mem::take(&mut dev.bookings);
+            for b in bookings {
+                if detailed {
+                    dev.survivors.push(b);
+                } else {
+                    dev.complete(&b);
+                }
+            }
+        }
+
+        let mut latency_us = StreamingQuantiles::new();
+        let mut completed = 0u64;
+        let mut met = 0u64;
+        let mut device_rejected = 0u64;
+        let mut makespan = Duration::ZERO;
+        let mut events = 0u64;
+        let mut per_device_jobs = Vec::with_capacity(n);
+        if detailed {
+            let survivor_lists: Vec<Vec<Booking>> =
+                devs.iter_mut().map(|dev| std::mem::take(&mut dev.survivors)).collect();
+            let indices: Vec<usize> = (0..n).collect();
+            let slices = par_map(&indices, self.workers, |&d| {
+                self.run_detailed_survivors(d, &survivor_lists[d], &stragglers[d], suite)
+            });
+            for (d, slice) in slices.into_iter().enumerate() {
+                let s = slice?;
+                latency_us.merge(&s.latency_us);
+                completed += s.completed;
+                met += s.met;
+                device_rejected += s.device_rejected;
+                makespan = makespan.max(s.makespan);
+                events += s.events;
+                per_device_jobs.push(devs[d].booked);
+            }
+        } else {
+            for dev in &devs {
+                latency_us.merge(&dev.sketch);
+                completed += dev.completed;
+                met += dev.met;
+                makespan = makespan.max(dev.makespan.saturating_since(Cycle::ZERO));
+                events += dev.events;
+                per_device_jobs.push(dev.booked);
+            }
+        }
+        Ok(ClusterReport {
+            scenario: self.scenario.clone(),
+            fidelity: self.fidelity,
+            total: self.scenario.n_jobs as u64,
+            rejected,
+            device_rejected,
+            completed,
+            met,
+            lost,
+            retried,
+            shed,
+            latency_us,
+            per_device_jobs,
+            makespan,
+            events,
+        })
+    }
+
+    /// Detailed-tier phase 2 under chaos: materialize one device's
+    /// surviving bookings (entry order, deadlines measured from the
+    /// original arrival) as a full simulation, with the device's straggler
+    /// windows applied as whole-device [`Slowdown`] faults.
+    fn run_detailed_survivors(
+        &self,
+        d: usize,
+        survivors: &[Booking],
+        windows: &[(Cycle, Cycle, f64)],
+        suite: &BenchmarkSuite,
+    ) -> Result<DeviceSlice, BenchError> {
+        let _ = d;
+        if survivors.is_empty() {
+            return Ok(DeviceSlice::default());
+        }
+        let bench = self.scenario.bench;
+        let descs: Vec<JobDesc> = survivors
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let kernels = match b.spec {
+                    ChainSpec::Single => {
+                        vec![suite.calibration(single_kernel_name(bench)).desc.clone()]
+                    }
+                    ChainSpec::Rnn { cell, hidden, seq_len } => {
+                        build_chain(cell, hidden, seq_len, suite)
+                    }
+                };
+                // A retried booking enters at its retry instant but is
+                // held to its original deadline: the relative deadline
+                // shrinks by the time already burned.
+                JobDesc::new(
+                    JobId(i as u32),
+                    job_label(bench, b.spec),
+                    kernels,
+                    b.deadline_abs.saturating_since(b.entry),
+                    b.entry,
+                )
+            })
+            .collect();
+        let mode = registry::try_build(&self.device_scheduler)?;
+        let faults = FaultPlan {
+            slowdowns: windows
+                .iter()
+                .map(|&(at, until, factor)| Slowdown { at, until, factor })
+                .collect(),
+            ..FaultPlan::none()
+        };
+        let mut sim = Simulation::builder()
+            .offline_rates(suite.offline_rates())
+            .jobs(descs)
+            .scheduler(mode)
+            .faults(faults)
+            .build()?;
+        let report = sim.try_run().map_err(BenchError::Sim)?;
+        let mut latency_us = StreamingQuantiles::new();
+        for r in &report.records {
+            if let Some(lat) = r.latency() {
+                // Latency is arrival-to-completion of the *original* job,
+                // so a retry pays for its first, doomed placement too.
+                let b = &survivors[r.id.0 as usize];
+                let requeue_delay = b.entry.saturating_since(b.original_arrival);
+                latency_us.push(lat.saturating_add(requeue_delay).as_us_f64());
+            }
+        }
+        Ok(DeviceSlice {
+            latency_us,
+            completed: report.completed() as u64,
+            met: report.deadlines_met() as u64,
+            device_rejected: report.rejected() as u64,
+            makespan: report.makespan,
+            events: report.events,
+            jobs: survivors.len() as u64,
+        })
+    }
+}
+
+/// One expanded fleet-fault transition targeting a single device.
+#[derive(Debug, Clone, Copy)]
+enum DevAction {
+    /// Device crashes (crash or outage-member start).
+    Down(usize),
+    /// Crash/outage window ends.
+    Up(usize),
+    /// Drain window opens.
+    DrainOn(usize),
+    /// Drain window closes.
+    DrainOff(usize),
+}
+
+/// A job (re-)entering the front door: either an original arrival held
+/// back by a fleet-wide outage or a booking lost to a device crash.
+#[derive(Debug, Clone, Copy)]
+struct RetryJob {
+    id: u32,
+    original_arrival: Cycle,
+    service_est: Duration,
+    deadline_abs: Cycle,
+    /// Which retry generation this is (0 = the initial placement).
+    attempt: u32,
+    spec: ChainSpec,
+}
+
+/// A scheduled retry, ordered by (fire instant, schedule sequence) — the
+/// payload never participates in the ordering.
+#[derive(Debug, Clone, Copy)]
+struct RetryEntry {
+    at: Cycle,
+    seq: u64,
+    job: RetryJob,
+}
+
+impl PartialEq for RetryEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for RetryEntry {}
+
+impl PartialOrd for RetryEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for RetryEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Exponential sim-time backoff: `base << attempt`, saturating (the shift
+/// is capped well past any realistic budget).
+fn backoff_for(base: Duration, attempt: u32) -> Duration {
+    Duration::from_cycles(base.as_cycles().saturating_mul(1u64 << attempt.min(20)))
+}
+
+/// Requeues a crash-lost booking if its retry budget allows, else counts
+/// it lost.
+fn chaos_lose(
+    b: Booking,
+    now: Cycle,
+    budget: u32,
+    backoff: Duration,
+    retries: &mut std::collections::BinaryHeap<std::cmp::Reverse<RetryEntry>>,
+    seq: &mut u64,
+    lost: &mut u64,
+) {
+    if b.attempt < budget {
+        *seq += 1;
+        retries.push(std::cmp::Reverse(RetryEntry {
+            at: now + backoff_for(backoff, b.attempt),
+            seq: *seq,
+            job: RetryJob {
+                id: b.id,
+                original_arrival: b.original_arrival,
+                service_est: b.service_est,
+                deadline_abs: b.deadline_abs,
+                attempt: b.attempt + 1,
+                spec: b.spec,
+            },
+        }));
+    } else {
+        *lost += 1;
+    }
+}
+
+/// One placement on a chaos device, unresolved until the device either
+/// survives past its completion or crashes first.
+#[derive(Debug, Clone, Copy)]
+struct Booking {
+    id: u32,
+    original_arrival: Cycle,
+    /// When this placement entered the device (> original arrival for
+    /// retries).
+    entry: Cycle,
+    /// Model completion instant (fast: jittered and straggler-stretched;
+    /// detailed: calibrated estimate).
+    completion: Cycle,
+    deadline_abs: Cycle,
+    service_est: Duration,
+    attempt: u32,
+    spec: ChainSpec,
+}
+
+/// Mutable per-device state of the chaos engine.
+#[derive(Debug)]
+struct ChaosDevice {
+    /// Free-at instants of the actual service slots (the executing model,
+    /// distinct from the router's predictions).
+    slots: Vec<Cycle>,
+    /// Jitter stream, one draw per booking in booking order — the same
+    /// stream [`run_fast_device`] would consume in a fault-free run.
+    rng: SimRng,
+    /// Unresolved placements, in booking order.
+    bookings: Vec<Booking>,
+    /// Detailed tier: bookings that survived to completion, awaiting
+    /// phase-2 materialization.
+    survivors: Vec<Booking>,
+    sketch: StreamingQuantiles,
+    completed: u64,
+    met: u64,
+    booked: u64,
+    events: u64,
+    makespan: Cycle,
+    /// Open crash/outage windows (health `Down` while > 0).
+    down: u32,
+    /// Open drain windows (health `Draining` while > 0 and not down).
+    draining: u32,
+}
+
+impl ChaosDevice {
+    fn new(slots: usize, seed: u64) -> Self {
+        ChaosDevice {
+            slots: vec![Cycle::ZERO; slots],
+            rng: SimRng::seed_from(seed),
+            bookings: Vec::new(),
+            survivors: Vec::new(),
+            sketch: StreamingQuantiles::new(),
+            completed: 0,
+            met: 0,
+            booked: 0,
+            events: 0,
+            makespan: Cycle::ZERO,
+            down: 0,
+            draining: 0,
+        }
+    }
+
+    /// Books one placement, mirroring [`run_fast_device`]'s service
+    /// arithmetic exactly (same jitter draw, same slot selection) so a
+    /// no-op fault plan reproduces the fault-free run bit for bit; active
+    /// straggler windows at the start instant stretch the service time.
+    fn book(
+        &mut self,
+        jitter: f64,
+        windows: &[(Cycle, Cycle, f64)],
+        detailed: bool,
+        entry: Cycle,
+        job: &RetryJob,
+    ) {
+        let service = if detailed || jitter == 0.0 {
+            job.service_est
+        } else {
+            let m = 1.0 - jitter + 2.0 * jitter * self.rng.uniform_f64();
+            job.service_est.mul_f64(m)
+        };
+        let slot = self.slots.iter_mut().min().expect("at least one slot");
+        let start = (*slot).max(entry);
+        let service = if detailed {
+            service
+        } else {
+            let factor: f64 = windows
+                .iter()
+                .filter(|&&(at, until, _)| at <= start && start < until)
+                .map(|&(_, _, f)| f)
+                .product();
+            // Apply only a real stretch: `mul_f64(1.0)` is arithmetically
+            // a no-op but must also be one bit-for-bit.
+            if factor != 1.0 {
+                service.mul_f64(factor)
+            } else {
+                service
+            }
+        };
+        let completion = start + service;
+        *slot = completion;
+        self.booked += 1;
+        self.bookings.push(Booking {
+            id: job.id,
+            original_arrival: job.original_arrival,
+            entry,
+            completion,
+            deadline_abs: job.deadline_abs,
+            service_est: job.service_est,
+            attempt: job.attempt,
+            spec: job.spec,
+        });
+    }
+
+    /// Resolves one fast-tier booking as completed.
+    fn complete(&mut self, b: &Booking) {
+        self.sketch.push(b.completion.saturating_since(b.original_arrival).as_us_f64());
+        self.met += u64::from(b.completion <= b.deadline_abs);
+        self.completed += 1;
+        self.makespan = self.makespan.max(b.completion);
+        self.events += 2;
+    }
+}
+
 /// What one device contributes to the merged report.
 #[derive(Debug, Clone, Default)]
 struct DeviceSlice {
@@ -626,6 +1491,14 @@ pub struct ClusterReport {
     pub completed: u64,
     /// Completed jobs that made their deadline.
     pub met: u64,
+    /// Jobs lost to device crashes (in flight when the device went down
+    /// and not recovered within the retry budget). Zero without faults.
+    pub lost: u64,
+    /// Successful re-placements of crash-lost (or outage-stalled) jobs.
+    pub retried: u64,
+    /// Jobs shed at the front door under degraded capacity
+    /// ([`ClusterBuilder::shed_degraded`]). Zero without faults.
+    pub shed: u64,
     /// Arrival-to-completion latency sketch over completed jobs,
     /// microseconds (p50/p99/p999 within 0.5% relative error).
     pub latency_us: StreamingQuantiles,
@@ -688,7 +1561,58 @@ pub fn cluster_table(reports: &[ClusterReport]) -> Table {
     table
 }
 
-const CLUSTER_CKPT_HEADER: &str = "lax-bench-cluster-checkpoint v1";
+// v2 added `lost retried shed` to the summary line; v1 files are treated
+// as foreign (resume restarts from scratch, which is always safe).
+/// Renders the robustness table the `chaos` binary writes: one row per
+/// report with the failure-domain counters (shed/lost/retried) alongside
+/// the attainment and latency tails. [`cluster_table`] stays unchanged so
+/// fault-free results files are byte-stable.
+pub fn chaos_table(reports: &[ClusterReport]) -> Table {
+    let mut table = Table::with_columns(&[
+        "cell",
+        "policy",
+        "f",
+        "devices",
+        "jobs",
+        "rejected",
+        "shed",
+        "lost",
+        "retried",
+        "done",
+        "met",
+        "attain",
+        "p50_us",
+        "p99_us",
+        "p999_us",
+        "mean_us",
+        "makespan_ms",
+    ]);
+    for r in reports {
+        let s = &r.scenario;
+        table.row(vec![
+            format!("{}:{}", s.bench, s.rate),
+            s.policy.clone(),
+            format!("{}", s.fault_intensity()),
+            s.devices.to_string(),
+            r.total.to_string(),
+            (r.rejected + r.device_rejected).to_string(),
+            r.shed.to_string(),
+            r.lost.to_string(),
+            r.retried.to_string(),
+            r.completed.to_string(),
+            r.met.to_string(),
+            format!("{:.4}", r.attainment()),
+            format!("{:.1}", r.latency_us.p50()),
+            format!("{:.1}", r.latency_us.p99()),
+            format!("{:.1}", r.latency_us.p999()),
+            format!("{:.1}", r.latency_us.mean()),
+            format!("{:.2}", r.makespan.as_us_f64() / 1000.0),
+        ]);
+    }
+    table
+}
+
+const CLUSTER_CKPT_HEADER: &str = "lax-bench-cluster-checkpoint v2";
 
 /// Crash-safe store of finished cluster cells, keyed by the scenario's
 /// string form — the fleet counterpart of [`crate::Checkpoint`]. Reports
@@ -797,37 +1721,51 @@ fn f64_from_hex(s: &str) -> Option<f64> {
     u64::from_str_radix(s, 16).ok().map(f64::from_bits)
 }
 
-fn write_cell(text: &mut String, key: &str, r: &ClusterReport) {
+/// Appends formatted text to a `String`. `fmt::Write` on `String` cannot
+/// fail, so this absorbs the `fmt::Result` that would otherwise demand an
+/// `.unwrap()` per line of checkpoint output.
+fn push_fmt(text: &mut String, args: fmt::Arguments<'_>) {
     use fmt::Write as _;
+    let _ = text.write_fmt(args);
+}
+
+fn write_cell(text: &mut String, key: &str, r: &ClusterReport) {
     let (counts, zeros, sum, min, max) = r.latency_us.raw_parts();
-    writeln!(text, "cell {key}").unwrap();
-    writeln!(text, "fidelity {}", r.fidelity).unwrap();
-    writeln!(
+    push_fmt(text, format_args!("cell {key}\n"));
+    push_fmt(text, format_args!("fidelity {}\n", r.fidelity));
+    push_fmt(
         text,
-        "summary {} {} {} {} {} {} {}",
-        r.total,
-        r.rejected,
-        r.device_rejected,
-        r.completed,
-        r.met,
-        r.makespan.as_cycles(),
-        r.events
-    )
-    .unwrap();
-    write!(text, "devices").unwrap();
+        format_args!(
+            "summary {} {} {} {} {} {} {} {} {} {}\n",
+            r.total,
+            r.rejected,
+            r.device_rejected,
+            r.completed,
+            r.met,
+            r.lost,
+            r.retried,
+            r.shed,
+            r.makespan.as_cycles(),
+            r.events
+        ),
+    );
+    text.push_str("devices");
     for c in &r.per_device_jobs {
-        write!(text, " {c}").unwrap();
+        push_fmt(text, format_args!(" {c}"));
     }
     text.push('\n');
-    writeln!(text, "sketch {} {} {} {}", zeros, f64_hex(sum), f64_hex(min), f64_hex(max)).unwrap();
-    write!(text, "buckets").unwrap();
+    push_fmt(
+        text,
+        format_args!("sketch {} {} {} {}\n", zeros, f64_hex(sum), f64_hex(min), f64_hex(max)),
+    );
+    text.push_str("buckets");
     for (i, &c) in counts.iter().enumerate() {
         if c > 0 {
-            write!(text, " {i}:{c}").unwrap();
+            push_fmt(text, format_args!(" {i}:{c}"));
         }
     }
     text.push('\n');
-    writeln!(text, "end").unwrap();
+    text.push_str("end\n");
 }
 
 fn parse_checkpoint(text: &str) -> Option<BTreeMap<String, ClusterReport>> {
@@ -849,6 +1787,9 @@ fn parse_checkpoint(text: &str) -> Option<BTreeMap<String, ClusterReport>> {
         let device_rejected: u64 = summary.next()?.parse().ok()?;
         let completed: u64 = summary.next()?.parse().ok()?;
         let met: u64 = summary.next()?.parse().ok()?;
+        let lost: u64 = summary.next()?.parse().ok()?;
+        let retried: u64 = summary.next()?.parse().ok()?;
+        let shed: u64 = summary.next()?.parse().ok()?;
         let makespan = Duration::from_cycles(summary.next()?.parse().ok()?);
         let events: u64 = summary.next()?.parse().ok()?;
         let devices_line = lines.next()?.strip_prefix("devices")?;
@@ -886,6 +1827,9 @@ fn parse_checkpoint(text: &str) -> Option<BTreeMap<String, ClusterReport>> {
                 device_rejected,
                 completed,
                 met,
+                lost,
+                retried,
+                shed,
                 latency_us,
                 per_device_jobs,
                 makespan,
@@ -924,7 +1868,12 @@ mod tests {
             ("", "1 fields"),
             ("LL", "1 fields"),
             ("LL:HYBRID:high:d16:j128", "5 fields"),
-            ("LL:HYBRID:high:d16:j128:s42:x", "7 fields"),
+            ("LL:HYBRID:high:d16:j128:s42:f1:x", "8 fields"),
+            ("LL:HYBRID:high:d16:j128:s42:x", "bad fault intensity"),
+            ("LL:HYBRID:high:d16:j128:s42:f0", "bad fault intensity"),
+            ("LL:HYBRID:high:d16:j128:s42:f-1", "bad fault intensity"),
+            ("LL:HYBRID:high:d16:j128:s42:fx", "bad fault intensity"),
+            ("LL:HYBRID:high:d16:j128:s42:fnan", "bad fault intensity"),
             ("LL:WARP9:high:d16:j128:s42", "WARP9"),
             ("LL:HYBRID:sometimes:d16:j128:s42", "sometimes"),
             ("LL:HYBRID:high:16:j128:s42", "bad device count"),
@@ -1103,6 +2052,253 @@ mod tests {
         ckpt.discard_file().unwrap();
         assert!(ClusterCheckpoint::open(&path).is_empty());
         let _ = fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn fault_scenarios_round_trip_through_strings() {
+        for (milli, text) in [
+            (1000, "LL:HYBRID:high:d4:j400:s7:f1"),
+            (1500, "LL:HYBRID:high:d4:j400:s7:f1.5"),
+            (1, "LL:HYBRID:high:d4:j400:s7:f0.001"),
+            (2000, "LL:HYBRID:high:d4:j400:s7:f2"),
+        ] {
+            let s = scen("LL").with_fault_milli(milli);
+            assert_eq!(s.to_string(), text);
+            assert_eq!(text.parse::<ClusterScenario>().unwrap(), s, "{text}");
+        }
+        // Intensity is part of the cell identity for the *fault* seed but
+        // not the workload seed: arrival streams stay paired across
+        // intensities so robustness comparisons isolate the faults.
+        let base = scen("LL");
+        let faulty = scen("LL").with_fault_milli(1000);
+        assert_eq!(base.cell_seed(), faulty.cell_seed());
+        assert_ne!(faulty.fault_seed(), scen("LL").with_fault_milli(2000).fault_seed());
+        assert_eq!(faulty.fault_seed(), scen("RR").with_fault_milli(1000).fault_seed());
+    }
+
+    /// A plan whose only entry is a factor-1.0 straggler forces the chaos
+    /// engine (the plan is non-empty) while perturbing nothing — the
+    /// strictest check that the engine's arithmetic mirrors the fault-free
+    /// path bit for bit.
+    #[test]
+    fn noop_fault_plan_is_bit_identical_to_fault_free_run() {
+        let noop = FleetFaultPlan {
+            stragglers: vec![StragglerWindow {
+                device: 0,
+                at: Cycle::ZERO,
+                until: Cycle::MAX,
+                factor: 1.0,
+            }],
+            ..FleetFaultPlan::none()
+        };
+        for policy in routing::names() {
+            let s = scen(policy);
+            let plain = ClusterBuilder::new(s.clone()).run().unwrap();
+            let chaos = ClusterBuilder::new(s).fleet_faults(noop.clone()).run().unwrap();
+            assert_eq!(plain, chaos, "{policy}: a no-op plan must not change the report");
+        }
+    }
+
+    #[test]
+    fn intensity_zero_never_engages_the_chaos_engine() {
+        let s = scen("LL").with_fault_milli(0);
+        assert_eq!(
+            ClusterBuilder::new(s).run().unwrap(),
+            ClusterBuilder::new(scen("LL")).run().unwrap()
+        );
+    }
+
+    /// A crash window over the middle of the stream on half the fleet.
+    /// Spans derive from the actual arrival stream so losses are
+    /// guaranteed, not luck.
+    fn mid_stream_crash(s: &ClusterScenario) -> FleetFaultPlan {
+        let jobs = generate_cluster_jobs(s, BenchmarkSuite::calibrated());
+        let span = jobs.last().unwrap().arrival;
+        let at = Cycle::from_cycles(span.as_cycles() / 4);
+        let until = Cycle::from_cycles(span.as_cycles() / 2);
+        FleetFaultPlan {
+            crashes: vec![
+                DeviceCrash { device: 0, at, until },
+                DeviceCrash { device: 1, at, until },
+            ],
+            ..FleetFaultPlan::none()
+        }
+    }
+
+    #[test]
+    fn crashes_conserve_jobs_and_retries_recover_work() {
+        let s = scen("RR");
+        let plan = mid_stream_crash(&s);
+        let r = ClusterBuilder::new(s.clone()).fleet_faults(plan.clone()).run().unwrap();
+        assert_eq!(
+            r.completed + r.rejected + r.shed + r.lost,
+            r.total,
+            "every job must be completed, rejected, shed or lost"
+        );
+        assert_eq!(r.latency_us.len() as u64, r.completed);
+        assert!(r.retried > 0, "crash-lost jobs must re-enter the front door");
+        assert!(r.met < r.total, "losing half the fleet mid-stream must cost deadlines");
+
+        // Retry disabled: the same crashes turn recoveries into losses.
+        let no_retry =
+            ClusterBuilder::new(s).fleet_faults(plan).retry_budget(0).run().unwrap();
+        assert_eq!(no_retry.retried, 0);
+        assert!(no_retry.lost > 0, "with no retry budget, crash-lost jobs stay lost");
+        assert_eq!(
+            no_retry.completed + no_retry.rejected + no_retry.shed + no_retry.lost,
+            no_retry.total
+        );
+        assert!(no_retry.completed < r.completed, "retries must recover real work");
+    }
+
+    #[test]
+    fn chaos_runs_are_bit_identical_across_worker_counts() {
+        for policy in routing::names() {
+            let s = scen(policy).with_fault_milli(1500);
+            let one = ClusterBuilder::new(s.clone()).workers(1).run().unwrap();
+            let eight = ClusterBuilder::new(s).workers(8).run().unwrap();
+            assert_eq!(one, eight, "{policy}: chaos reports must not depend on worker count");
+        }
+    }
+
+    #[derive(Default)]
+    struct ChaosCounter {
+        down: u64,
+        crashed: u64,
+        restored: u64,
+        retried: u64,
+        shed: u64,
+        rejected: u64,
+    }
+
+    impl Observer<ProbeEvent> for ChaosCounter {
+        fn on_event(&mut self, _at: Cycle, event: &ProbeEvent) {
+            match event {
+                ProbeEvent::DeviceDown { crashed, .. } => {
+                    self.down += 1;
+                    self.crashed += u64::from(*crashed);
+                }
+                ProbeEvent::DeviceRestored { .. } => self.restored += 1,
+                ProbeEvent::JobRetried { .. } => self.retried += 1,
+                ProbeEvent::JobShed { .. } => self.shed += 1,
+                ProbeEvent::JobRejected { .. } => self.rejected += 1,
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_probes_cover_failure_events_and_do_not_perturb() {
+        let s = scen("LL");
+        let plan = mid_stream_crash(&s);
+        let plain = ClusterBuilder::new(s.clone()).fleet_faults(plan.clone()).run().unwrap();
+        let counter = Arc::new(Mutex::new(ChaosCounter::default()));
+        let observed = ClusterBuilder::new(s)
+            .fleet_faults(plan)
+            .observe(counter.clone())
+            .run()
+            .unwrap();
+        assert_eq!(plain, observed, "observers must not perturb the chaos report");
+        let c = counter.lock().unwrap();
+        assert_eq!(c.down, 2, "both crash windows must be announced");
+        assert_eq!(c.crashed, 2);
+        assert_eq!(c.restored, 2, "both devices must return to rotation");
+        assert_eq!(c.retried, observed.retried);
+        assert_eq!(c.shed, observed.shed);
+        assert_eq!(c.rejected, observed.rejected);
+    }
+
+    /// RR never rejects, so under a 3-of-4-devices-down window with one
+    /// slot each, shedding is the only pressure valve — and it must fire
+    /// only when enabled.
+    #[test]
+    fn shedding_under_degraded_capacity_is_opt_in() {
+        let s = ClusterScenario::new("RR", Benchmark::Hybrid, ArrivalRate::High, 4, 2000, 7);
+        let jobs = generate_cluster_jobs(&s, BenchmarkSuite::calibrated());
+        let span = jobs.last().unwrap().arrival;
+        let at = Cycle::from_cycles(span.as_cycles() / 8);
+        let until = Cycle::from_cycles(span.as_cycles() * 7 / 8);
+        let plan = FleetFaultPlan {
+            outages: vec![CorrelatedOutage { first: 1, count: 3, at, until }],
+            ..FleetFaultPlan::none()
+        };
+        let build = |shed| {
+            ClusterBuilder::new(s.clone())
+                .slots(1)
+                .fleet_faults(plan.clone())
+                .shed_degraded(shed)
+                .run()
+                .unwrap()
+        };
+        let keep = build(false);
+        assert_eq!(keep.shed, 0);
+        let shedding = build(true);
+        assert!(shedding.shed > 0, "an overloaded survivor must shed hopeless jobs");
+        assert_eq!(
+            shedding.completed + shedding.rejected + shedding.shed + shedding.lost,
+            shedding.total
+        );
+    }
+
+    #[test]
+    fn detailed_chaos_conserves_jobs_across_both_phases() {
+        let s = ClusterScenario::new("LOW", Benchmark::Ipv6, ArrivalRate::Low, 2, 24, 3);
+        let jobs = generate_cluster_jobs(&s, BenchmarkSuite::calibrated());
+        let span = jobs.last().unwrap().arrival;
+        let plan = FleetFaultPlan {
+            crashes: vec![DeviceCrash {
+                device: 0,
+                at: Cycle::from_cycles(span.as_cycles() / 4),
+                until: Cycle::from_cycles(span.as_cycles() / 2),
+            }],
+            ..FleetFaultPlan::none()
+        };
+        let r = ClusterBuilder::new(s)
+            .fidelity(Fidelity::Detailed)
+            .fleet_faults(plan)
+            .run()
+            .unwrap();
+        assert_eq!(r.fidelity, Fidelity::Detailed);
+        assert_eq!(
+            r.completed + r.rejected + r.device_rejected + r.shed + r.lost,
+            r.total,
+            "phase-2 simulations must account for every surviving booking"
+        );
+        assert_eq!(r.latency_us.len() as u64, r.completed);
+        assert!(r.completed > 0);
+    }
+
+    #[test]
+    fn chaos_checkpoint_round_trips_failure_counters() {
+        let dir = std::env::temp_dir().join(format!("lax-chaos-ckpt-{}", std::process::id()));
+        let path = dir.join("chaos.ckpt");
+        let _ = fs::remove_file(&path);
+        let s = scen("RR").with_fault_milli(1500);
+        let r = ClusterBuilder::new(s).run().unwrap();
+        let mut ckpt = ClusterCheckpoint::open(&path);
+        ckpt.record(&r.scenario.to_string(), &r).unwrap();
+        let reopened = ClusterCheckpoint::open(&path);
+        assert_eq!(
+            reopened.get(&r.scenario.to_string()).unwrap(),
+            &r,
+            "lost/retried/shed must survive the checkpoint round trip"
+        );
+        ckpt.discard_file().unwrap();
+        let _ = fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn chaos_table_reports_failure_columns() {
+        let s = scen("RR");
+        let plan = mid_stream_crash(&s);
+        let r = ClusterBuilder::new(s.clone()).fleet_faults(plan).run().unwrap();
+        let text = chaos_table(&[r]).render();
+        for needle in ["shed", "lost", "retried", "attain", "RR", "HYBRID:high"] {
+            assert!(text.contains(needle), "table must mention {needle}:\n{text}");
+        }
+        // The intensity column reflects the scenario, not the override.
+        let seeded = ClusterBuilder::new(s.with_fault_milli(1500)).run().unwrap();
+        assert!(chaos_table(&[seeded]).render().contains("1.5"));
     }
 
     #[test]

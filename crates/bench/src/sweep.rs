@@ -215,6 +215,8 @@ pub enum BenchError {
     Callback(String),
     /// A filesystem operation (checkpoint write, results file) failed.
     Io(String),
+    /// The cluster scenario's fleet fault plan is ill-formed for the fleet.
+    FleetFault(FleetFaultError),
 }
 
 impl fmt::Display for BenchError {
@@ -231,6 +233,7 @@ impl fmt::Display for BenchError {
             }
             BenchError::Callback(msg) => write!(f, "progress callback panicked: {msg}"),
             BenchError::Io(msg) => write!(f, "I/O error: {msg}"),
+            BenchError::FleetFault(e) => write!(f, "invalid fleet fault plan: {e}"),
         }
     }
 }
@@ -241,6 +244,7 @@ impl std::error::Error for BenchError {
             BenchError::UnknownScheduler(e) => Some(e),
             BenchError::UnknownPolicy(e) => Some(e),
             BenchError::Sim(e) => Some(e),
+            BenchError::FleetFault(e) => Some(e),
             _ => None,
         }
     }
@@ -261,6 +265,12 @@ impl From<UnknownRoutePolicy> for BenchError {
 impl From<SimError> for BenchError {
     fn from(e: SimError) -> Self {
         BenchError::Sim(e)
+    }
+}
+
+impl From<FleetFaultError> for BenchError {
+    fn from(e: FleetFaultError) -> Self {
+        BenchError::FleetFault(e)
     }
 }
 

@@ -5,15 +5,17 @@ use std::fmt;
 
 use sim_core::time::Cycle;
 
+use crate::faults::FaultPlanError;
+
 /// Simulation construction or runtime error.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
     /// The machine configuration is inconsistent.
     Config(String),
     /// A job or kernel cannot run on the configured machine.
     Job(String),
     /// The fault plan is ill-formed for this machine.
-    Fault(String),
+    Fault(FaultPlanError),
     /// The event loop processed an implausible number of events without
     /// simulated time advancing — a livelock. Deterministic: triggers at
     /// the same event on every run, never from wall-clock.
@@ -44,7 +46,7 @@ impl fmt::Display for SimError {
         match self {
             SimError::Config(m) => write!(f, "invalid configuration: {m}"),
             SimError::Job(m) => write!(f, "invalid job: {m}"),
-            SimError::Fault(m) => write!(f, "invalid fault plan: {m}"),
+            SimError::Fault(e) => write!(f, "invalid fault plan: {e}"),
             SimError::Stalled { at, events } => {
                 write!(f, "simulation stalled at {at}: {events} events without time advancing")
             }
@@ -58,4 +60,17 @@ impl fmt::Display for SimError {
     }
 }
 
-impl std::error::Error for SimError {}
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Fault(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FaultPlanError> for SimError {
+    fn from(e: FaultPlanError) -> Self {
+        SimError::Fault(e)
+    }
+}

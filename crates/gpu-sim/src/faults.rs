@@ -215,43 +215,55 @@ impl FaultPlan {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first ill-formed fault: an empty or
-    /// inverted window, a factor below 1.0, a CU index out of range, or a
-    /// burst fraction outside the unit interval.
-    pub fn validate(&self, num_cus: u32) -> Result<(), String> {
-        for (i, s) in self.slowdowns.iter().enumerate() {
+    /// Returns the first ill-formed fault as a typed [`FaultPlanError`]: an
+    /// empty or inverted window, a factor below 1.0, a CU index out of
+    /// range, or a burst fraction outside the unit interval.
+    pub fn validate(&self, num_cus: u32) -> Result<(), FaultPlanError> {
+        for (index, s) in self.slowdowns.iter().enumerate() {
             if s.until <= s.at {
-                return Err(format!("slowdown {i}: empty window {} >= {}", s.at, s.until));
+                return Err(FaultPlanError::EmptyWindow { kind: FaultKind::Slowdown, index });
             }
             if s.factor < 1.0 || !s.factor.is_finite() {
-                return Err(format!("slowdown {i}: factor {} must be >= 1.0", s.factor));
+                return Err(FaultPlanError::FactorBelowOne {
+                    kind: FaultKind::Slowdown,
+                    index,
+                    factor: s.factor,
+                });
             }
         }
-        for (i, c) in self.cu_faults.iter().enumerate() {
+        for (index, c) in self.cu_faults.iter().enumerate() {
             if c.until <= c.at {
-                return Err(format!("cu fault {i}: empty window {} >= {}", c.at, c.until));
+                return Err(FaultPlanError::EmptyWindow { kind: FaultKind::CuFault, index });
             }
             if c.cu >= num_cus {
-                return Err(format!("cu fault {i}: CU {} out of range (machine has {num_cus})", c.cu));
+                return Err(FaultPlanError::CuOutOfRange { index, cu: c.cu, num_cus });
             }
         }
-        for (i, d) in self.dram_throttles.iter().enumerate() {
+        for (index, d) in self.dram_throttles.iter().enumerate() {
             if d.until <= d.at {
-                return Err(format!("dram throttle {i}: empty window {} >= {}", d.at, d.until));
+                return Err(FaultPlanError::EmptyWindow { kind: FaultKind::DramThrottle, index });
             }
             if d.factor < 1.0 || !d.factor.is_finite() {
-                return Err(format!("dram throttle {i}: factor {} must be >= 1.0", d.factor));
+                return Err(FaultPlanError::FactorBelowOne {
+                    kind: FaultKind::DramThrottle,
+                    index,
+                    factor: d.factor,
+                });
             }
         }
-        for (i, b) in self.bursts.iter().enumerate() {
+        for (index, b) in self.bursts.iter().enumerate() {
             if !(0.0..1.0).contains(&b.start_frac) {
-                return Err(format!("burst {i}: start_frac {} outside [0, 1)", b.start_frac));
+                return Err(FaultPlanError::BurstStartOutOfRange { index, start_frac: b.start_frac });
             }
             if b.len_frac <= 0.0 || b.len_frac > 1.0 || b.len_frac.is_nan() {
-                return Err(format!("burst {i}: len_frac {} outside (0, 1]", b.len_frac));
+                return Err(FaultPlanError::BurstLenOutOfRange { index, len_frac: b.len_frac });
             }
             if b.compression < 1.0 || !b.compression.is_finite() {
-                return Err(format!("burst {i}: compression {} must be >= 1.0", b.compression));
+                return Err(FaultPlanError::FactorBelowOne {
+                    kind: FaultKind::Burst,
+                    index,
+                    factor: b.compression,
+                });
             }
         }
         Ok(())
@@ -294,6 +306,101 @@ impl fmt::Display for FaultPlan {
         )
     }
 }
+
+/// Which fault list of a [`FaultPlan`] a [`FaultPlanError`] points into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// [`FaultPlan::slowdowns`].
+    Slowdown,
+    /// [`FaultPlan::cu_faults`].
+    CuFault,
+    /// [`FaultPlan::dram_throttles`].
+    DramThrottle,
+    /// [`FaultPlan::bursts`].
+    Burst,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultKind::Slowdown => "slowdown",
+            FaultKind::CuFault => "cu fault",
+            FaultKind::DramThrottle => "dram throttle",
+            FaultKind::Burst => "burst",
+        })
+    }
+}
+
+/// Typed rejection from [`FaultPlan::validate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultPlanError {
+    /// A window's end does not lie strictly after its start.
+    EmptyWindow {
+        /// Offending fault class.
+        kind: FaultKind,
+        /// Index into that class's list.
+        index: usize,
+    },
+    /// A stretch/throttle/compression factor below 1.0 (or non-finite).
+    FactorBelowOne {
+        /// Offending fault class.
+        kind: FaultKind,
+        /// Index into that class's list.
+        index: usize,
+        /// The offending factor.
+        factor: f64,
+    },
+    /// A CU fault naming a unit the machine does not have.
+    CuOutOfRange {
+        /// Index into [`FaultPlan::cu_faults`].
+        index: usize,
+        /// The out-of-range CU index.
+        cu: u32,
+        /// CU count the plan was validated against.
+        num_cus: u32,
+    },
+    /// A burst `start_frac` outside `[0, 1)`.
+    BurstStartOutOfRange {
+        /// Index into [`FaultPlan::bursts`].
+        index: usize,
+        /// The offending fraction.
+        start_frac: f64,
+    },
+    /// A burst `len_frac` outside `(0, 1]`.
+    BurstLenOutOfRange {
+        /// Index into [`FaultPlan::bursts`].
+        index: usize,
+        /// The offending fraction.
+        len_frac: f64,
+    },
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlanError::EmptyWindow { kind, index } => {
+                write!(f, "{kind} {index}: empty window (end must lie after start)")
+            }
+            FaultPlanError::FactorBelowOne { kind: FaultKind::Burst, index, factor } => {
+                write!(f, "burst {index}: compression {factor} must be >= 1.0")
+            }
+            FaultPlanError::FactorBelowOne { kind, index, factor } => {
+                write!(f, "{kind} {index}: factor {factor} must be >= 1.0")
+            }
+            FaultPlanError::CuOutOfRange { index, cu, num_cus } => {
+                write!(f, "cu fault {index}: CU {cu} out of range (machine has {num_cus})")
+            }
+            FaultPlanError::BurstStartOutOfRange { index, start_frac } => {
+                write!(f, "burst {index}: start_frac {start_frac} outside [0, 1)")
+            }
+            FaultPlanError::BurstLenOutOfRange { index, len_frac } => {
+                write!(f, "burst {index}: len_frac {len_frac} outside (0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
 
 /// One timed state transition derived from a [`FaultPlan`]; the payload is
 /// an index into the plan's corresponding fault list.
@@ -482,22 +589,30 @@ mod tests {
             slowdowns: vec![Slowdown { at: t(10), until: t(10), factor: 2.0 }],
             ..FaultPlan::none()
         };
-        assert!(bad_window.validate(8).unwrap_err().contains("empty window"));
+        let err = bad_window.validate(8).unwrap_err();
+        assert_eq!(err, FaultPlanError::EmptyWindow { kind: FaultKind::Slowdown, index: 0 });
+        assert!(err.to_string().contains("empty window"));
         let bad_factor = FaultPlan {
             slowdowns: vec![Slowdown { at: t(0), until: t(10), factor: 0.5 }],
             ..FaultPlan::none()
         };
-        assert!(bad_factor.validate(8).unwrap_err().contains("factor"));
+        let err = bad_factor.validate(8).unwrap_err();
+        assert!(matches!(err, FaultPlanError::FactorBelowOne { factor, .. } if factor == 0.5));
+        assert!(err.to_string().contains("factor"));
         let bad_cu = FaultPlan {
             cu_faults: vec![CuFault { cu: 9, at: t(0), until: t(10) }],
             ..FaultPlan::none()
         };
-        assert!(bad_cu.validate(8).unwrap_err().contains("out of range"));
+        let err = bad_cu.validate(8).unwrap_err();
+        assert_eq!(err, FaultPlanError::CuOutOfRange { index: 0, cu: 9, num_cus: 8 });
+        assert!(err.to_string().contains("out of range"));
         let bad_burst = FaultPlan {
             bursts: vec![ArrivalBurst { start_frac: 1.5, len_frac: 0.1, compression: 2.0 }],
             ..FaultPlan::none()
         };
-        assert!(bad_burst.validate(8).unwrap_err().contains("start_frac"));
+        let err = bad_burst.validate(8).unwrap_err();
+        assert!(matches!(err, FaultPlanError::BurstStartOutOfRange { .. }));
+        assert!(err.to_string().contains("start_frac"));
         let nan_compression = FaultPlan {
             bursts: vec![ArrivalBurst { start_frac: 0.0, len_frac: 0.1, compression: f64::NAN }],
             ..FaultPlan::none()

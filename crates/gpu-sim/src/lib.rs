@@ -106,9 +106,13 @@ pub mod wave;
 pub mod prelude {
     pub use crate::config::GpuConfig;
     pub use crate::counters::Counters;
-    pub use crate::faults::{ArrivalBurst, CuFault, DramThrottle, FaultPlan, Slowdown};
+    pub use crate::faults::{
+        ArrivalBurst, CuFault, DramThrottle, FaultKind, FaultPlan, FaultPlanError, Slowdown,
+    };
     pub use crate::fleet::{
-        run_fast_device, FastDeviceParams, FastDeviceReport, Fidelity, FleetJob, FleetOutcome,
+        run_fast_device, CorrelatedOutage, DeviceCrash, DeviceDrain, DeviceHealth,
+        FastDeviceParams, FastDeviceReport, Fidelity, FleetFaultError, FleetFaultPlan, FleetJob,
+        FleetOutcome, StragglerWindow,
     };
     pub use crate::host::{HostCmd, HostEvent, HostScheduler, HostView};
     pub use crate::job::{JobDesc, JobFate, JobId, JobState};

@@ -133,6 +133,40 @@ pub enum ProbeEvent {
         /// Best laxity across devices, µs (negative by definition).
         laxity_us: f64,
     },
+    /// A fleet device left rotation (crash or drain start). Fired by the
+    /// cluster layer when replaying a `FleetFaultPlan`.
+    DeviceDown {
+        /// Device index in the fleet.
+        device: u16,
+        /// `true` for a crash (in-flight jobs lost), `false` for a drain.
+        crashed: bool,
+        /// In-flight/queued jobs lost at the transition (0 for drains).
+        lost: u32,
+    },
+    /// A fleet device rejoined rotation after a crash or drain window.
+    DeviceRestored {
+        /// Device index in the fleet.
+        device: u16,
+    },
+    /// A job lost to a device crash re-entered the front door and was
+    /// re-placed (its remaining laxity still admitted it).
+    JobRetried {
+        /// The retried job (cluster-wide id).
+        job: JobId,
+        /// Retry attempt number (1 = first retry).
+        attempt: u32,
+        /// Device the retry was placed on.
+        device: u16,
+    },
+    /// The front door shed a job under degraded capacity (counted as
+    /// rejected): with devices out of rotation, no survivor's predicted
+    /// completion met its deadline.
+    JobShed {
+        /// The shed job (cluster-wide id).
+        job: JobId,
+        /// Best laxity across surviving devices, µs (negative).
+        laxity_us: f64,
+    },
     /// Periodic hardware state snapshot (fired on the counter-refresh tick,
     /// so attaching a sampler never adds events to the queue).
     Snapshot(MetricsSnapshot),

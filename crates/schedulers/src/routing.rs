@@ -22,10 +22,21 @@
 //! independently (in parallel) after routing, so policies must rely only on
 //! arrival-time predictions — exactly the information a real front door
 //! has.
+//!
+//! # Failure domains
+//!
+//! Under a `FleetFaultPlan` the cluster layer drives per-device
+//! [`DeviceHealth`] through [`Router::set_health`]; every policy then
+//! places only on [`DeviceHealth::Up`] devices (failover), LL re-predicts
+//! completion against the survivors, and [`Router::reset_device`] clears a
+//! crashed device's slot model when it restores empty. With zero healthy
+//! devices a request gets [`RouteDecision::NoDevice`] and the front door
+//! decides whether to retry it later or shed it.
 
 use std::fmt;
 use std::str::FromStr;
 
+use gpu_sim::fleet::DeviceHealth;
 use sim_core::rng::SimRng;
 use sim_core::time::{Cycle, Duration};
 
@@ -153,6 +164,10 @@ pub enum RouteDecision {
         /// The best (least negative) laxity across devices, microseconds.
         laxity_us: f64,
     },
+    /// Every device is out of rotation (Down or Draining); nothing can be
+    /// placed right now regardless of policy. The caller decides whether to
+    /// hold the job for retry or shed it.
+    NoDevice,
 }
 
 /// Stateful router over `n` devices, each modeled as `slots` independent
@@ -169,6 +184,9 @@ pub struct Router {
     policy: RoutePolicy,
     /// `slots[d][k]` = predicted instant device `d`'s slot `k` frees up.
     slots: Vec<Vec<Cycle>>,
+    /// Per-device availability; only `Up` devices receive placements. All
+    /// `Up` unless the cluster layer replays fleet faults into the router.
+    health: Vec<DeviceHealth>,
     rr_next: usize,
     /// Consumed only by [`RoutePolicy::PowerOfTwo`]; seeded from the
     /// workload cell so P2C is deterministic per cell.
@@ -187,6 +205,7 @@ impl Router {
         Router {
             policy,
             slots: vec![vec![Cycle::ZERO; slots_per_device]; devices],
+            health: vec![DeviceHealth::Up; devices],
             rr_next: 0,
             rng: SimRng::seed_from(seed),
         }
@@ -195,6 +214,50 @@ impl Router {
     /// Number of devices behind the router.
     pub fn devices(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Current health of device `d`.
+    pub fn health(&self, d: usize) -> DeviceHealth {
+        self.health[d]
+    }
+
+    /// Sets the health of device `d` (driven by fleet fault transitions).
+    pub fn set_health(&mut self, d: usize, health: DeviceHealth) {
+        self.health[d] = health;
+    }
+
+    /// `true` when every device is out of rotation.
+    pub fn all_unavailable(&self) -> bool {
+        self.health.iter().all(|&h| h != DeviceHealth::Up)
+    }
+
+    /// Clears device `d`'s predicted slot model to "free at `at`" — a
+    /// crashed device restores with an empty queue, so predictions carried
+    /// over from before the crash would be fiction.
+    pub fn reset_device(&mut self, d: usize, at: Cycle) {
+        for slot in &mut self.slots[d] {
+            *slot = at;
+        }
+    }
+
+    /// The best (largest) predicted laxity of `req` across `Up` devices,
+    /// or `None` when no device is in rotation. Pure prediction: books
+    /// nothing. The front door's retry/shed gate for every policy — a lost
+    /// job re-enters only if some survivor could still make its deadline.
+    pub fn best_laxity(&self, req: &RouteRequest) -> Option<f64> {
+        self.up_devices()
+            .map(|d| self.predict(d, req).1)
+            .min()
+            .map(|completion| Self::laxity_us(req, completion))
+    }
+
+    /// Indices of devices currently accepting placements.
+    fn up_devices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.health
+            .iter()
+            .enumerate()
+            .filter(|(_, &h)| h == DeviceHealth::Up)
+            .map(|(d, _)| d)
     }
 
     /// The earliest instant any slot of device `d` frees up.
@@ -257,39 +320,72 @@ impl Router {
 
     /// Routes one request. Requests must arrive in non-decreasing `arrival`
     /// order (the generator produces them that way).
+    ///
+    /// Placement considers only [`DeviceHealth::Up`] devices; when none are
+    /// in rotation the verdict is [`RouteDecision::NoDevice`]. On an
+    /// all-healthy fleet every policy takes exactly the code path (and, for
+    /// P2C, the RNG draws) it took before health existed, so fault-free
+    /// runs stay bit-identical.
     pub fn route(&mut self, req: &RouteRequest) -> RouteDecision {
         let n = self.devices();
+        let all_up = self.health.iter().all(|&h| h == DeviceHealth::Up);
+        if !all_up && self.all_unavailable() {
+            return RouteDecision::NoDevice;
+        }
         match self.policy {
             RoutePolicy::RoundRobin => {
-                let d = self.rr_next;
-                self.rr_next = (self.rr_next + 1) % n;
+                // First Up device at or after the cursor; the cursor then
+                // moves past it, so rotation degrades to rotation over the
+                // survivors.
+                let mut d = self.rr_next;
+                while self.health[d] != DeviceHealth::Up {
+                    d = (d + 1) % n;
+                }
+                self.rr_next = (d + 1) % n;
                 self.commit(d, req)
             }
             RoutePolicy::LeastOutstanding => {
-                let d = self.least_loaded(0..n, req.arrival);
+                let d = self.least_loaded(self.up_devices(), req.arrival);
                 self.commit(d, req)
             }
             RoutePolicy::PowerOfTwo => {
-                let a = self.rng.below(n as u64) as usize;
-                let d = if n == 1 {
-                    a
-                } else {
-                    // Sample b uniformly from the other n-1 devices.
-                    let mut b = self.rng.below(n as u64 - 1) as usize;
-                    if b >= a {
-                        b += 1;
+                let d = if all_up {
+                    let a = self.rng.below(n as u64) as usize;
+                    if n == 1 {
+                        a
+                    } else {
+                        // Sample b uniformly from the other n-1 devices.
+                        let mut b = self.rng.below(n as u64 - 1) as usize;
+                        if b >= a {
+                            b += 1;
+                        }
+                        self.least_loaded([a, b].into_iter(), req.arrival)
                     }
-                    self.least_loaded([a, b].into_iter(), req.arrival)
+                } else {
+                    // Same two-draw scheme over the surviving devices.
+                    let up: Vec<usize> = self.up_devices().collect();
+                    let m = up.len();
+                    let a = self.rng.below(m as u64) as usize;
+                    if m == 1 {
+                        up[a]
+                    } else {
+                        let mut b = self.rng.below(m as u64 - 1) as usize;
+                        if b >= a {
+                            b += 1;
+                        }
+                        self.least_loaded([up[a], up[b]].into_iter(), req.arrival)
+                    }
                 };
                 self.commit(d, req)
             }
             RoutePolicy::LeastLaxity => {
-                // Maximal laxity == minimal predicted completion; scan all
-                // devices, ties to the lowest index.
-                let best = (0..n)
+                // Maximal laxity == minimal predicted completion; scan the
+                // surviving devices, ties to the lowest index.
+                let best = self
+                    .up_devices()
                     .map(|d| (self.predict(d, req).1, d))
                     .min()
-                    .expect("at least one device");
+                    .expect("at least one Up device");
                 let laxity = Self::laxity_us(req, best.0);
                 if laxity < 0.0 {
                     RouteDecision::Reject { laxity_us: laxity }
@@ -316,7 +412,7 @@ mod tests {
     fn device_of(d: RouteDecision) -> usize {
         match d {
             RouteDecision::Route { device, .. } => device,
-            RouteDecision::Reject { .. } => panic!("unexpected rejection"),
+            other => panic!("expected a placement, got {other:?}"),
         }
     }
 
@@ -378,6 +474,7 @@ mod tests {
             match r.route(&req(i * 5, 40, 400)) {
                 RouteDecision::Route { laxity_us, .. } => assert!(laxity_us >= 0.0),
                 RouteDecision::Reject { .. } => {}
+                RouteDecision::NoDevice => panic!("healthy fleet reported NoDevice"),
             }
         }
     }
@@ -413,5 +510,92 @@ mod tests {
     fn router_demands_at_least_one_device() {
         let r = std::panic::catch_unwind(|| Router::new(RoutePolicy::RoundRobin, 0, 1, 1));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn policies_fail_over_around_down_devices() {
+        for policy in RoutePolicy::ALL {
+            let mut r = Router::new(policy, 4, 1, 1);
+            r.set_health(1, DeviceHealth::Down);
+            r.set_health(2, DeviceHealth::Draining);
+            for i in 0..12 {
+                match r.route(&req(i, 10, 100_000)) {
+                    RouteDecision::Route { device, .. } => {
+                        assert!(
+                            device == 0 || device == 3,
+                            "{policy}: placed on out-of-rotation device {device}"
+                        );
+                    }
+                    other => panic!("{policy}: unexpected {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates_over_survivors() {
+        let mut r = Router::new(RoutePolicy::RoundRobin, 4, 1, 1);
+        r.set_health(1, DeviceHealth::Down);
+        let picks: Vec<usize> =
+            (0..6).map(|i| device_of(r.route(&req(i, 10, 100_000)))).collect();
+        assert_eq!(picks, vec![0, 2, 3, 0, 2, 3]);
+    }
+
+    #[test]
+    fn all_down_yields_no_device_and_books_nothing() {
+        for policy in RoutePolicy::ALL {
+            let mut r = Router::new(policy, 2, 1, 1);
+            r.set_health(0, DeviceHealth::Down);
+            r.set_health(1, DeviceHealth::Draining);
+            assert!(r.all_unavailable());
+            let before = r.clone();
+            assert_eq!(r.route(&req(0, 10, 1000)), RouteDecision::NoDevice);
+            assert_eq!(format!("{:?}", r.slots), format!("{:?}", before.slots));
+            assert_eq!(r.best_laxity(&req(0, 10, 1000)), None);
+        }
+    }
+
+    #[test]
+    fn reset_device_clears_the_slot_model() {
+        let mut r = Router::new(RoutePolicy::LeastOutstanding, 2, 1, 1);
+        // Load device 0 heavily, crash it, restore it empty at t=50us: the
+        // next job must see it idle again.
+        r.route(&req(0, 10_000, 1_000_000));
+        let restore = Cycle::ZERO + Duration::from_us(50);
+        r.reset_device(0, restore);
+        assert_eq!(device_of(r.route(&req(50, 10, 100_000))), 0);
+    }
+
+    #[test]
+    fn best_laxity_predicts_against_survivors_only() {
+        let mut r = Router::new(RoutePolicy::LeastLaxity, 2, 1, 1);
+        // Device 1 idle, device 0 loaded: laxity is measured against 1.
+        r.route(&req(0, 400, 100_000));
+        let healthy = r.best_laxity(&req(0, 100, 500)).unwrap();
+        assert!(healthy >= 0.0, "idle survivor admits the job: {healthy}");
+        // With device 1 down, the 400us backlog on device 0 eats the
+        // deadline and a tighter request becomes infeasible.
+        r.set_health(1, DeviceHealth::Down);
+        let degraded = r.best_laxity(&req(0, 100, 450)).unwrap();
+        assert!(degraded < 0.0, "loaded survivor cannot make it: {degraded}");
+    }
+
+    #[test]
+    fn healthy_fleet_routing_is_unchanged_by_health_plumbing() {
+        // A down-then-restored device must leave P2C's RNG stream and RR's
+        // cursor behaving as if health never existed once all are Up again.
+        for policy in RoutePolicy::ALL {
+            let mut plain = Router::new(policy, 4, 2, 9);
+            let mut toggled = Router::new(policy, 4, 2, 9);
+            toggled.set_health(2, DeviceHealth::Down);
+            toggled.set_health(2, DeviceHealth::Up);
+            for i in 0..32 {
+                assert_eq!(
+                    plain.route(&req(i, 25, 10_000)),
+                    toggled.route(&req(i, 25, 10_000)),
+                    "{policy}"
+                );
+            }
+        }
     }
 }

@@ -83,4 +83,42 @@ assert rows >= 4, rows
 EOF
 echo "   cluster SLO table parses and is byte-identical across worker counts"
 
+echo "== tier1: chaos smoke + conservation + kill-and-resume byte-identity =="
+CHAOS_BIN=target/release/chaos
+# The robustness grid (4 devices, 2k jobs, intensities 0 and 1, all four
+# routing policies). Fault plans hash from the workload cell and intensity
+# — never the policy or worker thread — so the table must be byte-identical
+# for any --jobs N.
+"$CHAOS_BIN" --smoke --jobs 1 --out "$TMP/ch1.txt"
+"$CHAOS_BIN" --smoke --jobs 8 --out "$TMP/ch8.txt"
+cmp "$TMP/ch1.txt" "$TMP/ch8.txt"
+# Kill a run mid-grid and finish it with --resume: byte-identical artifact.
+"$CHAOS_BIN" --smoke --jobs 1 --out "$TMP/chb.txt" --ckpt "$TMP/chb.ckpt" &
+CPID=$!
+sleep 0.2
+kill -9 "$CPID" 2>/dev/null || true
+wait "$CPID" 2>/dev/null || true
+"$CHAOS_BIN" --smoke --jobs 8 --resume --out "$TMP/chb.txt" --ckpt "$TMP/chb.ckpt"
+cmp "$TMP/ch1.txt" "$TMP/chb.txt"
+# Every row must conserve jobs (done + rejected + shed + lost == jobs) and
+# report a probability-valued attainment.
+python3 - "$TMP/ch1.txt" <<'EOF'
+import sys
+header, rows = None, 0
+for line in open(sys.argv[1]):
+    cols = line.split()
+    if not cols or line.startswith(("#", "-")):
+        continue
+    if header is None:
+        header = cols
+        continue
+    rows += 1
+    get = lambda name: int(cols[header.index(name)])
+    assert get("done") + get("rejected") + get("shed") + get("lost") == get("jobs"), cols
+    attain = float(cols[header.index("attain")])
+    assert 0.0 <= attain <= 1.0, attain
+assert rows >= 8, rows
+EOF
+echo "   chaos grid conserves jobs and is byte-identical across workers and resume"
+
 echo "== tier1: OK =="
