@@ -20,12 +20,17 @@
 //! rerunning with `--resume` keeps them and the final artifact is
 //! byte-identical to an uninterrupted run. On success the checkpoint is
 //! removed.
+//!
+//! Per-cell wall-clock profiles of executed (not restored) cells are
+//! merged into `BENCH_cluster.json` next to `--out` and a slowest-cells
+//! table is upserted into `SUMMARY.txt` there.
 
 use std::error::Error;
 use std::fs;
 use std::path::PathBuf;
 
 use lax_bench::cluster::{cluster_table, ClusterBuilder, ClusterCheckpoint, ClusterScenario};
+use lax_bench::profile::FleetProfile;
 use lax_bench::sweep;
 use workloads::spec::{ArrivalRate, Benchmark};
 
@@ -122,6 +127,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         scenarios.len()
     );
     let t0 = std::time::Instant::now();
+    let mut profile = FleetProfile::new("cluster");
     let mut reports = Vec::with_capacity(scenarios.len());
     for scenario in &scenarios {
         let key = scenario.to_string();
@@ -142,6 +148,7 @@ fn main() -> Result<(), Box<dyn Error>> {
             builder = builder.jitter(j);
         }
         let report = builder.run()?;
+        profile.record(&key, report.total, report.events, cell_t0.elapsed());
         eprintln!(
             "[cluster] {key}: attain {:.4}, p999 {:.1}us in {:?}",
             report.attainment(),
@@ -166,6 +173,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         }
     }
     fs::write(&out, &text)?;
+    let results_dir = out.parent().filter(|d| !d.as_os_str().is_empty());
+    profile.write_artifacts(results_dir.unwrap_or_else(|| std::path::Path::new(".")), 10)?;
     if let Some(ckpt) = checkpoint.as_ref() {
         ckpt.discard_file()?;
     }

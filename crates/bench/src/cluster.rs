@@ -46,6 +46,19 @@
 //! narrates `DeviceDown`/`DeviceRestored`/`JobRetried`/`JobShed`. A no-op
 //! plan is bit-identical to the fault-free path, and reports remain
 //! bit-identical for any worker count.
+//!
+//! # Observability
+//!
+//! Both run paths narrate themselves over the probe bus: routing verdicts
+//! live in arrival order, then — after devices execute — one
+//! `JobCompleted` per finished job and exactly one `JobMissed` (typed by
+//! [`MissCause`]) per job that did not make its deadline, merged into one
+//! stream sorted by instant and job id so the delivery order is
+//! independent of worker count. [`FleetSampler`] turns the stream into
+//! windowed SLO time series and [`FleetTraceWriter`] into Perfetto traces
+//! (the `fleet-trace` binary). The [`ClusterReport::misses`] breakdown is
+//! computed on every run — observed or not — and conserves exactly against
+//! the report's totals; attaching observers never changes any report byte.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -493,10 +506,26 @@ impl ClusterBuilder {
         self
     }
 
-    /// Attaches an observer to the router's probe bus; it sees one
-    /// [`ProbeEvent::JobRouted`] or [`ProbeEvent::JobRejected`] per job,
-    /// in arrival order (plus the failure-domain events under a fleet
-    /// fault plan), and never perturbs the report.
+    /// Attaches an observer to the cluster's probe bus.
+    ///
+    /// Event vocabulary, per run: one [`ProbeEvent::JobRouted`],
+    /// [`ProbeEvent::JobRejected`] or [`ProbeEvent::JobShed`] per arrival
+    /// and one [`ProbeEvent::JobRetried`] per recovered placement,
+    /// delivered live in arrival order; [`ProbeEvent::DeviceDown`] /
+    /// [`ProbeEvent::DeviceRestored`] at each fleet health transition
+    /// (chaos path only); then, once devices have executed, one
+    /// [`ProbeEvent::JobCompleted`] per run-to-completion job and exactly
+    /// one [`ProbeEvent::JobMissed`] (typed by [`MissCause`]) per job that
+    /// did not make its deadline, merged across devices into a single
+    /// stream sorted by instant, then job id, with a job's completion
+    /// before its miss.
+    ///
+    /// Determinism contract: observers are read-only taps. The returned
+    /// [`ClusterReport`] is bit-identical with or without them for any
+    /// worker count, the sorted outcome stream makes the *event order*
+    /// worker-count-independent too, and with no observer attached the
+    /// event payloads are never even built
+    /// ([`sim_core::probe::ProbeHub::emit_with`]).
     pub fn observe(mut self, observer: SharedObserver) -> Self {
         self.observers.push(observer);
         self
@@ -617,6 +646,11 @@ impl ClusterBuilder {
                         job: JobId(job.id),
                         laxity_us,
                     });
+                    hub.emit_with(job.arrival, || ProbeEvent::JobMissed {
+                        job: JobId(job.id),
+                        device: None,
+                        cause: MissCause::FrontDoorReject,
+                    });
                     rejected += 1;
                 }
                 RouteDecision::NoDevice => {
@@ -625,9 +659,10 @@ impl ClusterBuilder {
             }
         }
         drop(jobs);
+        let collect = hub.is_active();
         let indices: Vec<usize> = (0..n).collect();
         let slices = par_map(&indices, self.workers, |&d| {
-            self.run_device(&self.scenario, d, &per_device[d], deadline, suite)
+            self.run_device(&self.scenario, d, &per_device[d], deadline, suite, collect)
         });
         // Merge in device-index order: StreamingQuantiles counts merge
         // order-independently but the mean's f64 sum does not, and the
@@ -638,6 +673,8 @@ impl ClusterBuilder {
         let mut device_rejected = 0u64;
         let mut makespan = Duration::ZERO;
         let mut events = 0u64;
+        let mut misses = MissBreakdown::default();
+        let mut outcome_events: Vec<OutcomeEvent> = Vec::new();
         let mut per_device_jobs = Vec::with_capacity(n);
         for slice in slices {
             let s = slice?;
@@ -647,8 +684,12 @@ impl ClusterBuilder {
             device_rejected += s.device_rejected;
             makespan = makespan.max(s.makespan);
             events += s.events;
+            misses.merge(&s.misses);
+            outcome_events.extend(s.outcomes);
             per_device_jobs.push(s.jobs);
         }
+        misses.add_n(MissCause::FrontDoorReject, rejected);
+        emit_outcomes(&mut hub, outcome_events);
         Ok(ClusterReport {
             scenario: self.scenario.clone(),
             fidelity: self.fidelity,
@@ -660,6 +701,7 @@ impl ClusterBuilder {
             lost: 0,
             retried: 0,
             shed: 0,
+            misses,
             latency_us,
             per_device_jobs,
             makespan,
@@ -668,6 +710,8 @@ impl ClusterBuilder {
     }
 
     /// Executes device `d` over its routed jobs at the selected fidelity.
+    /// With `collect` set, every completion and deadline miss is also
+    /// buffered as an [`OutcomeEvent`] for post-merge delivery.
     fn run_device(
         &self,
         scenario: &ClusterScenario,
@@ -675,6 +719,7 @@ impl ClusterBuilder {
         jobs: &[ClusterJob],
         deadline: Duration,
         suite: &BenchmarkSuite,
+        collect: bool,
     ) -> Result<DeviceSlice, BenchError> {
         match self.fidelity {
             Fidelity::Fast => {
@@ -695,9 +740,48 @@ impl ClusterBuilder {
                 let report = run_fast_device(&fleet, &params);
                 let mut latency_us = StreamingQuantiles::new();
                 let mut met = 0u64;
+                let mut misses = MissBreakdown::default();
+                let mut outcomes = Vec::new();
                 for o in &report.outcomes {
                     latency_us.push(o.latency.as_us_f64());
                     met += u64::from(o.met);
+                    let cause = (!o.met).then(|| {
+                        // Late, but the service itself fit the deadline
+                        // budget: the job died waiting for a slot.
+                        if o.completion.saturating_since(o.start) <= deadline {
+                            MissCause::QueueingDelay
+                        } else {
+                            MissCause::ServiceTime
+                        }
+                    });
+                    if let Some(cause) = cause {
+                        misses.add(cause);
+                    }
+                    if collect {
+                        outcomes.push(OutcomeEvent {
+                            at: o.completion,
+                            job: o.id,
+                            kind: 0,
+                            event: ProbeEvent::JobCompleted {
+                                job: JobId(o.id),
+                                device: d as u16,
+                                latency_us: o.latency.as_us_f64(),
+                                met: o.met,
+                            },
+                        });
+                        if let Some(cause) = cause {
+                            outcomes.push(OutcomeEvent {
+                                at: o.completion,
+                                job: o.id,
+                                kind: 1,
+                                event: ProbeEvent::JobMissed {
+                                    job: JobId(o.id),
+                                    device: Some(d as u16),
+                                    cause,
+                                },
+                            });
+                        }
+                    }
                 }
                 Ok(DeviceSlice {
                     latency_us,
@@ -707,6 +791,8 @@ impl ClusterBuilder {
                     makespan: report.makespan.saturating_since(Cycle::ZERO),
                     events: report.events,
                     jobs: jobs.len() as u64,
+                    misses,
+                    outcomes,
                 })
             }
             Fidelity::Detailed => {
@@ -742,10 +828,27 @@ impl ClusterBuilder {
                     .build()?;
                 let report = sim.try_run().map_err(BenchError::Sim)?;
                 let mut latency_us = StreamingQuantiles::new();
+                let mut misses = MissBreakdown::default();
+                let mut outcomes = Vec::new();
                 for r in &report.records {
                     if let Some(lat) = r.latency() {
                         latency_us.push(lat.as_us_f64());
                     }
+                    // Local ids were assigned by enumeration, so the
+                    // record maps straight back to the cluster job.
+                    let job = &jobs[r.id.0 as usize];
+                    attribute_detailed(
+                        r,
+                        &DetailedJob {
+                            cluster_id: job.id,
+                            service_est: job.service_est,
+                            deadline,
+                            device: d as u16,
+                            requeue: Duration::ZERO,
+                        },
+                        &mut misses,
+                        collect.then_some(&mut outcomes),
+                    );
                 }
                 Ok(DeviceSlice {
                     latency_us,
@@ -755,6 +858,8 @@ impl ClusterBuilder {
                     makespan: report.makespan,
                     events: report.events,
                     jobs: jobs.len() as u64,
+                    misses,
+                    outcomes,
                 })
             }
         }
@@ -797,8 +902,9 @@ impl ClusterBuilder {
         for obs in &self.observers {
             hub.attach(Box::new(Arc::clone(obs)));
         }
+        let collect = hub.is_active();
         let mut devs: Vec<ChaosDevice> = (0..n)
-            .map(|d| ChaosDevice::new(self.slots, self.scenario.device_seed(d)))
+            .map(|d| ChaosDevice::new(d as u16, self.slots, self.scenario.device_seed(d)))
             .collect();
         // Straggler windows per device, scanned statically at booking time
         // (the schedule is known a priori, so no transition state needed).
@@ -847,6 +953,29 @@ impl ClusterBuilder {
         let mut shed = 0u64;
         let mut lost = 0u64;
         let mut retried = 0u64;
+        let mut misses = MissBreakdown::default();
+        let mut outcome_events: Vec<OutcomeEvent> = Vec::new();
+
+        // One job's loss becoming final at the retry layer (budget out, or
+        // no surviving device can make the deadline).
+        macro_rules! lose_exhausted {
+            ($at:expr, $id:expr) => {{
+                lost += 1;
+                misses.add(MissCause::RetryExhausted);
+                if collect {
+                    outcome_events.push(OutcomeEvent {
+                        at: $at,
+                        job: $id,
+                        kind: 1,
+                        event: ProbeEvent::JobMissed {
+                            job: JobId($id),
+                            device: None,
+                            cause: MissCause::RetryExhausted,
+                        },
+                    });
+                }
+            }};
+        }
 
         // One fleet event: flush/restore device state and drive health.
         macro_rules! apply_fleet_event {
@@ -865,7 +994,7 @@ impl ClusterBuilder {
                                     if detailed {
                                         dev.survivors.push(b);
                                     } else {
-                                        dev.complete(&b);
+                                        dev.complete(&b, collect);
                                     }
                                 } else {
                                     // In flight or queued: gone with the
@@ -874,7 +1003,8 @@ impl ClusterBuilder {
                                     if !detailed {
                                         dev.events += 1;
                                     }
-                                    chaos_lose(
+                                    let id = b.id;
+                                    if chaos_lose(
                                         b,
                                         t,
                                         self.retry_budget,
@@ -882,7 +1012,21 @@ impl ClusterBuilder {
                                         &mut retries,
                                         &mut seq,
                                         &mut lost,
-                                    );
+                                    ) {
+                                        misses.add(MissCause::CrashLoss);
+                                        if collect {
+                                            outcome_events.push(OutcomeEvent {
+                                                at: t,
+                                                job: id,
+                                                kind: 1,
+                                                event: ProbeEvent::JobMissed {
+                                                    job: JobId(id),
+                                                    device: Some(d as u16),
+                                                    cause: MissCause::CrashLoss,
+                                                },
+                                            });
+                                        }
+                                    }
                                 }
                             }
                             hub.emit_with(t, || ProbeEvent::DeviceDown {
@@ -964,14 +1108,14 @@ impl ClusterBuilder {
                                 job: RetryJob { attempt: job.attempt + 1, ..job },
                             }));
                         } else {
-                            lost += 1;
+                            lose_exhausted!(at, job.id);
                         }
                     }
                     Some(lax) if lax < 0.0 => {
                         // The laxity gate: no survivor can make the
                         // remaining deadline, so re-placing would only
                         // burn capacity on a guaranteed miss.
-                        lost += 1;
+                        lose_exhausted!(at, job.id);
                     }
                     Some(_) => match router.route(&req) {
                         RouteDecision::Route { device, .. } => {
@@ -991,7 +1135,9 @@ impl ClusterBuilder {
                         }
                         // best_laxity was non-negative, so LL admits and
                         // some device is Up; defensive completeness.
-                        RouteDecision::Reject { .. } | RouteDecision::NoDevice => lost += 1,
+                        RouteDecision::Reject { .. } | RouteDecision::NoDevice => {
+                            lose_exhausted!(at, job.id);
+                        }
                     },
                 }
             }};
@@ -1028,6 +1174,11 @@ impl ClusterBuilder {
                             job: JobId(job.id),
                             laxity_us: lax,
                         });
+                        hub.emit_with(t_arr, || ProbeEvent::JobMissed {
+                            job: JobId(job.id),
+                            device: None,
+                            cause: MissCause::Shed,
+                        });
                         continue;
                     }
                 }
@@ -1055,6 +1206,11 @@ impl ClusterBuilder {
                         job: JobId(job.id),
                         laxity_us,
                     });
+                    hub.emit_with(t_arr, || ProbeEvent::JobMissed {
+                        job: JobId(job.id),
+                        device: None,
+                        cause: MissCause::FrontDoorReject,
+                    });
                     rejected += 1;
                 }
                 RouteDecision::NoDevice => {
@@ -1075,7 +1231,7 @@ impl ClusterBuilder {
                             },
                         }));
                     } else {
-                        lost += 1;
+                        lose_exhausted!(t_arr, job.id);
                     }
                 }
             }
@@ -1112,7 +1268,7 @@ impl ClusterBuilder {
                 if detailed {
                     dev.survivors.push(b);
                 } else {
-                    dev.complete(&b);
+                    dev.complete(&b, collect);
                 }
             }
         }
@@ -1129,7 +1285,7 @@ impl ClusterBuilder {
                 devs.iter_mut().map(|dev| std::mem::take(&mut dev.survivors)).collect();
             let indices: Vec<usize> = (0..n).collect();
             let slices = par_map(&indices, self.workers, |&d| {
-                self.run_detailed_survivors(d, &survivor_lists[d], &stragglers[d], suite)
+                self.run_detailed_survivors(d, &survivor_lists[d], &stragglers[d], suite, collect)
             });
             for (d, slice) in slices.into_iter().enumerate() {
                 let s = slice?;
@@ -1139,18 +1295,25 @@ impl ClusterBuilder {
                 device_rejected += s.device_rejected;
                 makespan = makespan.max(s.makespan);
                 events += s.events;
+                misses.merge(&s.misses);
+                outcome_events.extend(s.outcomes);
                 per_device_jobs.push(devs[d].booked);
             }
         } else {
-            for dev in &devs {
+            for dev in &mut devs {
                 latency_us.merge(&dev.sketch);
                 completed += dev.completed;
                 met += dev.met;
                 makespan = makespan.max(dev.makespan.saturating_since(Cycle::ZERO));
                 events += dev.events;
+                misses.merge(&dev.misses);
+                outcome_events.append(&mut dev.outcomes);
                 per_device_jobs.push(dev.booked);
             }
         }
+        misses.add_n(MissCause::FrontDoorReject, rejected);
+        misses.add_n(MissCause::Shed, shed);
+        emit_outcomes(&mut hub, outcome_events);
         Ok(ClusterReport {
             scenario: self.scenario.clone(),
             fidelity: self.fidelity,
@@ -1162,6 +1325,7 @@ impl ClusterBuilder {
             lost,
             retried,
             shed,
+            misses,
             latency_us,
             per_device_jobs,
             makespan,
@@ -1179,8 +1343,8 @@ impl ClusterBuilder {
         survivors: &[Booking],
         windows: &[(Cycle, Cycle, f64)],
         suite: &BenchmarkSuite,
+        collect: bool,
     ) -> Result<DeviceSlice, BenchError> {
-        let _ = d;
         if survivors.is_empty() {
             return Ok(DeviceSlice::default());
         }
@@ -1225,14 +1389,28 @@ impl ClusterBuilder {
             .build()?;
         let report = sim.try_run().map_err(BenchError::Sim)?;
         let mut latency_us = StreamingQuantiles::new();
+        let mut misses = MissBreakdown::default();
+        let mut outcomes = Vec::new();
         for r in &report.records {
+            let b = &survivors[r.id.0 as usize];
+            let requeue_delay = b.entry.saturating_since(b.original_arrival);
             if let Some(lat) = r.latency() {
                 // Latency is arrival-to-completion of the *original* job,
                 // so a retry pays for its first, doomed placement too.
-                let b = &survivors[r.id.0 as usize];
-                let requeue_delay = b.entry.saturating_since(b.original_arrival);
                 latency_us.push(lat.saturating_add(requeue_delay).as_us_f64());
             }
+            attribute_detailed(
+                r,
+                &DetailedJob {
+                    cluster_id: b.id,
+                    service_est: b.service_est,
+                    deadline: b.deadline_abs.saturating_since(b.original_arrival),
+                    device: d as u16,
+                    requeue: requeue_delay,
+                },
+                &mut misses,
+                collect.then_some(&mut outcomes),
+            );
         }
         Ok(DeviceSlice {
             latency_us,
@@ -1242,6 +1420,8 @@ impl ClusterBuilder {
             makespan: report.makespan,
             events: report.events,
             jobs: survivors.len() as u64,
+            misses,
+            outcomes,
         })
     }
 }
@@ -1308,7 +1488,8 @@ fn backoff_for(base: Duration, attempt: u32) -> Duration {
 }
 
 /// Requeues a crash-lost booking if its retry budget allows, else counts
-/// it lost.
+/// it lost. Returns `true` when the loss became final (the caller
+/// attributes it as a crash loss).
 fn chaos_lose(
     b: Booking,
     now: Cycle,
@@ -1317,7 +1498,7 @@ fn chaos_lose(
     retries: &mut std::collections::BinaryHeap<std::cmp::Reverse<RetryEntry>>,
     seq: &mut u64,
     lost: &mut u64,
-) {
+) -> bool {
     if b.attempt < budget {
         *seq += 1;
         retries.push(std::cmp::Reverse(RetryEntry {
@@ -1332,8 +1513,10 @@ fn chaos_lose(
                 spec: b.spec,
             },
         }));
+        false
     } else {
         *lost += 1;
+        true
     }
 }
 
@@ -1346,6 +1529,10 @@ struct Booking {
     /// When this placement entered the device (> original arrival for
     /// retries).
     entry: Cycle,
+    /// Service start instant (first slot grab; `start == completion -
+    /// stretched service`), for splitting a late completion into queueing
+    /// delay vs service time.
+    start: Cycle,
     /// Model completion instant (fast: jittered and straggler-stretched;
     /// detailed: calibrated estimate).
     completion: Cycle,
@@ -1358,6 +1545,8 @@ struct Booking {
 /// Mutable per-device state of the chaos engine.
 #[derive(Debug)]
 struct ChaosDevice {
+    /// This device's fleet index, stamped into outcome events.
+    index: u16,
     /// Free-at instants of the actual service slots (the executing model,
     /// distinct from the router's predictions).
     slots: Vec<Cycle>,
@@ -1379,11 +1568,16 @@ struct ChaosDevice {
     down: u32,
     /// Open drain windows (health `Draining` while > 0 and not down).
     draining: u32,
+    /// Fast tier: typed causes of this device's late completions.
+    misses: MissBreakdown,
+    /// Fast tier: buffered completion/miss events (only when collecting).
+    outcomes: Vec<OutcomeEvent>,
 }
 
 impl ChaosDevice {
-    fn new(slots: usize, seed: u64) -> Self {
+    fn new(index: u16, slots: usize, seed: u64) -> Self {
         ChaosDevice {
+            index,
             slots: vec![Cycle::ZERO; slots],
             rng: SimRng::seed_from(seed),
             bookings: Vec::new(),
@@ -1396,6 +1590,8 @@ impl ChaosDevice {
             makespan: Cycle::ZERO,
             down: 0,
             draining: 0,
+            misses: MissBreakdown::default(),
+            outcomes: Vec::new(),
         }
     }
 
@@ -1442,6 +1638,7 @@ impl ChaosDevice {
             id: job.id,
             original_arrival: job.original_arrival,
             entry,
+            start,
             completion,
             deadline_abs: job.deadline_abs,
             service_est: job.service_est,
@@ -1450,13 +1647,148 @@ impl ChaosDevice {
         });
     }
 
-    /// Resolves one fast-tier booking as completed.
-    fn complete(&mut self, b: &Booking) {
-        self.sketch.push(b.completion.saturating_since(b.original_arrival).as_us_f64());
-        self.met += u64::from(b.completion <= b.deadline_abs);
+    /// Resolves one fast-tier booking as completed, attributing a typed
+    /// cause when it blew its deadline (and, when collecting, buffering
+    /// the completion/miss events).
+    fn complete(&mut self, b: &Booking, collect: bool) {
+        let latency = b.completion.saturating_since(b.original_arrival);
+        let met = b.completion <= b.deadline_abs;
+        self.sketch.push(latency.as_us_f64());
+        self.met += u64::from(met);
         self.completed += 1;
         self.makespan = self.makespan.max(b.completion);
         self.events += 2;
+        if !met {
+            // Same split as the plain fast path: late although the
+            // (stretched) service alone fit the deadline budget means the
+            // job died waiting for a slot.
+            let cause = if b.completion.saturating_since(b.start)
+                <= b.deadline_abs.saturating_since(b.original_arrival)
+            {
+                MissCause::QueueingDelay
+            } else {
+                MissCause::ServiceTime
+            };
+            self.misses.add(cause);
+            if collect {
+                self.outcomes.push(OutcomeEvent {
+                    at: b.completion,
+                    job: b.id,
+                    kind: 1,
+                    event: ProbeEvent::JobMissed {
+                        job: JobId(b.id),
+                        device: Some(self.index),
+                        cause,
+                    },
+                });
+            }
+        }
+        if collect {
+            self.outcomes.push(OutcomeEvent {
+                at: b.completion,
+                job: b.id,
+                kind: 0,
+                event: ProbeEvent::JobCompleted {
+                    job: JobId(b.id),
+                    device: self.index,
+                    latency_us: latency.as_us_f64(),
+                    met,
+                },
+            });
+        }
+    }
+}
+
+/// One buffered completion/miss probe event. Devices execute in pool
+/// order, so their outcome events are collected per device and merged
+/// into a single sorted stream before any observer sees them.
+#[derive(Debug, Clone)]
+struct OutcomeEvent {
+    at: Cycle,
+    /// Cluster-wide job id (sort key after the instant).
+    job: u32,
+    /// Final tie-break: a job's completion (0) sorts before its miss (1).
+    kind: u8,
+    event: ProbeEvent,
+}
+
+/// Delivers buffered outcome events in one deterministic order — by
+/// instant, then job id, then completion-before-miss — so the stream an
+/// observer sees is independent of worker count and device merge order.
+fn emit_outcomes(hub: &mut ProbeHub<ProbeEvent>, mut outcomes: Vec<OutcomeEvent>) {
+    outcomes.sort_by_key(|o| (o.at, o.job, o.kind));
+    for o in outcomes {
+        hub.emit(o.at, o.event);
+    }
+}
+
+/// Cluster-scope identity of one detailed-tier job, for
+/// [`attribute_detailed`]: the fields the device-local [`JobRecord`]
+/// does not know.
+#[derive(Clone, Copy)]
+struct DetailedJob {
+    /// Cluster-wide job id (the record's id is device-local).
+    cluster_id: u32,
+    /// Calibrated isolated service estimate of the job's chain.
+    service_est: Duration,
+    /// Relative deadline against the *original* arrival.
+    deadline: Duration,
+    /// Device the job ran on.
+    device: u16,
+    /// Time a chaos-path retry already burned before entering this device
+    /// (zero on the plain path), included in the reported latency like
+    /// the sketch's.
+    requeue: Duration,
+}
+
+/// Classifies one detailed-tier job record: a `JobCompleted` event for
+/// every finished job, and exactly one typed miss for every job that did
+/// not make its deadline. Late completions (and scheduler aborts) split on
+/// whether the calibrated service estimate alone fit the relative
+/// deadline — queueing delay if it did, service time if not; admission
+/// rejections are `DeviceReject`.
+fn attribute_detailed(
+    r: &JobRecord,
+    job: &DetailedJob,
+    misses: &mut MissBreakdown,
+    outcomes: Option<&mut Vec<OutcomeEvent>>,
+) {
+    let DetailedJob { cluster_id, service_est, deadline, device, requeue } = *job;
+    let slow = if service_est <= deadline {
+        MissCause::QueueingDelay
+    } else {
+        MissCause::ServiceTime
+    };
+    let (at, completion, cause) = match r.fate {
+        JobFate::Completed(t) => (t, Some(t), (!r.met_deadline()).then_some(slow)),
+        JobFate::Rejected(t) => (t, None, Some(MissCause::DeviceReject)),
+        JobFate::Aborted(t) => (t, None, Some(slow)),
+        JobFate::Unfinished => (r.deadline_abs, None, Some(slow)),
+    };
+    if let Some(cause) = cause {
+        misses.add(cause);
+    }
+    let Some(outcomes) = outcomes else { return };
+    if let Some(t) = completion {
+        outcomes.push(OutcomeEvent {
+            at: t,
+            job: cluster_id,
+            kind: 0,
+            event: ProbeEvent::JobCompleted {
+                job: JobId(cluster_id),
+                device,
+                latency_us: t.saturating_since(r.arrival).saturating_add(requeue).as_us_f64(),
+                met: r.met_deadline(),
+            },
+        });
+    }
+    if let Some(cause) = cause {
+        outcomes.push(OutcomeEvent {
+            at,
+            job: cluster_id,
+            kind: 1,
+            event: ProbeEvent::JobMissed { job: JobId(cluster_id), device: Some(device), cause },
+        });
     }
 }
 
@@ -1470,6 +1802,10 @@ struct DeviceSlice {
     makespan: Duration,
     events: u64,
     jobs: u64,
+    misses: MissBreakdown,
+    /// Buffered completion/miss events; empty unless the run collected
+    /// them (an observer was attached).
+    outcomes: Vec<OutcomeEvent>,
 }
 
 /// Merged outcome of one cluster cell. Compares bit-exactly (`PartialEq`),
@@ -1499,6 +1835,13 @@ pub struct ClusterReport {
     /// Jobs shed at the front door under degraded capacity
     /// ([`ClusterBuilder::shed_degraded`]). Zero without faults.
     pub shed: u64,
+    /// Per-cause breakdown of every job that did not make its deadline.
+    /// Conserves exactly against the counters above — see
+    /// [`MissBreakdown`] for the identities, the headline one being
+    /// `misses.total() == total - met`. Computed on every run, observed or
+    /// not, by the same arithmetic in both run paths (a no-op fault plan
+    /// yields a bit-identical breakdown).
+    pub misses: MissBreakdown,
     /// Arrival-to-completion latency sketch over completed jobs,
     /// microseconds (p50/p99/p999 within 0.5% relative error).
     pub latency_us: StreamingQuantiles,
@@ -1523,7 +1866,9 @@ impl ClusterReport {
 }
 
 /// Renders the per-policy SLO-attainment table the `cluster` binary writes:
-/// one row per report, with streaming p50/p99/p999 latency tails.
+/// one row per report, with streaming p50/p99/p999 latency tails and the
+/// miss attribution split (`m_queue`/`m_serv`: late completions that died
+/// waiting for a slot vs. ones whose service alone blew the deadline).
 pub fn cluster_table(reports: &[ClusterReport]) -> Table {
     let mut table = Table::with_columns(&[
         "cell",
@@ -1533,6 +1878,8 @@ pub fn cluster_table(reports: &[ClusterReport]) -> Table {
         "routed",
         "rejected",
         "met",
+        "m_queue",
+        "m_serv",
         "attain",
         "p50_us",
         "p99_us",
@@ -1550,6 +1897,8 @@ pub fn cluster_table(reports: &[ClusterReport]) -> Table {
             (r.total - r.rejected).to_string(),
             (r.rejected + r.device_rejected).to_string(),
             r.met.to_string(),
+            r.misses.count(MissCause::QueueingDelay).to_string(),
+            r.misses.count(MissCause::ServiceTime).to_string(),
             format!("{:.4}", r.attainment()),
             format!("{:.1}", r.latency_us.p50()),
             format!("{:.1}", r.latency_us.p99()),
@@ -1561,12 +1910,12 @@ pub fn cluster_table(reports: &[ClusterReport]) -> Table {
     table
 }
 
-// v2 added `lost retried shed` to the summary line; v1 files are treated
-// as foreign (resume restarts from scratch, which is always safe).
 /// Renders the robustness table the `chaos` binary writes: one row per
 /// report with the failure-domain counters (shed/lost/retried) alongside
-/// the attainment and latency tails. [`cluster_table`] stays unchanged so
-/// fault-free results files are byte-stable.
+/// the attainment and latency tails, plus the typed miss attribution
+/// (`m_queue`/`m_serv` split late completions, `m_crash`/`m_retry` split
+/// final losses). [`cluster_table`] stays unchanged so fault-free results
+/// files are byte-stable.
 pub fn chaos_table(reports: &[ClusterReport]) -> Table {
     let mut table = Table::with_columns(&[
         "cell",
@@ -1580,6 +1929,10 @@ pub fn chaos_table(reports: &[ClusterReport]) -> Table {
         "retried",
         "done",
         "met",
+        "m_queue",
+        "m_serv",
+        "m_crash",
+        "m_retry",
         "attain",
         "p50_us",
         "p99_us",
@@ -1601,6 +1954,10 @@ pub fn chaos_table(reports: &[ClusterReport]) -> Table {
             r.retried.to_string(),
             r.completed.to_string(),
             r.met.to_string(),
+            r.misses.count(MissCause::QueueingDelay).to_string(),
+            r.misses.count(MissCause::ServiceTime).to_string(),
+            r.misses.count(MissCause::CrashLoss).to_string(),
+            r.misses.count(MissCause::RetryExhausted).to_string(),
             format!("{:.4}", r.attainment()),
             format!("{:.1}", r.latency_us.p50()),
             format!("{:.1}", r.latency_us.p99()),
@@ -1612,7 +1969,10 @@ pub fn chaos_table(reports: &[ClusterReport]) -> Table {
     table
 }
 
-const CLUSTER_CKPT_HEADER: &str = "lax-bench-cluster-checkpoint v2";
+// v2 added `lost retried shed` to the summary line; v3 added the `misses`
+// line. Older files are treated as foreign (resume restarts from scratch,
+// which is always safe).
+const CLUSTER_CKPT_HEADER: &str = "lax-bench-cluster-checkpoint v3";
 
 /// Crash-safe store of finished cluster cells, keyed by the scenario's
 /// string form — the fleet counterpart of [`crate::Checkpoint`]. Reports
@@ -1749,6 +2109,11 @@ fn write_cell(text: &mut String, key: &str, r: &ClusterReport) {
             r.events
         ),
     );
+    text.push_str("misses");
+    for cause in MissCause::ALL {
+        push_fmt(text, format_args!(" {}", r.misses.count(cause)));
+    }
+    text.push('\n');
     text.push_str("devices");
     for c in &r.per_device_jobs {
         push_fmt(text, format_args!(" {c}"));
@@ -1792,6 +2157,11 @@ fn parse_checkpoint(text: &str) -> Option<BTreeMap<String, ClusterReport>> {
         let shed: u64 = summary.next()?.parse().ok()?;
         let makespan = Duration::from_cycles(summary.next()?.parse().ok()?);
         let events: u64 = summary.next()?.parse().ok()?;
+        let mut misses_parts = lines.next()?.strip_prefix("misses ")?.split(' ');
+        let mut misses = MissBreakdown::default();
+        for cause in MissCause::ALL {
+            misses.add_n(cause, misses_parts.next()?.parse().ok()?);
+        }
         let devices_line = lines.next()?.strip_prefix("devices")?;
         let per_device_jobs: Vec<u64> = devices_line
             .split_whitespace()
@@ -1830,6 +2200,7 @@ fn parse_checkpoint(text: &str) -> Option<BTreeMap<String, ClusterReport>> {
                 lost,
                 retried,
                 shed,
+                misses,
                 latency_us,
                 per_device_jobs,
                 makespan,
@@ -2308,7 +2679,176 @@ mod tests {
         let path = dir.join("foreign.ckpt");
         fs::write(&path, "not a checkpoint\ncell garbage\n").unwrap();
         assert!(ClusterCheckpoint::open(&path).is_empty());
+        // Pre-miss-attribution files (v2 header) are foreign too: the
+        // parser must not guess at a missing `misses` line.
+        fs::write(&path, "lax-bench-cluster-checkpoint v2\ncell LL:HYBRID:high:d4:j400:s7\n")
+            .unwrap();
+        assert!(ClusterCheckpoint::open(&path).is_empty(), "v2 files must restart from scratch");
         let _ = fs::remove_file(&path);
         let _ = fs::remove_dir(&dir);
+    }
+
+    /// Checks every conservation identity [`MissBreakdown`] documents
+    /// against the report's own counters.
+    fn assert_attribution_conserves(r: &ClusterReport) {
+        let m = &r.misses;
+        assert_eq!(m.count(MissCause::FrontDoorReject), r.rejected, "front-door identity");
+        assert_eq!(m.count(MissCause::DeviceReject), r.device_rejected, "device-reject identity");
+        assert_eq!(
+            m.count(MissCause::QueueingDelay) + m.count(MissCause::ServiceTime),
+            r.completed - r.met,
+            "every late completion splits into queueing vs service"
+        );
+        assert_eq!(
+            m.count(MissCause::CrashLoss) + m.count(MissCause::RetryExhausted),
+            r.lost,
+            "every final loss is a crash loss or a retry exhaustion"
+        );
+        assert_eq!(m.count(MissCause::Shed), r.shed, "shed identity");
+        assert_eq!(m.total(), r.total - r.met, "exactly one cause per non-met job");
+    }
+
+    #[test]
+    fn miss_attribution_conserves_exactly_in_fast_tier() {
+        for policy in routing::names() {
+            let plain = ClusterBuilder::new(scen(policy)).run().unwrap();
+            assert_attribution_conserves(&plain);
+            let chaos = ClusterBuilder::new(scen(policy).with_fault_milli(1500))
+                .retry_budget(1)
+                .shed_degraded(true)
+                .run()
+                .unwrap();
+            assert_attribution_conserves(&chaos);
+            assert!(
+                chaos.misses.total() > 0,
+                "{policy}: heavy faults at the high rate must cost deadlines"
+            );
+        }
+    }
+
+    #[test]
+    fn miss_attribution_conserves_exactly_in_detailed_tier() {
+        let plain = ClusterBuilder::new(ClusterScenario::new(
+            "LL",
+            Benchmark::Ipv6,
+            ArrivalRate::High,
+            2,
+            24,
+            3,
+        ))
+        .fidelity(Fidelity::Detailed)
+        .run()
+        .unwrap();
+        assert_attribution_conserves(&plain);
+        let s = ClusterScenario::new("LOW", Benchmark::Ipv6, ArrivalRate::Low, 2, 24, 3);
+        let jobs = generate_cluster_jobs(&s, BenchmarkSuite::calibrated());
+        let span = jobs.last().unwrap().arrival;
+        let plan = FleetFaultPlan {
+            crashes: vec![DeviceCrash {
+                device: 0,
+                at: Cycle::from_cycles(span.as_cycles() / 4),
+                until: Cycle::from_cycles(span.as_cycles() / 2),
+            }],
+            ..FleetFaultPlan::none()
+        };
+        let chaos = ClusterBuilder::new(s)
+            .fidelity(Fidelity::Detailed)
+            .fleet_faults(plan)
+            .run()
+            .unwrap();
+        assert_attribution_conserves(&chaos);
+    }
+
+    /// Counts outcome events and checks the post-merge stream's ordering
+    /// contract (completion timestamps non-decreasing).
+    #[derive(Default)]
+    struct OutcomeAudit {
+        completed: u64,
+        met: u64,
+        misses: MissBreakdown,
+        prev_completion: Option<Cycle>,
+        unsorted: bool,
+    }
+
+    impl Observer<ProbeEvent> for OutcomeAudit {
+        fn on_event(&mut self, at: Cycle, event: &ProbeEvent) {
+            match event {
+                ProbeEvent::JobCompleted { met, .. } => {
+                    self.completed += 1;
+                    self.met += u64::from(*met);
+                    if self.prev_completion.is_some_and(|prev| at < prev) {
+                        self.unsorted = true;
+                    }
+                    self.prev_completion = Some(at);
+                }
+                ProbeEvent::JobMissed { cause, .. } => self.misses.add(*cause),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_observers_never_perturb_and_outcome_events_reconcile() {
+        for policy in routing::names() {
+            for fault in [0, 1500] {
+                let s = scen(policy).with_fault_milli(fault);
+                let build = || {
+                    ClusterBuilder::new(s.clone()).retry_budget(1).shed_degraded(true)
+                };
+                let bare = build().workers(1).run().unwrap();
+                let sampler = Arc::new(Mutex::new(FleetSampler::new()));
+                let tracer = Arc::new(Mutex::new(FleetTraceWriter::new()));
+                let audit = Arc::new(Mutex::new(OutcomeAudit::default()));
+                let observed = build()
+                    .workers(8)
+                    .observe(sampler.clone())
+                    .observe(tracer.clone())
+                    .observe(audit.clone())
+                    .run()
+                    .unwrap();
+                assert_eq!(
+                    bare, observed,
+                    "{policy}/f{fault}: observers and worker count must not change the report"
+                );
+                let a = audit.lock().unwrap();
+                assert!(!a.unsorted, "{policy}/f{fault}: completions must arrive time-sorted");
+                assert_eq!(a.completed, observed.completed);
+                assert_eq!(a.met, observed.met);
+                assert_eq!(
+                    a.misses, observed.misses,
+                    "{policy}/f{fault}: probe misses must mirror the report breakdown"
+                );
+                let sam = sampler.lock().unwrap();
+                assert_eq!(sam.misses(), &observed.misses);
+                assert!(sam.to_csv().lines().count() > 1);
+                sim_core::json::validate(&sam.to_json()).unwrap();
+                sim_core::json::validate(&tracer.lock().unwrap().finish()).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn detailed_chaos_outcome_events_match_both_phases() {
+        let s = ClusterScenario::new("LOW", Benchmark::Ipv6, ArrivalRate::Low, 2, 24, 3);
+        let jobs = generate_cluster_jobs(&s, BenchmarkSuite::calibrated());
+        let span = jobs.last().unwrap().arrival;
+        let plan = FleetFaultPlan {
+            crashes: vec![DeviceCrash {
+                device: 0,
+                at: Cycle::from_cycles(span.as_cycles() / 4),
+                until: Cycle::from_cycles(span.as_cycles() / 2),
+            }],
+            ..FleetFaultPlan::none()
+        };
+        let build = || {
+            ClusterBuilder::new(s.clone()).fidelity(Fidelity::Detailed).fleet_faults(plan.clone())
+        };
+        let bare = build().run().unwrap();
+        let audit = Arc::new(Mutex::new(OutcomeAudit::default()));
+        let observed = build().observe(audit.clone()).run().unwrap();
+        assert_eq!(bare, observed, "detailed-tier observers must not perturb either phase");
+        let a = audit.lock().unwrap();
+        assert_eq!(a.completed, observed.completed, "one JobCompleted per phase-2 completion");
+        assert_eq!(a.misses, observed.misses);
     }
 }

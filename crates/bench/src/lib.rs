@@ -20,6 +20,7 @@
 pub mod checkpoint;
 pub mod cluster;
 pub mod figures;
+pub mod profile;
 pub mod runner;
 pub mod sweep;
 

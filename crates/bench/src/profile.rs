@@ -1,0 +1,268 @@
+//! Per-cell wall-clock profiling for the fleet sweeps (`bin/cluster` and
+//! `bin/chaos`), mirroring what [`crate::runner::ResultsDb::throughput_json`]
+//! does for the single-device grid: a machine-readable
+//! `results/BENCH_cluster.json` shared by both sweeps (read-modify-write, so
+//! each binary preserves the other's cells) plus a slowest-cells section
+//! upserted between marker lines in `results/SUMMARY.txt`.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::time::Duration;
+
+use sim_core::json;
+use sim_core::stats::geomean;
+use sim_core::table::{fmt_f, Table};
+
+/// One profiled sweep cell: identity plus the measured cost.
+#[derive(Debug, Clone)]
+struct FleetCell {
+    sweep: String,
+    scenario: String,
+    jobs: u64,
+    events: u64,
+    wall_ns: u128,
+}
+
+impl FleetCell {
+    /// Jobs routed per wall-clock second; 0 when the cell took no
+    /// measurable time (restored cells are never recorded at all).
+    fn jobs_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.jobs as f64 / (self.wall_ns as f64 / 1e9)
+    }
+}
+
+/// Accumulates per-cell timings for one fleet sweep and renders the two
+/// profiling artifacts. Restored-from-checkpoint cells are expected to be
+/// skipped by the caller — their wall-clock would measure the parser, not
+/// the simulation.
+#[derive(Debug)]
+pub struct FleetProfile {
+    sweep: String,
+    cells: Vec<FleetCell>,
+}
+
+impl FleetProfile {
+    /// New empty profile for the named sweep (`"cluster"` or `"chaos"`).
+    pub fn new(sweep: &str) -> Self {
+        Self { sweep: sweep.to_string(), cells: Vec::new() }
+    }
+
+    /// Records one executed cell.
+    pub fn record(&mut self, scenario: &str, jobs: u64, events: u64, wall: Duration) {
+        self.cells.push(FleetCell {
+            sweep: self.sweep.clone(),
+            scenario: scenario.to_string(),
+            jobs,
+            events,
+            wall_ns: wall.as_nanos(),
+        });
+    }
+
+    /// `true` when no cell was executed (everything restored, or the sweep
+    /// was empty) — callers should then leave both artifacts untouched.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Merges this sweep's cells into an existing `BENCH_cluster.json`
+    /// document, preserving every cell recorded by *other* sweeps and
+    /// replacing this sweep's. Pass `None` (or an unparseable document) to
+    /// start fresh. The geomean covers all surviving cells.
+    pub fn merged_json(&self, existing: Option<&str>) -> String {
+        let mut cells: Vec<FleetCell> = Vec::new();
+        if let Some(Ok(doc)) = existing.map(json::parse) {
+            for cell in doc.get("cells").and_then(|c| c.as_array()).unwrap_or(&[]) {
+                let sweep = cell.get("sweep").and_then(|v| v.as_str()).unwrap_or("");
+                if sweep == self.sweep || sweep.is_empty() {
+                    continue;
+                }
+                let num = |key: &str| cell.get(key).and_then(|v| v.as_f64()).unwrap_or(0.0);
+                cells.push(FleetCell {
+                    sweep: sweep.to_string(),
+                    scenario: cell
+                        .get("scenario")
+                        .and_then(|v| v.as_str())
+                        .unwrap_or("")
+                        .to_string(),
+                    jobs: num("jobs") as u64,
+                    events: num("events") as u64,
+                    wall_ns: num("wall_ns") as u128,
+                });
+            }
+        }
+        cells.extend(self.cells.iter().cloned());
+        cells.sort_by(|a, b| (&a.sweep, &a.scenario).cmp(&(&b.sweep, &b.scenario)));
+        let rates: Vec<f64> =
+            cells.iter().map(FleetCell::jobs_per_sec).filter(|&r| r > 0.0).collect();
+        let mut out = String::from("{\n  \"cells\": [\n");
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str("    {\"sweep\": \"");
+            json::escape_into(&mut out, &cell.sweep);
+            out.push_str("\", \"scenario\": \"");
+            json::escape_into(&mut out, &cell.scenario);
+            out.push_str(&format!(
+                "\", \"jobs\": {}, \"events\": {}, \"wall_ns\": {}, \"jobs_per_sec\": {:.3}}}",
+                cell.jobs,
+                cell.events,
+                cell.wall_ns,
+                cell.jobs_per_sec()
+            ));
+        }
+        out.push_str(&format!(
+            "\n  ],\n  \"geomean_jobs_per_sec\": {:.3}\n}}\n",
+            geomean(&rates)
+        ));
+        debug_assert!(json::validate(&out).is_ok());
+        out
+    }
+
+    /// Renders this sweep's slowest-`n`-cells section, bracketed by the
+    /// marker lines [`Self::upsert`] keys on.
+    pub fn summary_section(&self, n: usize) -> String {
+        let total_wall: u128 = self.cells.iter().map(|c| c.wall_ns).sum();
+        let total_jobs: u64 = self.cells.iter().map(|c| c.jobs).sum();
+        let mut sorted: Vec<&FleetCell> = self.cells.iter().collect();
+        sorted.sort_by(|a, b| b.wall_ns.cmp(&a.wall_ns).then_with(|| a.scenario.cmp(&b.scenario)));
+        sorted.truncate(n);
+        let mut t = Table::with_columns(&["scenario", "wall (s)", "jobs", "jobs/sec", "events"]);
+        for cell in sorted {
+            t.row(vec![
+                cell.scenario.clone(),
+                fmt_f(cell.wall_ns as f64 / 1e9, 2),
+                cell.jobs.to_string(),
+                fmt_f(cell.jobs_per_sec(), 0),
+                cell.events.to_string(),
+            ]);
+        }
+        format!(
+            "{}\n{} sweep profile: {} cell(s), {:.2}s total cell wall-clock, {} job(s) routed\n\nslowest cells\n\n{}{}\n",
+            Self::begin_marker(&self.sweep),
+            self.sweep,
+            self.cells.len(),
+            total_wall as f64 / 1e9,
+            total_jobs,
+            t.render(),
+            Self::end_marker(&self.sweep),
+        )
+    }
+
+    fn begin_marker(sweep: &str) -> String {
+        format!("== fleet profile: {sweep} ==")
+    }
+
+    fn end_marker(sweep: &str) -> String {
+        format!("== end fleet profile: {sweep} ==")
+    }
+
+    /// Replaces this sweep's marker-delimited section in `existing` (or
+    /// appends one), leaving everything else — including the other sweep's
+    /// section — byte-identical. Idempotent: upserting the same section
+    /// twice yields the same document.
+    pub fn upsert(&self, existing: &str, section: &str) -> String {
+        let begin = Self::begin_marker(&self.sweep);
+        let end = Self::end_marker(&self.sweep);
+        if let Some(start) = existing.find(&begin) {
+            let tail = &existing[start..];
+            let stop = tail
+                .find(&end)
+                .map_or(existing.len(), |e| start + e + end.len() + 1)
+                .min(existing.len());
+            let mut out = existing[..start].to_string();
+            out.push_str(section);
+            out.push_str(&existing[stop..]);
+            return out;
+        }
+        let mut out = existing.to_string();
+        if !out.is_empty() && !out.ends_with("\n\n") {
+            out.push('\n');
+        }
+        out.push_str(section);
+        out
+    }
+
+    /// Writes both artifacts under `results_dir`: merges this sweep's cells
+    /// into `BENCH_cluster.json` and upserts the slowest-cells section into
+    /// `SUMMARY.txt`. No-op when nothing was recorded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from reading or writing either file.
+    pub fn write_artifacts(&self, results_dir: &Path, n: usize) -> io::Result<()> {
+        if self.is_empty() {
+            return Ok(());
+        }
+        fs::create_dir_all(results_dir)?;
+        let json_path = results_dir.join("BENCH_cluster.json");
+        let existing = fs::read_to_string(&json_path).ok();
+        fs::write(&json_path, self.merged_json(existing.as_deref()))?;
+        let summary_path = results_dir.join("SUMMARY.txt");
+        let existing = fs::read_to_string(&summary_path).unwrap_or_default();
+        fs::write(&summary_path, self.upsert(&existing, &self.summary_section(n)))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(sweep: &str) -> FleetProfile {
+        let mut p = FleetProfile::new(sweep);
+        p.record("LL:HYBRID:high:d4:j400:s7", 400, 9000, Duration::from_millis(20));
+        p.record("RR:HYBRID:high:d4:j400:s7", 400, 8000, Duration::from_millis(50));
+        p
+    }
+
+    #[test]
+    fn merged_json_validates_and_keeps_other_sweeps() {
+        let cluster = sample("cluster").merged_json(None);
+        json::validate(&cluster).unwrap();
+        let both = sample("chaos").merged_json(Some(&cluster));
+        json::validate(&both).unwrap();
+        let doc = json::parse(&both).unwrap();
+        let cells = doc.get("cells").unwrap().as_array().unwrap();
+        assert_eq!(cells.len(), 4, "chaos merge must keep the cluster cells");
+        // Re-merging one sweep replaces its cells instead of duplicating.
+        let again = sample("chaos").merged_json(Some(&both));
+        let doc = json::parse(&again).unwrap();
+        assert_eq!(doc.get("cells").unwrap().as_array().unwrap().len(), 4);
+        assert!(doc.get("geomean_jobs_per_sec").unwrap().as_f64().unwrap() > 0.0);
+        // Garbage input degrades to a fresh document.
+        let fresh = sample("cluster").merged_json(Some("not json"));
+        assert_eq!(json::parse(&fresh).unwrap().get("cells").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn summary_upsert_is_idempotent_and_preserves_other_text() {
+        let profile = sample("cluster");
+        let section = profile.summary_section(10);
+        assert!(section.contains("slowest cells"));
+        let base = "experiment summary\n\nsome existing table\n";
+        let once = profile.upsert(base, &section);
+        assert!(once.starts_with(base));
+        assert!(once.contains("== fleet profile: cluster =="));
+        let twice = profile.upsert(&once, &section);
+        assert_eq!(once, twice, "re-upserting the same section must be a no-op");
+        // A second sweep's section coexists without touching the first.
+        let chaos = sample("chaos");
+        let with_chaos = chaos.upsert(&once, &chaos.summary_section(10));
+        assert!(with_chaos.contains("== fleet profile: cluster =="));
+        assert!(with_chaos.contains("== fleet profile: chaos =="));
+        let reclustered = profile.upsert(&with_chaos, &section);
+        assert!(reclustered.contains("== end fleet profile: chaos =="));
+    }
+
+    #[test]
+    fn slowest_cells_sort_by_wall_clock() {
+        let section = sample("cluster").summary_section(1);
+        assert!(section.contains("RR:HYBRID"), "the 50ms cell is the slowest");
+        assert!(!section.contains("LL:HYBRID"), "truncated to one row");
+    }
+}

@@ -110,6 +110,10 @@ pub struct FleetJob {
 pub struct FleetOutcome {
     /// Cluster-wide job id.
     pub id: u32,
+    /// Service start instant (first slot grab; `start == completion -
+    /// service`). Lets observers split a late completion into queueing
+    /// delay vs service time.
+    pub start: Cycle,
     /// Completion instant.
     pub completion: Cycle,
     /// Arrival-to-completion latency.
@@ -190,6 +194,7 @@ pub fn run_fast_device(jobs: &[FleetJob], params: &FastDeviceParams) -> FastDevi
         makespan = makespan.max(completion);
         outcomes.push(FleetOutcome {
             id: job.id,
+            start,
             completion,
             latency: completion.saturating_since(job.arrival),
             met: completion <= job.arrival + job.deadline,

@@ -43,6 +43,11 @@
 //!   [`probe::MetricsSampler`] and [`probe::ChromeTraceWriter`] observers.
 //!   Zero overhead when no observer is attached, and attaching one never
 //!   perturbs results.
+//! * [`fleet_obs`] — cluster-scope observers over the same probe bus:
+//!   [`fleet_obs::FleetSampler`] (windowed SLO/latency/health time series)
+//!   and [`fleet_obs::FleetTraceWriter`] (Perfetto traces of fleet runs),
+//!   fed by the routing/health/completion/miss events the cluster layer
+//!   emits.
 //!
 //! ## Example
 //!
@@ -86,6 +91,7 @@ mod error;
 mod exec;
 pub mod faults;
 pub mod fleet;
+pub mod fleet_obs;
 pub mod host;
 pub mod job;
 pub mod kernel;
@@ -114,11 +120,14 @@ pub mod prelude {
         FastDeviceParams, FastDeviceReport, Fidelity, FleetFaultError, FleetFaultPlan, FleetJob,
         FleetOutcome, StragglerWindow,
     };
+    pub use crate::fleet_obs::{FleetSampler, FleetTraceWriter};
     pub use crate::host::{HostCmd, HostEvent, HostScheduler, HostView};
     pub use crate::job::{JobDesc, JobFate, JobId, JobState};
     pub use crate::kernel::{AccessPattern, ClassTable, ComputeProfile, KernelClassId, KernelDesc};
     pub use crate::metrics::{JobRecord, SimReport};
-    pub use crate::probe::{ChromeTraceWriter, MetricsSampler, MetricsSnapshot, ProbeEvent};
+    pub use crate::probe::{
+        ChromeTraceWriter, MetricsSampler, MetricsSnapshot, MissBreakdown, MissCause, ProbeEvent,
+    };
     pub use crate::queue::{ActiveJob, ComputeQueue};
     pub use crate::scheduler::{Admission, CpContext, CpScheduler, Occupancy, RoundRobin};
     pub use crate::sim::{run_isolated, SchedulerMode, SimBuilder, SimError, SimParams, Simulation};

@@ -167,9 +167,172 @@ pub enum ProbeEvent {
         /// Best laxity across surviving devices, µs (negative).
         laxity_us: f64,
     },
+    /// A fleet job finished on a device (fired at the completion instant by
+    /// the cluster layer, for both fidelity tiers). Fired for every job
+    /// that runs to completion, whether or not it met its deadline; a late
+    /// completion is paired with a [`ProbeEvent::JobMissed`].
+    JobCompleted {
+        /// The completed job (cluster-wide id).
+        job: JobId,
+        /// Device the job ran on.
+        device: u16,
+        /// End-to-end latency since first arrival, µs (includes any
+        /// crash/retry requeue delay).
+        latency_us: f64,
+        /// Whether completion beat the job's absolute deadline.
+        met: bool,
+    },
+    /// A fleet job failed its SLO, with a typed cause. Fired exactly once
+    /// per job that does not meet its deadline — alongside the
+    /// corresponding `JobRejected`/`JobShed`/late `JobCompleted` where one
+    /// exists, and as the only record for jobs destroyed by crashes or
+    /// retry exhaustion.
+    JobMissed {
+        /// The missed job (cluster-wide id).
+        job: JobId,
+        /// Device attribution when one exists (`None` for front-door
+        /// rejects/sheds and losses with no surviving placement).
+        device: Option<u16>,
+        /// Why the job missed.
+        cause: MissCause,
+    },
     /// Periodic hardware state snapshot (fired on the counter-refresh tick,
     /// so attaching a sampler never adds events to the queue).
     Snapshot(MetricsSnapshot),
+}
+
+/// Why a fleet job failed its SLO. Every non-completed or late job gets
+/// exactly one cause, so the per-cause counters conserve against the run's
+/// report totals (see [`MissBreakdown`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MissCause {
+    /// The front door predicted no device could make the deadline and
+    /// rejected the job on arrival (report `rejected`).
+    FrontDoorReject,
+    /// A device-local CP admission rejected the job after routing
+    /// (detailed tier only; report `device_rejected`).
+    DeviceReject,
+    /// The job completed late, and would have met its deadline had it
+    /// started the moment it arrived: the queue ate the slack.
+    QueueingDelay,
+    /// The job completed late even net of queueing: service time alone
+    /// (straggler slowdowns included) exceeded the deadline budget.
+    ServiceTime,
+    /// The job was destroyed by a device crash and its retry budget was
+    /// already exhausted (part of report `lost`).
+    CrashLoss,
+    /// The job was lost after crash requeue because no retry could be
+    /// placed: backoff exhausted the budget, the laxity gate failed, or no
+    /// device was in rotation (the rest of report `lost`).
+    RetryExhausted,
+    /// The front door shed the job under degraded capacity (report
+    /// `shed`).
+    Shed,
+}
+
+impl MissCause {
+    /// All causes, in counter/report order.
+    pub const ALL: [MissCause; 7] = [
+        MissCause::FrontDoorReject,
+        MissCause::DeviceReject,
+        MissCause::QueueingDelay,
+        MissCause::ServiceTime,
+        MissCause::CrashLoss,
+        MissCause::RetryExhausted,
+        MissCause::Shed,
+    ];
+
+    /// Stable snake_case name used in table columns and JSON keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            MissCause::FrontDoorReject => "front_door_reject",
+            MissCause::DeviceReject => "device_reject",
+            MissCause::QueueingDelay => "queueing_delay",
+            MissCause::ServiceTime => "service_time",
+            MissCause::CrashLoss => "crash_loss",
+            MissCause::RetryExhausted => "retry_exhausted",
+            MissCause::Shed => "shed",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            MissCause::FrontDoorReject => 0,
+            MissCause::DeviceReject => 1,
+            MissCause::QueueingDelay => 2,
+            MissCause::ServiceTime => 3,
+            MissCause::CrashLoss => 4,
+            MissCause::RetryExhausted => 5,
+            MissCause::Shed => 6,
+        }
+    }
+}
+
+/// Per-cause miss counters for one fleet run. Conservation identities the
+/// cluster layer's tests pin (with `misses` a report's breakdown):
+///
+/// * `misses.count(FrontDoorReject) == report.rejected`
+/// * `misses.count(DeviceReject) == report.device_rejected`
+/// * `misses.count(QueueingDelay) + misses.count(ServiceTime)
+///    == report.completed - report.met`
+/// * `misses.count(CrashLoss) + misses.count(RetryExhausted) == report.lost`
+/// * `misses.count(Shed) == report.shed`
+/// * `misses.total() == report.total - report.met`
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MissBreakdown {
+    counts: [u64; 7],
+}
+
+impl MissBreakdown {
+    /// Record one miss.
+    pub fn add(&mut self, cause: MissCause) {
+        self.counts[cause.index()] += 1;
+    }
+
+    /// Record `n` misses of the same cause at once.
+    pub fn add_n(&mut self, cause: MissCause, n: u64) {
+        self.counts[cause.index()] += n;
+    }
+
+    /// Misses recorded for `cause`.
+    pub fn count(&self, cause: MissCause) -> u64 {
+        self.counts[cause.index()]
+    }
+
+    /// Total misses across all causes.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fold `other`'s counters into `self` (device-slice merges).
+    pub fn merge(&mut self, other: &MissBreakdown) {
+        for (acc, n) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *acc += n;
+        }
+    }
+}
+
+/// Compact `name=count` pairs for non-zero causes (`none` when empty),
+/// used in run-summary log lines.
+impl std::fmt::Display for MissBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut any = false;
+        for cause in MissCause::ALL {
+            let n = self.count(cause);
+            if n == 0 {
+                continue;
+            }
+            if any {
+                write!(f, " ")?;
+            }
+            write!(f, "{}={n}", cause.name())?;
+            any = true;
+        }
+        if !any {
+            write!(f, "none")?;
+        }
+        Ok(())
+    }
 }
 
 /// Point-in-time summary of device state, assembled by the simulation on its

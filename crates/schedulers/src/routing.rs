@@ -251,6 +251,15 @@ impl Router {
             .map(|completion| Self::laxity_us(req, completion))
     }
 
+    /// Predicted backlog of device `d` at `now`, in microseconds: the sum
+    /// over its slots of how far each free time lies in the future. Pure
+    /// read of the router's slot model — books nothing, ignores health —
+    /// exposed so fleet observers can sample per-device queue depth without
+    /// reaching into router internals.
+    pub fn backlog_us(&self, d: usize, now: Cycle) -> f64 {
+        self.outstanding(d, now).as_us_f64()
+    }
+
     /// Indices of devices currently accepting placements.
     fn up_devices(&self) -> impl Iterator<Item = usize> + '_ {
         self.health
@@ -564,6 +573,21 @@ mod tests {
         let restore = Cycle::ZERO + Duration::from_us(50);
         r.reset_device(0, restore);
         assert_eq!(device_of(r.route(&req(50, 10, 100_000))), 0);
+    }
+
+    #[test]
+    fn backlog_us_tracks_booked_work_and_drains_with_time() {
+        let mut r = Router::new(RoutePolicy::LeastOutstanding, 2, 1, 1);
+        assert_eq!(r.backlog_us(0, Cycle::ZERO), 0.0);
+        r.route(&req(0, 400, 100_000)); // lands on device 0
+        assert_eq!(r.backlog_us(0, Cycle::ZERO), 400.0);
+        assert_eq!(r.backlog_us(1, Cycle::ZERO), 0.0);
+        // Backlog is measured from `now`: half way through, half remains,
+        // and past the completion it saturates at zero.
+        let half = Cycle::ZERO + Duration::from_us(200);
+        assert_eq!(r.backlog_us(0, half), 200.0);
+        let past = Cycle::ZERO + Duration::from_us(1000);
+        assert_eq!(r.backlog_us(0, past), 0.0);
     }
 
     #[test]
