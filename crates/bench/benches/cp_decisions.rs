@@ -52,14 +52,11 @@ fn busy_queues(n: usize, kernels_per_job: usize) -> Vec<ComputeQueue> {
                     ))
                 })
                 .collect();
-            let desc = Arc::new(JobDesc::new(
-                JobId(i as u32),
-                "bench",
-                kernels,
-                Duration::from_ms(7),
-                Cycle::ZERO,
-            ));
-            let mut a = ActiveJob::new(desc.clone(), desc.kernels.clone(), true, Cycle::ZERO);
+            let desc = Arc::new(
+                JobDesc::chain(JobId(i as u32), "bench", kernels, Duration::from_ms(7), Cycle::ZERO)
+                    .unwrap(),
+            );
+            let mut a = ActiveJob::new(desc, Cycle::ZERO);
             a.state = JobState::Running;
             ComputeQueue { active: Some(a) }
         })

@@ -6,8 +6,12 @@
 //!     [SCENARIO ...] [--smoke] [--jobs N] [--resume] [--out PATH] \
 //!     [--ckpt PATH] [--fidelity fast|detailed] [--scheduler NAME] \
 //!     [--slots N] [--jitter F] [--devices N] [--njobs N] [--seed N] \
-//!     [--bench NAME] [--rate NAME] [--policies CSV]
+//!     [--bench NAME] [--rate NAME] [--policies CSV] \
+//!     [--scenario-file PATH]
 //! ```
+//!
+//! `--scenario-file` replaces the grid flags with a declarative scenario
+//! file (see `workloads::scenario`); the file must carry a `fleet` key.
 //!
 //! Positional `SCENARIO`s are cluster-scenario strings
 //! (`POLICY:BENCH:RATE:dD:jN:sSEED`). Without positionals the grid is the
@@ -54,6 +58,41 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
 
 fn main() -> Result<(), Box<dyn Error>> {
     let (jobs, mut rest) = sweep::jobs_from_cli(std::env::args().skip(1));
+    if let Some(path) = take_value(&mut rest, "--scenario-file").map(PathBuf::from) {
+        let out = PathBuf::from(
+            take_value(&mut rest, "--out").unwrap_or_else(|| "results/cluster.txt".to_string()),
+        );
+        if let Some(unknown) = rest.first() {
+            return Err(format!("unknown argument `{unknown}` with --scenario-file").into());
+        }
+        let source = fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let file: workloads::scenario::ScenarioFile =
+            source.parse().map_err(|e| format!("{}: {e}", path.display()))?;
+        if file.fleet.is_none() {
+            return Err(format!(
+                "{}: the cluster binary needs a `fleet` key (use bin/dag for single-device files)",
+                path.display()
+            )
+            .into());
+        }
+        eprintln!(
+            "[cluster] scenario {}: {} cell(s) x {} job(s) on {jobs} worker thread(s)",
+            file.name,
+            file.schedulers.len() * file.rates.len(),
+            file.n_jobs
+        );
+        let t0 = std::time::Instant::now();
+        let text = lax_bench::scenario_file::run_scenario_file(&file, jobs)?;
+        if let Some(dir) = out.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir)?;
+            }
+        }
+        fs::write(&out, &text)?;
+        eprintln!("[cluster] wrote {} in {:?}", out.display(), t0.elapsed());
+        return Ok(());
+    }
     let smoke = take_flag(&mut rest, "--smoke");
     let resume = take_flag(&mut rest, "--resume");
     let out = PathBuf::from(

@@ -75,6 +75,7 @@ use schedulers::routing::{self, RouteDecision, RouteRequest, Router};
 use sim_core::rng::SimRng;
 use sim_core::stats::StreamingQuantiles;
 use sim_core::table::Table;
+use workloads::dag::{fanout_graph, ipa_graph, sample_fanout_width, IPA_WIDTH};
 use workloads::rnn::{build_chain, sample_seq_len, Hidden, RnnCell};
 use workloads::spec::{ArrivalRate, Benchmark, ParseSpecError};
 use workloads::suite::BenchmarkSuite;
@@ -307,13 +308,16 @@ impl FromStr for ClusterScenario {
 
 /// What one generated job materializes into, kept symbolic so the fast
 /// tier never builds kernel chains and the detailed tier can rebuild the
-/// exact chain from the stored parameters.
+/// exact chain or graph from the stored parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ChainSpec {
     /// An RNN chain (`build_chain` parameters).
     Rnn { cell: RnnCell, hidden: Hidden, seq_len: u32 },
     /// The benchmark's single calibrated kernel.
     Single,
+    /// The benchmark's kernel DAG at a sampled fan-out width
+    /// ([`fanout_graph`] / [`ipa_graph`]).
+    Dag { width: u32 },
 }
 
 /// One job of the cluster arrival stream.
@@ -352,8 +356,9 @@ fn variant_key(cell: RnnCell, hidden: Hidden) -> u8 {
     c * 2 + h
 }
 
-/// Isolated service time of one chain: the sum of its kernels' calibrated
-/// isolated times (chains execute sequentially).
+/// Isolated service time of one job: the sum of its kernels' calibrated
+/// isolated times for chains (chains execute sequentially), and the
+/// critical path of those times for DAGs (parallel arms overlap).
 fn chain_service(suite: &BenchmarkSuite, spec: ChainSpec, bench: Benchmark) -> Duration {
     let us = match spec {
         ChainSpec::Single => suite.calibration(single_kernel_name(bench)).measured_us,
@@ -361,8 +366,75 @@ fn chain_service(suite: &BenchmarkSuite, spec: ChainSpec, bench: Benchmark) -> D
             .iter()
             .map(|k| suite.calibration(&k.name).measured_us)
             .sum(),
+        ChainSpec::Dag { width } => graph_critical_us(suite, &dag_graph(suite, bench, width)),
     };
     Duration::from_us_f64(us)
+}
+
+/// Builds the benchmark's kernel DAG at the stored width.
+fn dag_graph(suite: &BenchmarkSuite, bench: Benchmark, width: u32) -> JobGraph {
+    match bench {
+        Benchmark::FanOut => fanout_graph(suite, width as usize),
+        Benchmark::Ipa => ipa_graph(suite, width as usize),
+        other => panic!("{other} is not a DAG benchmark"),
+    }
+}
+
+/// Critical path of a graph under calibrated isolated kernel times: the
+/// longest finish time over a topological walk, which a chain degenerates
+/// to its plain sum.
+fn graph_critical_us(suite: &BenchmarkSuite, graph: &JobGraph) -> f64 {
+    let stages = graph.stages();
+    let mut finish = vec![0.0f64; stages.len()];
+    let mut best = 0.0f64;
+    for &i in graph.topo_order() {
+        let i = i as usize;
+        let start = graph
+            .preds(i)
+            .iter()
+            .fold(0.0f64, |acc, &p| acc.max(finish[p as usize]));
+        finish[i] = start + suite.calibration(&stages[i].name).measured_us;
+        best = best.max(finish[i]);
+    }
+    best
+}
+
+/// Materializes one symbolic job spec as the full [`JobDesc`] the detailed
+/// tier simulates: the stored chain parameters, or the benchmark's DAG at
+/// the stored width.
+fn materialize_job(
+    suite: &BenchmarkSuite,
+    bench: Benchmark,
+    spec: ChainSpec,
+    id: u32,
+    deadline: Duration,
+    arrival: Cycle,
+) -> JobDesc {
+    let label = job_label(bench, spec);
+    match spec {
+        ChainSpec::Single => JobDesc::chain(
+            JobId(id),
+            label,
+            vec![suite.calibration(single_kernel_name(bench)).desc.clone()],
+            deadline,
+            arrival,
+        ),
+        ChainSpec::Rnn { cell, hidden, seq_len } => JobDesc::chain(
+            JobId(id),
+            label,
+            build_chain(cell, hidden, seq_len, suite),
+            deadline,
+            arrival,
+        ),
+        ChainSpec::Dag { width } => JobDesc::from_graph(
+            JobId(id),
+            label,
+            dag_graph(suite, bench, width),
+            deadline,
+            arrival,
+        ),
+    }
+    .expect("calibrated specs materialize into valid jobs")
 }
 
 /// Generates the cluster arrival stream: `n_jobs` open-loop arrivals at
@@ -389,11 +461,14 @@ fn generate_cluster_jobs(scenario: &ClusterScenario, suite: &BenchmarkSuite) -> 
                     rnn_spec(RnnCell::Gru, Hidden::H256, &mut rng)
                 }
             }
+            Benchmark::FanOut => ChainSpec::Dag { width: sample_fanout_width(&mut rng) as u32 },
+            Benchmark::Ipa => ChainSpec::Dag { width: IPA_WIDTH as u32 },
             _ => ChainSpec::Single,
         };
         let key = match spec {
             ChainSpec::Single => (u8::MAX, 0),
             ChainSpec::Rnn { cell, hidden, seq_len } => (variant_key(cell, hidden), seq_len),
+            ChainSpec::Dag { width } => (u8::MAX - 1, width),
         };
         let service_est = *costs
             .entry(key)
@@ -803,21 +878,7 @@ impl ClusterBuilder {
                     .iter()
                     .enumerate()
                     .map(|(i, j)| {
-                        let kernels = match j.spec {
-                            ChainSpec::Single => {
-                                vec![suite.calibration(single_kernel_name(scenario.bench)).desc.clone()]
-                            }
-                            ChainSpec::Rnn { cell, hidden, seq_len } => {
-                                build_chain(cell, hidden, seq_len, suite)
-                            }
-                        };
-                        JobDesc::new(
-                            JobId(i as u32),
-                            job_label(scenario.bench, j.spec),
-                            kernels,
-                            deadline,
-                            j.arrival,
-                        )
+                        materialize_job(suite, scenario.bench, j.spec, i as u32, deadline, j.arrival)
                     })
                     .collect();
                 let mode = registry::try_build(&self.device_scheduler)?;
@@ -1353,21 +1414,14 @@ impl ClusterBuilder {
             .iter()
             .enumerate()
             .map(|(i, b)| {
-                let kernels = match b.spec {
-                    ChainSpec::Single => {
-                        vec![suite.calibration(single_kernel_name(bench)).desc.clone()]
-                    }
-                    ChainSpec::Rnn { cell, hidden, seq_len } => {
-                        build_chain(cell, hidden, seq_len, suite)
-                    }
-                };
                 // A retried booking enters at its retry instant but is
                 // held to its original deadline: the relative deadline
                 // shrinks by the time already burned.
-                JobDesc::new(
-                    JobId(i as u32),
-                    job_label(bench, b.spec),
-                    kernels,
+                materialize_job(
+                    suite,
+                    bench,
+                    b.spec,
+                    i as u32,
                     b.deadline_abs.saturating_since(b.entry),
                     b.entry,
                 )

@@ -484,6 +484,149 @@ pub fn faults(
     Ok(out)
 }
 
+/// Grid of the DAG-workload study: schedulers × DAG benchmarks × arrival
+/// rates, fault-free. The first sweep whose jobs are true dependency
+/// graphs (concurrent in-flight stages, remaining-critical-path laxity)
+/// rather than linear chains.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagSweep {
+    /// Schedulers to compare (registry names).
+    pub schedulers: Vec<String>,
+    /// DAG benchmarks to sweep (see `Benchmark::DAGS`).
+    pub benches: Vec<Benchmark>,
+    /// Arrival-rate levels.
+    pub rates: Vec<ArrivalRate>,
+    /// Jobs per cell.
+    pub n_jobs: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl DagSweep {
+    /// The committed study (`results/dag.txt`): a deadline-blind baseline
+    /// (RR), the deadline-aware chain baselines (EDF, PREMA) and LAX on
+    /// both DAG benchmarks across all three Table 4 rate levels.
+    pub fn full() -> Self {
+        DagSweep {
+            schedulers: vec!["RR".into(), "EDF".into(), "PREMA".into(), "LAX".into()],
+            benches: Benchmark::DAGS.to_vec(),
+            rates: vec![ArrivalRate::High, ArrivalRate::Medium, ArrivalRate::Low],
+            n_jobs: crate::runner::JOBS_PER_RUN,
+            seed: crate::runner::DEFAULT_SEED,
+        }
+    }
+
+    /// A seconds-scale grid for CI smoke runs and the kill-and-resume
+    /// check in `tools/tier1.sh`.
+    pub fn smoke() -> Self {
+        DagSweep {
+            schedulers: vec!["RR".into(), "LAX".into()],
+            benches: vec![Benchmark::FanOut],
+            rates: vec![ArrivalRate::Low],
+            n_jobs: 8,
+            seed: crate::runner::DEFAULT_SEED,
+        }
+    }
+
+    /// The cells of this grid in render order, keyed by their scenario
+    /// string (plain parseable [`Scenario`]s — DAG cells are ordinary
+    /// cells, the job generator just emits graphs).
+    fn cells(&self) -> Vec<(String, Scenario)> {
+        let mut cells = Vec::new();
+        for s in &self.schedulers {
+            for &b in &self.benches {
+                for &r in &self.rates {
+                    let scenario = Scenario::new(s, b, r, self.n_jobs, self.seed);
+                    cells.push((scenario.to_string(), scenario));
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// Renders the DAG-workload study: deadline-met counts and p99 latency
+/// per scheduler on graph-structured jobs, one table per arrival rate.
+///
+/// Every scheduler at one `(benchmark, rate)` cell sees the identical
+/// sampled graph stream (cell seeds exclude the scheduler name), so the
+/// columns are paired. Finished cells stream into `checkpoint` when one
+/// is attached; recorded cells are not re-run, which is how an
+/// interrupted `bin/dag` resumes byte-identically.
+///
+/// # Errors
+///
+/// The first failing cell, after all runnable cells finished (and were
+/// checkpointed).
+pub fn dag(
+    sweep: &DagSweep,
+    workers: usize,
+    mut checkpoint: Option<&mut Checkpoint>,
+) -> Result<String, BenchError> {
+    let cells = sweep.cells();
+    let mut reports: Vec<Option<SimReport>> = vec![None; cells.len()];
+    let mut missing: Vec<usize> = Vec::new();
+    for (idx, (key, _)) in cells.iter().enumerate() {
+        match checkpoint.as_ref().and_then(|ck| ck.get(key)) {
+            Some(report) => reports[idx] = Some(report.clone()),
+            None => missing.push(idx),
+        }
+    }
+    let mut first_err: Option<BenchError> = None;
+    if !missing.is_empty() {
+        let results = par_map_with(
+            &missing,
+            workers,
+            |&idx| run_cell_opts(&cells[idx].1, &SweepOptions::new(1)),
+            |i, r: &Result<SimReport, BenchError>, _| {
+                if let (Ok(report), Some(ck)) = (r, checkpoint.as_deref_mut()) {
+                    if let Err(e) = ck.record(&cells[missing[i]].0, report) {
+                        eprintln!("warning: checkpoint write failed: {e}");
+                    }
+                }
+            },
+        );
+        for (&idx, result) in missing.iter().zip(results) {
+            match result {
+                Ok(report) => reports[idx] = Some(report),
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    let cell = |sched: usize, bench: usize, rate: usize| -> &SimReport {
+        let idx = (sched * sweep.benches.len() + bench) * sweep.rates.len() + rate;
+        reports[idx].as_ref().expect("all cells ran")
+    };
+    let mut out = format!(
+        "DAG workloads: deadline-met counts on graph-structured jobs\n\
+         ({} jobs/cell, seed {}; FANOUT = STEM scatter into 2-4 parallel\n\
+         CUCKOO lookups joining into STEM, IPA = Sirius GMM scoring feeding\n\
+         parallel STEM stages; laxity uses the remaining critical path)\n",
+        sweep.n_jobs, sweep.seed
+    );
+    for (ri, rate) in sweep.rates.iter().enumerate() {
+        out.push_str(&format!("\nrate {rate}: met/{} (p99 ms)\n\n", sweep.n_jobs));
+        let mut header = vec!["benchmark".to_string()];
+        header.extend(sweep.schedulers.iter().cloned());
+        let mut t = Table::new(header);
+        for (bi, bench) in sweep.benches.iter().enumerate() {
+            let mut row = vec![bench.name().to_string()];
+            for si in 0..sweep.schedulers.len() {
+                let r = cell(si, bi, ri);
+                row.push(format!("{} ({})", r.deadlines_met(), fmt_f(r.p99_latency_ms(), 2)));
+            }
+            t.row(row);
+        }
+        out.push_str(&t.render());
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

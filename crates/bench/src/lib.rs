@@ -22,6 +22,7 @@ pub mod cluster;
 pub mod figures;
 pub mod profile;
 pub mod runner;
+pub mod scenario_file;
 pub mod sweep;
 
 pub use checkpoint::Checkpoint;

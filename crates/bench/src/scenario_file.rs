@@ -1,0 +1,281 @@
+//! Execute declarative scenario files ([`workloads::scenario`]).
+//!
+//! A scenario file describes an experiment grid as data — workload (named
+//! benchmark or inline DAG), schedulers, arrival rates, fault intensity,
+//! and optionally a fleet topology. This module turns one parsed
+//! [`ScenarioFile`] into the corresponding cells and renders the results
+//! as the house-style ASCII table the other binaries emit:
+//!
+//! * No `fleet` key → one single-device cell per scheduler × rate, run
+//!   through the same machinery as [`crate::sweep::run_cell`] (fault plans
+//!   seeded from the cell seed, arrival bursts applied to the job stream).
+//! * With `fleet` → one cluster cell per scheduler × rate: the file's
+//!   routing policy and device count in front of per-device simulations,
+//!   with each scheduler name taking the device-scheduler slot.
+//!
+//! # Determinism
+//!
+//! Cells are seeded from [`ScenarioFile::cell_seed`] (workload fields
+//! only, never scheduler/policy/worker count) and fanned with
+//! [`crate::sweep::par_map`], which returns results in input order — so
+//! the rendered report is byte-identical for any `--jobs N`, the same
+//! contract the sweep binaries honor.
+
+use std::sync::Arc;
+
+use gpu_sim::prelude::*;
+use schedulers::registry;
+use workloads::burst::apply_bursts;
+use workloads::scenario::{ScenarioFile, ScenarioFileError, WorkloadSpec};
+use workloads::spec::ArrivalRate;
+use workloads::suite::BenchmarkSuite;
+
+use sim_core::table::{fmt_f, Table};
+
+use crate::cluster::{cluster_table, ClusterBuilder, ClusterScenario};
+use crate::sweep::{par_map, BenchError, SharedObserver};
+
+/// One cell of a scenario file's grid: a scheduler at a rate level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileCell {
+    /// Device-scheduler name.
+    pub scheduler: String,
+    /// Arrival-rate level.
+    pub rate: ArrivalRate,
+}
+
+/// The scheduler × rate grid a scenario file spans, in file order
+/// (schedulers outer, rates inner — the row order of the rendered table).
+pub fn file_cells(file: &ScenarioFile) -> Vec<FileCell> {
+    let mut cells = Vec::with_capacity(file.schedulers.len() * file.rates.len());
+    for scheduler in &file.schedulers {
+        for &rate in &file.rates {
+            cells.push(FileCell { scheduler: scheduler.clone(), rate });
+        }
+    }
+    cells
+}
+
+/// Runs one single-device cell of a scenario file: generate the cell's
+/// jobs (named workloads byte-identical to the sweep engine's cells,
+/// inline DAGs from the file's own rate table), seed the fault plan from
+/// the cell seed at the file's intensity, attach `observers`, run.
+///
+/// # Errors
+///
+/// [`BenchError::Scenario`] when the inline workload cannot materialize,
+/// [`BenchError::UnknownScheduler`] / [`BenchError::Sim`] as for
+/// [`crate::sweep::run_cell`].
+pub fn run_file_cell(
+    file: &ScenarioFile,
+    scheduler: &str,
+    rate: ArrivalRate,
+    observers: &[SharedObserver],
+) -> Result<SimReport, BenchError> {
+    let suite = BenchmarkSuite::calibrated();
+    let mut jobs = file.generate_jobs(suite, rate)?;
+    let mode = registry::try_build(scheduler)?;
+    let cfg = GpuConfig::default();
+    // Same fault-span contract as the sweep engine: storms are drawn over
+    // the window jobs can occupy.
+    let span = jobs
+        .iter()
+        .map(|j| j.arrival.saturating_since(Cycle::ZERO) + j.deadline)
+        .max()
+        .unwrap_or(Duration::ZERO);
+    let plan = FaultPlan::seeded(file.cell_seed(rate), file.fault_intensity, span, cfg.num_cus);
+    apply_bursts(&mut jobs, &plan.bursts);
+    let mut builder = Simulation::builder()
+        .offline_rates(suite.offline_rates())
+        .jobs(jobs)
+        .scheduler(mode)
+        .faults(plan);
+    for obs in observers {
+        builder = builder.observe(Box::new(Arc::clone(obs)));
+    }
+    let mut sim = builder.build()?;
+    sim.try_run().map_err(BenchError::Sim)
+}
+
+/// The cluster scenario one fleet-mode cell maps to.
+///
+/// # Errors
+///
+/// [`BenchError::Scenario`] when the file has no `fleet` key or its
+/// workload is an inline DAG (the cluster's symbolic fast tier needs a
+/// named benchmark).
+pub fn fleet_scenario(file: &ScenarioFile, rate: ArrivalRate) -> Result<ClusterScenario, BenchError> {
+    let fleet = file.fleet.as_ref().ok_or(ScenarioFileError::Missing { key: "fleet" })?;
+    let WorkloadSpec::Named(bench) = &file.workload else {
+        return Err(ScenarioFileError::Value {
+            key: "fleet".into(),
+            why: "fleet topology requires a named benchmark workload, not an inline DAG".into(),
+        }
+        .into());
+    };
+    Ok(ClusterScenario::new(&fleet.policy, *bench, rate, fleet.devices, file.n_jobs, file.seed)
+        .with_fault_milli((file.fault_intensity * 1000.0).round() as u32))
+}
+
+/// Runs a scenario file's whole grid on `workers` threads and renders the
+/// report text the `--scenario-file` binaries write.
+///
+/// # Errors
+///
+/// The first cell failure aborts the run — a scenario file is one
+/// experiment, not a sweep where partial grids are useful.
+pub fn run_scenario_file(file: &ScenarioFile, workers: usize) -> Result<String, BenchError> {
+    let mut text = String::new();
+    text.push_str(&format!("# scenario: {}\n", file.name));
+    text.push_str(&format!(
+        "# seed {}, {} job(s)/cell, fault intensity {}\n",
+        file.seed, file.n_jobs, file.fault_intensity
+    ));
+    if file.fleet.is_some() {
+        let mut reports = Vec::new();
+        for cell in file_cells(file) {
+            let scenario = fleet_scenario(file, cell.rate)?;
+            let report = ClusterBuilder::new(scenario)
+                .device_scheduler(&cell.scheduler)
+                .workers(workers)
+                .run()?;
+            reports.push(report);
+        }
+        text.push_str(&cluster_table(&reports).render());
+        return Ok(text);
+    }
+    let cells = file_cells(file);
+    let results = par_map(&cells, workers, |c| run_file_cell(file, &c.scheduler, c.rate, &[]));
+    let mut table = Table::with_columns(&[
+        "scheduler", "rate", "jobs", "met", "rejected", "attain", "p99_ms", "thpt/s",
+    ]);
+    for (cell, result) in cells.iter().zip(results) {
+        let r = result?;
+        let n = r.records.len();
+        table.row(vec![
+            cell.scheduler.clone(),
+            cell.rate.to_string(),
+            n.to_string(),
+            r.deadlines_met().to_string(),
+            r.rejected().to_string(),
+            fmt_f(r.deadlines_met() as f64 / n.max(1) as f64, 4),
+            fmt_f(r.p99_latency_ms(), 3),
+            fmt_f(r.throughput_per_sec(), 1),
+        ]);
+    }
+    text.push_str(&table.render());
+    Ok(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::spec::Benchmark;
+
+    fn small_named() -> ScenarioFile {
+        ScenarioFile::parse(
+            r#"{
+                "name": "smoke",
+                "seed": 3,
+                "jobs": 8,
+                "schedulers": ["RR", "LAX"],
+                "rates": ["low"],
+                "workload": "IPV6"
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn named_file_cell_matches_the_sweep_cell() {
+        // The central promise: a file naming a benchmark reproduces the
+        // sweep engine's cell bit-for-bit.
+        let file = small_named();
+        let sweep_cell = crate::sweep::Scenario::new(
+            "RR",
+            Benchmark::Ipv6,
+            ArrivalRate::Low,
+            8,
+            3,
+        );
+        assert_eq!(file.cell_seed(ArrivalRate::Low), sweep_cell.cell_seed());
+        let via_file = run_file_cell(&file, "RR", ArrivalRate::Low, &[]).unwrap();
+        let via_sweep =
+            crate::sweep::run_cell(&sweep_cell, &crate::sweep::RunOptions::default()).unwrap();
+        assert_eq!(via_file, via_sweep);
+    }
+
+    #[test]
+    fn inline_dag_file_runs_end_to_end() {
+        let file = ScenarioFile::parse(
+            r#"{
+                "name": "diamond",
+                "seed": 5,
+                "jobs": 6,
+                "schedulers": ["RR"],
+                "rates": ["low"],
+                "workload": {
+                    "deadline_us": 5000,
+                    "rate_jobs_per_sec": { "high": 4000, "medium": 2000, "low": 1000 },
+                    "stages": [
+                        { "kernel": "stem" },
+                        { "kernel": "cuckoo" },
+                        { "kernel": "cuckoo" },
+                        { "kernel": "stem" }
+                    ],
+                    "edges": [[0, 1], [0, 2], [1, 3], [2, 3]]
+                }
+            }"#,
+        )
+        .unwrap();
+        let report = run_file_cell(&file, "RR", ArrivalRate::Low, &[]).unwrap();
+        assert_eq!(report.records.len(), 6);
+        assert!(report.completed() > 0);
+    }
+
+    #[test]
+    fn report_text_is_worker_count_invariant() {
+        let file = small_named();
+        let serial = run_scenario_file(&file, 1).unwrap();
+        let parallel = run_scenario_file(&file, 8).unwrap();
+        assert_eq!(serial, parallel);
+        assert!(serial.contains("scheduler"));
+        assert!(serial.contains("LAX"));
+    }
+
+    #[test]
+    fn fleet_with_inline_workload_is_a_typed_error() {
+        let mut file = small_named();
+        file.fleet = Some(workloads::scenario::FleetSpec { devices: 2, policy: "LL".into() });
+        file.workload = WorkloadSpec::Inline(workloads::scenario::DagSpec {
+            deadline_us: 100.0,
+            rate_jobs_per_sec: [1000.0, 500.0, 100.0],
+            stages: vec![workloads::scenario::StageSpec { kernel: "stem".into(), deadline_us: None }],
+            edges: vec![],
+        });
+        match fleet_scenario(&file, ArrivalRate::Low).unwrap_err() {
+            BenchError::Scenario(ScenarioFileError::Value { key, .. }) => assert_eq!(key, "fleet"),
+            other => panic!("expected a typed scenario error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fleet_file_runs_through_the_cluster() {
+        let file = ScenarioFile::parse(
+            r#"{
+                "name": "mini-fleet",
+                "seed": 2,
+                "jobs": 200,
+                "schedulers": ["LAX"],
+                "rates": ["high"],
+                "workload": "GMM",
+                "fault_intensity": 1.0,
+                "fleet": { "devices": 2, "policy": "LL" }
+            }"#,
+        )
+        .unwrap();
+        let text = run_scenario_file(&file, 2).unwrap();
+        assert!(text.contains("mini-fleet"));
+        assert!(text.contains("LL"), "cluster table names the policy: {text}");
+    }
+}

@@ -217,6 +217,9 @@ pub enum BenchError {
     Io(String),
     /// The cluster scenario's fleet fault plan is ill-formed for the fleet.
     FleetFault(FleetFaultError),
+    /// A declarative scenario file failed to parse or validate
+    /// ([`workloads::scenario`]).
+    Scenario(workloads::scenario::ScenarioFileError),
 }
 
 impl fmt::Display for BenchError {
@@ -234,6 +237,7 @@ impl fmt::Display for BenchError {
             BenchError::Callback(msg) => write!(f, "progress callback panicked: {msg}"),
             BenchError::Io(msg) => write!(f, "I/O error: {msg}"),
             BenchError::FleetFault(e) => write!(f, "invalid fleet fault plan: {e}"),
+            BenchError::Scenario(e) => write!(f, "{e}"),
         }
     }
 }
@@ -245,6 +249,7 @@ impl std::error::Error for BenchError {
             BenchError::UnknownPolicy(e) => Some(e),
             BenchError::Sim(e) => Some(e),
             BenchError::FleetFault(e) => Some(e),
+            BenchError::Scenario(e) => Some(e),
             _ => None,
         }
     }
@@ -271,6 +276,12 @@ impl From<SimError> for BenchError {
 impl From<FleetFaultError> for BenchError {
     fn from(e: FleetFaultError) -> Self {
         BenchError::FleetFault(e)
+    }
+}
+
+impl From<workloads::scenario::ScenarioFileError> for BenchError {
+    fn from(e: workloads::scenario::ScenarioFileError) -> Self {
+        BenchError::Scenario(e)
     }
 }
 

@@ -103,14 +103,11 @@ mod tests {
             0,
             ComputeProfile::compute_only(10),
         ));
-        let desc = Arc::new(JobDesc::new(
-            JobId(id),
-            "b",
-            vec![k],
-            Duration::from_us(deadline_us),
-            Cycle::ZERO,
-        ));
-        let mut a = ActiveJob::new(desc.clone(), desc.kernels.clone(), true, Cycle::ZERO);
+        let desc = Arc::new(
+            JobDesc::chain(JobId(id), "b", vec![k], Duration::from_us(deadline_us), Cycle::ZERO)
+                .unwrap(),
+        );
+        let mut a = ActiveJob::new(desc, Cycle::ZERO);
         a.state = state;
         a
     }

@@ -66,21 +66,70 @@ impl RateProvider for CachedRates<'_> {
 /// given current completion rates.
 ///
 /// Kernels whose class has no estimate yet contribute zero (optimism avoids
-/// rejecting work the GPU could complete, Section 4.3). Kernels execute
-/// sequentially within a job, so per-kernel estimates sum.
+/// rejecting work the GPU could complete, Section 4.3). On a linear chain
+/// kernels execute sequentially, so per-kernel estimates sum — the paper's
+/// Eq. 1 walk, kept verbatim as the fast path. On a DAG independent stages
+/// overlap, so the estimate is the remaining *critical path*: the heaviest
+/// incomplete dependency chain, which degenerates to the same suffix sum on
+/// linear jobs.
 pub fn remaining_time_us(job: &ActiveJob, rates: &mut impl RateProvider) -> f64 {
-    let mut total = 0.0;
-    for (class, wgs) in job.remaining_wgs() {
-        if wgs == 0 {
-            continue;
-        }
-        if let Some(rate) = rates.rate(class) {
-            if rate > 0.0 {
-                total += wgs as f64 / rate;
+    if job.job.graph().is_chain() {
+        let mut total = 0.0;
+        for (class, wgs) in job.remaining_wgs() {
+            if wgs == 0 {
+                continue;
+            }
+            if let Some(rate) = rates.rate(class) {
+                if rate > 0.0 {
+                    total += wgs as f64 / rate;
+                }
             }
         }
+        return total;
     }
-    total
+    remaining_critical_path_us(job, rates)
+}
+
+/// Remaining-critical-path walk for DAG jobs: a longest-path DP over the
+/// incomplete stages in topological order, with each stage's cost the
+/// remaining-WGs-over-rate term of Eq. 1. Completed stages cost zero; a
+/// chain's value is bit-identical to the suffix sum `remaining_time_us`
+/// computes (addition over one path, in the same order).
+pub fn remaining_critical_path_us(job: &ActiveJob, rates: &mut impl RateProvider) -> f64 {
+    let graph = job.job.graph();
+    let kernels = job.job.kernels();
+    let n = kernels.len();
+    // finish[i] = earliest-estimate completion of stage i relative to now.
+    let mut finish = vec![0.0f64; n];
+    let mut best = 0.0f64;
+    for &i in graph.topo_order() {
+        let i = i as usize;
+        let cost = if job.stages[i].done {
+            0.0
+        } else {
+            let wgs = kernels[i].num_wgs().saturating_sub(job.stages[i].wgs_completed);
+            stage_cost_us(kernels[i].class, wgs, rates)
+        };
+        let start = graph
+            .preds(i)
+            .iter()
+            .fold(0.0f64, |acc, &p| acc.max(finish[p as usize]));
+        finish[i] = start + cost;
+        best = best.max(finish[i]);
+    }
+    best
+}
+
+/// One stage's Eq. 1 cost term: remaining WGs over the class rate, with the
+/// Section 4.3 optimism for unmeasured classes.
+fn stage_cost_us(class: KernelClassId, wgs: u32, rates: &mut impl RateProvider) -> f64 {
+    if wgs == 0 {
+        return 0.0;
+    }
+    match rates.rate(class) {
+        Some(rate) if rate > 0.0 => wgs as f64 / rate,
+        _ => 0.0,
+    }
 }
 
 /// Remaining-time estimate from a bare WG list (used by host-side variants
@@ -118,26 +167,42 @@ mod tests {
         }
     }
 
+    fn mk(class: u16, wgs: u32) -> Arc<KernelDesc> {
+        Arc::new(KernelDesc::new(
+            KernelClassId(class),
+            "k",
+            wgs * 64,
+            64,
+            8,
+            0,
+            ComputeProfile::compute_only(10),
+        ))
+    }
+
     fn job(k0_wgs: u32, k1_wgs: u32) -> ActiveJob {
-        let mk = |class: u16, wgs: u32| {
-            Arc::new(KernelDesc::new(
-                KernelClassId(class),
-                "k",
-                wgs * 64,
-                64,
-                8,
-                0,
-                ComputeProfile::compute_only(10),
-            ))
-        };
-        let desc = Arc::new(JobDesc::new(
-            JobId(0),
-            "b",
-            vec![mk(0, k0_wgs), mk(1, k1_wgs)],
-            Duration::from_us(100),
-            Cycle::ZERO,
-        ));
-        ActiveJob::new(desc.clone(), desc.kernels.clone(), true, Cycle::ZERO)
+        let desc = Arc::new(
+            JobDesc::chain(
+                JobId(0),
+                "b",
+                vec![mk(0, k0_wgs), mk(1, k1_wgs)],
+                Duration::from_us(100),
+                Cycle::ZERO,
+            )
+            .unwrap(),
+        );
+        ActiveJob::new(desc, Cycle::ZERO)
+    }
+
+    /// Diamond DAG 0 -> {1, 2} -> 3 with per-stage WG counts.
+    fn diamond(wgs: [u32; 4]) -> ActiveJob {
+        let stages = wgs.iter().enumerate().map(|(i, &w)| mk(i as u16, w)).collect();
+        let graph =
+            gpu_sim::job::JobGraph::new(stages, vec![(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let desc = Arc::new(
+            JobDesc::from_graph(JobId(0), "b", graph, Duration::from_us(100), Cycle::ZERO)
+                .unwrap(),
+        );
+        ActiveJob::new(desc, Cycle::ZERO)
     }
 
     #[test]
@@ -160,9 +225,37 @@ mod tests {
         let mut j = job(10, 20);
         let mut r = FixedRates(vec![Some(1.0), Some(1.0)]);
         let before = remaining_time_us(&j, &mut r);
-        j.head_wgs_completed = 5;
+        j.stages[0].wgs_completed = 5;
         let after = remaining_time_us(&j, &mut r);
         assert!((before - after - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dag_estimate_is_the_critical_path() {
+        // All classes at 1 WG/us: paths are 10+20+5 = 35 and 10+8+5 = 23.
+        let j = diamond([10, 20, 8, 5]);
+        let mut r = FixedRates(vec![Some(1.0); 4]);
+        assert!((remaining_time_us(&j, &mut r) - 35.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dag_done_stages_drop_off_the_path() {
+        let mut j = diamond([10, 20, 8, 5]);
+        let mut r = FixedRates(vec![Some(1.0); 4]);
+        j.stages[0].done = true;
+        j.stages[1].done = true;
+        // Remaining work: stage 2 (8) then stage 3 (5).
+        assert!((remaining_time_us(&j, &mut r) - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_path_matches_chain_sum_on_linear_jobs() {
+        let j = job(10, 20);
+        let mut a = FixedRates(vec![Some(2.0), Some(4.0)]);
+        let mut b = FixedRates(vec![Some(2.0), Some(4.0)]);
+        let chain = remaining_time_us(&j, &mut a);
+        let dp = remaining_critical_path_us(&j, &mut b);
+        assert_eq!(chain.to_bits(), dp.to_bits());
     }
 
     fn warm(c: &mut Counters, n: u64, end_us: u64) {

@@ -22,13 +22,14 @@ use sim_core::time::Duration;
 use crate::estimate::{remaining_time_us_of, CachedRates};
 use crate::laxity::LaxityEstimate;
 
-/// Remaining time of `job` as the host can see it: whole kernels from
-/// `next_kernel` on (no partial-kernel credit — WG progress is invisible to
-/// the CPU), using cached rates.
+/// Remaining time of `job` as the host can see it: whole kernels not yet
+/// launched-and-finished (no partial-kernel credit — WG progress is
+/// invisible to the CPU), using cached rates. The host serializes DAG jobs
+/// along the topological order, so the flat sum over the remaining suffix is
+/// the right model for both chains and DAGs here.
 fn host_remaining_us(view: &HostView<'_>, job: &HostJob) -> f64 {
-    let from = job.next_kernel.min(job.desc.kernels.len());
     remaining_time_us_of(
-        job.desc.kernels[from..].iter().map(|k| (k.class, k.num_wgs())),
+        job.remaining_kernels().map(|k| (k.class, k.num_wgs())),
         &mut CachedRates::new(view.counters),
     )
 }
@@ -205,13 +206,10 @@ mod tests {
             0,
             ComputeProfile::compute_only(10),
         ));
-        HostJob::new(Arc::new(JobDesc::new(
-            JobId(id),
-            "b",
-            vec![k],
-            Duration::from_us(deadline_us),
-            Cycle::ZERO,
-        )))
+        HostJob::new(Arc::new(
+            JobDesc::chain(JobId(id), "b", vec![k], Duration::from_us(deadline_us), Cycle::ZERO)
+                .unwrap(),
+        ))
     }
 
     fn warmed(rate: f64) -> Counters {

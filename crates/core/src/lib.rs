@@ -31,7 +31,7 @@
 //! let kernel = Arc::new(KernelDesc::new(
 //!     KernelClassId(0), "k", 256, 64, 16, 0, ComputeProfile::compute_only(1_000),
 //! ));
-//! let job = JobDesc::new(JobId(0), "demo", vec![kernel], Duration::from_us(500), Cycle::ZERO);
+//! let job = JobDesc::chain(JobId(0), "demo", vec![kernel], Duration::from_us(500), Cycle::ZERO)?;
 //! let mut sim = Simulation::builder()
 //!     .jobs(vec![job])
 //!     .cp(Lax::new())

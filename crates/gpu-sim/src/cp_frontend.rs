@@ -59,8 +59,7 @@ pub(crate) fn bind_job(st: &mut SimState, fx: &mut Effects<'_>, idx: u32, now: C
         return false;
     };
     let job = st.shared.jobs[idx as usize].clone();
-    let kernels = job.kernels.clone();
-    let mut active = ActiveJob::new(job, kernels, true, now);
+    let mut active = ActiveJob::new(job, now);
     let needs_inspection =
         matches!(&st.shared.mode, SchedulerMode::Cp(s) if s.requires_inspection());
     if needs_inspection {

@@ -1,6 +1,11 @@
-//! Workgroup dispatch: picks which queue's head kernel gets device
+//! Workgroup dispatch: picks which queue's ready kernels get device
 //! capacity, in priority order with round-robin rotation at ties, and
 //! finalizes aborted jobs once their in-flight work drains.
+//!
+//! Readiness is per-stage in-degree tracking: every stage of a job whose
+//! predecessors have completed may dispatch, so a DAG job can hold several
+//! kernels in flight. A chain exposes exactly one ready stage at a time —
+//! the original head-kernel behaviour.
 
 use sim_core::time::Cycle;
 
@@ -20,6 +25,7 @@ pub(crate) struct Dispatch {
     rr_cursor: usize,
     candidates: Vec<(i64, usize, usize)>,
     aborts: Vec<usize>,
+    stage_scratch: Vec<usize>,
 }
 
 /// Dispatches every eligible queue in (priority, round-robin) order,
@@ -31,7 +37,10 @@ pub(crate) fn try_dispatch(st: &mut SimState, fx: &mut Effects<'_>, now: Cycle) 
     for (i, q) in st.shared.queues.iter().enumerate() {
         if let Some(a) = &q.active {
             if a.abort_requested && a.state != JobState::Init {
-                let inflight = a.head_run.is_some_and(|rk| st.exec.run_inflight(rk));
+                let inflight = a
+                    .stages
+                    .iter()
+                    .any(|s| s.run.is_some_and(|rk| st.exec.run_inflight(rk)));
                 if !inflight {
                     aborts.push(i);
                 }
@@ -53,13 +62,10 @@ pub(crate) fn try_dispatch(st: &mut SimState, fx: &mut Effects<'_>, now: Cycle) 
         if a.state == JobState::Init || a.blocked_until > now || a.abort_requested {
             continue;
         }
-        if a.head_kernel().is_none() {
-            continue;
-        }
-        let pending = match a.head_run {
+        let pending = a.ready_stages().any(|s| match a.stages[s].run {
             Some(rk) => st.exec.wgs_pending(rk) > 0,
             None => true,
-        };
+        });
         if !pending {
             continue;
         }
@@ -85,8 +91,10 @@ pub(crate) fn try_dispatch(st: &mut SimState, fx: &mut Effects<'_>, now: Cycle) 
 /// remaining kernels and frees the queue.
 fn finalize_abort(st: &mut SimState, fx: &mut Effects<'_>, q: usize, now: Cycle) {
     let Some(a) = st.shared.queues[q].active.take() else { return };
-    if let Some(rk) = a.head_run {
-        st.exec.remove_run(rk);
+    for s in &a.stages {
+        if let Some(rk) = s.run {
+            st.exec.remove_run(rk);
+        }
     }
     st.shared.queue_of_job.remove(&a.job.id);
     st.shared.mark(now, a.job.id, TimelineKind::Aborted);
@@ -94,34 +102,46 @@ fn finalize_abort(st: &mut SimState, fx: &mut Effects<'_>, q: usize, now: Cycle)
     cp_frontend::pump(st, fx, now);
 }
 
-/// Dispatches as many WGs of queue `q`'s head kernel as fit. Returns
-/// `true` if at least one WG was placed.
+/// Dispatches as many WGs of queue `q`'s ready stages as fit, in stage
+/// order. Returns `true` if at least one WG was placed.
 fn dispatch_queue(st: &mut SimState, fx: &mut Effects<'_>, q: usize, now: Cycle) -> bool {
-    let (kernel, head_run, id, kidx) = {
-        let a = st.shared.queues[q].job_mut();
-        let Some(kernel) = a.head_kernel().cloned() else {
-            return false;
-        };
-        (kernel, a.head_run, a.job.id, a.next_kernel)
+    let mut ready = std::mem::take(&mut st.dispatch.stage_scratch);
+    ready.clear();
+    let Some(a) = &st.shared.queues[q].active else {
+        st.dispatch.stage_scratch = ready;
+        return false;
     };
-    let run_key = match head_run {
-        Some(rk) => rk,
-        None => {
-            let rk = st.exec.insert_run(KernelRun::new(q, id, kernel.clone(), kidx, now));
-            st.shared.queues[q].job_mut().head_run = Some(rk);
-            st.shared.mark(now, id, TimelineKind::KernelStart(kidx));
-            st.shared
-                .probes
-                .emit_with(now, || ProbeEvent::KernelStarted { job: id, queue: q, kernel: kidx });
-            rk
-        }
-    };
+    ready.extend(a.ready_stages());
     let mut any = false;
-    while st.exec.wgs_pending(run_key) > 0 {
-        let Some(cu_idx) = st.exec.best_cu(&kernel) else { break };
-        exec::place_wg(st, fx, run_key, cu_idx, now);
-        any = true;
+    for &kidx in &ready {
+        let (kernel, run, id, critical) = {
+            let a = st.shared.queues[q].job();
+            let kernel = a.job.kernels()[kidx].clone();
+            (kernel, a.stages[kidx].run, a.job.id, a.job.graph().on_critical_path(kidx))
+        };
+        let run_key = match run {
+            Some(rk) => rk,
+            None => {
+                let rk = st.exec.insert_run(KernelRun::new(q, id, kernel.clone(), kidx, now));
+                st.shared.queues[q].job_mut().stages[kidx].run = Some(rk);
+                st.shared.mark(now, id, TimelineKind::KernelStart(kidx));
+                st.shared.probes.emit_with(now, || ProbeEvent::KernelStarted {
+                    job: id,
+                    queue: q,
+                    kernel: kidx,
+                    critical,
+                });
+                rk
+            }
+        };
+        while st.exec.wgs_pending(run_key) > 0 {
+            let Some(cu_idx) = st.exec.best_cu(&kernel) else { break };
+            exec::place_wg(st, fx, run_key, cu_idx, now);
+            any = true;
+        }
     }
+    ready.clear();
+    st.dispatch.stage_scratch = ready;
     if any {
         st.shared.queues[q].job_mut().state = JobState::Running;
     }

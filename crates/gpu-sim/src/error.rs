@@ -6,6 +6,7 @@ use std::fmt;
 use sim_core::time::Cycle;
 
 use crate::faults::FaultPlanError;
+use crate::job::JobError;
 
 /// Simulation construction or runtime error.
 #[derive(Debug, Clone, PartialEq)]
@@ -14,6 +15,13 @@ pub enum SimError {
     Config(String),
     /// A job or kernel cannot run on the configured machine.
     Job(String),
+    /// A job's graph (or deadline) is structurally invalid.
+    Graph {
+        /// Index of the offending job in the submitted stream.
+        job: usize,
+        /// The structural violation.
+        source: JobError,
+    },
     /// The fault plan is ill-formed for this machine.
     Fault(FaultPlanError),
     /// The event loop processed an implausible number of events without
@@ -46,6 +54,7 @@ impl fmt::Display for SimError {
         match self {
             SimError::Config(m) => write!(f, "invalid configuration: {m}"),
             SimError::Job(m) => write!(f, "invalid job: {m}"),
+            SimError::Graph { job, source } => write!(f, "invalid job {job}: {source}"),
             SimError::Fault(e) => write!(f, "invalid fault plan: {e}"),
             SimError::Stalled { at, events } => {
                 write!(f, "simulation stalled at {at}: {events} events without time advancing")
@@ -64,6 +73,7 @@ impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimError::Fault(e) => Some(e),
+            SimError::Graph { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -72,5 +82,11 @@ impl std::error::Error for SimError {
 impl From<FaultPlanError> for SimError {
     fn from(e: FaultPlanError) -> Self {
         SimError::Fault(e)
+    }
+}
+
+impl From<JobError> for SimError {
+    fn from(e: JobError) -> Self {
+        SimError::Graph { job: 0, source: e }
     }
 }

@@ -358,10 +358,11 @@ fn complete_wg(st: &mut SimState, fx: &mut Effects<'_>, wg_key: SlabKey, now: Cy
         shared.total_wgs += 1;
         let q = exec.runs[run_key].queue;
         let job_id = exec.runs[run_key].job;
+        let kernel_idx = exec.runs[run_key].kernel_idx;
         shared
             .probes
             .emit_with(now, || ProbeEvent::WgRetired { cu: wg.cu as u16, job: job_id, wg: wg_key });
-        shared.queues[q].job_mut().head_wgs_completed += 1;
+        shared.queues[q].job_mut().stages[kernel_idx].wgs_completed += 1;
         (run_key, q, job_id)
     };
     // Attribute the WG to real jobs for wasted-work accounting.
@@ -377,18 +378,17 @@ fn complete_kernel(st: &mut SimState, fx: &mut Effects<'_>, q: usize, run_key: S
     let run = st.exec.runs.remove(run_key).expect("completing a dead run");
     let job_id = run.job;
     let kernel_idx = run.kernel_idx;
-    let complete = {
+    let (complete, critical) = {
         let a = st.shared.queues[q].job_mut();
-        a.next_kernel += 1;
-        a.head_run = None;
-        a.head_wgs_completed = 0;
-        a.is_complete()
+        a.complete_stage(kernel_idx);
+        (a.is_complete(), a.job.graph().on_critical_path(kernel_idx))
     };
     st.shared.mark(now, job_id, TimelineKind::KernelEnd(kernel_idx));
     st.shared.probes.emit_with(now, || ProbeEvent::KernelCompleted {
         job: job_id,
         queue: q,
         kernel: kernel_idx,
+        critical,
     });
     state::with_cp(st, now, |s, ctx| s.on_kernel_complete(ctx, q));
     if job_id.0 < host::SYNTH_BASE && matches!(st.shared.mode, SchedulerMode::Host(_)) {

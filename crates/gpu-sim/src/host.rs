@@ -19,7 +19,10 @@ use crate::job::{JobDesc, JobId};
 pub struct HostJob {
     /// The job.
     pub desc: Arc<JobDesc>,
-    /// Next kernel index awaiting launch (== kernels launched and finished).
+    /// Position in the job's topological order awaiting launch (== kernels
+    /// launched and finished). The host serializes DAG jobs along
+    /// [`crate::job::JobGraph::topo_order`]; on a chain this is the classic
+    /// next-kernel cursor.
     pub next_kernel: usize,
     /// A kernel of this job is currently launched and unfinished.
     pub inflight: bool,
@@ -50,9 +53,22 @@ impl HostJob {
         !self.rejected && !self.done && !self.inflight && !self.chain_enqueued
     }
 
-    /// Kernel the job would launch next.
+    /// Kernel the job would launch next (the `next_kernel`-th stage of the
+    /// topological order).
     pub fn next_kernel_desc(&self) -> Option<&Arc<crate::kernel::KernelDesc>> {
-        self.desc.kernels.get(self.next_kernel)
+        self.desc
+            .graph()
+            .topo_order()
+            .get(self.next_kernel)
+            .map(|&s| &self.desc.kernels()[s as usize])
+    }
+
+    /// Kernels not yet launched (and finished), in launch order.
+    pub fn remaining_kernels(&self) -> impl Iterator<Item = &Arc<crate::kernel::KernelDesc>> {
+        let topo = self.desc.graph().topo_order();
+        topo[self.next_kernel.min(topo.len())..]
+            .iter()
+            .map(|&s| &self.desc.kernels()[s as usize])
     }
 }
 
@@ -80,7 +96,7 @@ impl HostView<'_> {
     pub fn predict_remaining_us(&self, job: JobId) -> Option<f64> {
         let j = &self.jobs[job.index()];
         let mut total = 0.0;
-        for k in &j.desc.kernels[j.next_kernel.min(j.desc.kernels.len())..] {
+        for k in j.remaining_kernels() {
             let rate = self.counters.offline_rate(k.class)?;
             total += k.num_wgs() as f64 / rate;
         }
@@ -316,14 +332,20 @@ fn launch(
             return;
         }
     }
-    // Build the (possibly merged) kernel.
-    let first = host.jobs[members[0].index()].desc.kernels[kernel_idx].clone();
+    // Build the (possibly merged) kernel. `kernel_idx` is a position in each
+    // member's topological order (== the stage index on a chain).
+    let stage_of = |host: &HostModel, m: &JobId| -> usize {
+        let desc = &host.jobs[m.index()].desc;
+        desc.graph().topo_order()[kernel_idx] as usize
+    };
+    let first =
+        host.jobs[members[0].index()].desc.kernels()[stage_of(host, &members[0])].clone();
     let total_threads: u32 = members
         .iter()
-        .map(|m| host.jobs[m.index()].desc.kernels[kernel_idx].grid_threads)
+        .map(|m| host.jobs[m.index()].desc.kernels()[stage_of(host, m)].grid_threads)
         .sum();
     debug_assert!(members.iter().all(|m| {
-        let k = &host.jobs[m.index()].desc.kernels[kernel_idx];
+        let k = &host.jobs[m.index()].desc.kernels()[stage_of(host, m)];
         k.class == first.class && k.wg_size == first.wg_size
     }));
     let mut merged = (*first).clone();
@@ -336,13 +358,16 @@ fn launch(
         .max(Duration::from_cycles(1));
     let synth_id = host.next_synth;
     host.next_synth += 1;
-    let desc = Arc::new(JobDesc::new(
-        JobId(synth_id),
-        host.jobs[members[0].index()].desc.bench.clone(),
-        vec![Arc::new(merged)],
-        min_deadline,
-        now,
-    ));
+    let desc = Arc::new(
+        JobDesc::chain(
+            JobId(synth_id),
+            host.jobs[members[0].index()].desc.bench.clone(),
+            vec![Arc::new(merged)],
+            min_deadline,
+            now,
+        )
+        .expect("synthetic single-kernel job is structurally valid"),
+    );
     for m in &members {
         host.jobs[m.index()].inflight = true;
     }
@@ -371,8 +396,7 @@ fn try_deliver(st: &mut SimState, fx: &mut Effects<'_>, d: Delivery, now: Cycle)
             let info = &st.host.synth[&id];
             let desc = info.desc.clone();
             let prio = info.prio;
-            let kernels = desc.kernels.clone();
-            let mut a = ActiveJob::new(desc, kernels, true, now);
+            let mut a = ActiveJob::new(desc, now);
             a.state = JobState::Ready;
             a.priority = prio;
             st.shared.queues[q].active = Some(a);
@@ -380,8 +404,7 @@ fn try_deliver(st: &mut SimState, fx: &mut Effects<'_>, d: Delivery, now: Cycle)
         }
         Delivery::Chain { job_idx, prio } => {
             let desc = st.shared.jobs[job_idx as usize].clone();
-            let kernels = desc.kernels.clone();
-            let mut a = ActiveJob::new(desc, kernels, true, now);
+            let mut a = ActiveJob::new(desc, now);
             a.state = JobState::Ready;
             a.priority = prio;
             st.shared.queues[q].active = Some(a);
@@ -426,7 +449,10 @@ pub(crate) fn on_device_kernel_done(
     job_complete: bool,
     now: Cycle,
 ) {
-    st.host.jobs[job_id.index()].next_kernel = kernel_idx + 1;
+    // One device stage finished; advance the launched-and-finished count.
+    // On a chain stages complete in index order, so this equals the old
+    // `kernel_idx + 1` cursor write; on a DAG it is the completed count.
+    st.host.jobs[job_id.index()].next_kernel += 1;
     if !job_complete {
         react(st, fx, HostEvent::KernelDone { job: job_id, kernel_idx }, now);
     }
@@ -466,21 +492,24 @@ mod tests {
     use crate::kernel::{ComputeProfile, KernelClassId, KernelDesc};
 
     fn job(id: u32) -> Arc<JobDesc> {
-        Arc::new(JobDesc::new(
-            JobId(id),
-            "b",
-            vec![Arc::new(KernelDesc::new(
-                KernelClassId(0),
-                "k",
-                128,
-                64,
-                8,
-                0,
-                ComputeProfile::compute_only(10),
-            ))],
-            Duration::from_us(50),
-            Cycle::ZERO,
-        ))
+        Arc::new(
+            JobDesc::chain(
+                JobId(id),
+                "b",
+                vec![Arc::new(KernelDesc::new(
+                    KernelClassId(0),
+                    "k",
+                    128,
+                    64,
+                    8,
+                    0,
+                    ComputeProfile::compute_only(10),
+                ))],
+                Duration::from_us(50),
+                Cycle::ZERO,
+            )
+            .unwrap(),
+        )
     }
 
     #[test]

@@ -66,7 +66,7 @@
 //!     0,
 //!     ComputeProfile::compute_only(1_000),
 //! ));
-//! let job = JobDesc::new(JobId(0), "demo", vec![kernel], Duration::from_us(100), Cycle::ZERO);
+//! let job = JobDesc::chain(JobId(0), "demo", vec![kernel], Duration::from_us(100), Cycle::ZERO)?;
 //! let mut sim = Simulation::builder()
 //!     .jobs(vec![job])
 //!     .scheduler(SchedulerMode::Cp(Box::new(RoundRobin::new())))
@@ -122,7 +122,7 @@ pub mod prelude {
     };
     pub use crate::fleet_obs::{FleetSampler, FleetTraceWriter};
     pub use crate::host::{HostCmd, HostEvent, HostScheduler, HostView};
-    pub use crate::job::{JobDesc, JobFate, JobId, JobState};
+    pub use crate::job::{JobDesc, JobError, JobFate, JobGraph, JobId, JobState};
     pub use crate::kernel::{AccessPattern, ClassTable, ComputeProfile, KernelClassId, KernelDesc};
     pub use crate::metrics::{JobRecord, SimReport};
     pub use crate::probe::{

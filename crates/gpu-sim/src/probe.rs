@@ -63,8 +63,12 @@ pub enum ProbeEvent {
         job: JobId,
         /// Hardware queue index.
         queue: usize,
-        /// Kernel index within the job's chain.
+        /// Stage index within the job's graph (chain position for linear
+        /// jobs).
         kernel: usize,
+        /// `true` when the stage lies on the job's workgroup-weighted
+        /// critical path (always `true` for chain jobs).
+        critical: bool,
     },
     /// Queue `queue`'s kernel `kernel` completed.
     KernelCompleted {
@@ -72,8 +76,12 @@ pub enum ProbeEvent {
         job: JobId,
         /// Hardware queue index.
         queue: usize,
-        /// Kernel index within the job's chain.
+        /// Stage index within the job's graph (chain position for linear
+        /// jobs).
         kernel: usize,
+        /// `true` when the stage lies on the job's workgroup-weighted
+        /// critical path (always `true` for chain jobs).
+        critical: bool,
     },
     /// A workgroup was placed on compute unit `cu`.
     WgDispatched {
@@ -650,7 +658,7 @@ pub struct ChromeTraceWriter {
     /// In-flight workgroups: key → (cu, dispatch time, job).
     open_wgs: BTreeMap<SlabKey, (u16, Cycle, JobId)>,
     /// In-flight kernels: queue → (job, kernel index, start time).
-    open_kernels: BTreeMap<usize, (JobId, usize, Cycle)>,
+    open_kernels: BTreeMap<(usize, usize), (JobId, bool, Cycle)>,
     /// CU indices that carried at least one workgroup (for thread metadata).
     cus_seen: BTreeMap<u16, ()>,
     /// Queues that carried at least one kernel.
@@ -775,20 +783,20 @@ impl Observer<ProbeEvent> for ChromeTraceWriter {
                     self.push_span(&format!("wg job{}", job.0), "wg", 0, cu as u64, start, at);
                 }
             }
-            ProbeEvent::KernelStarted { job, queue, kernel } => {
-                self.open_kernels.insert(*queue, (*job, *kernel, at));
+            ProbeEvent::KernelStarted { job, queue, kernel, critical } => {
+                self.open_kernels.insert((*queue, *kernel), (*job, *critical, at));
             }
-            ProbeEvent::KernelCompleted { queue, .. } => {
-                if let Some((job, kernel, start)) = self.open_kernels.remove(queue) {
+            ProbeEvent::KernelCompleted { queue, kernel, .. } => {
+                // Keyed by (queue, stage) so a DAG job's concurrent stages
+                // each close their own span.
+                if let Some((job, critical, start)) = self.open_kernels.remove(&(*queue, *kernel)) {
                     self.queues_seen.insert(*queue, ());
-                    self.push_span(
-                        &format!("job{} k{}", job.0, kernel),
-                        "kernel",
-                        1,
-                        *queue as u64,
-                        start,
-                        at,
-                    );
+                    let name = if critical {
+                        format!("job{} k{}*", job.0, kernel)
+                    } else {
+                        format!("job{} k{}", job.0, kernel)
+                    };
+                    self.push_span(&name, "kernel", 1, *queue as u64, start, at);
                 }
             }
             ProbeEvent::Snapshot(snap) => {
@@ -922,10 +930,16 @@ mod tests {
     fn chrome_trace_pairs_spans_and_validates() {
         let mut w = ChromeTraceWriter::new();
         let wg = wg_key();
-        w.on_event(t(5), &ProbeEvent::KernelStarted { job: JobId(1), queue: 2, kernel: 0 });
+        w.on_event(
+            t(5),
+            &ProbeEvent::KernelStarted { job: JobId(1), queue: 2, kernel: 0, critical: true },
+        );
         w.on_event(t(10), &ProbeEvent::WgDispatched { cu: 3, job: JobId(1), wg });
         w.on_event(t(20), &ProbeEvent::WgRetired { cu: 3, job: JobId(1), wg });
-        w.on_event(t(25), &ProbeEvent::KernelCompleted { job: JobId(1), queue: 2, kernel: 0 });
+        w.on_event(
+            t(25),
+            &ProbeEvent::KernelCompleted { job: JobId(1), queue: 2, kernel: 0, critical: true },
+        );
         w.on_event(t(30), &ProbeEvent::Snapshot(snap(1)));
         let doc = w.finish();
         json::validate(&doc).expect("chrome trace must parse");

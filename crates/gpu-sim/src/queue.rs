@@ -8,26 +8,37 @@ use crate::job::{JobDesc, JobId, JobState};
 use crate::kernel::{KernelClassId, KernelDesc};
 use crate::slab::SlabKey;
 
+/// Per-stage execution bookkeeping: the Job Table row for one kernel of the
+/// job's DAG.
+#[derive(Debug, Clone, Copy)]
+pub struct StageState {
+    /// WGs completed in this stage.
+    pub wgs_completed: u32,
+    /// Live kernel run, once dispatching of this stage has begun.
+    pub run: Option<SlabKey>,
+    /// Predecessor stages not yet completed; the stage is ready to dispatch
+    /// when this reaches zero.
+    pub missing_preds: u32,
+    /// `true` once every WG of this stage has retired.
+    pub done: bool,
+}
+
 /// A job bound to a compute queue, together with the CP-visible bookkeeping
 /// the paper's Job Table holds (Section 4.2): priority, WG list, deadline,
-/// start time and state.
+/// start time and state — generalized from a single `next_kernel` cursor to
+/// per-stage in-degree tracking so DAG jobs can hold several kernels in
+/// flight. On a linear chain exactly one stage is ready at a time, so the
+/// dispatch order (and every artifact) is unchanged.
 #[derive(Debug, Clone)]
 pub struct ActiveJob {
     /// The submitted job.
     pub job: Arc<JobDesc>,
-    /// Kernels visible to the GPU so far. For CP-side scheduling this is the
-    /// whole chain at enqueue; host-side schedulers push kernels one by one.
-    pub visible_kernels: Vec<Arc<KernelDesc>>,
-    /// `true` once the host has pushed the job's last kernel.
-    pub finalized: bool,
     /// Time the job was bound to the queue (the Job Table's StartTime).
     pub enqueue_time: Cycle,
-    /// Index of the kernel currently at the head (not yet completed).
-    pub next_kernel: usize,
-    /// WGs completed in the head kernel.
-    pub head_wgs_completed: u32,
-    /// Live run of the head kernel, if dispatching has begun.
-    pub head_run: Option<SlabKey>,
+    /// Per-stage progress, indexed like `job.kernels()`.
+    pub stages: Vec<StageState>,
+    /// Number of stages whose `done` flag is set.
+    pub stages_done: usize,
     /// Job Table state.
     pub state: JobState,
     /// Scheduler-assigned priority; **lower values run first**.
@@ -43,17 +54,22 @@ pub struct ActiveJob {
 }
 
 impl ActiveJob {
-    /// Binds `job` to a queue at `now`. `visible` lists the kernels already
-    /// pushed; `finalized` marks the chain complete.
-    pub fn new(job: Arc<JobDesc>, visible: Vec<Arc<KernelDesc>>, finalized: bool, now: Cycle) -> Self {
+    /// Binds `job` to a queue at `now`. Stage readiness starts at the
+    /// graph's in-degrees: a chain begins with only stage 0 ready.
+    pub fn new(job: Arc<JobDesc>, now: Cycle) -> Self {
+        let stages = (0..job.num_kernels())
+            .map(|i| StageState {
+                wgs_completed: 0,
+                run: None,
+                missing_preds: job.graph().indegree(i),
+                done: false,
+            })
+            .collect();
         ActiveJob {
             job,
-            visible_kernels: visible,
-            finalized,
             enqueue_time: now,
-            next_kernel: 0,
-            head_wgs_completed: 0,
-            head_run: None,
+            stages,
+            stages_done: 0,
             state: JobState::Init,
             priority: 0,
             blocked_until: Cycle::ZERO,
@@ -62,31 +78,52 @@ impl ActiveJob {
         }
     }
 
-    /// The kernel currently at the head of the queue, if any is visible.
-    pub fn head_kernel(&self) -> Option<&Arc<KernelDesc>> {
-        self.visible_kernels.get(self.next_kernel)
-    }
-
-    /// `true` when every visible kernel has completed and the chain is
-    /// finalized.
-    pub fn is_complete(&self) -> bool {
-        self.finalized && self.next_kernel >= self.visible_kernels.len()
-    }
-
-    /// Remaining WGs per kernel, head first — the WGList the paper's
-    /// estimator walks. Uses the *declared* chain (`job.kernels`) so
-    /// stream inspection sees the whole job even before the host pushes
-    /// later kernels.
-    pub fn remaining_wgs(&self) -> impl Iterator<Item = (KernelClassId, u32)> + '_ {
-        self.job
-            .kernels
+    /// Indices of the stages that may dispatch now (all predecessors done,
+    /// stage not yet complete), in stage order. Includes stages already
+    /// running. A chain yields exactly its head.
+    pub fn ready_stages(&self) -> impl Iterator<Item = usize> + '_ {
+        self.stages
             .iter()
             .enumerate()
-            .skip(self.next_kernel)
-            .map(move |(i, k)| {
-                let done = if i == self.next_kernel { self.head_wgs_completed } else { 0 };
-                (k.class, k.num_wgs().saturating_sub(done))
-            })
+            .filter(|(_, s)| !s.done && s.missing_preds == 0)
+            .map(|(i, _)| i)
+    }
+
+    /// The kernel of the first ready stage — the queue head on a chain.
+    pub fn head_kernel(&self) -> Option<&Arc<KernelDesc>> {
+        self.ready_stages().next().map(|i| &self.job.kernels()[i])
+    }
+
+    /// Marks `stage` complete and unblocks its successors. Caller must have
+    /// retired every WG of the stage first.
+    pub fn complete_stage(&mut self, stage: usize) {
+        debug_assert!(!self.stages[stage].done, "stage completed twice");
+        self.stages[stage].done = true;
+        self.stages[stage].run = None;
+        self.stages_done += 1;
+        let job = self.job.clone();
+        for &s in job.graph().succs(stage) {
+            let st = &mut self.stages[s as usize];
+            debug_assert!(st.missing_preds > 0, "in-degree underflow");
+            st.missing_preds -= 1;
+        }
+    }
+
+    /// `true` when every stage has completed.
+    pub fn is_complete(&self) -> bool {
+        self.stages_done == self.stages.len()
+    }
+
+    /// Remaining WGs per stage, in stage order with completed stages
+    /// skipped — the WGList the paper's estimator walks. On a chain this is
+    /// the head-first suffix of the kernel list.
+    pub fn remaining_wgs(&self) -> impl Iterator<Item = (KernelClassId, u32)> + '_ {
+        self.job
+            .kernels()
+            .iter()
+            .zip(&self.stages)
+            .filter(|(_, s)| !s.done)
+            .map(|(k, s)| (k.class, k.num_wgs().saturating_sub(s.wgs_completed)))
     }
 
     /// Total WGs remaining in the job.
@@ -140,6 +177,7 @@ impl ComputeQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::job::JobGraph;
     use crate::kernel::ComputeProfile;
     use sim_core::time::Duration;
 
@@ -156,48 +194,67 @@ mod tests {
     }
 
     fn job() -> Arc<JobDesc> {
-        Arc::new(JobDesc::new(
-            JobId(1),
-            "b",
-            vec![kernel(0, 2), kernel(1, 3)],
-            Duration::from_us(100),
-            Cycle::ZERO,
-        ))
+        Arc::new(
+            JobDesc::chain(
+                JobId(1),
+                "b",
+                vec![kernel(0, 2), kernel(1, 3)],
+                Duration::from_us(100),
+                Cycle::ZERO,
+            )
+            .unwrap(),
+        )
     }
 
     #[test]
     fn remaining_wgs_walks_the_chain() {
         let j = job();
-        let mut a = ActiveJob::new(j.clone(), j.kernels.clone(), true, Cycle::ZERO);
+        let mut a = ActiveJob::new(j.clone(), Cycle::ZERO);
         let rem: Vec<_> = a.remaining_wgs().collect();
         assert_eq!(rem, vec![(KernelClassId(0), 2), (KernelClassId(1), 3)]);
-        a.head_wgs_completed = 1;
+        a.stages[0].wgs_completed = 1;
         assert_eq!(a.total_remaining_wgs(), 4);
-        a.next_kernel = 1;
-        a.head_wgs_completed = 0;
+        a.stages[0].wgs_completed = 2;
+        a.complete_stage(0);
         assert_eq!(a.total_remaining_wgs(), 3);
     }
 
     #[test]
-    fn completion_requires_finalized() {
+    fn chain_readiness_is_a_cursor() {
         let j = job();
-        let mut a = ActiveJob::new(j.clone(), vec![j.kernels[0].clone()], false, Cycle::ZERO);
-        a.next_kernel = 1;
-        assert!(!a.is_complete(), "more kernels may arrive");
-        a.visible_kernels.push(j.kernels[1].clone());
-        a.finalized = true;
+        let mut a = ActiveJob::new(j.clone(), Cycle::ZERO);
+        assert_eq!(a.ready_stages().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(a.head_kernel().map(|k| k.class), Some(KernelClassId(0)));
+        a.complete_stage(0);
+        assert_eq!(a.ready_stages().collect::<Vec<_>>(), vec![1]);
         assert!(!a.is_complete());
-        a.next_kernel = 2;
+        a.complete_stage(1);
         assert!(a.is_complete());
+        assert!(a.head_kernel().is_none());
     }
 
     #[test]
-    fn inspection_sees_declared_chain_before_push() {
-        let j = job();
-        let a = ActiveJob::new(j.clone(), vec![j.kernels[0].clone()], false, Cycle::ZERO);
-        // Only one kernel visible but the estimator sees both.
-        assert_eq!(a.total_remaining_wgs(), 5);
-        assert!(a.head_kernel().is_some());
+    fn fanout_readiness_tracks_in_degrees() {
+        // 0 -> {1, 2} -> 3: after stage 0 both middle stages are ready at
+        // once; the join waits for both.
+        let g = JobGraph::new(
+            vec![kernel(0, 1), kernel(1, 2), kernel(2, 2), kernel(3, 1)],
+            vec![(0, 1), (0, 2), (1, 3), (2, 3)],
+        )
+        .unwrap();
+        let j = Arc::new(
+            JobDesc::from_graph(JobId(7), "dag", g, Duration::from_us(100), Cycle::ZERO).unwrap(),
+        );
+        let mut a = ActiveJob::new(j, Cycle::ZERO);
+        assert_eq!(a.ready_stages().collect::<Vec<_>>(), vec![0]);
+        a.complete_stage(0);
+        assert_eq!(a.ready_stages().collect::<Vec<_>>(), vec![1, 2]);
+        a.complete_stage(2);
+        assert_eq!(a.ready_stages().collect::<Vec<_>>(), vec![1]);
+        a.complete_stage(1);
+        assert_eq!(a.ready_stages().collect::<Vec<_>>(), vec![3]);
+        a.complete_stage(3);
+        assert!(a.is_complete());
     }
 
     #[test]
@@ -205,7 +262,7 @@ mod tests {
         let mut q = ComputeQueue::default();
         assert!(q.is_free());
         let j = job();
-        q.active = Some(ActiveJob::new(j.clone(), j.kernels.clone(), true, Cycle::ZERO));
+        q.active = Some(ActiveJob::new(j.clone(), Cycle::ZERO));
         assert!(!q.is_free());
         assert_eq!(q.job_id(), Some(JobId(1)));
     }

@@ -129,7 +129,7 @@ impl fmt::Debug for Simulation {
 /// let kernel = Arc::new(KernelDesc::new(
 ///     KernelClassId(0), "k", 256, 64, 16, 0, ComputeProfile::compute_only(1_000),
 /// ));
-/// let job = JobDesc::new(JobId(0), "demo", vec![kernel], Duration::from_us(100), Cycle::ZERO);
+/// let job = JobDesc::chain(JobId(0), "demo", vec![kernel], Duration::from_us(100), Cycle::ZERO)?;
 /// let mut sim = Simulation::builder()
 ///     .jobs(vec![job])
 ///     .scheduler(SchedulerMode::Cp(Box::new(RoundRobin::new())))
@@ -287,15 +287,12 @@ impl SimBuilder {
             if i > 0 && j.arrival < jobs[i - 1].arrival {
                 return Err(SimError::Job("jobs must be sorted by arrival".into()));
             }
-            // `JobDesc`'s fields are public, so re-check what `JobDesc::new`
-            // asserts: literal-constructed jobs must not panic the sim.
-            if j.kernels.is_empty() {
-                return Err(SimError::Job(format!("job {i} has no kernels")));
-            }
+            // Graph shape (non-empty, acyclic) is guaranteed by `JobGraph`
+            // construction; the deadline stays a public field, so re-check it.
             if j.deadline.is_zero() {
-                return Err(SimError::Job(format!("job {i} has a zero deadline")));
+                return Err(SimError::Graph { job: i, source: crate::job::JobError::ZeroDeadline });
             }
-            for k in &j.kernels {
+            for k in j.kernels() {
                 k.validate(&params.config).map_err(SimError::Job)?;
                 max_class = max_class.max(k.class.index() + 1);
             }
@@ -459,13 +456,13 @@ impl Simulation {
 ///
 /// Returns [`SimError`] if the kernel cannot run on the machine.
 pub fn run_isolated(config: &GpuConfig, kernel: Arc<KernelDesc>) -> Result<Duration, SimError> {
-    let job = JobDesc::new(
+    let job = JobDesc::chain(
         JobId(0),
         "isolated",
         vec![kernel],
         Duration::from_ms(10_000),
         Cycle::ZERO,
-    );
+    )?;
     let params = SimParams {
         config: config.clone(),
         horizon: Some(Cycle::ZERO + Duration::from_ms(60_000)),

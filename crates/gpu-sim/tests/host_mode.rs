@@ -20,13 +20,14 @@ fn kernel(class: u16, issue: u64, threads: u32) -> Arc<KernelDesc> {
 }
 
 fn job(id: u32, kernels: Vec<Arc<KernelDesc>>, deadline_us: u64, arrival_us: u64) -> JobDesc {
-    JobDesc::new(
+    JobDesc::chain(
         JobId(id),
         "host-test",
         kernels,
         Duration::from_us(deadline_us),
         Cycle::ZERO + Duration::from_us(arrival_us),
     )
+    .unwrap()
 }
 
 /// Launches every job's kernels one at a time, FIFO.

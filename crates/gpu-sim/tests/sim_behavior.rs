@@ -26,13 +26,14 @@ fn kernel(class: u16, threads: u32, issue: u64, mem: u32) -> Arc<KernelDesc> {
 }
 
 fn one_job(kernels: Vec<Arc<KernelDesc>>, deadline_us: u64, arrival_us: u64, id: u32) -> JobDesc {
-    JobDesc::new(
+    JobDesc::chain(
         JobId(id),
         "t",
         kernels,
         Duration::from_us(deadline_us),
         Cycle::ZERO + Duration::from_us(arrival_us),
     )
+    .unwrap()
 }
 
 fn run_rr(jobs: Vec<JobDesc>) -> SimReport {
@@ -215,25 +216,95 @@ fn rejects_non_dense_ids() {
 }
 
 #[test]
-fn rejects_literal_constructed_invalid_jobs() {
-    // Bypass JobDesc::new's asserts via the public fields.
-    let mut no_kernels = one_job(vec![kernel(0, 64, 100, 0)], 100, 0, 0);
-    no_kernels.kernels.clear();
-    let err = Simulation::builder().jobs(vec![no_kernels]).build().unwrap_err();
-    assert!(matches!(err, SimError::Job(ref m) if m.contains("no kernels")), "{err}");
+fn invalid_job_structure_is_a_typed_error() {
+    use gpu_sim::job::JobGraph;
 
+    // An empty chain never constructs.
+    let err = JobDesc::chain(JobId(0), "t", vec![], Duration::from_us(100), Cycle::ZERO)
+        .unwrap_err();
+    assert_eq!(err, JobError::EmptyGraph);
+
+    // A zero deadline never constructs either...
+    let err = JobDesc::chain(JobId(0), "t", vec![kernel(0, 64, 100, 0)], Duration::ZERO, Cycle::ZERO)
+        .unwrap_err();
+    assert_eq!(err, JobError::ZeroDeadline);
+
+    // ...but a deadline zeroed through the public field after construction
+    // is still caught by the builder, as a typed graph error.
     let mut zero_deadline = one_job(vec![kernel(0, 64, 100, 0)], 100, 0, 0);
     zero_deadline.deadline = Duration::ZERO;
     let err = Simulation::builder().jobs(vec![zero_deadline]).build().unwrap_err();
-    assert!(matches!(err, SimError::Job(ref m) if m.contains("deadline")), "{err}");
+    assert!(
+        matches!(err, SimError::Graph { job: 0, source: JobError::ZeroDeadline }),
+        "{err}"
+    );
 
-    // And a literal-constructed kernel with a broken grid.
+    // Cycles and dangling edges are rejected when the graph is assembled.
+    let two = || vec![kernel(0, 64, 100, 0), kernel(1, 64, 100, 0)];
+    let err = JobGraph::new(two(), vec![(0, 1), (1, 0)]).unwrap_err();
+    assert_eq!(err, JobError::CycleDetected);
+    let err = JobGraph::new(two(), vec![(0, 5)]).unwrap_err();
+    assert_eq!(err, JobError::DanglingEdge { from: 0, to: 5, stages: 2 });
+
+    // A literal-constructed kernel with a broken grid is still a Job error.
     let mut bad_kernel = (*kernel(0, 64, 100, 0)).clone();
     bad_kernel.wg_size = 0;
-    let mut job = one_job(vec![kernel(0, 64, 100, 0)], 100, 0, 0);
-    job.kernels = vec![Arc::new(bad_kernel)];
+    let job = one_job(vec![Arc::new(bad_kernel)], 100, 0, 0);
     let err = Simulation::builder().jobs(vec![job]).build().unwrap_err();
     assert!(matches!(err, SimError::Job(ref m) if m.contains("empty grid")), "{err}");
+}
+
+#[test]
+fn dag_job_runs_to_completion_with_concurrent_stages() {
+    use gpu_sim::job::JobGraph;
+    use gpu_sim::probe::ProbeEvent;
+    use std::sync::{Arc as SArc, Mutex};
+
+    // Diamond: 0 -> {1, 2} -> 3.
+    let stages = vec![
+        kernel(0, 128, 1000, 0),
+        kernel(1, 128, 2000, 0),
+        kernel(2, 128, 2000, 0),
+        kernel(3, 128, 1000, 0),
+    ];
+    let graph = JobGraph::new(stages, vec![(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+    let job =
+        JobDesc::from_graph(JobId(0), "diamond", graph, Duration::from_ms(1), Cycle::ZERO).unwrap();
+
+    #[derive(Default)]
+    struct Order(Vec<(bool, usize)>); // (started, stage)
+    impl sim_core::probe::Observer<ProbeEvent> for Order {
+        fn on_event(&mut self, _at: Cycle, event: &ProbeEvent) {
+            match event {
+                ProbeEvent::KernelStarted { kernel, .. } => self.0.push((true, *kernel)),
+                ProbeEvent::KernelCompleted { kernel, .. } => self.0.push((false, *kernel)),
+                _ => {}
+            }
+        }
+    }
+    let order = SArc::new(Mutex::new(Order::default()));
+    let mut sim = Simulation::builder()
+        .jobs(vec![job])
+        .cp(RoundRobin::new())
+        .observe(Box::new(SArc::clone(&order)))
+        .build()
+        .unwrap();
+    let report = sim.run();
+    assert_eq!(report.completed(), 1);
+    assert!(report.records[0].met_deadline());
+
+    // Every edge is respected: a stage starts only after its preds finish.
+    let events = order.lock().unwrap().0.clone();
+    let start_pos = |s: usize| events.iter().position(|&e| e == (true, s)).unwrap();
+    let done_pos = |s: usize| events.iter().position(|&e| e == (false, s)).unwrap();
+    for &(u, v) in &[(0usize, 1usize), (0, 2), (1, 3), (2, 3)] {
+        assert!(done_pos(u) < start_pos(v), "edge {u}->{v} violated: {events:?}");
+    }
+    // The middle stages overlapped: both started before either finished.
+    assert!(
+        start_pos(1) < done_pos(2) && start_pos(2) < done_pos(1),
+        "stages 1 and 2 should be in flight together: {events:?}"
+    );
 }
 
 // ----- fault injection ---------------------------------------------------

@@ -112,13 +112,10 @@ mod tests {
                     0,
                     ComputeProfile::compute_only(10),
                 ));
-                HostJob::new(Arc::new(JobDesc::new(
-                    JobId(i),
-                    "b",
-                    vec![k],
-                    Duration::from_us(1_000),
-                    Cycle::ZERO,
-                )))
+                HostJob::new(Arc::new(
+                    JobDesc::chain(JobId(i), "b", vec![k], Duration::from_us(1_000), Cycle::ZERO)
+                        .unwrap(),
+                ))
             })
             .collect()
     }

@@ -157,13 +157,16 @@ mod tests {
                     0,
                     ComputeProfile::compute_only(10),
                 ));
-                HostJob::new(Arc::new(JobDesc::new(
-                    JobId(i as u32),
-                    "b",
-                    vec![k],
-                    Duration::from_us(deadline_us),
-                    Cycle::ZERO,
-                )))
+                HostJob::new(Arc::new(
+                    JobDesc::chain(
+                        JobId(i as u32),
+                        "b",
+                        vec![k],
+                        Duration::from_us(deadline_us),
+                        Cycle::ZERO,
+                    )
+                    .unwrap(),
+                ))
             })
             .collect()
     }

@@ -41,7 +41,7 @@ impl CpScheduler for Edf {
 /// kernels without a profile optimistically contribute zero.
 fn offline_size_us(job: &ActiveJob, ctx: &CpContext<'_>) -> f64 {
     job.job
-        .kernels
+        .kernels()
         .iter()
         .filter_map(|k| {
             ctx.counters
@@ -237,14 +237,17 @@ mod tests {
             0,
             ComputeProfile::compute_only(10),
         ));
-        let desc = Arc::new(JobDesc::new(
-            JobId(id),
-            "b",
-            vec![k],
-            Duration::from_us(deadline_us),
-            Cycle::ZERO + Duration::from_us(arrival_us),
-        ));
-        let mut a = gpu_sim::queue::ActiveJob::new(desc.clone(), desc.kernels.clone(), true, Cycle::ZERO);
+        let desc = Arc::new(
+            JobDesc::chain(
+                JobId(id),
+                "b",
+                vec![k],
+                Duration::from_us(deadline_us),
+                Cycle::ZERO + Duration::from_us(arrival_us),
+            )
+            .unwrap(),
+        );
+        let mut a = gpu_sim::queue::ActiveJob::new(desc, Cycle::ZERO);
         a.state = JobState::Ready;
         ComputeQueue { active: Some(a) }
     }
@@ -322,7 +325,7 @@ mod tests {
             counters.record_wg(KernelClassId(0), Cycle::ZERO + Duration::from_us(50));
         }
         let mut queues = vec![queue_with(0, 100, 5_000, 0), queue_with(1, 100, 5_000, 0)];
-        queues[1].job_mut().head_wgs_completed = 90; // nearly done
+        queues[1].job_mut().stages[0].wgs_completed = 90; // nearly done
         let mut srf = Srf::new();
         ctx_run(&mut queues, &mut counters, 100, |ctx| srf.on_tick(ctx));
         assert!(

@@ -7,9 +7,7 @@ use gpu_sim::host::{HostJob, HostView};
 /// zero (the profile table is populated for every benchmark kernel by the
 /// harness, so this is a startup corner case only).
 pub fn predicted_remaining_us(view: &HostView<'_>, job: &HostJob) -> f64 {
-    let from = job.next_kernel.min(job.desc.kernels.len());
-    job.desc.kernels[from..]
-        .iter()
+    job.remaining_kernels()
         .filter_map(|k| {
             view.counters
                 .offline_rate(k.class)
@@ -47,13 +45,10 @@ mod tests {
             0,
             ComputeProfile::compute_only(10),
         ));
-        HostJob::new(Arc::new(JobDesc::new(
-            JobId(0),
-            "b",
-            vec![k],
-            Duration::from_us(deadline_us),
-            Cycle::ZERO,
-        )))
+        HostJob::new(Arc::new(
+            JobDesc::chain(JobId(0), "b", vec![k], Duration::from_us(deadline_us), Cycle::ZERO)
+                .unwrap(),
+        ))
     }
 
     #[test]

@@ -42,7 +42,7 @@ impl Prema {
     fn token(job: &ActiveJob, ctx: &CpContext<'_>) -> f64 {
         let isolated_us: f64 = job
             .job
-            .kernels
+            .kernels()
             .iter()
             .filter_map(|k| {
                 ctx.counters
@@ -164,14 +164,17 @@ mod tests {
             0,
             ComputeProfile::compute_only(10),
         ));
-        let desc = Arc::new(JobDesc::new(
-            JobId(id),
-            "b",
-            vec![k],
-            Duration::from_ms(10),
-            Cycle::ZERO + Duration::from_us(arrival_us),
-        ));
-        let mut a = gpu_sim::queue::ActiveJob::new(desc.clone(), desc.kernels.clone(), true, Cycle::ZERO);
+        let desc = Arc::new(
+            JobDesc::chain(
+                JobId(id),
+                "b",
+                vec![k],
+                Duration::from_ms(10),
+                Cycle::ZERO + Duration::from_us(arrival_us),
+            )
+            .unwrap(),
+        );
+        let mut a = gpu_sim::queue::ActiveJob::new(desc, Cycle::ZERO);
         a.state = JobState::Ready;
         ComputeQueue { active: Some(a) }
     }

@@ -51,17 +51,20 @@ pub fn batched_workload(
         // Merge: take the first member's chain and scale every kernel's
         // grid by the actual chunk size.
         let kernels: Vec<Arc<KernelDesc>> = chunk[0]
-            .kernels
+            .kernels()
             .iter()
             .map(|k| Arc::new(k.batched(chunk.len() as u32)))
             .collect();
-        jobs.push(JobDesc::new(
-            JobId(batch_idx as u32),
-            chunk[0].bench.clone(),
-            kernels,
-            chunk[0].deadline,
-            last_arrival,
-        ));
+        jobs.push(
+            JobDesc::chain(
+                JobId(batch_idx as u32),
+                chunk[0].bench.clone(),
+                kernels,
+                chunk[0].deadline,
+                last_arrival,
+            )
+            .expect("merged batch keeps the member chain's shape"),
+        );
         member_arrivals.push(arrivals);
     }
     BatchedWorkload { jobs, member_arrivals }
@@ -101,7 +104,7 @@ mod tests {
         assert_eq!(w.member_arrivals[0].len(), 4);
         assert_eq!(w.jobs[0].arrival, *w.member_arrivals[0].last().unwrap());
         // Grid scaled by 4.
-        assert_eq!(w.jobs[0].kernels[0].grid_threads, 8192 * 4);
+        assert_eq!(w.jobs[0].kernels()[0].grid_threads, 8192 * 4);
     }
 
     #[test]
@@ -109,7 +112,7 @@ mod tests {
         let suite = BenchmarkSuite::calibrated();
         let w = batched_workload(suite, Benchmark::Stem, ArrivalRate::High, 4, 1, 5);
         assert_eq!(w.jobs.len(), 4);
-        assert_eq!(w.jobs[0].kernels[0].grid_threads, 4096);
+        assert_eq!(w.jobs[0].kernels()[0].grid_threads, 4096);
     }
 
     #[test]

@@ -79,13 +79,14 @@ mod tests {
         ));
         (0..n)
             .map(|i| {
-                JobDesc::new(
+                JobDesc::chain(
                     JobId(i as u32),
                     "b",
                     vec![k.clone()],
                     Duration::from_us(100),
                     Cycle::ZERO + Duration::from_us(gap_us * (i as u64 + 1)),
                 )
+                .unwrap()
             })
             .collect()
     }

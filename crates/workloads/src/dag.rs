@@ -1,0 +1,124 @@
+//! DAG-structured job graphs (beyond the paper).
+//!
+//! The paper's jobs are linear kernel chains; real accelerator services
+//! compose stages with fan-out — the Sirius IPA pipeline the paper draws
+//! its GMM and STEM kernels from runs them as a dependency graph, not a
+//! chain. These builders assemble [`JobGraph`]s from the same calibrated
+//! kernels so the DAG benchmarks stress concurrent in-flight kernels
+//! without disturbing any chain workload:
+//!
+//! * [`fanout_graph`] — STEM scatter, `width` parallel CUCKOO lookups,
+//!   STEM gather (a synthetic diamond).
+//! * [`ipa_graph`] — GMM acoustic scoring feeding `width` parallel STEM
+//!   text stages that join into a final STEM (Sirius-style).
+
+use gpu_sim::job::JobGraph;
+use sim_core::rng::SimRng;
+
+use crate::rnn::KernelSource;
+
+/// Fan-out width bounds for the randomized [`fanout_graph`] jobs.
+pub const FANOUT_WIDTH_RANGE: (u64, u64) = (2, 4);
+
+/// Fan-out width of the [`ipa_graph`] pipeline (parallel STEM
+/// hypothesis stages between GMM scoring and the final join).
+pub const IPA_WIDTH: usize = 2;
+
+/// Samples a fan-out width for one job.
+pub fn sample_fanout_width(rng: &mut SimRng) -> usize {
+    let (lo, hi) = FANOUT_WIDTH_RANGE;
+    (lo + rng.below(hi - lo + 1)) as usize
+}
+
+/// Builds the synthetic diamond: stage 0 (STEM) fans out into `width`
+/// parallel CUCKOO stages which all join into a final STEM.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn fanout_graph(source: &impl KernelSource, width: usize) -> JobGraph {
+    assert!(width >= 1, "fan-out width must be positive");
+    let mut stages = Vec::with_capacity(width + 2);
+    stages.push(source.kernel("stem"));
+    for _ in 0..width {
+        stages.push(source.kernel("cuckoo"));
+    }
+    stages.push(source.kernel("stem"));
+    let join = (width + 1) as u32;
+    let mut edges = Vec::with_capacity(2 * width);
+    for i in 1..=width as u32 {
+        edges.push((0, i));
+        edges.push((i, join));
+    }
+    JobGraph::new(stages, edges).expect("fan-out diamond is acyclic by construction")
+}
+
+/// Builds the Sirius-style IPA pipeline: GMM acoustic scoring fans out
+/// into `width` parallel STEM stages which join into a final STEM
+/// (question answering over the stemmed hypotheses).
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn ipa_graph(source: &impl KernelSource, width: usize) -> JobGraph {
+    assert!(width >= 1, "pipeline width must be positive");
+    let mut stages = Vec::with_capacity(width + 2);
+    stages.push(source.kernel("gmm"));
+    for _ in 0..width {
+        stages.push(source.kernel("stem"));
+    }
+    stages.push(source.kernel("stem"));
+    let join = (width + 1) as u32;
+    let mut edges = Vec::with_capacity(2 * width);
+    for i in 1..=width as u32 {
+        edges.push((0, i));
+        edges.push((i, join));
+    }
+    JobGraph::new(stages, edges).expect("IPA pipeline is acyclic by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::BenchmarkSuite;
+
+    #[test]
+    fn fanout_graph_shape() {
+        let suite = BenchmarkSuite::calibrated();
+        let g = fanout_graph(suite, 3);
+        assert_eq!(g.num_stages(), 5);
+        assert!(!g.is_chain());
+        assert_eq!(g.indegree(0), 0);
+        assert_eq!(g.indegree(4), 3);
+        // Source and sink are on the critical path by construction.
+        assert!(g.on_critical_path(0));
+        assert!(g.on_critical_path(4));
+    }
+
+    #[test]
+    fn ipa_graph_shape() {
+        let suite = BenchmarkSuite::calibrated();
+        let g = ipa_graph(suite, 2);
+        assert_eq!(g.num_stages(), 4);
+        assert!(!g.is_chain());
+        // GMM dominates the WG-weighted critical path.
+        assert!(g.on_critical_path(0));
+    }
+
+    #[test]
+    fn width_one_still_forms_a_diamond_chain() {
+        let suite = BenchmarkSuite::calibrated();
+        let g = fanout_graph(suite, 1);
+        assert_eq!(g.num_stages(), 3);
+        assert!(g.is_chain(), "width 1 degenerates to a linear chain");
+    }
+
+    #[test]
+    fn sampled_widths_stay_in_range() {
+        let mut rng = SimRng::seed_from(7);
+        for _ in 0..64 {
+            let w = sample_fanout_width(&mut rng);
+            assert!((FANOUT_WIDTH_RANGE.0 as usize..=FANOUT_WIDTH_RANGE.1 as usize).contains(&w));
+        }
+    }
+}

@@ -14,12 +14,17 @@
 //!   per-job sequence lengths (mean 16).
 //! * [`suite`] — the calibrated [`suite::BenchmarkSuite`]: job generation
 //!   with exponential arrivals and the offline profile table.
+//! * [`dag`] — DAG-structured job graphs (fan-out/fan-in diamond, the
+//!   Sirius-style IPA pipeline) built from the same calibrated kernels.
 //! * [`batching`] — merged-batch workloads for Figure 4.
 //! * [`burst`] — arrival-burst storms: applies a fault plan's burst
 //!   entries to a generated job stream (the workload half of fault
 //!   injection).
 //! * [`mixed`] — interleaved streams and latency-insensitive background
 //!   work, for the paper's claim that LAX leaves no-deadline jobs alone.
+//! * [`scenario`] — declarative scenario files: workload mix (named
+//!   benchmarks or inline kernel DAGs), arrival process, fault intensity,
+//!   and fleet topology as one JSON document with typed parse errors.
 //! * [`table1`] — regenerates Table 1 and Figure 1 from the suite.
 //!
 //! # Example
@@ -39,9 +44,11 @@
 pub mod batching;
 pub mod burst;
 pub mod calibrate;
+pub mod dag;
 pub mod kernels;
 pub mod mixed;
 pub mod rnn;
+pub mod scenario;
 pub mod spec;
 pub mod suite;
 pub mod table1;

@@ -44,7 +44,8 @@ pub fn background_job(id: JobId, arrival: Cycle, kernel_us: u64, threads: u32) -
             pattern: AccessPattern::Streaming,
         },
     ));
-    JobDesc::new(id, "BACKGROUND", vec![kernel], BACKGROUND_DEADLINE, arrival)
+    JobDesc::chain(id, "BACKGROUND", vec![kernel], BACKGROUND_DEADLINE, arrival)
+        .expect("background job is a one-kernel chain")
 }
 
 /// Merges several job streams into one arrival-ordered stream with dense

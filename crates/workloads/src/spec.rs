@@ -22,6 +22,15 @@ pub enum Benchmark {
     Gmm,
     /// Porter stemmer from the ASR pipeline (Sirius).
     Stem,
+    /// Synthetic fan-out/fan-in DAG: STEM splits into parallel CUCKOO
+    /// lookups that join into a final STEM (beyond the paper; exercises
+    /// concurrent kernels within one job). Appended after the paper's eight
+    /// so their seed-hash discriminants are unchanged.
+    FanOut,
+    /// Sirius-style intelligent personal assistant pipeline as one DAG job:
+    /// GMM scoring fans out into parallel STEM stages that join (Section 3's
+    /// ASR components composed as Suleman et al. deploy them).
+    Ipa,
 }
 
 /// Table 4's three contention levels.
@@ -48,6 +57,11 @@ impl Benchmark {
         Benchmark::Stem,
     ];
 
+    /// The DAG-structured benchmarks (beyond the paper). Kept out of
+    /// [`Benchmark::ALL`] so every existing figure and sweep is untouched;
+    /// the `dag` sweep and scenario files select these explicitly.
+    pub const DAGS: [Benchmark; 2] = [Benchmark::FanOut, Benchmark::Ipa];
+
     /// Display name.
     pub fn name(self) -> &'static str {
         match self {
@@ -59,10 +73,14 @@ impl Benchmark {
             Benchmark::Cuckoo => "CUCKOO",
             Benchmark::Gmm => "GMM",
             Benchmark::Stem => "STEM",
+            Benchmark::FanOut => "FANOUT",
+            Benchmark::Ipa => "IPA",
         }
     }
 
-    /// Per-job deadline (Table 4).
+    /// Per-job deadline (Table 4; DAG benchmarks inherit the deadline of
+    /// their critical stage: IPA is GMM-dominated, FANOUT is
+    /// CUCKOO-dominated).
     pub fn deadline(self) -> Duration {
         match self {
             Benchmark::Lstm | Benchmark::Gru | Benchmark::Van | Benchmark::Hybrid => {
@@ -72,10 +90,14 @@ impl Benchmark {
             Benchmark::Cuckoo => Duration::from_us(600),
             Benchmark::Gmm => Duration::from_ms(3),
             Benchmark::Stem => Duration::from_us(300),
+            Benchmark::FanOut => Duration::from_us(1_200),
+            Benchmark::Ipa => Duration::from_ms(3),
         }
     }
 
-    /// Arrival rate in jobs per second (Table 4).
+    /// Arrival rate in jobs per second (Table 4; DAG benchmarks scale their
+    /// dominant stage's rates down by the fan-out so offered load per level
+    /// stays comparable).
     pub fn rate_jobs_per_sec(self, rate: ArrivalRate) -> f64 {
         use ArrivalRate::*;
         use Benchmark::*;
@@ -85,6 +107,8 @@ impl Benchmark {
             Cuckoo => (8_000.0, 5_000.0, 3_000.0),
             Gmm => (32_000.0, 16_000.0, 8_000.0),
             Stem => (64_000.0, 32_000.0, 16_000.0),
+            FanOut => (2_000.0, 1_250.0, 750.0),
+            Ipa => (4_000.0, 2_000.0, 1_000.0),
         };
         match rate {
             High => h,
@@ -102,8 +126,14 @@ impl Benchmark {
         )
     }
 
+    /// `true` for the DAG-structured benchmarks (jobs with non-linear
+    /// kernel dependency graphs).
+    pub fn is_dag(self) -> bool {
+        matches!(self, Benchmark::FanOut | Benchmark::Ipa)
+    }
+
     /// Input size reported in Table 4 (threads for few-kernel benchmarks,
-    /// hidden-layer width for RNNs).
+    /// hidden-layer width for RNNs; the dominant stage's size for DAGs).
     pub fn input_size(self) -> u32 {
         match self {
             Benchmark::Lstm | Benchmark::Gru => 128,
@@ -111,7 +141,8 @@ impl Benchmark {
             Benchmark::Hybrid => 128, // mixed 128/256
             Benchmark::Ipv6 | Benchmark::Cuckoo => 8192,
             Benchmark::Gmm => 2048,
-            Benchmark::Stem => 4096,
+            Benchmark::Stem | Benchmark::FanOut => 4096,
+            Benchmark::Ipa => 2048,
         }
     }
 }
@@ -163,10 +194,11 @@ impl std::str::FromStr for Benchmark {
     type Err = ParseSpecError;
 
     /// Parses a display name (as printed by [`Benchmark::name`]),
-    /// case-insensitively.
+    /// case-insensitively. Accepts the DAG benchmarks too.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         Benchmark::ALL
             .into_iter()
+            .chain(Benchmark::DAGS)
             .find(|b| b.name().eq_ignore_ascii_case(s))
             .ok_or_else(|| ParseSpecError { what: "benchmark", input: s.to_string() })
     }
@@ -231,5 +263,20 @@ mod tests {
         assert!(Benchmark::Hybrid.is_many_kernel());
         assert!(!Benchmark::Ipv6.is_many_kernel());
         assert!(!Benchmark::Stem.is_many_kernel());
+    }
+
+    #[test]
+    fn dag_benchmarks_are_separate_from_the_paper_suite() {
+        for d in Benchmark::DAGS {
+            assert!(d.is_dag());
+            assert!(!Benchmark::ALL.contains(&d), "{d} must not join the paper's figures");
+            assert_eq!(d.name().parse::<Benchmark>().unwrap(), d);
+            let h = d.rate_jobs_per_sec(ArrivalRate::High);
+            let l = d.rate_jobs_per_sec(ArrivalRate::Low);
+            assert!(h > l);
+        }
+        for b in Benchmark::ALL {
+            assert!(!b.is_dag());
+        }
     }
 }

@@ -80,6 +80,12 @@ impl BenchmarkSuite {
             .unwrap_or_else(|| panic!("unknown kernel {name}"))
     }
 
+    /// The calibrated descriptor for `name`, or `None` when no such kernel
+    /// exists — the non-panicking lookup scenario files validate against.
+    pub fn try_kernel(&self, name: &str) -> Option<Arc<KernelDesc>> {
+        self.by_name.get(name).map(|c| c.desc.clone())
+    }
+
     /// Offline per-class isolated rates (WGs/us) — the profile table the
     /// prediction-based schedulers (SJF, LJF, BAY, PRO, PREMA) consume.
     pub fn offline_rates(&self) -> Vec<(KernelClassId, f64)> {
@@ -118,6 +124,24 @@ impl BenchmarkSuite {
             Benchmark::Cuckoo => vec![self.kernel("cuckoo")],
             Benchmark::Gmm => vec![self.kernel("gmm")],
             Benchmark::Stem => vec![self.kernel("stem")],
+            Benchmark::FanOut | Benchmark::Ipa => {
+                panic!("{bench} is a DAG benchmark; use job_graph")
+            }
+        }
+    }
+
+    /// Builds the kernel graph of one job of a DAG benchmark. FANOUT
+    /// samples its fan-out width per job; IPA's pipeline shape is fixed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bench` is a linear-chain benchmark (use
+    /// [`BenchmarkSuite::job_kernels`]).
+    pub fn job_graph(&self, bench: Benchmark, rng: &mut SimRng) -> gpu_sim::job::JobGraph {
+        match bench {
+            Benchmark::FanOut => crate::dag::fanout_graph(self, crate::dag::sample_fanout_width(rng)),
+            Benchmark::Ipa => crate::dag::ipa_graph(self, crate::dag::IPA_WIDTH),
+            b => panic!("{b} is a chain benchmark; use job_kernels"),
         }
     }
 
@@ -139,6 +163,14 @@ impl BenchmarkSuite {
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
             now += rng.exp_interarrival(jobs_per_sec);
+            if bench.is_dag() {
+                let graph = self.job_graph(bench, &mut rng);
+                out.push(
+                    JobDesc::from_graph(JobId(i as u32), bench.name(), graph, bench.deadline(), now)
+                        .expect("calibrated DAG jobs are structurally valid"),
+                );
+                continue;
+            }
             let kernels = self.job_kernels(bench, i, &mut rng);
             let label = match bench {
                 Benchmark::Hybrid => {
@@ -150,7 +182,10 @@ impl BenchmarkSuite {
                 }
                 b => b.name(),
             };
-            out.push(JobDesc::new(JobId(i as u32), label, kernels, bench.deadline(), now));
+            out.push(
+                JobDesc::chain(JobId(i as u32), label, kernels, bench.deadline(), now)
+                    .expect("calibrated chains are non-empty with positive deadlines"),
+            );
         }
         out
     }
@@ -209,7 +244,7 @@ mod tests {
         let jobs = suite.generate_jobs(Benchmark::Hybrid, ArrivalRate::Low, 4, 3);
         assert_eq!(&*jobs[0].bench, "HYBRID/LSTM128");
         assert_eq!(&*jobs[1].bench, "HYBRID/GRU256");
-        assert!(jobs[1].kernels.iter().any(|k| &*k.name == "gemm_h256"));
+        assert!(jobs[1].kernels().iter().any(|k| &*k.name == "gemm_h256"));
     }
 
     #[test]
@@ -219,6 +254,23 @@ mod tests {
         let lens: Vec<usize> = jobs.iter().map(|j| j.num_kernels()).collect();
         assert!(lens.iter().all(|&l| l > 30));
         assert!(lens.iter().any(|&l| l != lens[0]), "sequence lengths vary");
+    }
+
+    #[test]
+    fn dag_jobs_generate_with_non_chain_graphs() {
+        let suite = BenchmarkSuite::calibrated();
+        for bench in Benchmark::DAGS {
+            let jobs = suite.generate_jobs(bench, ArrivalRate::Low, 8, 5);
+            assert_eq!(jobs.len(), 8);
+            for j in &jobs {
+                assert!(!j.graph().is_chain(), "{bench} jobs must be true DAGs");
+                assert!(j.num_kernels() >= 3);
+            }
+        }
+        // FANOUT widths vary across jobs (sampled per job).
+        let jobs = suite.generate_jobs(Benchmark::FanOut, ArrivalRate::Low, 16, 6);
+        let sizes: Vec<usize> = jobs.iter().map(|j| j.num_kernels()).collect();
+        assert!(sizes.iter().any(|&s| s != sizes[0]), "widths should vary: {sizes:?}");
     }
 
     #[test]

@@ -29,7 +29,7 @@ impl CpScheduler for StaticSlack {
         let Some(job) = ctx.queues[q].active.as_ref() else { return };
         let est_us: f64 = job
             .job
-            .kernels
+            .kernels()
             .iter()
             .filter_map(|k| {
                 ctx.counters

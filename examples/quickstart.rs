@@ -6,6 +6,7 @@
 //! ```
 
 use deadline_gpu::quick::simulate;
+use workloads::scenario::{ScenarioFile, WorkloadSpec};
 use workloads::spec::{ArrivalRate, Benchmark};
 
 fn main() {
@@ -34,4 +35,27 @@ fn main() {
     println!("completion rates, rejects jobs that cannot make their deadline,");
     println!("and prioritizes the tightest admitted jobs - so it completes more");
     println!("jobs on time while wasting less energy on doomed work.");
+
+    // Experiments can also be described declaratively: a scenario file
+    // names the workload, schedulers, rates and seed, and the bench
+    // binaries accept it via --scenario-file. Here we load one and run
+    // its grid through the same one-call helper.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/scenarios/linear-fig8.json");
+    let file: ScenarioFile =
+        std::fs::read_to_string(path).expect("committed example").parse().expect("valid scenario");
+    let WorkloadSpec::Named(bench) = file.workload else {
+        unreachable!("linear-fig8.json names a benchmark");
+    };
+    println!();
+    println!("scenario file `{}`: {bench} x {:?} at the {} rate", file.name, file.schedulers, file.rates[0]);
+    for scheduler in &file.schedulers {
+        let rate = file.rates[0];
+        let report = simulate(bench, rate, file.n_jobs, scheduler, file.cell_seed(rate));
+        println!(
+            "{:<10} {:>5}/{} deadlines met",
+            scheduler,
+            report.deadlines_met(),
+            file.n_jobs
+        );
+    }
 }

@@ -45,39 +45,45 @@ fn story_jobs() -> Vec<JobDesc> {
     let long = kernel(1, 25);
     let mut jobs = Vec::new();
     // Two warm-up jobs teach the Kernel Profiling Table each class's rate.
-    jobs.push(JobDesc::new(
-        JobId(0),
-        "warmup",
-        vec![short.clone()],
-        Duration::from_ms(10),
-        Cycle::ZERO,
-    ));
-    jobs.push(JobDesc::new(
-        JobId(1),
-        "warmup",
-        vec![long.clone()],
-        Duration::from_ms(10),
-        Cycle::ZERO + Duration::from_us(30),
-    ));
+    jobs.push(
+        JobDesc::chain(JobId(0), "warmup", vec![short.clone()], Duration::from_ms(10), Cycle::ZERO)
+            .unwrap(),
+    );
+    jobs.push(
+        JobDesc::chain(
+            JobId(1),
+            "warmup",
+            vec![long.clone()],
+            Duration::from_ms(10),
+            Cycle::ZERO + Duration::from_us(30),
+        )
+        .unwrap(),
+    );
     // Four short jobs (2 x 20us kernels, comfortable 130us deadlines)...
     for i in 0..4 {
-        jobs.push(JobDesc::new(
-            JobId(2 + i),
-            format!("S{}", i + 1),
-            vec![short.clone(), short.clone()],
-            Duration::from_us(130),
-            Cycle::ZERO + Duration::from_us(T0),
-        ));
+        jobs.push(
+            JobDesc::chain(
+                JobId(2 + i),
+                format!("S{}", i + 1),
+                vec![short.clone(), short.clone()],
+                Duration::from_us(130),
+                Cycle::ZERO + Duration::from_us(T0),
+            )
+            .unwrap(),
+        );
     }
     // ...and one long job (2 x 25us) arriving 5us later with only 75us of
     // budget: it must start almost immediately to make it.
-    jobs.push(JobDesc::new(
-        JobId(6),
-        "LONG",
-        vec![long.clone(), long.clone()],
-        Duration::from_us(75),
-        Cycle::ZERO + Duration::from_us(T0 + 5),
-    ));
+    jobs.push(
+        JobDesc::chain(
+            JobId(6),
+            "LONG",
+            vec![long.clone(), long.clone()],
+            Duration::from_us(75),
+            Cycle::ZERO + Duration::from_us(T0 + 5),
+        )
+        .unwrap(),
+    );
     jobs
 }
 

@@ -121,6 +121,45 @@ assert rows >= 8, rows
 EOF
 echo "   chaos grid conserves jobs and is byte-identical across workers and resume"
 
+echo "== tier1: DAG sweep smoke + kill-and-resume + worker byte-identity =="
+DAG_BIN=target/release/dag
+# The graph-structured grid (2 schedulers x FANOUT x low rate). DAG cell
+# seeds exclude the scheduler and worker count, so the table must come out
+# byte-identical for any --jobs N and across a kill-and-resume.
+"$DAG_BIN" --smoke --jobs 1 --out "$TMP/dag1.txt" --ckpt "$TMP/dag1.ckpt"
+"$DAG_BIN" --smoke --jobs 8 --out "$TMP/dag8.txt" --ckpt "$TMP/dag8.ckpt"
+cmp "$TMP/dag1.txt" "$TMP/dag8.txt"
+"$DAG_BIN" --smoke --jobs 1 --out "$TMP/dagb.txt" --ckpt "$TMP/dagb.ckpt" &
+DPID=$!
+sleep 0.2
+kill -9 "$DPID" 2>/dev/null || true
+wait "$DPID" 2>/dev/null || true
+"$DAG_BIN" --smoke --jobs 8 --resume --out "$TMP/dagb.txt" --ckpt "$TMP/dagb.ckpt"
+cmp "$TMP/dag1.txt" "$TMP/dagb.txt"
+grep -q "FANOUT" "$TMP/dag1.txt"
+echo "   DAG sweep is byte-identical across worker counts and resume"
+
+echo "== tier1: scenario files parse and a DAG scenario runs end-to-end =="
+# Every committed scenario file must validate (typed errors, no panics)...
+for f in examples/scenarios/*.json; do
+    "$DAG_BIN" --check --scenario-file "$f"
+done
+# ...and the inline-DAG one must run end-to-end, byte-identically for any
+# worker count (cells are seeded from the file, never the thread).
+"$DAG_BIN" --scenario-file examples/scenarios/fanout-diamond.json --jobs 1 --out "$TMP/sf1.txt"
+"$DAG_BIN" --scenario-file examples/scenarios/fanout-diamond.json --jobs 8 --out "$TMP/sf8.txt"
+cmp "$TMP/sf1.txt" "$TMP/sf8.txt"
+grep -q "fanout-diamond" "$TMP/sf1.txt"
+# A malformed file must exit non-zero with a typed diagnosis, not panic.
+echo '{"name": 3}' > "$TMP/bad.json"
+if "$DAG_BIN" --check --scenario-file "$TMP/bad.json" 2> "$TMP/bad.err"; then
+    echo "malformed scenario file unexpectedly accepted" >&2
+    exit 1
+fi
+grep -q "must be a string" "$TMP/bad.err"
+! grep -q "panicked" "$TMP/bad.err"
+echo "   scenario files validate, run deterministically, and fail typed"
+
 echo "== tier1: fleet-trace smoke (fleet Chrome trace + SLO telemetry) =="
 FLEET_TRACE_BIN=target/release/fleet-trace
 # A small faulty fleet with retries and shedding, so the trace carries
