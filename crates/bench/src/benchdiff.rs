@@ -1,0 +1,281 @@
+//! Mechanical comparison of two `BENCH_throughput.json` profiles.
+//!
+//! Every perf PR claims a speedup; this module makes the claim checkable
+//! by diffing the committed profile against a freshly regenerated one:
+//! per-cell events/sec deltas, the geomean delta, and flagged regressions
+//! (cells slower by more than a noise threshold). The rendered delta
+//! table is upserted between marker lines in `results/SUMMARY.txt` by
+//! `bin/benchdiff` so the perf trajectory lives next to the numbers it
+//! summarizes.
+
+use sim_core::json::{self, JsonError};
+use sim_core::stats::geomean;
+use sim_core::table::{fmt_f, Table};
+
+use crate::profile::upsert_section;
+
+/// One cell present in both profiles.
+#[derive(Debug, Clone)]
+pub struct CellDelta {
+    /// Scenario string, e.g. `BAT:HYBRID:low:j128:s20210301`.
+    pub scenario: String,
+    /// events/sec in the old profile.
+    pub old_rate: f64,
+    /// events/sec in the new profile.
+    pub new_rate: f64,
+}
+
+impl CellDelta {
+    /// Speedup ratio (`> 1.0` means the new profile is faster).
+    pub fn ratio(&self) -> f64 {
+        if self.old_rate > 0.0 {
+            self.new_rate / self.old_rate
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// The full diff between two throughput profiles.
+#[derive(Debug)]
+pub struct BenchDiff {
+    /// Cells present in both files, in scenario order.
+    pub cells: Vec<CellDelta>,
+    /// Scenarios only in the old file.
+    pub removed: Vec<String>,
+    /// Scenarios only in the new file.
+    pub added: Vec<String>,
+    /// Geomean events/sec of the old profile's matched cells.
+    pub old_geomean: f64,
+    /// Geomean events/sec of the new profile's matched cells.
+    pub new_geomean: f64,
+    /// Regression threshold as a fraction (0.10 = flag cells ≥10% slower).
+    pub threshold: f64,
+}
+
+impl BenchDiff {
+    /// Matched cells slower in the new profile by more than the threshold.
+    pub fn regressions(&self) -> Vec<&CellDelta> {
+        self.cells.iter().filter(|c| c.ratio() < 1.0 - self.threshold).collect()
+    }
+
+    /// Geomean speedup ratio over matched cells.
+    pub fn geomean_ratio(&self) -> f64 {
+        if self.old_geomean > 0.0 {
+            self.new_geomean / self.old_geomean
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Renders the human-readable report: geomean line, per-cell extremes
+    /// (`n` best and worst), and every flagged regression.
+    pub fn render(&self, n: usize) -> String {
+        let mut out = format!(
+            "benchdiff: {} matched cell(s), geomean {} -> {} events/sec ({:+.1}%)\n",
+            self.cells.len(),
+            fmt_f(self.old_geomean, 0),
+            fmt_f(self.new_geomean, 0),
+            (self.geomean_ratio() - 1.0) * 100.0,
+        );
+        if !self.added.is_empty() || !self.removed.is_empty() {
+            out.push_str(&format!(
+                "cells only in new: {}; only in old: {}\n",
+                self.added.len(),
+                self.removed.len()
+            ));
+        }
+        let mut sorted: Vec<&CellDelta> = self.cells.iter().collect();
+        sorted.sort_by(|a, b| {
+            b.ratio().partial_cmp(&a.ratio()).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut t = Table::with_columns(&["scenario", "old ev/s", "new ev/s", "delta"]);
+        let shown: Vec<&CellDelta> = if sorted.len() <= 2 * n {
+            sorted
+        } else {
+            // Largest speedups, then an ellipsis row, then the tail end
+            // (smallest speedups / regressions).
+            let tail = sorted.split_off(sorted.len() - n);
+            sorted.truncate(n);
+            sorted.extend(tail);
+            sorted
+        };
+        let half = shown.len() / 2;
+        let elided = self.cells.len() > shown.len();
+        for (i, c) in shown.iter().enumerate() {
+            if elided && i == half {
+                t.row(vec!["...".into(), "...".into(), "...".into(), "...".into()]);
+            }
+            let flag = if c.ratio() < 1.0 - self.threshold { "  REGRESSED" } else { "" };
+            t.row(vec![
+                c.scenario.clone(),
+                fmt_f(c.old_rate, 0),
+                fmt_f(c.new_rate, 0),
+                format!("{:+.1}%{}", (c.ratio() - 1.0) * 100.0, flag),
+            ]);
+        }
+        out.push('\n');
+        out.push_str(&t.render());
+        let regs = self.regressions();
+        out.push_str(&format!(
+            "\n{} regression(s) beyond the {:.0}% noise threshold\n",
+            regs.len(),
+            self.threshold * 100.0
+        ));
+        out
+    }
+
+    /// Begin marker for the SUMMARY.txt delta section.
+    pub fn begin_marker() -> &'static str {
+        "== benchdiff: throughput delta =="
+    }
+
+    /// End marker for the SUMMARY.txt delta section.
+    pub fn end_marker() -> &'static str {
+        "== end benchdiff: throughput delta =="
+    }
+
+    /// Upserts the rendered delta table (bracketed by the markers) into an
+    /// existing SUMMARY.txt document, leaving everything else untouched.
+    pub fn upsert_summary(&self, existing: &str, n: usize) -> String {
+        let section =
+            format!("{}\n{}{}\n", Self::begin_marker(), self.render(n), Self::end_marker());
+        upsert_section(existing, Self::begin_marker(), Self::end_marker(), &section)
+    }
+}
+
+/// Parses one `BENCH_throughput.json` document into `(scenario, rate)`
+/// pairs in scenario order.
+fn parse_profile(doc: &str) -> Result<Vec<(String, f64)>, JsonError> {
+    let v = json::parse(doc)?;
+    let mut out = Vec::new();
+    for cell in v.get("cells").and_then(|c| c.as_array()).unwrap_or(&[]) {
+        let scenario = cell.get("scenario").and_then(|s| s.as_str()).unwrap_or("").to_string();
+        let rate = cell.get("events_per_sec").and_then(|r| r.as_f64()).unwrap_or(0.0);
+        if !scenario.is_empty() {
+            out.push((scenario, rate));
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+/// Diffs two `BENCH_throughput.json` documents (old, new).
+///
+/// # Errors
+///
+/// Returns the underlying [`JsonError`] when either document fails to
+/// parse.
+pub fn diff(old_doc: &str, new_doc: &str, threshold: f64) -> Result<BenchDiff, JsonError> {
+    let old = parse_profile(old_doc)?;
+    let new = parse_profile(new_doc)?;
+    let mut cells = Vec::new();
+    let mut removed = Vec::new();
+    let mut added = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < old.len() || j < new.len() {
+        match (old.get(i), new.get(j)) {
+            (Some(o), Some(n)) if o.0 == n.0 => {
+                cells.push(CellDelta { scenario: o.0.clone(), old_rate: o.1, new_rate: n.1 });
+                i += 1;
+                j += 1;
+            }
+            (Some(o), Some(n)) if o.0 < n.0 => {
+                removed.push(o.0.clone());
+                i += 1;
+            }
+            (Some(_), Some(n)) => {
+                added.push(n.0.clone());
+                j += 1;
+            }
+            (Some(o), None) => {
+                removed.push(o.0.clone());
+                i += 1;
+            }
+            (None, Some(n)) => {
+                added.push(n.0.clone());
+                j += 1;
+            }
+            (None, None) => unreachable!("loop condition"),
+        }
+    }
+    let old_rates: Vec<f64> = cells.iter().map(|c| c.old_rate).filter(|&r| r > 0.0).collect();
+    let new_rates: Vec<f64> = cells.iter().map(|c| c.new_rate).filter(|&r| r > 0.0).collect();
+    Ok(BenchDiff {
+        cells,
+        removed,
+        added,
+        old_geomean: geomean(&old_rates),
+        new_geomean: geomean(&new_rates),
+        threshold,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(cells: &[(&str, f64)]) -> String {
+        let mut out = String::from("{\"cells\": [");
+        for (i, (s, r)) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"scenario\": \"{s}\", \"events\": 100, \"wall_ns\": 10, \"events_per_sec\": {r}}}"
+            ));
+        }
+        out.push_str("], \"geomean_events_per_sec\": 1.0}");
+        out
+    }
+
+    #[test]
+    fn matched_cells_and_geomean() {
+        let old = profile(&[("A:1", 100.0), ("B:2", 400.0)]);
+        let new = profile(&[("A:1", 200.0), ("B:2", 400.0)]);
+        let d = diff(&old, &new, 0.1).unwrap();
+        assert_eq!(d.cells.len(), 2);
+        assert!(d.regressions().is_empty());
+        // geomean(100,400)=200, geomean(200,400)=~282.8 → ratio sqrt(2)
+        assert!((d.geomean_ratio() - 2f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regressions_flagged_beyond_threshold() {
+        let old = profile(&[("A:1", 100.0), ("B:2", 100.0), ("C:3", 100.0)]);
+        let new = profile(&[("A:1", 80.0), ("B:2", 95.0), ("C:3", 120.0)]);
+        let d = diff(&old, &new, 0.1).unwrap();
+        let regs = d.regressions();
+        assert_eq!(regs.len(), 1, "only the 20% slowdown trips the 10% threshold");
+        assert_eq!(regs[0].scenario, "A:1");
+        assert!(d.render(5).contains("REGRESSED"));
+    }
+
+    #[test]
+    fn added_and_removed_cells_are_reported() {
+        let old = profile(&[("A:1", 100.0), ("B:2", 100.0)]);
+        let new = profile(&[("B:2", 100.0), ("C:3", 100.0)]);
+        let d = diff(&old, &new, 0.1).unwrap();
+        assert_eq!(d.cells.len(), 1);
+        assert_eq!(d.removed, vec!["A:1"]);
+        assert_eq!(d.added, vec!["C:3"]);
+    }
+
+    #[test]
+    fn summary_upsert_is_idempotent() {
+        let old = profile(&[("A:1", 100.0)]);
+        let new = profile(&[("A:1", 150.0)]);
+        let d = diff(&old, &new, 0.1).unwrap();
+        let base = "header line\n\n== fleet profile: cluster ==\nstuff\n== end fleet profile: cluster ==\n";
+        let once = d.upsert_summary(base, 10);
+        assert!(once.contains("== benchdiff: throughput delta =="));
+        assert!(once.contains("== fleet profile: cluster =="), "other sections preserved");
+        let twice = d.upsert_summary(&once, 10);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn bad_json_is_a_typed_error() {
+        assert!(diff("not json", "{}", 0.1).is_err());
+    }
+}

@@ -69,8 +69,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         save(dir, "fig4", &lax_bench::figures::fig4(max_batch, jobs))?;
     }
     let wall = t0.elapsed();
-    if let Some(json) = db.throughput_json() {
-        let path = format!("{dir}/BENCH_throughput.json");
+    // Carry the previous profile's trajectory forward so the perf history
+    // across regenerations stays in the document.
+    let path = format!("{dir}/BENCH_throughput.json");
+    let previous = fs::read_to_string(&path).ok();
+    if let Some(json) = db.throughput_json(previous.as_deref()) {
         fs::write(&path, json)?;
         eprintln!("[all] wrote {path}");
     }

@@ -1,0 +1,83 @@
+//! Diffs two `BENCH_throughput.json` profiles so a perf PR's claim is
+//! mechanical instead of hand-waved.
+//!
+//! ```text
+//! benchdiff OLD.json NEW.json [--threshold PCT] [--summary SUMMARY.txt]
+//!           [--fail-on-regression] [--top N]
+//! ```
+//!
+//! Prints per-cell and geomean events/sec deltas, flags cells slower by
+//! more than the noise threshold (default 10%), and with `--summary`
+//! upserts the delta table between marker lines in `SUMMARY.txt`
+//! (idempotent; other sections untouched). `--fail-on-regression` exits
+//! non-zero when any cell trips the threshold, for use as a CI gate.
+
+use std::fs;
+use std::process::ExitCode;
+
+use lax_bench::benchdiff::diff;
+
+fn main() -> ExitCode {
+    let mut files = Vec::new();
+    let mut threshold = 10.0f64;
+    let mut summary: Option<String> = None;
+    let mut fail_on_regression = false;
+    let mut top = 10usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threshold" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(t) => threshold = t,
+                None => return usage("--threshold needs a numeric percent"),
+            },
+            "--summary" => match args.next() {
+                Some(p) => summary = Some(p),
+                None => return usage("--summary needs a path"),
+            },
+            "--top" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => top = n,
+                None => return usage("--top needs a count"),
+            },
+            "--fail-on-regression" => fail_on_regression = true,
+            _ if a.starts_with("--") => return usage(&format!("unknown flag {a}")),
+            _ => files.push(a),
+        }
+    }
+    let [old_path, new_path] = files.as_slice() else {
+        return usage("expected exactly two BENCH_throughput.json paths");
+    };
+    let old_doc = match fs::read_to_string(old_path) {
+        Ok(d) => d,
+        Err(e) => return usage(&format!("cannot read {old_path}: {e}")),
+    };
+    let new_doc = match fs::read_to_string(new_path) {
+        Ok(d) => d,
+        Err(e) => return usage(&format!("cannot read {new_path}: {e}")),
+    };
+    let d = match diff(&old_doc, &new_doc, threshold / 100.0) {
+        Ok(d) => d,
+        Err(e) => return usage(&format!("parse error: {e}")),
+    };
+    print!("{}", d.render(top));
+    if let Some(path) = summary {
+        let existing = fs::read_to_string(&path).unwrap_or_default();
+        if let Err(e) = fs::write(&path, d.upsert_summary(&existing, top)) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[benchdiff] upserted delta table into {path}");
+    }
+    if fail_on_regression && !d.regressions().is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("benchdiff: {err}");
+    eprintln!(
+        "usage: benchdiff OLD.json NEW.json [--threshold PCT] [--summary SUMMARY.txt] \
+         [--fail-on-regression] [--top N]"
+    );
+    ExitCode::FAILURE
+}

@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+pub mod benchdiff;
 pub mod checkpoint;
 pub mod cluster;
 pub mod figures;

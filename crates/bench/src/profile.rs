@@ -166,25 +166,12 @@ impl FleetProfile {
     /// section — byte-identical. Idempotent: upserting the same section
     /// twice yields the same document.
     pub fn upsert(&self, existing: &str, section: &str) -> String {
-        let begin = Self::begin_marker(&self.sweep);
-        let end = Self::end_marker(&self.sweep);
-        if let Some(start) = existing.find(&begin) {
-            let tail = &existing[start..];
-            let stop = tail
-                .find(&end)
-                .map_or(existing.len(), |e| start + e + end.len() + 1)
-                .min(existing.len());
-            let mut out = existing[..start].to_string();
-            out.push_str(section);
-            out.push_str(&existing[stop..]);
-            return out;
-        }
-        let mut out = existing.to_string();
-        if !out.is_empty() && !out.ends_with("\n\n") {
-            out.push('\n');
-        }
-        out.push_str(section);
-        out
+        upsert_section(
+            existing,
+            &Self::begin_marker(&self.sweep),
+            &Self::end_marker(&self.sweep),
+            section,
+        )
     }
 
     /// Writes both artifacts under `results_dir`: merges this sweep's cells
@@ -207,6 +194,30 @@ impl FleetProfile {
         fs::write(&summary_path, self.upsert(&existing, &self.summary_section(n)))?;
         Ok(())
     }
+}
+
+/// Replaces the `begin`..`end` marker-delimited section of `existing` with
+/// `section` (which must carry its own markers), or appends it when absent,
+/// leaving every other byte of the document untouched. Idempotent. Shared
+/// by the fleet profiles and `benchdiff`'s delta table.
+pub fn upsert_section(existing: &str, begin: &str, end: &str, section: &str) -> String {
+    if let Some(start) = existing.find(begin) {
+        let tail = &existing[start..];
+        let stop = tail
+            .find(end)
+            .map_or(existing.len(), |e| start + e + end.len() + 1)
+            .min(existing.len());
+        let mut out = existing[..start].to_string();
+        out.push_str(section);
+        out.push_str(&existing[stop..]);
+        return out;
+    }
+    let mut out = existing.to_string();
+    if !out.is_empty() && !out.ends_with("\n\n") {
+        out.push('\n');
+    }
+    out.push_str(section);
+    out
 }
 
 #[cfg(test)]

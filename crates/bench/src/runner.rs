@@ -322,16 +322,23 @@ impl ResultsDb {
 
     /// Renders the per-cell throughput profile as a JSON document:
     /// one record per profiled cell (scenario, events simulated, wall-clock
-    /// nanoseconds, events/sec) plus the geometric mean of the per-cell
-    /// events/sec rates. Cells are emitted in scenario order, so the
-    /// document is deterministic for a given run. `None` when no cells
-    /// were executed by this process or restored with profiles.
-    pub fn throughput_json(&self) -> Option<String> {
+    /// nanoseconds, events/sec), the geometric mean of the per-cell
+    /// events/sec rates, and a `trajectory` array — one summary point per
+    /// regeneration, so the perf history across PRs is machine-readable.
+    /// Pass the previous document as `existing` to carry its trajectory
+    /// forward (a pre-trajectory document contributes one point derived
+    /// from its cells); the current run's point is appended. Cells are
+    /// emitted in scenario order, so the document is deterministic for a
+    /// given run. `None` when no cells were executed by this process or
+    /// restored with profiles.
+    pub fn throughput_json(&self, existing: Option<&str>) -> Option<String> {
         if self.profiles.is_empty() {
             return None;
         }
         let mut out = String::from("{\n  \"cells\": [\n");
         let mut rates = Vec::with_capacity(self.profiles.len());
+        let mut total_wall_ns: u128 = 0;
+        let mut slowest_wall_ns: u128 = 0;
         for (i, (scenario, profile)) in self.profiles.iter().enumerate() {
             let events = self.cache.get(scenario).map_or(0, |r| r.events);
             let secs = profile.wall.as_secs_f64();
@@ -339,6 +346,8 @@ impl ResultsDb {
             if rate > 0.0 {
                 rates.push(rate);
             }
+            total_wall_ns += profile.wall.as_nanos();
+            slowest_wall_ns = slowest_wall_ns.max(profile.wall.as_nanos());
             if i > 0 {
                 out.push_str(",\n");
             }
@@ -349,10 +358,25 @@ impl ResultsDb {
                 profile.wall.as_nanos()
             ));
         }
-        out.push_str(&format!(
-            "\n  ],\n  \"geomean_events_per_sec\": {:.3}\n}}\n",
-            sim_core::stats::geomean(&rates)
+        let geomean = sim_core::stats::geomean(&rates);
+        let mut trajectory = prior_trajectory(existing);
+        trajectory.push(trajectory_point(
+            self.profiles.len(),
+            total_wall_ns as f64 / 1e9,
+            slowest_wall_ns as f64 / 1e9,
+            geomean,
         ));
+        out.push_str(&format!(
+            "\n  ],\n  \"geomean_events_per_sec\": {geomean:.3},\n  \"trajectory\": [\n"
+        ));
+        for (i, point) in trajectory.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str("    ");
+            out.push_str(point);
+        }
+        out.push_str("\n  ]\n}\n");
         debug_assert!(sim_core::json::validate(&out).is_ok());
         Some(out)
     }
@@ -366,6 +390,52 @@ impl ResultsDb {
     pub fn is_empty(&self) -> bool {
         self.cache.is_empty()
     }
+}
+
+/// One rendered trajectory point.
+fn trajectory_point(cells: usize, total_s: f64, slowest_s: f64, geomean: f64) -> String {
+    format!(
+        "{{\"cells\": {cells}, \"total_cell_wall_s\": {total_s:.2}, \
+         \"slowest_cell_s\": {slowest_s:.2}, \"geomean_events_per_sec\": {geomean:.3}}}"
+    )
+}
+
+/// Extracts (and re-renders) the trajectory of a previous
+/// `BENCH_throughput.json` document. A parseable document without a
+/// `trajectory` key contributes one point summarized from its cells, so
+/// histories start from the profile committed before trajectories existed.
+/// Unparseable or absent input yields an empty history.
+fn prior_trajectory(existing: Option<&str>) -> Vec<String> {
+    let Some(Ok(doc)) = existing.map(sim_core::json::parse) else {
+        return Vec::new();
+    };
+    if let Some(points) = doc.get("trajectory").and_then(|t| t.as_array()) {
+        return points
+            .iter()
+            .map(|p| {
+                let num = |key: &str| p.get(key).and_then(|v| v.as_f64()).unwrap_or(0.0);
+                trajectory_point(
+                    num("cells") as usize,
+                    num("total_cell_wall_s"),
+                    num("slowest_cell_s"),
+                    num("geomean_events_per_sec"),
+                )
+            })
+            .collect();
+    }
+    let Some(cells) = doc.get("cells").and_then(|c| c.as_array()) else {
+        return Vec::new();
+    };
+    let mut total_ns = 0.0f64;
+    let mut slowest_ns = 0.0f64;
+    for cell in cells {
+        let wall = cell.get("wall_ns").and_then(|v| v.as_f64()).unwrap_or(0.0);
+        total_ns += wall;
+        slowest_ns = slowest_ns.max(wall);
+    }
+    let geomean =
+        doc.get("geomean_events_per_sec").and_then(|v| v.as_f64()).unwrap_or(0.0);
+    vec![trajectory_point(cells.len(), total_ns / 1e9, slowest_ns / 1e9, geomean)]
 }
 
 #[cfg(test)]
@@ -447,13 +517,25 @@ mod tests {
     #[test]
     fn throughput_json_is_valid_and_covers_every_profiled_cell() {
         let mut db = ResultsDb::with_jobs(4, 2);
-        assert!(db.throughput_json().is_none(), "no profiles yet");
+        assert!(db.throughput_json(None).is_none(), "no profiles yet");
         db.warm(&["RR", "EDF"], &[Benchmark::Ipv6], &[ArrivalRate::Low], 2).unwrap();
-        let json = db.throughput_json().expect("profiles recorded by warm");
+        let json = db.throughput_json(None).expect("profiles recorded by warm");
         sim_core::json::validate(&json).expect("emitted document must parse");
         assert_eq!(json.matches("\"scenario\"").count(), db.profiles().len());
         assert!(json.contains("\"geomean_events_per_sec\""));
         assert!(json.contains("\"wall_ns\""));
+        assert!(json.contains("\"trajectory\""));
+        assert_eq!(json.matches("\"total_cell_wall_s\"").count(), 1, "fresh history: one point");
+        // Regenerating against the previous document appends a point and
+        // keeps the old one.
+        let again = db.throughput_json(Some(&json)).unwrap();
+        sim_core::json::validate(&again).expect("appended document must parse");
+        assert_eq!(again.matches("\"total_cell_wall_s\"").count(), 2);
+        // A pre-trajectory document contributes one derived baseline point.
+        let legacy = r#"{"cells": [{"scenario": "A", "events": 10, "wall_ns": 2000000000, "events_per_sec": 5.0}], "geomean_events_per_sec": 5.0}"#;
+        let migrated = db.throughput_json(Some(legacy)).unwrap();
+        assert_eq!(migrated.matches("\"total_cell_wall_s\"").count(), 2);
+        assert!(migrated.contains("\"total_cell_wall_s\": 2.00"), "baseline derived from cells");
     }
 
     #[test]

@@ -86,6 +86,38 @@ impl Dram {
         done + self.latency
     }
 
+    /// Issues every line of `mask` (bit `i` = line `i` of a consecutive run
+    /// starting at `base_addr`, `line_bytes` apart) at time `now`; returns
+    /// the completion time of the worst line.
+    ///
+    /// The closed-form equivalent of calling [`Dram::access`] per set bit
+    /// in ascending line order: per-channel queueing is applied in the same
+    /// order (ascending lines visit each channel in ascending order), the
+    /// completion maximum commutes with the constant latency added at the
+    /// end, and the busy-cycle counter advances by exactly `count * service`
+    /// because every access occupies its channel for one full service time
+    /// regardless of queueing. Counters and channel clocks are fast-forwarded
+    /// once per run instead of once per line.
+    pub fn access_run(&mut self, base_addr: u64, line_bytes: u64, mask: u32, now: Cycle) -> Cycle {
+        debug_assert!(mask != 0);
+        let count = mask.count_ones() as u64;
+        let mut rest = mask;
+        let mut worst = Cycle::ZERO;
+        while rest != 0 {
+            let i = rest.trailing_zeros() as u64;
+            rest &= rest - 1;
+            let line = (base_addr + i * line_bytes) >> 6;
+            let ch = (line & self.channel_mask) as usize;
+            let start = self.busy_until[ch].max(now);
+            let done = start + self.service_scaled;
+            self.busy_until[ch] = done;
+            worst = worst.max(done);
+        }
+        self.accesses += count;
+        self.busy_cycles += count * self.service_scaled.as_cycles();
+        worst + self.latency
+    }
+
     /// Total line accesses served.
     pub fn accesses(&self) -> u64 {
         self.accesses

@@ -4,13 +4,14 @@
 //!
 //! Subsystems never touch the queue directly — they request future events
 //! through [`Effects`], a thin buffer the engine hands to every handler.
-//! Wave segment completions are *not* heap events at all: [`crate::exec`]
-//! keeps a per-SIMD next-completion prediction and the engine polls the
-//! minimum over SIMD units each iteration, firing whichever of (heap head,
-//! poll minimum) is earlier in `(time, sequence)` order. That keeps the
-//! hottest event class out of the binary heap entirely while preserving
-//! bit-identical FIFO tie-breaking: predictions carry sequence stamps drawn
-//! from the same counter heap events use.
+//! Wave segment completions and wave memory returns are *not* heap events
+//! at all: [`crate::exec`] keeps a per-SIMD next-completion prediction plus
+//! a per-SIMD pending memory-return list, and the engine polls both minima
+//! each iteration, firing whichever of (heap head, poll minimum, memory
+//! minimum) is earliest in `(time, sequence)` order. That keeps the two
+//! hottest event classes out of the heap entirely while preserving
+//! bit-identical FIFO tie-breaking: predictions and memory returns carry
+//! sequence stamps drawn from the same counter heap events use.
 
 use sim_core::event::EventQueue;
 use sim_core::time::{Cycle, Duration};
@@ -23,15 +24,16 @@ use crate::host::{self, HostEvent};
 use crate::job::JobId;
 use crate::probe::ProbeEvent;
 use crate::sim::{SchedulerMode, SimError};
-use crate::slab::SlabKey;
+
 use crate::state::{self, SimState};
 
 /// Deterministic livelock watchdog threshold: simulated time must advance
 /// at least once every this many events.
 const STALL_EVENT_LIMIT: u64 = 500_000;
 
-/// Every event kind the engine routes. Wave segment completions are
-/// deliberately absent: they flow through the poll path, not the heap.
+/// Every event kind the engine routes. Wave segment completions and wave
+/// memory returns are deliberately absent: they flow through the poll
+/// paths, not the heap.
 #[derive(Debug)]
 pub(crate) enum Ev {
     Arrival(u32),
@@ -40,7 +42,6 @@ pub(crate) enum Ev {
     SchedTick,
     HostTick,
     HostWake,
-    MemDone { wave: SlabKey },
     Deliver(Delivery),
     PrioWrite { job: JobId, prio: i64 },
     Unblock(usize),
@@ -166,30 +167,47 @@ pub(crate) fn run(en: &mut Engine, st: &mut SimState) -> Result<(), SimError> {
             en.events.schedule(Cycle::ZERO + p, Ev::HostTick);
         }
     }
+    // The heap key is cached across iterations: most events are polled
+    // completions or memory returns that never touch the queue, so the
+    // head only needs re-reading when the queue's version moves.
+    let mut heap_key = u128::MAX;
+    let mut heap_version = u64::MAX;
     while st.shared.resolved < st.shared.jobs.len() {
         if st.shared.fatal.is_some() {
             return Err(st.shared.fatal.take().expect("fatal checked above"));
         }
-        // Arbitrate between the heap head and the execution subsystem's
-        // polled minimum in (time, sequence) order — exactly the order a
-        // single heap would produce if predictions were queued.
-        let heap = en.events.peek_key();
-        let poll = st.exec.next_poll();
-        let take_poll = match (heap, poll) {
-            (Some((ht, hs)), Some((pt, ps, _))) => (pt, ps) < (ht, hs),
-            (None, Some(_)) => true,
-            (Some(_), None) => false,
-            (None, None) => break,
-        };
-        if take_poll {
-            let (at, _, slot) = poll.expect("poll arbitration chose an empty poll");
+        // Arbitrate between the heap head, the execution subsystem's polled
+        // segment-completion minimum, and its pending memory-return minimum
+        // in packed (time, sequence) order — exactly the order a single
+        // heap would produce if all three classes were queued.
+        if en.events.version() != heap_version {
+            heap_version = en.events.version();
+            heap_key = en
+                .events
+                .peek_key()
+                .map(|(t, s)| (t.as_cycles() as u128) << 64 | s as u128)
+                .unwrap_or(u128::MAX);
+        }
+        let (poll_key, poll_slot) = st.exec.poll_key();
+        let (mem_key, mem_slot) = st.exec.mem_key();
+        if poll_key < heap_key && poll_key < mem_key {
+            let at = Cycle::from_cycles((poll_key >> 64) as u64);
             en.clock = at;
             if at > en.horizon {
                 break;
             }
             en.bump(at)?;
             let mut fx = Effects { events: &mut en.events };
-            exec::service_poll(st, &mut fx, slot, at);
+            exec::service_poll(st, &mut fx, poll_slot, at);
+        } else if mem_key < heap_key {
+            let at = Cycle::from_cycles((mem_key >> 64) as u64);
+            en.clock = at;
+            if at > en.horizon {
+                break;
+            }
+            en.bump(at)?;
+            let mut fx = Effects { events: &mut en.events };
+            exec::service_mem(st, &mut fx, mem_slot, at);
         } else {
             let Some((now, ev)) = en.events.pop() else { break };
             en.clock = now;
@@ -259,7 +277,6 @@ fn route(en: &mut Engine, st: &mut SimState, ev: Ev, now: Cycle) {
             }
         }
         Ev::HostWake => host::react(st, &mut fx, HostEvent::Wake, now),
-        Ev::MemDone { wave } => exec::on_mem_done(st, &mut fx, wave, now),
         Ev::Deliver(d) => host::on_deliver(st, &mut fx, d, now),
         Ev::PrioWrite { job, prio } => {
             if let Some(&q) = st.shared.queue_of_job.get(&job) {

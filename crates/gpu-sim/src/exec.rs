@@ -22,7 +22,7 @@ use crate::config::GpuConfig;
 use crate::cp_frontend;
 use crate::cu::ComputeUnit;
 use crate::dispatch;
-use crate::engine::{Effects, Ev};
+use crate::engine::Effects;
 use crate::host;
 use crate::job::{JobFate, JobId};
 use crate::kernel::KernelDesc;
@@ -33,18 +33,27 @@ use crate::state::{self, SimState};
 use crate::timeline::TimelineKind;
 use crate::wave::{KernelRun, WaveState, Wavefront, WorkgroupRun};
 
-/// One SIMD unit's next predicted segment completion.
-///
-/// `stamp` is a sequence number from the shared event-queue counter,
-/// allocated when the prediction is (re)written; `(at, stamp)` orders the
-/// prediction against heap events. `gen` snapshots the SIMD's membership
-/// generation so a stale slot is recognized and overwritten.
+/// One SIMD unit's next predicted segment completion. The sequence stamp
+/// lives packed into the parallel `keys` entry; this struct keeps what the
+/// staleness check needs: `gen` snapshots the SIMD's membership generation
+/// so a stale slot is recognized and overwritten.
 #[derive(Debug, Clone, Copy, Default)]
 struct Pred {
     at: Cycle,
-    stamp: u64,
     gen: u64,
     valid: bool,
+}
+
+/// One in-flight memory completion, parked on its SIMD's pending list
+/// instead of the global event heap.
+///
+/// `key` packs `(completion time, stamp)` exactly like the poll-prediction
+/// sort keys, so the engine can arbitrate memory returns against heap
+/// events and segment completions in one `(time, sequence)` order.
+#[derive(Debug, Clone, Copy)]
+struct MemPend {
+    key: u128,
+    wave: SlabKey,
 }
 
 /// The execution subsystem: compute units, the in-flight wave/WG/kernel
@@ -67,6 +76,19 @@ pub(crate) struct Exec {
     /// per serviced poll, not once per event.
     head: (u128, usize),
     head_dirty: bool,
+    /// Per-SIMD in-flight memory completions (unsorted; at most the unit's
+    /// resident waves, so scans are a few entries). Wave memory returns are
+    /// the single hottest event class — parking them here instead of the
+    /// global heap turns ~2 log-n heap operations per access into O(1)
+    /// pushes plus a tiny argmin, while `mem_keys`/`mem_head` keep them in
+    /// the engine's `(time, stamp)` arbitration exactly like `keys`/`head`.
+    mem_pending: Vec<Vec<MemPend>>,
+    /// Minimum pending-completion key per SIMD, `u128::MAX` when none.
+    mem_keys: Vec<u128>,
+    /// Cached argmin of `mem_keys`, maintained like `head`: pushes can only
+    /// lower a slot's minimum (O(1) update), pops mark it dirty.
+    mem_head: (u128, usize),
+    mem_head_dirty: bool,
     simds_per_cu: usize,
     completed_buf: Vec<SlabKey>,
 }
@@ -82,6 +104,12 @@ impl Exec {
             keys: vec![u128::MAX; (cfg.num_cus * cfg.simds_per_cu) as usize],
             head: (u128::MAX, 0),
             head_dirty: false,
+            mem_pending: (0..cfg.num_cus * cfg.simds_per_cu)
+                .map(|_| Vec::with_capacity(cfg.waves_per_simd as usize))
+                .collect(),
+            mem_keys: vec![u128::MAX; (cfg.num_cus * cfg.simds_per_cu) as usize],
+            mem_head: (u128::MAX, 0),
+            mem_head_dirty: false,
             simds_per_cu: cfg.simds_per_cu as usize,
             completed_buf: Vec::new(),
         }
@@ -139,11 +167,11 @@ impl Exec {
         self.runs[rk].wgs_dispatched > self.runs[rk].wgs_completed
     }
 
-    /// The earliest live SIMD completion prediction as
-    /// `(time, stamp, slot)`, or `None` when every unit is idle. The engine
-    /// compares `(time, stamp)` against the event-queue head to decide what
-    /// fires next.
-    pub(crate) fn next_poll(&mut self) -> Option<(Cycle, u64, usize)> {
+    /// The earliest live SIMD completion prediction as a packed
+    /// `((time << 64 | stamp), slot)` key, `u128::MAX` when every unit is
+    /// idle. The engine compares the key against the event-queue head and
+    /// the pending-memory minimum to decide what fires next.
+    pub(crate) fn poll_key(&mut self) -> (u128, usize) {
         if self.head_dirty {
             let mut best = 0usize;
             let mut bk = u128::MAX;
@@ -156,19 +184,61 @@ impl Exec {
             self.head = (bk, best);
             self.head_dirty = false;
         }
-        let (bk, best) = self.head;
-        if bk == u128::MAX {
-            None
-        } else {
-            let p = &self.preds[best];
-            Some((p.at, p.stamp, best))
+        self.head
+    }
+
+    /// The earliest pending memory completion as a packed
+    /// `((time << 64 | stamp), slot)` key, `u128::MAX` when none are in
+    /// flight. Same contract as [`Exec::poll_key`].
+    pub(crate) fn mem_key(&mut self) -> (u128, usize) {
+        if self.mem_head_dirty {
+            let mut best = 0usize;
+            let mut bk = u128::MAX;
+            for (i, &k) in self.mem_keys.iter().enumerate() {
+                if k < bk {
+                    bk = k;
+                    best = i;
+                }
+            }
+            self.mem_head = (bk, best);
+            self.mem_head_dirty = false;
         }
+        self.mem_head
+    }
+
+    /// Parks wave `wave`'s memory return at `(at, stamp)` on SIMD `slot`'s
+    /// pending list. A push can only lower the slot's minimum, so the
+    /// cached argmin updates in O(1) and never goes dirty.
+    fn push_mem(&mut self, slot: usize, at: Cycle, stamp: u64, wave: SlabKey) {
+        let key = (at.as_cycles() as u128) << 64 | stamp as u128;
+        self.mem_pending[slot].push(MemPend { key, wave });
+        if key < self.mem_keys[slot] {
+            self.mem_keys[slot] = key;
+            if !self.mem_head_dirty && key < self.mem_head.0 {
+                self.mem_head = (key, slot);
+            }
+        }
+    }
+
+    /// Removes and returns the earliest pending memory completion of SIMD
+    /// `slot`, updating the slot minimum and marking the argmin dirty when
+    /// the head slot was popped.
+    fn pop_mem(&mut self, slot: usize) -> Option<SlabKey> {
+        let list = &mut self.mem_pending[slot];
+        let min_key = self.mem_keys[slot];
+        let pos = list.iter().position(|e| e.key == min_key)?;
+        let entry = list.swap_remove(pos);
+        self.mem_keys[slot] = list.iter().map(|e| e.key).min().unwrap_or(u128::MAX);
+        if !self.mem_head_dirty && slot == self.mem_head.1 {
+            self.mem_head_dirty = true;
+        }
+        Some(entry.wave)
     }
 
     /// Writes slot `slot`'s prediction.
     #[inline]
     fn write_pred(&mut self, slot: usize, at: Cycle, stamp: u64, gen: u64) {
-        self.preds[slot] = Pred { at, stamp, gen, valid: true };
+        self.preds[slot] = Pred { at, gen, valid: true };
         let k = (at.as_cycles() as u128) << 64 | stamp as u128;
         self.keys[slot] = k;
         if !self.head_dirty {
@@ -237,7 +307,7 @@ pub(crate) fn place_wg(st: &mut SimState, fx: &mut Effects<'_>, run_key: SlabKey
         .emit_with(now, || ProbeEvent::WgDispatched { cu: cu_idx as u16, job, wg: wg_key });
     // Segments started inside a slowdown window are stretched; `* 1.0`
     // outside windows is bit-exact, preserving fault-free identity.
-    let segment = desc.profile.segment_cycles() * shared.fault_scale();
+    let segment = exec.runs[run_key].segment_cycles * shared.fault_scale();
     for simd_idx in placement {
         let wave_seq = {
             let run = &mut exec.runs[run_key];
@@ -257,7 +327,7 @@ pub(crate) fn place_wg(st: &mut SimState, fx: &mut Effects<'_>, run_key: SlabKey
         });
         let simd = &mut exec.cus[cu_idx].simds[simd_idx as usize];
         simd.advance(now);
-        simd.activate(key, &exec.waves);
+        simd.activate_with(key, segment);
         reschedule_simd(exec, fx, cu_idx, simd_idx as usize, now);
         shared
             .probes
@@ -276,15 +346,19 @@ pub(crate) fn service_poll(st: &mut SimState, fx: &mut Effects<'_>, slot: usize,
     // event after a no-op fire.
     st.exec.invalidate_pred(slot);
     let (cu, simd) = (slot / st.exec.simds_per_cu, slot % st.exec.simds_per_cu);
-    st.exec.cus[cu].simds[simd].advance(now);
     let mut completed = std::mem::take(&mut st.exec.completed_buf);
     completed.clear();
-    st.exec.cus[cu].simds[simd].collect_completed(&mut completed);
+    let min_rem = st.exec.cus[cu].simds[simd].advance_collect_min(now, &mut completed);
     if completed.is_empty() {
         st.exec.completed_buf = completed;
         reschedule_simd(&mut st.exec, fx, cu, simd, now);
         return;
     }
+    // Tracks whether any wave fully finished: the completion cascade
+    // (WG/kernel/job retirement, re-dispatch) can place fresh waves on this
+    // very unit, so the survivor minimum from the fused pass is only
+    // trusted when every completed wave merely blocked on memory.
+    let mut cascade = false;
     for &key in &completed {
         {
             let exec = &mut st.exec;
@@ -294,24 +368,51 @@ pub(crate) fn service_poll(st: &mut SimState, fx: &mut Effects<'_>, slot: usize,
             let w = &st.exec.waves[key];
             (w.run, w.wave_seq, w.accesses_done)
         };
-        let profile = st.exec.runs[run_key].desc.profile;
+        let (profile, job_seed) = {
+            let run = &st.exec.runs[run_key];
+            (run.desc.profile, run.job.0 as u64)
+        };
         if accesses_done < profile.mem_accesses {
             st.exec.waves[key].state = WaveState::MemPending;
-            let job_seed = st.exec.runs[run_key].job.0 as u64;
             let done =
                 crate::memsys::request(st, cu, &profile, job_seed, wave_seq, accesses_done, now);
-            fx.schedule(done, Ev::MemDone { wave: key });
+            // Park the completion on this SIMD's pending list. The stamp is
+            // allocated exactly where the old heap event was scheduled, so
+            // `(time, stamp)` arbitration — and with it every artifact —
+            // is unchanged.
+            let stamp = fx.stamp();
+            st.exec.push_mem(slot, done, stamp, key);
         } else {
+            cascade = true;
             finish_wave(st, fx, key, now);
         }
     }
     completed.clear();
     st.exec.completed_buf = completed;
-    reschedule_simd(&mut st.exec, fx, cu, simd, now);
+    if cascade {
+        reschedule_simd(&mut st.exec, fx, cu, simd, now);
+    } else if min_rem.is_finite() {
+        // Membership changed only by the deactivations above, so the
+        // survivor minimum is the exact fold a fresh scan would produce;
+        // the stamp is allocated at the same sequence point the full
+        // reschedule would use.
+        let t = st.exec.cus[cu].simds[simd].predict_from_min(min_rem, now);
+        let gen = st.exec.cus[cu].simds[simd].generation();
+        let stamp = fx.stamp();
+        st.exec.write_pred(slot, t, stamp, gen);
+    } else {
+        st.exec.invalidate_pred(slot);
+    }
 }
 
-/// A wave's memory access returned: start its next compute segment.
-pub(crate) fn on_mem_done(st: &mut SimState, fx: &mut Effects<'_>, key: SlabKey, now: Cycle) {
+/// Services SIMD `slot`'s earliest pending memory return: the wave's access
+/// completed, so start its next compute segment.
+///
+/// A wave squashed while blocked (kernel abort) leaves its pending entry
+/// behind; it pops here at its original `(time, stamp)` and no-ops, exactly
+/// as the old heap event did.
+pub(crate) fn service_mem(st: &mut SimState, fx: &mut Effects<'_>, slot: usize, now: Cycle) {
+    let key = st.exec.pop_mem(slot).expect("mem arbitration chose an empty slot");
     let SimState { shared, exec, .. } = st;
     let Some(w) = exec.waves.get_mut(key) else {
         return;
@@ -320,12 +421,17 @@ pub(crate) fn on_mem_done(st: &mut SimState, fx: &mut Effects<'_>, key: SlabKey,
     w.accesses_done += 1;
     w.state = WaveState::Computing;
     let (cu, simd, run_key) = (w.cu as usize, w.simd as usize, w.run);
-    let segment = exec.runs[run_key].desc.profile.segment_cycles() * shared.fault_scale();
-    exec.waves[key].remaining = segment;
+    let segment = exec.runs[run_key].segment_cycles * shared.fault_scale();
     let s = &mut exec.cus[cu].simds[simd];
-    s.advance(now);
-    s.activate(key, &exec.waves);
-    reschedule_simd(exec, fx, cu, simd, now);
+    // Fused advance + activate + predict: the activation always bumps the
+    // generation, so the full reschedule would unconditionally rescan and
+    // restamp anyway — compute the post-activation minimum inline instead.
+    let min_rem = s.advance_min(now).min(segment);
+    s.activate_with(key, segment);
+    let t = s.predict_from_min(min_rem, now);
+    let gen = s.generation();
+    let stamp = fx.stamp();
+    exec.write_pred(slot, t, stamp, gen);
 }
 
 fn finish_wave(st: &mut SimState, fx: &mut Effects<'_>, key: SlabKey, now: Cycle) {

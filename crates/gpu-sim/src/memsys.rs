@@ -71,10 +71,15 @@ pub(crate) fn request(
         profile.lines_per_access,
         st.shared.cfg.mem.line_bytes,
     );
-    let (done, mix) = st
-        .mem
-        .hier
-        .access_bundle(cu, addr, profile.lines_per_access, now);
+    // With an observer attached, take the reference per-line walk so probe
+    // consumers exercise the interleaved path; otherwise the analytic run.
+    // The observer-equivalence test (attached vs detached reports) is the
+    // standing gate that both produce identical results.
+    let (done, mix) = if st.shared.probes.is_active() {
+        st.mem.hier.access_bundle(cu, addr, profile.lines_per_access, now)
+    } else {
+        st.mem.hier.access_run(cu, addr, profile.lines_per_access, now)
+    };
     st.shared.energy.add_memory(mix);
     st.shared
         .probes

@@ -65,10 +65,28 @@ impl SimdUnit {
         }
     }
 
-    /// Per-wave progress rate with `n` active waves.
+    /// Per-wave progress rate with `n` active waves. Within the co-issue
+    /// window the rate is exactly 1.0 (an integer quotient `c/n` with
+    /// `c >= n` never rounds below one), so the common case skips the
+    /// division.
     #[inline]
     fn share(&self, n: usize) -> f64 {
-        (self.coissue as f64 / n as f64).min(1.0)
+        if n <= self.coissue as usize {
+            1.0
+        } else {
+            self.coissue as f64 / n as f64
+        }
+    }
+
+    /// `rem / share(n)` with the division elided when the share is exactly
+    /// 1.0 (`x / 1.0` is bit-identical to `x`).
+    #[inline]
+    fn scaled_rem(&self, rem: f64, n: usize) -> f64 {
+        if n <= self.coissue as usize {
+            rem
+        } else {
+            rem / self.share(n)
+        }
     }
 
     /// Number of waves holding slots (computing or blocked).
@@ -118,12 +136,100 @@ impl SimdUnit {
         }
     }
 
+    /// Fused [`SimdUnit::advance`] + [`SimdUnit::collect_completed`] +
+    /// survivor minimum, in one pass over the active list: subtracts the
+    /// elapsed service, appends completed keys (remaining ~ 0) to `out`,
+    /// and returns the minimum remaining issue-cycles among the waves that
+    /// survive (`f64::INFINITY` when none do). The survivor minimum equals
+    /// what [`SimdUnit::next_completion`]'s fold would see after the caller
+    /// deactivates every completed wave — f64 `min` over a set of
+    /// non-negative values is order-independent — so callers that retire
+    /// the completed waves without other membership changes can re-predict
+    /// from it without a second scan.
+    pub fn advance_collect_min(&mut self, now: Cycle, out: &mut Vec<SlabKey>) -> f64 {
+        let elapsed = now.saturating_since(self.last_update);
+        self.last_update = now;
+        let n = self.active.len();
+        let mut min_rem = f64::INFINITY;
+        if n == 0 {
+            return min_rem;
+        }
+        if elapsed.is_zero() {
+            for &(k, rem) in &self.active {
+                if rem <= EPS {
+                    out.push(k);
+                } else {
+                    min_rem = min_rem.min(rem);
+                }
+            }
+            return min_rem;
+        }
+        let service = elapsed.as_cycles() as f64 * self.share(n);
+        for (k, rem) in &mut self.active {
+            *rem = (*rem - service).max(0.0);
+            if *rem <= EPS {
+                out.push(*k);
+            } else {
+                min_rem = min_rem.min(*rem);
+            }
+        }
+        min_rem
+    }
+
+    /// Fused [`SimdUnit::advance`] + running minimum over *all* active
+    /// waves (completed or not), for callers about to activate one more
+    /// wave and re-predict: `min(advance_min(now), new_remaining)` is
+    /// exactly the fold [`SimdUnit::next_completion`] would compute after
+    /// the activation.
+    pub fn advance_min(&mut self, now: Cycle) -> f64 {
+        let elapsed = now.saturating_since(self.last_update);
+        self.last_update = now;
+        let n = self.active.len();
+        let mut min_rem = f64::INFINITY;
+        if n == 0 {
+            return min_rem;
+        }
+        if elapsed.is_zero() {
+            for &(_, rem) in &self.active {
+                min_rem = min_rem.min(rem);
+            }
+            return min_rem;
+        }
+        let service = elapsed.as_cycles() as f64 * self.share(n);
+        for (_, rem) in &mut self.active {
+            *rem = (*rem - service).max(0.0);
+            min_rem = min_rem.min(*rem);
+        }
+        min_rem
+    }
+
+    /// The [`SimdUnit::next_completion`] arithmetic applied to an
+    /// externally tracked minimum (from the fused advance passes), skipping
+    /// the fold. Caller guarantees `min_rem` is the minimum remaining of
+    /// the *current* active set and that the set is non-empty.
+    #[inline]
+    pub fn predict_from_min(&self, min_rem: f64, now: Cycle) -> Cycle {
+        debug_assert!(!self.active.is_empty());
+        let x = self.scaled_rem(min_rem, self.active.len());
+        let t = x as u64;
+        let cycles = if t as f64 == x { t } else { t + 1 }.max(1);
+        now + Duration::from_cycles(cycles)
+    }
+
     /// Adds a wave to the active (computing) set, capturing its arena
     /// `remaining` as the unit's working copy. Caller must have called
     /// [`SimdUnit::advance`] to `now` first.
     pub fn activate(&mut self, key: SlabKey, waves: &Slab<Wavefront>) {
+        self.activate_with(key, waves[key].remaining);
+    }
+
+    /// [`SimdUnit::activate`] with the remaining issue-cycles supplied
+    /// directly, for hot-path callers that already know the fresh segment
+    /// length and skip the arena round-trip (the arena `remaining` is stale
+    /// while a wave is active either way; `deactivate` writes it back).
+    pub fn activate_with(&mut self, key: SlabKey, remaining: f64) {
         debug_assert!(!self.active.iter().any(|&(k, _)| k == key));
-        self.active.push((key, waves[key].remaining));
+        self.active.push((key, remaining));
         self.generation += 1;
     }
 
@@ -158,7 +264,7 @@ impl SimdUnit {
             // Integer ceiling; identical to `.ceil().max(1.0) as u64` for the
             // non-negative sub-2^53 values remaining/share take, without the
             // libm call.
-            let x = min_rem / self.share(n);
+            let x = self.scaled_rem(min_rem, n);
             let t = x as u64;
             let cycles = if t as f64 == x { t } else { t + 1 }.max(1);
             Some(now + Duration::from_cycles(cycles))

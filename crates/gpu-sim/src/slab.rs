@@ -88,8 +88,57 @@ impl<T> Slab<T> {
         }
     }
 
+    /// Drops every live entry and recycles all slots, without releasing
+    /// the slot storage. Generations advance exactly as if each entry had
+    /// been [`remove`](Slab::remove)d individually, so keys handed out
+    /// before the clear are stale afterwards — and keys minted by
+    /// subsequent inserts are identical to the remove-then-reinsert
+    /// sequence (see the `clear_matches_individual_removes` test).
+    pub fn clear(&mut self) {
+        // Rebuild the free list back-to-front over *every* slot (already
+        // free ones included, so none leak) so the head ends up at the
+        // lowest index — the order `remove` produces when called on a
+        // fully occupied slab in descending index order.
+        self.free_head = None;
+        for (i, slot) in self.slots.iter_mut().enumerate().rev() {
+            let generation = match slot {
+                Slot::Occupied { generation, .. } | Slot::Free { generation, .. } => *generation,
+            };
+            *slot = Slot::Free { generation, next_free: self.free_head };
+            self.free_head = Some(i as u32);
+        }
+        self.len = 0;
+    }
+
+    /// Debug guard against keys that were never minted by this slab: a
+    /// key's generation can never exceed its slot's current generation,
+    /// so a larger one means the key came from a different slab (or from
+    /// a future this slab hasn't reached). Stale-but-genuine keys (older
+    /// generation) are a legal miss and stay silent.
+    #[inline]
+    fn check_key(&self, key: SlabKey) {
+        if cfg!(debug_assertions) {
+            if let Some(slot) = self.slots.get(key.index()) {
+                let current = match slot {
+                    Slot::Occupied { generation, .. } | Slot::Free { generation, .. } => {
+                        *generation
+                    }
+                };
+                debug_assert!(
+                    key.generation <= current,
+                    "slab key generation {} is ahead of slot {} generation {} — \
+                     key was minted by a different slab",
+                    key.generation,
+                    key.index,
+                    current,
+                );
+            }
+        }
+    }
+
     /// Returns a reference if the key is live.
     pub fn get(&self, key: SlabKey) -> Option<&T> {
+        self.check_key(key);
         match self.slots.get(key.index())? {
             Slot::Occupied { generation, value } if *generation == key.generation => Some(value),
             _ => None,
@@ -98,6 +147,7 @@ impl<T> Slab<T> {
 
     /// Returns a mutable reference if the key is live.
     pub fn get_mut(&mut self, key: SlabKey) -> Option<&mut T> {
+        self.check_key(key);
         match self.slots.get_mut(key.index())? {
             Slot::Occupied { generation, value } if *generation == key.generation => Some(value),
             _ => None,
@@ -106,6 +156,7 @@ impl<T> Slab<T> {
 
     /// Removes and returns the value if the key is live.
     pub fn remove(&mut self, key: SlabKey) -> Option<T> {
+        self.check_key(key);
         let slot = self.slots.get_mut(key.index())?;
         match slot {
             Slot::Occupied { generation, .. } if *generation == key.generation => {
@@ -190,6 +241,54 @@ mod tests {
         s.remove(a);
         let live: Vec<i32> = s.iter().map(|(_, v)| *v).collect();
         assert_eq!(live, vec![2, 3]);
+    }
+
+    #[test]
+    fn clear_recycles_slots_and_stales_old_keys() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.get(a), None);
+        assert_eq!(s.get(b), None);
+        // Reuse starts at the lowest index, with generation bumped.
+        let c = s.insert("c");
+        assert_eq!(c.index(), 0);
+        assert_ne!(a, c);
+        assert_eq!(s[c], "c");
+    }
+
+    /// `clear` must mint exactly the same keys on reuse as removing every
+    /// entry individually (highest index first) would — per-wave scratch
+    /// callers rely on key-generation stability across clear/reuse cycles.
+    #[test]
+    fn clear_matches_individual_removes() {
+        let mut via_clear = Slab::new();
+        let mut via_remove = Slab::new();
+        for round in 0..5 {
+            let n = 3 + round;
+            let ka: Vec<_> = (0..n).map(|i| via_clear.insert(i)).collect();
+            let kb: Vec<_> = (0..n).map(|i| via_remove.insert(i)).collect();
+            assert_eq!(ka, kb, "insert keys diverged in round {round}");
+            via_clear.clear();
+            for &k in kb.iter().rev() {
+                via_remove.remove(k);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ahead of slot")]
+    #[cfg(debug_assertions)]
+    fn foreign_key_is_caught_in_debug() {
+        let mut minted = Slab::new();
+        let k0 = minted.insert(0);
+        minted.remove(k0);
+        let fresh = minted.insert(1); // generation 1 at index 0
+        let mut other = Slab::new();
+        other.insert("x"); // generation 0 at index 0
+        let _ = other.get(fresh); // key from `minted`, generation too new
     }
 
     #[test]

@@ -83,6 +83,10 @@ pub struct KernelRun {
     pub next_wave_seq: u32,
     /// Time the first WG was dispatched.
     pub started: Cycle,
+    /// [`crate::kernel::ComputeProfile::segment_cycles`] of `desc`, cached
+    /// at construction: the division runs once per kernel instead of once
+    /// per wave memory return on the hot path.
+    pub segment_cycles: f64,
 }
 
 impl KernelRun {
@@ -94,6 +98,7 @@ impl KernelRun {
         kernel_idx: usize,
         now: Cycle,
     ) -> Self {
+        let segment_cycles = desc.profile.segment_cycles();
         KernelRun {
             queue,
             job,
@@ -103,6 +108,7 @@ impl KernelRun {
             wgs_completed: 0,
             next_wave_seq: 0,
             started: now,
+            segment_cycles,
         }
     }
 

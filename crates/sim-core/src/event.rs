@@ -135,6 +135,11 @@ pub struct EventQueue<E> {
     next_seq: u64,
     cancelled: std::collections::HashSet<u64>,
     now: Cycle,
+    /// Bumped by every operation that can change the live head (schedule,
+    /// pop, cancel), so hot loops can cache [`EventQueue::peek_key`] and
+    /// recompute it only when this moves. Lazy cancelled-entry cleanup
+    /// inside peeks does not bump it: the live head is unaffected.
+    version: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -151,6 +156,7 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             cancelled: std::collections::HashSet::new(),
             now: Cycle::ZERO,
+            version: 0,
         }
     }
 
@@ -170,6 +176,7 @@ impl<E> EventQueue<E> {
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.version += 1;
         self.heap.push(Entry { at, seq, payload });
         EventId(seq)
     }
@@ -193,6 +200,7 @@ impl<E> EventQueue<E> {
     /// Cancels a previously scheduled event. Cancelling an already-fired or
     /// already-cancelled event is a no-op.
     pub fn cancel(&mut self, id: EventId) {
+        self.version += 1;
         self.cancelled.insert(id.0);
         if self.cancelled.len() * 2 > self.heap.len() {
             self.compact();
@@ -211,6 +219,7 @@ impl<E> EventQueue<E> {
 
     /// Pops the earliest live event, advancing `now` to its timestamp.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        self.version += 1;
         while let Some(entry) = self.heap.pop() {
             if !self.cancelled.is_empty() && self.cancelled.remove(&entry.seq) {
                 continue;
@@ -244,6 +253,14 @@ impl<E> EventQueue<E> {
             return Some((entry.at, entry.seq));
         }
         None
+    }
+
+    /// Monotonic counter of live-head-affecting operations; see the field
+    /// doc. Equal versions across two calls guarantee an unchanged
+    /// [`EventQueue::peek_key`] result.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Number of live (non-cancelled) events still queued.

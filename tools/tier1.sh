@@ -160,6 +160,16 @@ grep -q "must be a string" "$TMP/bad.err"
 ! grep -q "panicked" "$TMP/bad.err"
 echo "   scenario files validate, run deterministically, and fail typed"
 
+echo "== tier1: perf smoke (batched-vs-reference digest + throughput floor) =="
+PERFSMOKE_BIN=target/release/perfsmoke
+# One HYBRID cell (the slowest workload family) run on both memory paths:
+# the two reports must be identical — the analytic-batching bit-identity
+# contract, gated strictly — and the fast path must clear a deliberately
+# generous events/sec floor (timed loosely: the box this runs on shares
+# its single core with other work, so only a ~2x miss can trip it).
+"$PERFSMOKE_BIN" "RR:HYBRID:medium:j64:s20210301" --floor 3000000
+echo "   batched == reference and throughput floor cleared"
+
 echo "== tier1: fleet-trace smoke (fleet Chrome trace + SLO telemetry) =="
 FLEET_TRACE_BIN=target/release/fleet-trace
 # A small faulty fleet with retries and shedding, so the trace carries
